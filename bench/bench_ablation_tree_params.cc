@@ -1,0 +1,124 @@
+// Ablation: Hoeffding-tree hyperparameters. The paper calls systematic
+// tuning of the learning model (splitting criteria, leaf strategy,
+// bounds) an open area (Section V-D); this harness sweeps the three VFDT
+// knobs — grace period, split confidence (delta), tie threshold — on the
+// TwQW1 evaluation run and reports how the recommendation quality and
+// tree structure respond.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/minmax_scaler.h"
+#include "workload/stream_driver.h"
+
+namespace {
+
+using namespace latest;
+
+struct SweepResult {
+  double agree = 0.0;   // Top-1 agreement with the realized best.
+  double regret = 0.0;  // Mean blended-score regret.
+  uint64_t leaves = 0;
+  uint32_t depth = 0;
+};
+
+SweepResult RunWithTree(const workload::DatasetSpec& dataset_spec,
+                        uint32_t num_queries,
+                        const ml::HoeffdingTreeConfig& tree) {
+  const auto workload_spec = workload::MakeWorkloadSpec(
+      workload::WorkloadId::kTwQW1, num_queries);
+  auto config = bench::DefaultModuleConfig(dataset_spec, num_queries);
+  config.tree = tree;
+
+  workload::DatasetGenerator dataset(dataset_spec);
+  workload::QueryGenerator queries(workload_spec, dataset_spec);
+  auto module_result = core::LatestModule::Create(config);
+  if (!module_result.ok()) std::exit(1);
+  core::LatestModule& module = **module_result;
+
+  workload::StreamDriver driver(&dataset, &queries,
+                                config.window.window_length_ms,
+                                dataset_spec.duration_ms);
+  SweepResult result;
+  uint64_t total = 0;
+  util::MinMaxScaler latency_scaler;
+  driver.Run(
+      [&](const stream::GeoTextObject& obj) { module.OnObject(obj); },
+      [&](const stream::Query& q, uint32_t) {
+        const auto recommended = module.Recommend(q);
+        const auto outcome = module.OnQuery(q);
+        if (outcome.phase != core::Phase::kIncremental ||
+            outcome.measurements.size() !=
+                estimators::kNumPaperEstimatorKinds) {
+          return;
+        }
+        for (const auto& m : outcome.measurements) {
+          latency_scaler.Observe(m.latency_ms);
+        }
+        double scores[estimators::kNumEstimatorKinds] = {};
+        uint32_t best = static_cast<uint32_t>(outcome.measurements[0].kind);
+        for (const auto& m : outcome.measurements) {
+          const auto k = static_cast<uint32_t>(m.kind);
+          scores[k] = core::BlendedScore(
+              m.accuracy, latency_scaler.Scale(m.latency_ms), config.alpha);
+          if (scores[k] > scores[best]) best = k;
+        }
+        const auto pick = static_cast<uint32_t>(recommended);
+        result.agree += pick == best;
+        result.regret += scores[best] - scores[pick];
+        ++total;
+      });
+  if (total > 0) {
+    result.agree /= static_cast<double>(total);
+    result.regret /= static_cast<double>(total);
+  }
+  result.leaves = module.model().num_leaves();
+  result.depth = module.model().depth();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::BenchScale();
+  const auto dataset = workload::TwitterLikeSpec(scale);
+  const auto num_queries =
+      std::max<uint32_t>(1500, static_cast<uint32_t>(3000 * scale));
+
+  bench::PrintHeader(
+      "Ablation - Hoeffding tree hyperparameters (TwQW1)",
+      "recommendation agreement/regret and tree shape per VFDT setting");
+
+  struct Setting {
+    const char* label;
+    ml::HoeffdingTreeConfig tree;
+  };
+  const Setting settings[] = {
+      {"WEKA defaults (200/1e-7/.05)",
+       {.grace_period = 200, .split_confidence = 1e-7, .tie_threshold = 0.05}},
+      {"module default (100/1e-3/.15)",
+       {.grace_period = 100, .split_confidence = 1e-3, .tie_threshold = 0.15}},
+      {"eager (50/1e-2/.25)",
+       {.grace_period = 50, .split_confidence = 1e-2, .tie_threshold = 0.25}},
+      {"conservative (400/1e-7/.02)",
+       {.grace_period = 400, .split_confidence = 1e-7, .tie_threshold = 0.02}},
+      {"tie-driven (100/1e-7/.30)",
+       {.grace_period = 100, .split_confidence = 1e-7, .tie_threshold = 0.30}},
+  };
+
+  std::printf("%-32s %10s %10s %8s %6s\n", "setting", "agree", "regret",
+              "leaves", "depth");
+  for (const auto& setting : settings) {
+    const auto r = RunWithTree(dataset, num_queries, setting.tree);
+    std::printf("%-32s %9.1f%% %10.4f %8llu %6u\n", setting.label,
+                100.0 * r.agree, r.regret,
+                static_cast<unsigned long long>(r.leaves), r.depth);
+  }
+  std::printf(
+      "\nExpected shape: the WEKA-default bounds barely split at this "
+      "query volume (stump-like tree); looser bounds buy structure and "
+      "lower regret, while overly eager settings add depth without "
+      "improving agreement.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 12: estimator switching on the CheckIn workload CiQW1 (100%
+// single-keyword queries). The paper observes one switch driven by the
+// improving accuracy of a sampling estimator; the histogram is never
+// competitive because it keeps purely spatial statistics.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace latest;
+  const double scale = bench::BenchScale();
+  const auto dataset = workload::CheckinLikeSpec(scale);
+  const auto num_queries =
+      std::max<uint32_t>(1500, static_cast<uint32_t>(3000 * scale));
+  const auto workload_spec = workload::MakeWorkloadSpec(
+      workload::WorkloadId::kCiQW1, num_queries);
+  const auto config = bench::DefaultModuleConfig(dataset, num_queries);
+
+  bench::PrintHeader(
+      "Figure 12 - Estimator switches for query workload CiQW1",
+      "CheckIn-like stream; 100% single-keyword queries");
+  const auto result = bench::RunTimeline(dataset, workload_spec, config);
+  bench::PrintTimelineFigure(
+      "Fig. 12: latency/accuracy timeline with LATEST switching (CiQW1)",
+      result);
+  return 0;
+}

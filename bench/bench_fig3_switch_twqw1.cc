@@ -1,0 +1,30 @@
+// Figure 3: real-time estimator switching on query workload TwQW1
+// (one-third pure spatial / pure keyword / hybrid, with the dominant type
+// rotating through phases). The paper observes four switches
+// (RSH -> H4096 -> RSH -> RSL -> RSH); the reproduction should show the
+// same pattern: a histogram excursion during the spatial-dominated phase
+// and sampler switches elsewhere.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace latest;
+  const double scale = bench::BenchScale();
+  const auto dataset = workload::TwitterLikeSpec(scale);
+  const auto num_queries =
+      std::max<uint32_t>(1500, static_cast<uint32_t>(4000 * scale));
+  const auto workload_spec = workload::MakeWorkloadSpec(
+      workload::WorkloadId::kTwQW1, num_queries);
+  const auto config = bench::DefaultModuleConfig(dataset, num_queries);
+
+  bench::PrintHeader(
+      "Figure 3 - Estimator switches for query workload TwQW1",
+      "Twitter-like stream; mixed workload with rotating dominant type");
+  const auto result = bench::RunTimeline(dataset, workload_spec, config);
+  bench::PrintTimelineFigure(
+      "Fig. 3: latency/accuracy timeline with LATEST switching (TwQW1)",
+      result);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 4: estimator switching on query workload TwQW6 (same one-third
+// composition as TwQW1 but with phases in a different order). The paper
+// observes two switches: RSH -> H4096 when the spatial-dominated phase
+// starts, and back to RSH when keyword predicates resume.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace latest;
+  const double scale = bench::BenchScale();
+  const auto dataset = workload::TwitterLikeSpec(scale);
+  const auto num_queries =
+      std::max<uint32_t>(1500, static_cast<uint32_t>(4000 * scale));
+  const auto workload_spec = workload::MakeWorkloadSpec(
+      workload::WorkloadId::kTwQW6, num_queries);
+  const auto config = bench::DefaultModuleConfig(dataset, num_queries);
+
+  bench::PrintHeader(
+      "Figure 4 - Estimator switches for query workload TwQW6",
+      "Twitter-like stream; mixed workload, phases in a different order");
+  const auto result = bench::RunTimeline(dataset, workload_spec, config);
+  bench::PrintTimelineFigure(
+      "Fig. 4: latency/accuracy timeline with LATEST switching (TwQW6)",
+      result);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 5: estimator switching on the eBird real-request workload
+// EbRQW1 (100% spatial range queries). The paper observes one switch,
+// RSH -> H4096: the histogram has both the lowest latency and the highest
+// accuracy on pure spatial ranges.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace latest;
+  const double scale = bench::BenchScale();
+  const auto dataset = workload::EbirdLikeSpec(scale);
+  const auto num_queries =
+      std::max<uint32_t>(1500, static_cast<uint32_t>(3000 * scale));
+  const auto workload_spec = workload::MakeWorkloadSpec(
+      workload::WorkloadId::kEbRQW1, num_queries);
+  const auto config = bench::DefaultModuleConfig(dataset, num_queries);
+
+  bench::PrintHeader(
+      "Figure 5 - Estimator switches for query workload EbRQW1",
+      "eBird-like stream; 100% spatial dataset-search requests");
+  const auto result = bench::RunTimeline(dataset, workload_spec, config);
+  bench::PrintTimelineFigure(
+      "Fig. 5: latency/accuracy timeline with LATEST switching (EbRQW1)",
+      result);
+  return 0;
+}

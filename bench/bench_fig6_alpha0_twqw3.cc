@@ -1,0 +1,27 @@
+// Figure 6: TwQW3 (50% spatial / 50% hybrid) with alpha = 0 — accuracy is
+// the only weighted feature, latency is ignored. LATEST must always sit
+// on the best-accuracy estimator even when it is slow.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace latest;
+  const double scale = bench::BenchScale();
+  const auto dataset = workload::TwitterLikeSpec(scale);
+  const auto num_queries =
+      std::max<uint32_t>(1500, static_cast<uint32_t>(3000 * scale));
+  const auto workload_spec = workload::MakeWorkloadSpec(
+      workload::WorkloadId::kTwQW3, num_queries);
+  auto config = bench::DefaultModuleConfig(dataset, num_queries);
+  config.alpha = 0.0;
+
+  bench::PrintHeader(
+      "Figure 6 - TwQW3 with alpha = 0 (accuracy-only reward)",
+      "Twitter-like stream; 50% pure spatial, 50% spatial-keyword");
+  const auto result = bench::RunTimeline(dataset, workload_spec, config);
+  bench::PrintTimelineFigure(
+      "Fig. 6: LATEST always selects the best-accuracy estimator", result);
+  return 0;
+}

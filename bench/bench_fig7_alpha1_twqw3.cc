@@ -1,0 +1,27 @@
+// Figure 7: TwQW3 with alpha = 1 — latency is the only weighted feature,
+// accuracy is ignored. LATEST must sit on the fastest estimator
+// regardless of its sub-optimal accuracy (in practice H4096 or the FFN).
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace latest;
+  const double scale = bench::BenchScale();
+  const auto dataset = workload::TwitterLikeSpec(scale);
+  const auto num_queries =
+      std::max<uint32_t>(1500, static_cast<uint32_t>(3000 * scale));
+  const auto workload_spec = workload::MakeWorkloadSpec(
+      workload::WorkloadId::kTwQW3, num_queries);
+  auto config = bench::DefaultModuleConfig(dataset, num_queries);
+  config.alpha = 1.0;
+
+  bench::PrintHeader(
+      "Figure 7 - TwQW3 with alpha = 1 (latency-only reward)",
+      "Twitter-like stream; 50% pure spatial, 50% spatial-keyword");
+  const auto result = bench::RunTimeline(dataset, workload_spec, config);
+  bench::PrintTimelineFigure(
+      "Fig. 7: LATEST always selects the fastest estimator", result);
+  return 0;
+}

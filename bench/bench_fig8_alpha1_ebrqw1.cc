@@ -1,0 +1,27 @@
+// Figure 8: the eBird workload EbRQW1 with alpha = 1 (latency-only
+// reward). Same behaviour as Figure 5 but driven by latency: LATEST
+// switches to the estimator with the lowest latency.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace latest;
+  const double scale = bench::BenchScale();
+  const auto dataset = workload::EbirdLikeSpec(scale);
+  const auto num_queries =
+      std::max<uint32_t>(1500, static_cast<uint32_t>(3000 * scale));
+  const auto workload_spec = workload::MakeWorkloadSpec(
+      workload::WorkloadId::kEbRQW1, num_queries);
+  auto config = bench::DefaultModuleConfig(dataset, num_queries);
+  config.alpha = 1.0;
+
+  bench::PrintHeader(
+      "Figure 8 - EbRQW1 with alpha = 1 (latency-only reward)",
+      "eBird-like stream; 100% spatial dataset-search requests");
+  const auto result = bench::RunTimeline(dataset, workload_spec, config);
+  bench::PrintTimelineFigure(
+      "Fig. 8: LATEST switches to the lowest-latency estimator", result);
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of every
+// estimator, the Hoeffding tree, and the exact evaluator. These are not
+// paper figures; they pin down per-operation costs so regressions in the
+// portfolio's insert/estimate paths are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "estimators/estimator.h"
+#include "exact/exact_evaluator.h"
+#include "ml/hoeffding_tree.h"
+#include "stream/sliding_window.h"
+#include "util/rng.h"
+#include "workload/dataset.h"
+#include "workload/query_workload.h"
+
+namespace {
+
+using namespace latest;
+
+estimators::EstimatorConfig MicroConfig(const workload::DatasetSpec& spec) {
+  estimators::EstimatorConfig config;
+  config.bounds = spec.bounds;
+  config.window.window_length_ms = 60LL * 60 * 1000;
+  config.window.num_slices = 16;
+  return config;
+}
+
+// Builds a prefilled estimator over a small Twitter-like stream.
+std::unique_ptr<estimators::Estimator> Prefilled(
+    estimators::EstimatorKind kind, const workload::DatasetSpec& spec) {
+  auto result = estimators::CreateEstimator(kind, MicroConfig(spec));
+  auto estimator = std::move(result).value();
+  workload::DatasetGenerator gen(spec);
+  stream::SliceClock clock(MicroConfig(spec).window);
+  while (gen.HasNext()) {
+    const auto obj = gen.Next();
+    const uint32_t rotations = clock.Advance(obj.timestamp);
+    for (uint32_t r = 0; r < rotations; ++r) estimator->OnSliceRotate();
+    estimator->Insert(obj);
+  }
+  return estimator;
+}
+
+std::vector<stream::Query> QueryBatch(const workload::DatasetSpec& spec,
+                                      workload::WorkloadId id) {
+  auto wspec = workload::MakeWorkloadSpec(id, 512);
+  workload::QueryGenerator gen(wspec, spec);
+  std::vector<stream::Query> out;
+  while (gen.HasNext()) out.push_back(gen.Next());
+  return out;
+}
+
+void BM_EstimatorInsert(benchmark::State& state) {
+  const auto kind = static_cast<estimators::EstimatorKind>(state.range(0));
+  const auto spec = workload::TwitterLikeSpec(0.05);
+  auto estimator =
+      estimators::CreateEstimator(kind, MicroConfig(spec)).value();
+  workload::DatasetGenerator gen(spec);
+  std::vector<stream::GeoTextObject> objects;
+  while (gen.HasNext()) objects.push_back(gen.Next());
+  size_t i = 0;
+  for (auto _ : state) {
+    // Timestamps are ignored here (no rotation): pure insert cost.
+    estimator->Insert(objects[i++ % objects.size()]);
+  }
+  state.SetLabel(estimators::EstimatorKindName(kind));
+}
+
+void BM_EstimatorEstimateSpatial(benchmark::State& state) {
+  const auto kind = static_cast<estimators::EstimatorKind>(state.range(0));
+  const auto spec = workload::TwitterLikeSpec(0.05);
+  auto estimator = Prefilled(kind, spec);
+  const auto batch = QueryBatch(spec, workload::WorkloadId::kTwQW2);
+  size_t i = 0;
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += estimator->Estimate(batch[i++ % batch.size()]);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetLabel(estimators::EstimatorKindName(kind));
+}
+
+void BM_EstimatorEstimateKeyword(benchmark::State& state) {
+  const auto kind = static_cast<estimators::EstimatorKind>(state.range(0));
+  const auto spec = workload::TwitterLikeSpec(0.05);
+  auto estimator = Prefilled(kind, spec);
+  const auto batch = QueryBatch(spec, workload::WorkloadId::kTwQW4);
+  size_t i = 0;
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += estimator->Estimate(batch[i++ % batch.size()]);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetLabel(estimators::EstimatorKindName(kind));
+}
+
+void BM_HoeffdingTreeTrain(benchmark::State& state) {
+  ml::FeatureSchema schema;
+  schema.categorical_cardinalities = {3};
+  schema.num_numeric = 5;
+  schema.num_classes = 6;
+  ml::HoeffdingTree tree(schema, ml::HoeffdingTreeConfig{});
+  util::Rng rng(1);
+  ml::TrainingExample ex;
+  ex.features.categorical.resize(1);
+  ex.features.numeric.resize(5);
+  for (auto _ : state) {
+    ex.features.categorical[0] = static_cast<int>(rng.NextBounded(3));
+    for (auto& v : ex.features.numeric) v = rng.NextDouble();
+    ex.label = static_cast<uint32_t>(rng.NextBounded(6));
+    tree.Train(ex);
+  }
+}
+
+void BM_HoeffdingTreePredict(benchmark::State& state) {
+  ml::FeatureSchema schema;
+  schema.categorical_cardinalities = {3};
+  schema.num_numeric = 5;
+  schema.num_classes = 6;
+  ml::HoeffdingTree tree(schema, ml::HoeffdingTreeConfig{});
+  util::Rng rng(2);
+  ml::TrainingExample ex;
+  ex.features.categorical.resize(1);
+  ex.features.numeric.resize(5);
+  for (int i = 0; i < 20000; ++i) {
+    ex.features.categorical[0] = static_cast<int>(rng.NextBounded(3));
+    for (auto& v : ex.features.numeric) v = rng.NextDouble();
+    ex.label = static_cast<uint32_t>(ex.features.categorical[0]);
+    tree.Train(ex);
+  }
+  uint32_t sink = 0;
+  for (auto _ : state) {
+    ex.features.categorical[0] = static_cast<int>(rng.NextBounded(3));
+    sink += tree.Predict(ex.features);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+
+void BM_ExactEvaluator(benchmark::State& state) {
+  const auto spec = workload::TwitterLikeSpec(0.05);
+  exact::ExactEvaluator evaluator(spec.bounds, 60LL * 60 * 1000);
+  workload::DatasetGenerator gen(spec);
+  stream::Timestamp now = 0;
+  while (gen.HasNext()) {
+    const auto obj = gen.Next();
+    evaluator.Insert(obj);
+    now = obj.timestamp;
+  }
+  auto batch = QueryBatch(spec, workload::WorkloadId::kTwQW1);
+  for (auto& q : batch) q.timestamp = now;
+  size_t i = 0;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += evaluator.TrueSelectivity(batch[i++ % batch.size()]);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+
+}  // namespace
+
+BENCHMARK(BM_EstimatorInsert)->DenseRange(0, 5);
+BENCHMARK(BM_EstimatorEstimateSpatial)->DenseRange(0, 5);
+BENCHMARK(BM_EstimatorEstimateKeyword)->DenseRange(0, 5);
+BENCHMARK(BM_HoeffdingTreeTrain);
+BENCHMARK(BM_HoeffdingTreePredict);
+BENCHMARK(BM_ExactEvaluator);
+
+BENCHMARK_MAIN();

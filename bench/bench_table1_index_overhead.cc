@@ -1,0 +1,148 @@
+// Table I: index overhead comparison. Full spatial indexes (Grid,
+// QuadTree) answer the query exactly by scanning candidate objects, which
+// costs an order of magnitude more than the estimators LATEST chooses
+// between. The paper reports 1450%-1600% overhead for the indexes versus
+// the estimator chosen by LATEST.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/portfolio_harness.h"
+#include "exact/grid_index.h"
+#include "exact/quadtree_index.h"
+#include "util/stopwatch.h"
+#include "workload/stream_driver.h"
+
+namespace {
+
+using namespace latest;
+
+struct DatasetCase {
+  workload::DatasetSpec dataset;
+  workload::WorkloadSpec workload;
+  const char* label;
+};
+
+// Measures the mean exact-query latency of the two full indexes over a
+// query sample, after streaming the whole dataset into them.
+void MeasureIndexes(const workload::DatasetSpec& dataset_spec,
+                    const std::vector<stream::Query>& sample,
+                    stream::Timestamp window_ms, double* grid_ms,
+                    double* quadtree_ms) {
+  exact::GridIndex grid(dataset_spec.bounds, 64, 64);
+  exact::QuadTreeIndex quadtree(dataset_spec.bounds, /*leaf_capacity=*/256,
+                                /*max_depth=*/12);
+  workload::DatasetGenerator gen(dataset_spec);
+  stream::Timestamp now = 0;
+  while (gen.HasNext()) {
+    const auto obj = gen.Next();
+    grid.Insert(obj);
+    quadtree.Insert(obj);
+    now = obj.timestamp;
+  }
+  const stream::Timestamp cutoff = now - window_ms;
+  grid.EvictBefore(cutoff);
+  quadtree.EvictBefore(cutoff);
+
+  double grid_total = 0.0;
+  double quadtree_total = 0.0;
+  for (stream::Query q : sample) {
+    q.timestamp = now;
+    util::Stopwatch watch;
+    (void)grid.CountMatches(q, cutoff);
+    grid_total += watch.ElapsedMillis();
+    watch.Restart();
+    (void)quadtree.CountMatches(q, cutoff);
+    quadtree_total += watch.ElapsedMillis();
+  }
+  *grid_ms = grid_total / static_cast<double>(sample.size());
+  *quadtree_ms = quadtree_total / static_cast<double>(sample.size());
+}
+
+void RunCase(const DatasetCase& c) {
+  const stream::WindowConfig window{60LL * 60 * 1000, 16};
+
+  // Query batches: a training batch for the FFN feedback and an
+  // evaluation batch.
+  workload::QueryGenerator query_gen(c.workload, c.dataset);
+  std::vector<stream::Query> feedback;
+  std::vector<stream::Query> eval;
+  while (query_gen.HasNext()) {
+    if (feedback.size() < c.workload.num_queries / 2) {
+      feedback.push_back(query_gen.Next());
+    } else {
+      eval.push_back(query_gen.Next());
+    }
+  }
+  const std::vector<stream::Query> index_sample(
+      eval.begin(), eval.begin() + std::min<size_t>(eval.size(), 60));
+
+  // Estimators.
+  bench::PortfolioHarness harness(c.dataset, window,
+                                  {estimators::EstimatorConfig{}});
+  harness.Feed(feedback);
+  const bench::SweepPoint point =
+      harness.Evaluate(0, c.label, eval, /*alpha=*/0.5);
+
+  // Full indexes.
+  double grid_ms = 0.0;
+  double quadtree_ms = 0.0;
+  MeasureIndexes(c.dataset, index_sample, window.window_length_ms, &grid_ms,
+                 &quadtree_ms);
+
+  std::printf("%s (workload %s)\n", c.label, c.workload.name.c_str());
+  std::printf("  %-26s %12s %12s\n", "structure", "latency(ms)",
+              "accuracy");
+  std::printf("  %-26s %12.4f %12s\n", "Grid index (exact)", grid_ms,
+              "100%");
+  std::printf("  %-26s %12.4f %12s\n", "QuadTree index (exact)",
+              quadtree_ms, "100%");
+  const double chosen_latency =
+      point.latency_ms[static_cast<uint32_t>(point.choice)];
+  for (uint32_t k = 0; k < estimators::kNumPaperEstimatorKinds; ++k) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "%s%s",
+                  estimators::EstimatorKindName(
+                      static_cast<estimators::EstimatorKind>(k)),
+                  static_cast<uint32_t>(point.choice) == k
+                      ? " (LATEST choice)"
+                      : "");
+    std::printf("  %-26s %12.4f %11.0f%%\n", name, point.latency_ms[k],
+                100.0 * point.accuracy[k]);
+  }
+  std::printf(
+      "  index overhead vs LATEST-chosen estimator: Grid %.0f%%, "
+      "QuadTree %.0f%%\n\n",
+      100.0 * grid_ms / std::max(1e-9, chosen_latency),
+      100.0 * quadtree_ms / std::max(1e-9, chosen_latency));
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::BenchScale();
+  const auto nq = static_cast<uint32_t>(
+      std::max(600.0, 1200 * scale));
+
+  bench::PrintHeader(
+      "Table I - Index overhead comparison",
+      "full Grid/QuadTree index latency vs estimator latency+accuracy");
+
+  RunCase({workload::EbirdLikeSpec(scale),
+           workload::MakeWorkloadSpec(workload::WorkloadId::kEbRQW1, nq),
+           "eBird-like"});
+  RunCase({workload::CheckinLikeSpec(scale),
+           workload::MakeWorkloadSpec(workload::WorkloadId::kCiQW1, nq),
+           "CheckIn-like"});
+  RunCase({workload::TwitterLikeSpec(scale),
+           workload::MakeWorkloadSpec(workload::WorkloadId::kTwQW4, nq),
+           "Twitter-like"});
+
+  std::printf(
+      "Expected shape (paper): both exact indexes cost an order of "
+      "magnitude more than the estimator LATEST selects.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table II: impact of alpha on LATEST's choice for query workload TwQW3.
+// For each alpha, the table reports the estimator LATEST employs at three
+// time points of the incremental phase (t = 20, 60, 100). The paper finds
+// accuracy-leaning alphas (<= 0.5) pick the sampling estimators and
+// latency-leaning alphas (> 0.5) pick H4096 / FFN.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace latest;
+  const double scale = bench::BenchScale();
+  const auto dataset = workload::TwitterLikeSpec(scale);
+  const auto num_queries =
+      std::max<uint32_t>(1500, static_cast<uint32_t>(3000 * scale));
+  const auto workload_spec = workload::MakeWorkloadSpec(
+      workload::WorkloadId::kTwQW3, num_queries);
+
+  bench::PrintHeader(
+      "Table II - Impact of alpha on query workload TwQW3",
+      "LATEST's employed estimator at t=20/60/100 per alpha value");
+
+  const double alphas[] = {0.0, 0.3, 0.5, 0.7, 1.0};
+  std::printf("%-6s %10s %10s %10s\n", "alpha", "t=20", "t=60", "t=100");
+  for (const double alpha : alphas) {
+    auto config = bench::DefaultModuleConfig(dataset, num_queries);
+    config.alpha = alpha;
+    const auto result =
+        bench::RunTimeline(dataset, workload_spec, config, /*num_bins=*/20);
+    // Bin b covers t in [5b, 5b+5): t=20 -> bin 4, t=60 -> bin 12,
+    // t=100 -> final bin.
+    const auto at = [&](uint32_t bin) {
+      return estimators::EstimatorKindName(result.bins[bin].active);
+    };
+    std::printf("%-6.1f %10s %10s %10s\n", alpha, at(4), at(12), at(19));
+  }
+  std::printf(
+      "\nExpected shape (paper): alpha <= 0.5 favours the accuracy "
+      "winners (RSL/RSH); alpha > 0.5 favours the latency winners "
+      "(H4096/FFN).\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// CSV replay: feed LATEST from a CSV file of real (or exported)
+// geo-textual records through the high-level EstimationService.
+//
+//   ./build/examples/csv_replay [stream.csv]
+//
+// CSV format, one object per line (see workload/csv_loader.h):
+//
+//   timestamp_ms,lon,lat,keyword1;keyword2;...
+//
+// Without an argument the example writes a small demo file first and
+// replays it, issuing a keyword query every simulated 10 minutes.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/estimation_service.h"
+#include "util/rng.h"
+#include "workload/csv_loader.h"
+
+namespace {
+
+using namespace latest;
+
+// Writes a demo stream: 2 hours, "coffee"/"transit" chatter around two
+// neighbourhoods plus a growing "festival" cluster in the second hour.
+void WriteDemoCsv(const std::string& path) {
+  std::ofstream out(path);
+  out << "# demo stream: timestamp_ms,lon,lat,keywords\n";
+  util::Rng rng(99);
+  constexpr int64_t kTwoHours = 2LL * 60 * 60 * 1000;
+  constexpr int kPosts = 40000;
+  for (int i = 0; i < kPosts; ++i) {
+    const int64_t t = kTwoHours * i / kPosts;
+    double lon;
+    double lat;
+    std::string keywords;
+    const bool second_hour = t > kTwoHours / 2;
+    if (second_hour && rng.NextBool(0.3)) {
+      lon = rng.NextGaussian(-79.38, 0.01);  // Festival grounds.
+      lat = rng.NextGaussian(43.64, 0.01);
+      keywords = rng.NextBool(0.6) ? "festival;music" : "festival";
+    } else if (rng.NextBool(0.5)) {
+      lon = rng.NextGaussian(-79.40, 0.03);
+      lat = rng.NextGaussian(43.65, 0.03);
+      keywords = rng.NextBool(0.5) ? "coffee" : "coffee;brunch";
+    } else {
+      lon = rng.NextGaussian(-79.35, 0.04);
+      lat = rng.NextGaussian(43.68, 0.04);
+      keywords = rng.NextBool(0.5) ? "transit" : "transit;delays";
+    }
+    out << t << ',' << lon << ',' << lat << ',' << keywords << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    path = "/tmp/latest_demo_stream.csv";
+    WriteDemoCsv(path);
+    std::printf("no input given; wrote demo stream to %s\n", path.c_str());
+  }
+
+  // Load the stream (keywords intern through the service's dictionary,
+  // so load through a scratch dictionary only to learn the bounds).
+  stream::KeywordDictionary scratch;
+  auto loaded = workload::LoadCsvStream(path, &scratch);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  if (loaded->objects.empty()) {
+    std::fprintf(stderr, "stream is empty\n");
+    return 1;
+  }
+  geo::Rect bounds{1e30, 1e30, -1e30, -1e30};
+  for (const auto& obj : loaded->objects) {
+    bounds.min_x = std::min(bounds.min_x, obj.loc.x);
+    bounds.min_y = std::min(bounds.min_y, obj.loc.y);
+    bounds.max_x = std::max(bounds.max_x, obj.loc.x + 1e-9);
+    bounds.max_y = std::max(bounds.max_y, obj.loc.y + 1e-9);
+  }
+  std::printf("loaded %zu objects (%llu comment/blank lines), bounds "
+              "[%.3f, %.3f] x [%.3f, %.3f]\n\n",
+              loaded->objects.size(),
+              static_cast<unsigned long long>(loaded->lines_skipped),
+              bounds.min_x, bounds.max_x, bounds.min_y, bounds.max_y);
+
+  core::LatestConfig config;
+  config.bounds = bounds;
+  config.window.window_length_ms = 30LL * 60 * 1000;  // 30-minute window.
+  config.pretrain_queries = 10;
+  config.estimator.reservoir_capacity = 1024;
+  auto service_result = core::EstimationService::Create(config);
+  if (!service_result.ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 service_result.status().ToString().c_str());
+    return 1;
+  }
+  core::EstimationService& service = **service_result;
+
+  const std::vector<std::string> watch = {"coffee", "transit", "festival"};
+  std::printf("%-8s", "minute");
+  for (const auto& keyword : watch) std::printf(" %16s", keyword.c_str());
+  std::printf(" %10s\n", "estimator");
+
+  int64_t next_report = config.window.window_length_ms;
+  for (const auto& obj : loaded->objects) {
+    // Re-ingest with keyword strings via the scratch dictionary's
+    // spellings so the service builds its own vocabulary.
+    std::vector<std::string> keywords;
+    keywords.reserve(obj.keywords.size());
+    for (const auto id : obj.keywords) {
+      keywords.push_back(scratch.Spelling(id));
+    }
+    service.IngestKeywords(obj.oid, obj.loc, keywords, obj.timestamp);
+
+    if (obj.timestamp >= next_report) {
+      next_report += 10LL * 60 * 1000;
+      std::printf("%-8lld", static_cast<long long>(obj.timestamp / 60000));
+      for (const auto& keyword : watch) {
+        auto outcome =
+            service.EstimateCount(std::nullopt, {keyword}, obj.timestamp);
+        if (outcome.ok()) {
+          std::printf("  %6.0f (~%6llu)", outcome->estimate,
+                      static_cast<unsigned long long>(outcome->actual));
+        } else {
+          std::printf(" %16s", "-");
+        }
+      }
+      std::printf(" %10s\n",
+                  estimators::EstimatorKindName(
+                      service.module().active_kind()));
+    }
+  }
+
+  std::printf("\nvocabulary: %zu keywords; switches: %zu\n",
+              service.vocabulary_size(),
+              service.module().switch_log().size());
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Disaster monitoring: the paper's motivating scenario (Section I).
+//
+// First responders of a rescue team estimate, in real time, the number of
+// stream posts carrying the keyword "fire" inside the affected downtown
+// area, to gauge how many people are seeking help and size the response.
+//
+// This example builds its own geo-textual stream with the public API (no
+// synthetic-workload helpers): steady city chatter, then a fire incident
+// that bursts "fire"/"help"/"evacuation" posts inside an incident zone.
+// A LATEST module answers the responders' estimation queries while the
+// exact count is shown alongside for reference.
+//
+//   ./build/examples/disaster_monitoring
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/latest_module.h"
+#include "stream/keyword_dictionary.h"
+#include "util/rng.h"
+
+namespace {
+
+using latest::core::LatestConfig;
+using latest::core::LatestModule;
+using latest::geo::Point;
+using latest::geo::Rect;
+using latest::stream::GeoTextObject;
+using latest::stream::KeywordDictionary;
+using latest::stream::KeywordId;
+using latest::stream::Query;
+using latest::stream::Timestamp;
+
+// A simple city: downtown core plus suburbs, in local km coordinates.
+constexpr Rect kCity{0.0, 0.0, 40.0, 40.0};
+constexpr Rect kDowntown{16.0, 16.0, 24.0, 24.0};
+constexpr Rect kIncidentZone{17.0, 20.0, 21.0, 24.0};
+
+constexpr Timestamp kHourMs = 60LL * 60 * 1000;
+constexpr Timestamp kStreamDuration = 8 * kHourMs;
+constexpr Timestamp kIncidentStart = 4 * kHourMs;
+constexpr Timestamp kIncidentEnd = 6 * kHourMs;
+
+}  // namespace
+
+int main() {
+  KeywordDictionary dictionary;
+  // Everyday chatter vocabulary plus the incident vocabulary.
+  const std::vector<std::string> chatter = {
+      "coffee", "traffic", "music",  "food",    "game",
+      "work",   "school",  "party",  "weather", "news"};
+  std::vector<KeywordId> chatter_ids;
+  chatter_ids.reserve(chatter.size());
+  for (const auto& word : chatter) {
+    chatter_ids.push_back(dictionary.Intern(word));
+  }
+  const KeywordId kw_fire = dictionary.Intern("fire");
+  const KeywordId kw_help = dictionary.Intern("help");
+  const KeywordId kw_evacuation = dictionary.Intern("evacuation");
+
+  // LATEST over a one-hour window.
+  LatestConfig config;
+  config.bounds = kCity;
+  config.window.window_length_ms = kHourMs;
+  config.pretrain_queries = 20;
+  config.estimator.reservoir_capacity = 1024;
+  auto module_result = LatestModule::Create(config);
+  if (!module_result.ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 module_result.status().ToString().c_str());
+    return 1;
+  }
+  LatestModule& module = **module_result;
+
+  latest::util::Rng rng(2026);
+  const uint64_t posts_per_hour = 20000;
+  const auto total_posts = static_cast<uint64_t>(
+      posts_per_hour * kStreamDuration / kHourMs);
+
+  std::printf("disaster monitoring over a %lld-hour stream "
+              "(%llu posts, fire incident hours 4-6)\n\n",
+              static_cast<long long>(kStreamDuration / kHourMs),
+              static_cast<unsigned long long>(total_posts));
+  std::printf("%-6s %-12s %10s %10s %9s %10s\n", "hour", "phase",
+              "estimate", "actual", "accuracy", "estimator");
+
+  uint64_t oid = 0;
+  Timestamp next_query = kHourMs + kHourMs / 2;  // After the warm-up.
+  for (uint64_t i = 0; i < total_posts; ++i) {
+    GeoTextObject post;
+    post.oid = oid++;
+    post.timestamp =
+        static_cast<Timestamp>(kStreamDuration * i / total_posts);
+
+    const bool incident_active = post.timestamp >= kIncidentStart &&
+                                 post.timestamp < kIncidentEnd;
+    // During the incident, a growing share of posts come from the zone
+    // and carry incident keywords.
+    const bool incident_post = incident_active && rng.NextBool(0.25);
+    if (incident_post) {
+      post.loc = Point{rng.NextDouble(kIncidentZone.min_x, kIncidentZone.max_x),
+                       rng.NextDouble(kIncidentZone.min_y, kIncidentZone.max_y)};
+      post.keywords.push_back(kw_fire);
+      if (rng.NextBool(0.5)) post.keywords.push_back(kw_help);
+      if (rng.NextBool(0.2)) post.keywords.push_back(kw_evacuation);
+    } else {
+      // 60% downtown, 40% city-wide.
+      const Rect& area = rng.NextBool(0.6) ? kDowntown : kCity;
+      post.loc = Point{rng.NextDouble(area.min_x, area.max_x),
+                       rng.NextDouble(area.min_y, area.max_y)};
+      post.keywords.push_back(
+          chatter_ids[rng.NextBounded(chatter_ids.size())]);
+      if (rng.NextBool(0.3)) {
+        post.keywords.push_back(
+            chatter_ids[rng.NextBounded(chatter_ids.size())]);
+      }
+    }
+    latest::stream::CanonicalizeKeywords(&post.keywords);
+    dictionary.CountOccurrences(post.keywords);
+    module.OnObject(post);
+
+    // The responders poll every ~6 minutes: how many posts mention
+    // "fire" or "help" inside the incident zone over the past hour?
+    if (post.timestamp >= next_query) {
+      Query q;
+      q.range = kIncidentZone;
+      q.keywords = {kw_fire, kw_help};
+      latest::stream::CanonicalizeKeywords(&q.keywords);
+      q.timestamp = post.timestamp;
+      const auto outcome = module.OnQuery(q);
+      if (next_query % (kHourMs / 2) == 0 ||
+          (post.timestamp >= kIncidentStart - kHourMs / 4 &&
+           post.timestamp < kIncidentEnd + kHourMs / 2)) {
+        std::printf("%-6.2f %-12s %10.0f %10llu %8.0f%% %10s\n",
+                    static_cast<double>(post.timestamp) / kHourMs,
+                    latest::core::PhaseName(outcome.phase),
+                    outcome.estimate,
+                    static_cast<unsigned long long>(outcome.actual),
+                    100.0 * outcome.accuracy,
+                    latest::estimators::EstimatorKindName(outcome.active));
+      }
+      next_query += kHourMs / 10;
+    }
+  }
+
+  std::printf("\nswitches performed: %zu; final estimator: %s\n",
+              module.switch_log().size(),
+              latest::estimators::EstimatorKindName(module.active_kind()));
+  std::printf(
+      "The incident burst (hours 4-6) is visible as the actual count "
+      "surging, with the estimates tracking it in real time.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Quickstart: run LATEST end-to-end on a synthetic Twitter-like stream
+// with a phase-changing query workload and watch it switch estimators.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/latest_module.h"
+#include "workload/dataset.h"
+#include "workload/query_workload.h"
+#include "workload/stream_driver.h"
+
+namespace {
+
+using latest::core::LatestConfig;
+using latest::core::LatestModule;
+using latest::core::QueryOutcome;
+
+}  // namespace
+
+int main() {
+  // 1. Describe the stream: a scaled-down Twitter-like dataset.
+  const auto dataset_spec = latest::workload::TwitterLikeSpec(/*scale=*/1.0);
+  latest::workload::DatasetGenerator dataset(dataset_spec);
+
+  // 2. Describe the query workload: TwQW1 (one-third pure spatial, pure
+  //    keyword, and hybrid queries, with the dominant type rotating).
+  const auto workload_spec = latest::workload::MakeWorkloadSpec(
+      latest::workload::WorkloadId::kTwQW1, /*num_queries=*/4000);
+  latest::workload::QueryGenerator queries(workload_spec, dataset_spec);
+
+  // 3. Configure LATEST. The window T is one hour of event time; queries
+  //    start after the warm-up window has filled.
+  LatestConfig config;
+  config.bounds = dataset_spec.bounds;
+  config.window.window_length_ms = 60LL * 60 * 1000;
+  config.window.num_slices = 16;
+  config.pretrain_queries = 400;
+  config.maintain_shadow_estimators = true;  // Evaluation mode: measure all.
+  auto module_result = LatestModule::Create(config);
+  if (!module_result.ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 module_result.status().ToString().c_str());
+    return 1;
+  }
+  LatestModule& module = **module_result;
+
+  // 4. Drive the interleaved stream.
+  latest::workload::StreamDriver driver(
+      &dataset, &queries,
+      /*query_start_ms=*/config.window.window_length_ms,
+      /*query_end_ms=*/dataset_spec.duration_ms);
+
+  uint64_t queries_run = 0;
+  double accuracy_sum = 0.0;
+  double latency_sum = 0.0;
+  // Per (query type, estimator) accuracy/latency sums from the shadow
+  // measurements, for the closing report.
+  double type_acc[3][latest::estimators::kNumPaperEstimatorKinds] = {};
+  double type_lat[3][latest::estimators::kNumPaperEstimatorKinds] = {};
+  uint64_t type_count[3] = {};
+  driver.Run(
+      [&](const latest::stream::GeoTextObject& obj) { module.OnObject(obj); },
+      [&](const latest::stream::Query& q, uint32_t /*index*/) {
+        const QueryOutcome outcome = module.OnQuery(q);
+        ++queries_run;
+        accuracy_sum += outcome.accuracy;
+        latency_sum += outcome.latency_ms;
+        const auto type = static_cast<uint32_t>(q.Type());
+        if (!outcome.measurements.empty()) {
+          ++type_count[type];
+          for (const auto& m : outcome.measurements) {
+            type_acc[type][static_cast<uint32_t>(m.kind)] += m.accuracy;
+            type_lat[type][static_cast<uint32_t>(m.kind)] += m.latency_ms;
+          }
+        }
+        if (outcome.switched) {
+          const auto& sw = module.switch_log().back();
+          std::printf(
+              "switch #%zu at query %llu: %s -> %s (monitor accuracy %.3f)\n",
+              module.switch_log().size(),
+              static_cast<unsigned long long>(sw.query_index),
+              latest::estimators::EstimatorKindName(sw.from),
+              latest::estimators::EstimatorKindName(sw.to),
+              outcome.monitor_accuracy);
+        }
+      });
+
+  std::printf("\nstream done: %llu objects, %llu queries\n",
+              static_cast<unsigned long long>(module.objects_ingested()),
+              static_cast<unsigned long long>(module.queries_answered()));
+  std::printf("mean accuracy %.3f, mean estimate latency %.4f ms\n",
+              accuracy_sum / static_cast<double>(queries_run),
+              latency_sum / static_cast<double>(queries_run));
+  std::printf("final active estimator: %s, switches: %zu\n",
+              latest::estimators::EstimatorKindName(module.active_kind()),
+              module.switch_log().size());
+  std::printf("learning model: %llu records, %llu leaves, depth %u\n",
+              static_cast<unsigned long long>(module.model().num_trained()),
+              static_cast<unsigned long long>(module.model().num_leaves()),
+              module.model().depth());
+
+  std::printf("\nper-estimator mean accuracy / latency(ms) by query type:\n");
+  std::printf("%-9s", "type");
+  for (uint32_t k = 0; k < latest::estimators::kNumPaperEstimatorKinds; ++k) {
+    std::printf(" %14s",
+                latest::estimators::EstimatorKindName(
+                    static_cast<latest::estimators::EstimatorKind>(k)));
+  }
+  std::printf("\n");
+  for (uint32_t t = 0; t < 3; ++t) {
+    if (type_count[t] == 0) continue;
+    std::printf("%-9s",
+                latest::stream::QueryTypeName(
+                    static_cast<latest::stream::QueryType>(t)));
+    for (uint32_t k = 0; k < latest::estimators::kNumPaperEstimatorKinds; ++k) {
+      std::printf(" %6.3f/%7.4f",
+                  type_acc[t][k] / static_cast<double>(type_count[t]),
+                  type_lat[t][k] / static_cast<double>(type_count[t]));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

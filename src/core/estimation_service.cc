@@ -1,0 +1,81 @@
+#include "core/estimation_service.h"
+
+namespace latest::core {
+
+util::Result<std::unique_ptr<EstimationService>> EstimationService::Create(
+    const LatestConfig& config,
+    const stream::TokenizerOptions& tokenizer_options) {
+  auto module = LatestModule::Create(config);
+  if (!module.ok()) return module.status();
+  return std::unique_ptr<EstimationService>(new EstimationService(
+      std::move(module).value(), tokenizer_options));
+}
+
+EstimationService::EstimationService(
+    std::unique_ptr<LatestModule> module,
+    const stream::TokenizerOptions& tokenizer_options)
+    : module_(std::move(module)), tokenizer_(tokenizer_options) {}
+
+void EstimationService::IngestPost(stream::ObjectId oid,
+                                   const geo::Point& location,
+                                   std::string_view text,
+                                   stream::Timestamp timestamp) {
+  IngestKeywords(oid, location, tokenizer_.Tokenize(text), timestamp);
+}
+
+void EstimationService::IngestKeywords(
+    stream::ObjectId oid, const geo::Point& location,
+    const std::vector<std::string>& keywords, stream::Timestamp timestamp) {
+  stream::GeoTextObject obj;
+  obj.oid = oid;
+  obj.loc = location;
+  obj.timestamp = timestamp;
+  obj.keywords.reserve(keywords.size());
+  for (const std::string& keyword : keywords) {
+    obj.keywords.push_back(dictionary_.Intern(keyword));
+  }
+  stream::CanonicalizeKeywords(&obj.keywords);
+  dictionary_.CountOccurrences(obj.keywords);
+  module_->OnObject(obj);
+}
+
+util::Result<QueryOutcome> EstimationService::EstimateCount(
+    const std::optional<geo::Rect>& range,
+    const std::vector<std::string>& keywords, stream::Timestamp timestamp) {
+  stream::Query q;
+  q.range = range;
+  q.timestamp = timestamp;
+  for (const std::string& keyword : keywords) {
+    stream::KeywordId id;
+    // Unknown keywords have never appeared in the window: they cannot
+    // match anything and are dropped from the predicate.
+    if (dictionary_.Lookup(keyword, &id)) q.keywords.push_back(id);
+  }
+  stream::CanonicalizeKeywords(&q.keywords);
+
+  if (!q.HasRange() && !q.HasKeywords()) {
+    if (!keywords.empty()) {
+      // Every requested keyword is unknown: the true count is zero.
+      QueryOutcome outcome;
+      outcome.phase = module_->phase();
+      outcome.active = module_->active_kind();
+      outcome.accuracy = 1.0;
+      return outcome;
+    }
+    return util::Status::InvalidArgument(
+        "query needs a spatial range or at least one keyword");
+  }
+  if (range.has_value() && !range->IsValid()) {
+    return util::Status::InvalidArgument("spatial range has no area");
+  }
+  return module_->OnQuery(q);
+}
+
+uint64_t EstimationService::KeywordOccurrences(
+    std::string_view keyword) const {
+  stream::KeywordId id;
+  if (!dictionary_.Lookup(keyword, &id)) return 0;
+  return dictionary_.OccurrenceCount(id);
+}
+
+}  // namespace latest::core

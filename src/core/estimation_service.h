@@ -1,0 +1,80 @@
+// EstimationService: a string-keyword facade over LatestModule.
+//
+// LatestModule works with interned keyword ids, which is the right
+// interface inside a system. Applications, however, hold raw posts and
+// query strings. The service owns a keyword dictionary and a tokenizer
+// and exposes:
+//
+//   service.IngestPost(oid, lon, lat, "House fire near #downtown", t);
+//   auto est = service.EstimateCount(area, {"fire", "#downtown"}, t);
+//
+// Unknown query keywords (never seen on the stream) are dropped before
+// estimation; a query reduced to no predicates is rejected.
+
+#ifndef LATEST_CORE_ESTIMATION_SERVICE_H_
+#define LATEST_CORE_ESTIMATION_SERVICE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/latest_module.h"
+#include "stream/keyword_dictionary.h"
+#include "stream/tokenizer.h"
+
+namespace latest::core {
+
+/// High-level geo-textual estimation API with string keywords.
+class EstimationService {
+ public:
+  /// Fails with InvalidArgument on a bad module configuration.
+  static util::Result<std::unique_ptr<EstimationService>> Create(
+      const LatestConfig& config,
+      const stream::TokenizerOptions& tokenizer_options =
+          stream::TokenizerOptions());
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
+
+  /// Ingests one raw post: the text is tokenized and interned.
+  /// Timestamps must be non-decreasing.
+  void IngestPost(stream::ObjectId oid, const geo::Point& location,
+                  std::string_view text, stream::Timestamp timestamp);
+
+  /// Ingests a post with pre-split keyword strings (no tokenization).
+  void IngestKeywords(stream::ObjectId oid, const geo::Point& location,
+                      const std::vector<std::string>& keywords,
+                      stream::Timestamp timestamp);
+
+  /// Estimates the number of window posts inside `range` (optional)
+  /// carrying at least one of `keywords` (optional, strings). Returns
+  /// InvalidArgument when both predicates are absent or every keyword is
+  /// unknown and no range is given.
+  util::Result<QueryOutcome> EstimateCount(
+      const std::optional<geo::Rect>& range,
+      const std::vector<std::string>& keywords, stream::Timestamp timestamp);
+
+  /// Number of distinct keywords interned so far.
+  size_t vocabulary_size() const { return dictionary_.size(); }
+
+  /// How often a keyword string has appeared on the stream (0 if never).
+  uint64_t KeywordOccurrences(std::string_view keyword) const;
+
+  const LatestModule& module() const { return *module_; }
+  LatestModule& module() { return *module_; }
+  const stream::KeywordDictionary& dictionary() const { return dictionary_; }
+
+ private:
+  EstimationService(std::unique_ptr<LatestModule> module,
+                    const stream::TokenizerOptions& tokenizer_options);
+
+  std::unique_ptr<LatestModule> module_;
+  stream::KeywordDictionary dictionary_;
+  stream::Tokenizer tokenizer_;
+};
+
+}  // namespace latest::core
+
+#endif  // LATEST_CORE_ESTIMATION_SERVICE_H_

@@ -1,0 +1,543 @@
+#include "core/latest_module.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/stopwatch.h"
+
+namespace latest::core {
+
+namespace {
+
+/// Learning-model feature schema: query type (categorical, 3 values) plus
+/// five numeric workload features; label = estimator kind (6 classes).
+ml::FeatureSchema ModelSchema() {
+  ml::FeatureSchema schema;
+  schema.categorical_cardinalities = {3};
+  schema.num_numeric = 5;
+  schema.num_classes = estimators::kNumEstimatorKinds;
+  return schema;
+}
+
+// Maps log10(area fraction) from [-8, 0] to [0, 1].
+double NormalizeLogArea(double area, double domain_area) {
+  if (area <= 0.0 || domain_area <= 0.0) return 0.0;
+  const double lg = std::log10(std::max(1e-8, area / domain_area));
+  return std::clamp((lg + 8.0) / 8.0, 0.0, 1.0);
+}
+
+}  // namespace
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kWarmup:
+      return "warmup";
+    case Phase::kPretraining:
+      return "pretraining";
+    case Phase::kIncremental:
+      return "incremental";
+  }
+  return "unknown";
+}
+
+util::Status LatestConfig::Validate() const {
+  if (!bounds.IsValid()) {
+    return util::Status::InvalidArgument("bounds must have positive area");
+  }
+  LATEST_RETURN_IF_ERROR(window.Validate());
+  LATEST_RETURN_IF_ERROR(tree.Validate());
+  if (alpha < 0.0 || alpha > 1.0) {
+    return util::Status::InvalidArgument("alpha must be in [0, 1]");
+  }
+  if (tau <= 0.0 || tau >= 1.0) {
+    return util::Status::InvalidArgument("tau must be in (0, 1)");
+  }
+  if (beta <= 0.0 || beta >= 1.0) {
+    return util::Status::InvalidArgument("beta must be in (0, 1)");
+  }
+  if (monitor_window == 0) {
+    return util::Status::InvalidArgument("monitor_window must be > 0");
+  }
+  uint32_t enabled_count = 0;
+  for (const bool enabled : enabled_estimators) enabled_count += enabled;
+  if (enabled_count < 2) {
+    return util::Status::InvalidArgument(
+        "at least two estimators must be enabled for switching to exist");
+  }
+  if (!enabled_estimators[static_cast<uint32_t>(default_estimator)]) {
+    return util::Status::InvalidArgument(
+        "default_estimator must be enabled");
+  }
+  if (auto_retrain_error_threshold < 0.0) {
+    return util::Status::InvalidArgument(
+        "auto_retrain_error_threshold must be >= 0");
+  }
+  return util::Status::Ok();
+}
+
+util::Result<std::unique_ptr<LatestModule>> LatestModule::Create(
+    const LatestConfig& config) {
+  LATEST_RETURN_IF_ERROR(config.Validate());
+  LatestConfig effective = config;
+  effective.estimator.bounds = config.bounds;
+  effective.estimator.window = config.window;
+  LATEST_RETURN_IF_ERROR(effective.estimator.Validate());
+  return std::unique_ptr<LatestModule>(new LatestModule(effective));
+}
+
+LatestModule::LatestModule(const LatestConfig& config)
+    : config_(config),
+      clock_(config.window),
+      window_population_(config.window.num_slices),
+      system_log_(config.bounds, config.window.window_length_ms),
+      active_kind_(config.default_estimator),
+      model_(std::make_unique<ml::HoeffdingTree>(ModelSchema(), config.tree)),
+      scoreboard_(),
+      accuracy_monitor_(config.monitor_window),
+      recent_spatial_ratio_(config.monitor_window),
+      recent_keyword_ratio_(config.monitor_window),
+      recent_hybrid_ratio_(config.monitor_window),
+      keyword_stats_(4096),
+      keyword_decay_(
+          static_cast<double>(config.window.num_slices - 1) /
+          std::max(1u, config.window.num_slices)) {
+  // All enabled estimation structures are pre-filled during the warm-up
+  // phase (Section V-C), so every enabled instance exists from the start.
+  for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+    const auto kind = static_cast<estimators::EstimatorKind>(k);
+    if (IsEnabled(kind)) EnsureInstance(kind);
+  }
+}
+
+estimators::Estimator* LatestModule::EnsureInstance(
+    estimators::EstimatorKind kind) {
+  assert(IsEnabled(kind));
+  auto& slot = instances_[static_cast<uint32_t>(kind)];
+  if (slot == nullptr) {
+    estimators::EstimatorConfig cfg = config_.estimator;
+    cfg.seed = config_.seed * estimators::kNumEstimatorKinds +
+               static_cast<uint32_t>(kind);
+    auto result = estimators::CreateEstimator(kind, cfg);
+    assert(result.ok());  // Config was validated at module creation.
+    slot = std::move(result).value();
+  }
+  return slot.get();
+}
+
+void LatestModule::DestroyInstance(estimators::EstimatorKind kind) {
+  instances_[static_cast<uint32_t>(kind)].reset();
+}
+
+void LatestModule::AdvanceClock(stream::Timestamp t) {
+  const uint32_t rotations = clock_.Advance(t);
+  if (rotations == 0) return;
+  for (uint32_t r = 0; r < rotations; ++r) {
+    window_population_.Rotate();
+    for (auto& instance : instances_) {
+      if (instance != nullptr) instance->OnSliceRotate();
+    }
+    keyword_stats_.Decay(keyword_decay_);
+    keyword_objects_ *= keyword_decay_;
+  }
+  system_log_.EvictExpired(clock_.now());
+}
+
+void LatestModule::OnObject(const stream::GeoTextObject& obj) {
+  AdvanceClock(obj.timestamp);
+  system_log_.Insert(obj);
+  window_population_.Add();
+  for (const stream::KeywordId kw : obj.keywords) keyword_stats_.Add(kw);
+  keyword_objects_ += 1.0;
+  for (auto& instance : instances_) {
+    if (instance != nullptr) instance->Insert(obj);
+  }
+  ++objects_ingested_;
+  if (phase_ == Phase::kWarmup &&
+      clock_.now() >= config_.window.window_length_ms) {
+    phase_ = Phase::kPretraining;
+  }
+}
+
+EstimatorMeasurement LatestModule::Measure(estimators::Estimator* est,
+                                           const stream::Query& q,
+                                           uint64_t actual) const {
+  EstimatorMeasurement m;
+  m.kind = est->kind();
+  util::Stopwatch watch;
+  double estimate = est->Estimate(q);
+  m.latency_ms = watch.ElapsedMillis();
+  // Scale estimates of partially pre-filled structures up to the window
+  // population (Section V-D pre-filling).
+  const uint64_t seen = est->seen_population();
+  const uint64_t window = window_population_.total();
+  if (seen == 0) {
+    estimate = 0.0;
+  } else if (window > seen) {
+    estimate *= static_cast<double>(window) / static_cast<double>(seen);
+  }
+  m.estimate = estimate;
+  m.accuracy = EstimationAccuracy(estimate, actual);
+  return m;
+}
+
+ml::FeatureVector LatestModule::BuildFeatures(const stream::Query& q) const {
+  ml::FeatureVector f;
+  f.categorical = {static_cast<int>(q.Type())};
+  f.numeric.resize(5, 0.0);
+  if (q.HasRange()) {
+    f.numeric[0] = NormalizeLogArea(q.range->Area(), config_.bounds.Area());
+  }
+  f.numeric[1] =
+      std::min(1.0, static_cast<double>(q.keywords.size()) / 8.0);
+  if (q.HasKeywords() && keyword_objects_ >= 1.0) {
+    double miss_all = 1.0;
+    for (const stream::KeywordId kw : q.keywords) {
+      const double p =
+          std::clamp(keyword_stats_.Count(kw) / keyword_objects_, 0.0, 1.0);
+      miss_all *= (1.0 - p);
+    }
+    f.numeric[2] = 1.0 - miss_all;
+  }
+  f.numeric[3] = recent_spatial_ratio_.Mean();
+  f.numeric[4] = recent_keyword_ratio_.Mean();
+  return f;
+}
+
+estimators::EstimatorKind LatestModule::Recommend(
+    const stream::Query& q) const {
+  return static_cast<estimators::EstimatorKind>(
+      model_->Predict(BuildFeatures(q)));
+}
+
+void LatestModule::ConcludePretraining() {
+  phase_ = Phase::kIncremental;
+  active_kind_ = config_.default_estimator;
+  candidate_kind_.reset();
+  if (!config_.maintain_shadow_estimators) {
+    // Wipe every structure except the active one to reduce system
+    // overhead (Section V-C).
+    for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+      const auto kind = static_cast<estimators::EstimatorKind>(k);
+      if (kind != active_kind_) DestroyInstance(kind);
+    }
+  }
+  accuracy_monitor_.Reset();
+  incremental_queries_ = 0;
+  last_switch_query_ = 0;
+}
+
+
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x4C544553;  // "LTES"
+constexpr uint32_t kSnapshotVersion = 1;
+
+}  // namespace
+
+std::string LatestModule::SerializeLearnedState() const {
+  util::BinaryWriter writer;
+  writer.WriteU32(kSnapshotMagic);
+  writer.WriteU32(kSnapshotVersion);
+  writer.WriteDouble(config_.alpha);
+  model_->Serialize(&writer);
+  scoreboard_.Serialize(&writer);
+  return writer.TakeBuffer();
+}
+
+util::Status LatestModule::RestoreLearnedState(std::string_view snapshot) {
+  util::BinaryReader reader(snapshot);
+  uint32_t magic;
+  uint32_t version;
+  if (!reader.ReadU32(&magic) || magic != kSnapshotMagic) {
+    return util::Status::InvalidArgument("not a LATEST snapshot");
+  }
+  if (!reader.ReadU32(&version) || version != kSnapshotVersion) {
+    return util::Status::InvalidArgument("unsupported snapshot version");
+  }
+  double alpha;
+  if (!reader.ReadDouble(&alpha)) {
+    return util::Status::InvalidArgument("truncated snapshot");
+  }
+  // A snapshot taken under a different alpha encodes rewards for a
+  // different objective; refuse rather than silently mislearn.
+  if (std::abs(alpha - config_.alpha) > 1e-9) {
+    return util::Status::FailedPrecondition(
+        "snapshot was taken with a different alpha");
+  }
+  LATEST_RETURN_IF_ERROR(model_->Restore(&reader));
+  LATEST_RETURN_IF_ERROR(scoreboard_.Restore(&reader));
+  if (!reader.exhausted()) {
+    model_->Reset();
+    scoreboard_.Reset();
+    return util::Status::InvalidArgument("trailing bytes in snapshot");
+  }
+  return util::Status::Ok();
+}
+
+void LatestModule::ResetModel() {
+  model_->Reset();
+  error_since_retrain_ = 0.0;
+  queries_since_retrain_ = 0;
+}
+
+void LatestModule::TrackModelError(double relative_error) {
+  if (config_.auto_retrain_error_threshold <= 0.0) return;
+  error_since_retrain_ += relative_error;
+  ++queries_since_retrain_;
+  if (queries_since_retrain_ < config_.min_queries_between_retrains) return;
+  const double mean_error =
+      error_since_retrain_ / static_cast<double>(queries_since_retrain_);
+  if (mean_error > config_.auto_retrain_error_threshold) {
+    // Section V-D: the overall error rate since the last training grew
+    // past tolerance — drop the model and re-grow it from fresh records.
+    model_->Reset();
+    ++model_retrains_;
+  }
+  error_since_retrain_ = 0.0;
+  queries_since_retrain_ = 0;
+}
+
+estimators::EstimatorKind LatestModule::ClampToEnabled(
+    estimators::EstimatorKind kind, bool exclude_active) const {
+  if (IsEnabled(kind) && !(exclude_active && kind == active_kind_)) {
+    return kind;
+  }
+  for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+    const auto candidate = static_cast<estimators::EstimatorKind>(k);
+    if (!IsEnabled(candidate)) continue;
+    if (exclude_active && candidate == active_kind_) continue;
+    return candidate;
+  }
+  return active_kind_;  // Unreachable with >= 2 enabled estimators.
+}
+
+std::array<double, 3> LatestModule::RecentTypeWeights() const {
+  std::array<double, 3> weights = {recent_spatial_ratio_.Mean(),
+                                   recent_keyword_ratio_.Mean(),
+                                   recent_hybrid_ratio_.Mean()};
+  const double total = weights[0] + weights[1] + weights[2];
+  if (total <= 0.0) return {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  for (auto& w : weights) w /= total;
+  return weights;
+}
+
+bool LatestModule::MaybeSwitch(const stream::Query& q, uint64_t query_index) {
+  if (!accuracy_monitor_.full()) return false;
+  const double avg = accuracy_monitor_.Mean();
+  const std::array<double, 3> weights = RecentTypeWeights();
+
+  // The learning model's recommendation, forced away from the active
+  // estimator (used once switch pressure exists).
+  auto recommend_non_active = [&]() {
+    const std::vector<double> dist =
+        model_->PredictDistribution(BuildFeatures(q));
+    estimators::EstimatorKind best = active_kind_;
+    double best_p = -1.0;
+    for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+      const auto kind = static_cast<estimators::EstimatorKind>(k);
+      if (kind == active_kind_ || !IsEnabled(kind)) continue;
+      if (dist[k] > best_p) {
+        best_p = dist[k];
+        best = kind;
+      }
+    }
+    if (best == active_kind_ || best_p <= 0.0) {
+      best = scoreboard_.WeightedBestFor(weights, config_.alpha,
+                                         active_kind_);
+    }
+    return ClampToEnabled(best, /*exclude_active=*/true);
+  };
+
+  // Switch pressure exists when (a) the moving accuracy fell below tau
+  // AND the scoreboard knows some alternative scoring at least as well
+  // under the recent workload mix, or (b) an alternative dominates the
+  // active estimator's mix-weighted blended score by the regret margin
+  // (even with acceptable absolute accuracy — the Fig. 5 / Fig. 8
+  // situations). Scores are weighted by the recent query-type mix so a
+  // mixed workload does not thrash toward a single-type specialist.
+  const auto active_score =
+      scoreboard_.WeightedScore(active_kind_, weights, config_.alpha);
+  const estimators::EstimatorKind alternative = ClampToEnabled(
+      scoreboard_.WeightedBestFor(weights, config_.alpha, active_kind_),
+      /*exclude_active=*/true);
+  const auto alternative_score =
+      scoreboard_.WeightedScore(alternative, weights, config_.alpha);
+  const bool alternative_at_least_as_good =
+      alternative_score.has_value() &&
+      (!active_score.has_value() || *alternative_score >= *active_score);
+  const bool regret_pressure =
+      config_.regret_margin > 0.0 && alternative_score.has_value() &&
+      active_score.has_value() &&
+      *alternative_score > *active_score + config_.regret_margin;
+  const bool accuracy_pressure =
+      avg < config_.tau && alternative_at_least_as_good;
+  const bool prefill_pressure =
+      regret_pressure ||
+      (avg < config_.PrefillThreshold() && alternative_at_least_as_good);
+
+  if ((accuracy_pressure || regret_pressure) &&
+      query_index - last_switch_query_ >=
+          config_.min_queries_between_switches) {
+    // Switch. Use the pre-filled candidate when available; otherwise ask
+    // the model now (the candidate will start cold — exactly the cost the
+    // pre-filling phase exists to avoid).
+    const estimators::EstimatorKind to =
+        candidate_kind_.value_or(recommend_non_active());
+    if (to != active_kind_) {
+      EnsureInstance(to);
+      if (!config_.maintain_shadow_estimators) {
+        DestroyInstance(active_kind_);
+      }
+      switch_log_.push_back(SwitchEvent{query_index, clock_.now(),
+                                        active_kind_, to});
+      active_kind_ = to;
+      candidate_kind_.reset();
+      last_switch_query_ = query_index;
+      accuracy_monitor_.Reset();
+      return true;
+    }
+    candidate_kind_.reset();
+    return false;
+  }
+
+  if (prefill_pressure) {
+    // Anticipate the switch: start pre-filling the recommended structure.
+    if (!candidate_kind_.has_value()) {
+      const estimators::EstimatorKind rec = recommend_non_active();
+      if (rec != active_kind_) {
+        candidate_kind_ = rec;
+        EnsureInstance(rec);
+      }
+    }
+    return false;
+  }
+
+  // Pressure receded: discard the pre-filled candidate (Section V-D).
+  if (candidate_kind_.has_value()) {
+    if (!config_.maintain_shadow_estimators) {
+      DestroyInstance(*candidate_kind_);
+    }
+    candidate_kind_.reset();
+  }
+  return false;
+}
+
+QueryOutcome LatestModule::OnQuery(const stream::Query& q) {
+  AdvanceClock(q.timestamp);
+  if (phase_ == Phase::kWarmup &&
+      clock_.now() >= config_.window.window_length_ms) {
+    phase_ = Phase::kPretraining;
+  }
+
+  const uint64_t actual = system_log_.TrueSelectivity(q);
+  const stream::QueryType type = q.Type();
+  recent_spatial_ratio_.Add(type == stream::QueryType::kSpatial ? 1.0 : 0.0);
+  recent_keyword_ratio_.Add(type == stream::QueryType::kKeyword ? 1.0 : 0.0);
+  recent_hybrid_ratio_.Add(type == stream::QueryType::kHybrid ? 1.0 : 0.0);
+
+  QueryOutcome outcome;
+  outcome.actual = actual;
+  outcome.phase = phase_;
+  outcome.active = active_kind_;
+  ++queries_answered_;
+
+  switch (phase_) {
+    case Phase::kWarmup: {
+      // The paper's warm-up receives no queries; answer with the default
+      // estimator without any training.
+      const EstimatorMeasurement m =
+          Measure(EnsureInstance(active_kind_), q, actual);
+      outcome.estimate = m.estimate;
+      outcome.accuracy = m.accuracy;
+      outcome.latency_ms = m.latency_ms;
+      return outcome;
+    }
+
+    case Phase::kPretraining: {
+      // Run the query on every enabled estimator and label the training
+      // record with the best alpha-blended performer (Section V-C).
+      outcome.measurements.reserve(estimators::kNumEstimatorKinds);
+      EstimatorMeasurement active_m;
+      for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+        const auto kind = static_cast<estimators::EstimatorKind>(k);
+        if (!IsEnabled(kind)) continue;
+        estimators::Estimator* est = EnsureInstance(kind);
+        EstimatorMeasurement m = Measure(est, q, actual);
+        scoreboard_.Record(type, m);
+        est->OnFeedback(q, m.estimate, actual);
+        if (kind == active_kind_) active_m = m;
+        outcome.measurements.push_back(m);
+      }
+      uint32_t best = static_cast<uint32_t>(active_kind_);
+      double best_score = -1.0;
+      for (const auto& m : outcome.measurements) {
+        const double score =
+            BlendedScore(m.accuracy, scoreboard_.NormalizeLatency(m.latency_ms),
+                         config_.alpha);
+        if (score > best_score) {
+          best_score = score;
+          best = static_cast<uint32_t>(m.kind);
+        }
+      }
+      model_->Train(ml::TrainingExample{BuildFeatures(q), best});
+
+      outcome.estimate = active_m.estimate;
+      outcome.accuracy = active_m.accuracy;
+      outcome.latency_ms = active_m.latency_ms;
+      accuracy_monitor_.Add(active_m.accuracy);
+      outcome.monitor_accuracy = accuracy_monitor_.Mean();
+      TrackModelError(RelativeError(active_m.estimate, actual));
+
+      if (++pretrain_seen_ >= config_.pretrain_queries) {
+        ConcludePretraining();
+      }
+      return outcome;
+    }
+
+    case Phase::kIncremental: {
+      ++incremental_queries_;
+      // Measure the active estimator (always), the pre-filling candidate,
+      // and — in evaluation mode — every shadow estimator.
+      EstimatorMeasurement active_m;
+      for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+        const auto kind = static_cast<estimators::EstimatorKind>(k);
+        estimators::Estimator* est = instance(kind);
+        if (est == nullptr) continue;
+        const bool is_active = kind == active_kind_;
+        const bool is_candidate =
+            candidate_kind_.has_value() && kind == *candidate_kind_;
+        if (!is_active && !is_candidate &&
+            !config_.maintain_shadow_estimators) {
+          continue;
+        }
+        EstimatorMeasurement m = Measure(est, q, actual);
+        scoreboard_.Record(type, m);
+        est->OnFeedback(q, m.estimate, actual);
+        if (is_active) active_m = m;
+        if (config_.maintain_shadow_estimators || is_candidate) {
+          outcome.measurements.push_back(m);
+        }
+      }
+
+      // System-log feedback becomes an additional training record labeled
+      // with the scoreboard's current best (Section V-D).
+      const auto label = static_cast<uint32_t>(
+          scoreboard_.BestFor(type, config_.alpha));
+      model_->Train(ml::TrainingExample{BuildFeatures(q), label});
+
+      outcome.estimate = active_m.estimate;
+      outcome.accuracy = active_m.accuracy;
+      outcome.latency_ms = active_m.latency_ms;
+      accuracy_monitor_.Add(active_m.accuracy);
+      outcome.monitor_accuracy = accuracy_monitor_.Mean();
+      TrackModelError(RelativeError(active_m.estimate, actual));
+      outcome.switched = MaybeSwitch(q, incremental_queries_);
+      outcome.active = active_kind_;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace latest::core

@@ -1,0 +1,21 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace latest::core {
+
+double RelativeError(double estimate, uint64_t actual) {
+  const double denom = std::max<double>(1.0, static_cast<double>(actual));
+  return std::abs(estimate - static_cast<double>(actual)) / denom;
+}
+
+double EstimationAccuracy(double estimate, uint64_t actual) {
+  return std::max(0.0, 1.0 - RelativeError(estimate, actual));
+}
+
+double BlendedScore(double accuracy, double latency_norm, double alpha) {
+  return (1.0 - alpha) * accuracy + alpha * (1.0 - latency_norm);
+}
+
+}  // namespace latest::core

@@ -1,0 +1,24 @@
+// Estimation quality metrics used across LATEST.
+
+#ifndef LATEST_CORE_METRICS_H_
+#define LATEST_CORE_METRICS_H_
+
+#include <cstdint>
+
+namespace latest::core {
+
+/// Estimation accuracy in [0, 1]: 1 - relative error, floored at 0.
+/// accuracy = max(0, 1 - |estimate - actual| / max(actual, 1)).
+double EstimationAccuracy(double estimate, uint64_t actual);
+
+/// Relative error (unclamped): |estimate - actual| / max(actual, 1).
+double RelativeError(double estimate, uint64_t actual);
+
+/// The alpha-blended reward of Section V-C. `latency_norm` is min-max
+/// normalized latency in [0, 1] (0 = fastest observed). alpha = 0 weighs
+/// accuracy only; alpha = 1 weighs latency only.
+double BlendedScore(double accuracy, double latency_norm, double alpha);
+
+}  // namespace latest::core
+
+#endif  // LATEST_CORE_METRICS_H_

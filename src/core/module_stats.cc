@@ -1,0 +1,93 @@
+#include "core/module_stats.h"
+
+#include <cstdio>
+
+namespace latest::core {
+
+ModuleStats LatestModule::GetStats() const {
+  ModuleStats stats;
+  stats.phase = phase_;
+  stats.active = active_kind_;
+  stats.has_candidate = candidate_kind_.has_value();
+  if (stats.has_candidate) stats.candidate = *candidate_kind_;
+  stats.objects_ingested = objects_ingested_;
+  stats.queries_answered = queries_answered_;
+  stats.window_population = window_population_.total();
+  stats.monitor_accuracy = accuracy_monitor_.Mean();
+  stats.switches = switch_log_.size();
+  stats.model_retrains = model_retrains_;
+  stats.model_records = model_->num_trained();
+  stats.model_leaves = model_->num_leaves();
+  stats.model_depth = model_->depth();
+  for (uint32_t t = 0; t < 3; ++t) {
+    for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+      const auto type = static_cast<stream::QueryType>(t);
+      const auto kind = static_cast<estimators::EstimatorKind>(k);
+      stats.scoreboard[t][k].accuracy = scoreboard_.AccuracyOf(type, kind);
+      stats.scoreboard[t][k].latency_ms = scoreboard_.LatencyOf(type, kind);
+      stats.enabled[k] = IsEnabled(kind);
+    }
+  }
+  return stats;
+}
+
+std::string FormatStats(const ModuleStats& stats) {
+  std::string out;
+  char line[256];
+
+  std::snprintf(line, sizeof(line),
+                "phase=%s active=%s%s%s monitor_accuracy=%.3f\n",
+                PhaseName(stats.phase),
+                estimators::EstimatorKindName(stats.active),
+                stats.has_candidate ? " prefilling=" : "",
+                stats.has_candidate
+                    ? estimators::EstimatorKindName(stats.candidate)
+                    : "",
+                stats.monitor_accuracy);
+  out += line;
+
+  std::snprintf(line, sizeof(line),
+                "objects=%llu queries=%llu window=%llu switches=%llu "
+                "retrains=%llu\n",
+                static_cast<unsigned long long>(stats.objects_ingested),
+                static_cast<unsigned long long>(stats.queries_answered),
+                static_cast<unsigned long long>(stats.window_population),
+                static_cast<unsigned long long>(stats.switches),
+                static_cast<unsigned long long>(stats.model_retrains));
+  out += line;
+
+  std::snprintf(line, sizeof(line),
+                "model: %llu records, %llu leaves, depth %u\n",
+                static_cast<unsigned long long>(stats.model_records),
+                static_cast<unsigned long long>(stats.model_leaves),
+                stats.model_depth);
+  out += line;
+
+  out += "scoreboard (EWMA accuracy / latency ms):\n";
+  std::snprintf(line, sizeof(line), "  %-9s", "type");
+  out += line;
+  for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+    if (!stats.enabled[k]) continue;
+    std::snprintf(line, sizeof(line), " %14s",
+                  estimators::EstimatorKindName(
+                      static_cast<estimators::EstimatorKind>(k)));
+    out += line;
+  }
+  out += "\n";
+  for (uint32_t t = 0; t < 3; ++t) {
+    std::snprintf(line, sizeof(line), "  %-9s",
+                  stream::QueryTypeName(static_cast<stream::QueryType>(t)));
+    out += line;
+    for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+      if (!stats.enabled[k]) continue;
+      const CellStats& cell = stats.scoreboard[t][k];
+      std::snprintf(line, sizeof(line), " %6.3f/%7.4f", cell.accuracy,
+                    cell.latency_ms);
+      out += line;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace latest::core

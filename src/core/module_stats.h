@@ -1,0 +1,56 @@
+// Introspection snapshot of a running LATEST module.
+//
+// Operators watching a deployment need one call that answers: which
+// estimator is live, how is it doing, what does the scoreboard believe
+// about the alternatives, and how large has the learning model grown.
+// `LatestModule::GetStats()` fills this snapshot; `FormatStats` renders
+// it as a compact human-readable report (used by the examples).
+
+#ifndef LATEST_CORE_MODULE_STATS_H_
+#define LATEST_CORE_MODULE_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/latest_module.h"
+
+namespace latest::core {
+
+/// Scoreboard snapshot for one (query type, estimator) cell.
+struct CellStats {
+  double accuracy = 0.0;    // EWMA accuracy; 0 when never measured.
+  double latency_ms = 0.0;  // EWMA latency.
+};
+
+/// Point-in-time snapshot of a LatestModule.
+struct ModuleStats {
+  Phase phase = Phase::kWarmup;
+  estimators::EstimatorKind active = estimators::EstimatorKind::kRsh;
+  bool has_candidate = false;
+  estimators::EstimatorKind candidate = estimators::EstimatorKind::kRsh;
+
+  uint64_t objects_ingested = 0;
+  uint64_t queries_answered = 0;
+  uint64_t window_population = 0;
+  double monitor_accuracy = 0.0;  // Moving accuracy of the active member.
+
+  uint64_t switches = 0;
+  uint64_t model_retrains = 0;
+  uint64_t model_records = 0;
+  uint64_t model_leaves = 0;
+  uint32_t model_depth = 0;
+
+  /// Per query type x estimator kind scoreboard cells.
+  std::array<std::array<CellStats, estimators::kNumEstimatorKinds>, 3>
+      scoreboard;
+  /// Whether the kind is part of the deployment's portfolio.
+  std::array<bool, estimators::kNumEstimatorKinds> enabled = {};
+};
+
+/// Renders the snapshot as a multi-line report.
+std::string FormatStats(const ModuleStats& stats);
+
+}  // namespace latest::core
+
+#endif  // LATEST_CORE_MODULE_STATS_H_

@@ -1,0 +1,72 @@
+#include "core/subscription_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace latest::core {
+
+SubscriptionManager::SubscriptionManager(LatestModule* module)
+    : module_(module) {
+  assert(module != nullptr);
+}
+
+util::Result<SubscriptionId> SubscriptionManager::Subscribe(
+    const stream::Query& query, stream::Timestamp period_ms,
+    Callback callback, stream::Timestamp start_ms) {
+  if (!query.HasRange() && !query.HasKeywords()) {
+    return util::Status::InvalidArgument(
+        "subscription query needs a spatial range or keywords");
+  }
+  if (query.HasRange() && !query.range->IsValid()) {
+    return util::Status::InvalidArgument("subscription range has no area");
+  }
+  if (period_ms <= 0) {
+    return util::Status::InvalidArgument("period_ms must be > 0");
+  }
+  if (callback == nullptr) {
+    return util::Status::InvalidArgument("callback must be set");
+  }
+  Subscription sub;
+  sub.id = next_id_++;
+  sub.query = query;
+  sub.period_ms = period_ms;
+  sub.next_fire_ms = start_ms < 0 ? -1 : start_ms + period_ms;
+  sub.callback = std::move(callback);
+  subscriptions_.push_back(std::move(sub));
+  return subscriptions_.back().id;
+}
+
+bool SubscriptionManager::Unsubscribe(SubscriptionId id) {
+  const auto it = std::find_if(
+      subscriptions_.begin(), subscriptions_.end(),
+      [id](const Subscription& sub) { return sub.id == id; });
+  if (it == subscriptions_.end()) return false;
+  subscriptions_.erase(it);
+  return true;
+}
+
+uint32_t SubscriptionManager::OnAdvance(stream::Timestamp now_ms) {
+  uint32_t fired = 0;
+  for (Subscription& sub : subscriptions_) {
+    if (sub.next_fire_ms < 0) {
+      // Armed on first sight of the clock.
+      sub.next_fire_ms = now_ms + sub.period_ms;
+      continue;
+    }
+    if (now_ms < sub.next_fire_ms) continue;
+    stream::Query q = sub.query;
+    q.timestamp = now_ms;
+    SubscriptionEvent event;
+    event.id = sub.id;
+    event.fired_at = now_ms;
+    event.outcome = module_->OnQuery(q);
+    // Coalesce missed periods: schedule strictly after `now`.
+    while (sub.next_fire_ms <= now_ms) sub.next_fire_ms += sub.period_ms;
+    ++fired;
+    ++events_delivered_;
+    sub.callback(event);
+  }
+  return fired;
+}
+
+}  // namespace latest::core

@@ -1,0 +1,90 @@
+// Continuous estimation subscriptions over a LATEST module.
+//
+// The paper targets snapshot estimation queries; real deployments
+// (dashboards, alerting, the disaster-monitoring scenario of Section I)
+// re-ask the same question continuously. The subscription manager holds
+// standing RC-DVQ queries and re-evaluates each one on its own event-time
+// period as the stream advances, invoking a callback with the fresh
+// QueryOutcome. Periodic re-evaluation over the sliding window is the
+// standard way to turn a snapshot estimator into a continuous one.
+//
+// Usage:
+//   SubscriptionManager subs(module.get());
+//   auto id = subs.Subscribe(query, /*period_ms=*/60'000,
+//                            [](const SubscriptionEvent& e) { ... });
+//   // In the ingest loop, after module->OnObject(obj):
+//   subs.OnAdvance(obj.timestamp);
+
+#ifndef LATEST_CORE_SUBSCRIPTION_MANAGER_H_
+#define LATEST_CORE_SUBSCRIPTION_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/latest_module.h"
+
+namespace latest::core {
+
+/// Identifier of a standing subscription.
+using SubscriptionId = uint64_t;
+
+/// One delivery of a subscription's fresh estimate.
+struct SubscriptionEvent {
+  SubscriptionId id = 0;
+  stream::Timestamp fired_at = 0;
+  QueryOutcome outcome;
+};
+
+/// Manages standing estimation queries over one module.
+class SubscriptionManager {
+ public:
+  using Callback = std::function<void(const SubscriptionEvent&)>;
+
+  /// The module must outlive the manager.
+  explicit SubscriptionManager(LatestModule* module);
+
+  SubscriptionManager(const SubscriptionManager&) = delete;
+  SubscriptionManager& operator=(const SubscriptionManager&) = delete;
+
+  /// Registers a standing query re-evaluated every `period_ms` of event
+  /// time, starting one period after `start_ms` (default: the first
+  /// OnAdvance). Returns InvalidArgument for an empty query or a
+  /// non-positive period.
+  util::Result<SubscriptionId> Subscribe(const stream::Query& query,
+                                         stream::Timestamp period_ms,
+                                         Callback callback,
+                                         stream::Timestamp start_ms = -1);
+
+  /// Cancels a subscription; false when the id is unknown.
+  bool Unsubscribe(SubscriptionId id);
+
+  /// Advances event time (call after every ingested object or external
+  /// clock tick; `now_ms` non-decreasing). Fires every subscription whose
+  /// deadline passed — multiple missed periods coalesce into a single
+  /// fresh evaluation. Returns the number of evaluations fired.
+  uint32_t OnAdvance(stream::Timestamp now_ms);
+
+  size_t active_subscriptions() const { return subscriptions_.size(); }
+
+  /// Total evaluations delivered across all subscriptions.
+  uint64_t events_delivered() const { return events_delivered_; }
+
+ private:
+  struct Subscription {
+    SubscriptionId id;
+    stream::Query query;
+    stream::Timestamp period_ms;
+    stream::Timestamp next_fire_ms;  // -1: armed on first OnAdvance.
+    Callback callback;
+  };
+
+  LatestModule* module_;
+  std::vector<Subscription> subscriptions_;
+  SubscriptionId next_id_ = 1;
+  uint64_t events_delivered_ = 0;
+};
+
+}  // namespace latest::core
+
+#endif  // LATEST_CORE_SUBSCRIPTION_MANAGER_H_

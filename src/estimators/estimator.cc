@@ -1,0 +1,112 @@
+#include "estimators/estimator.h"
+
+#include "estimators/aasp_estimator.h"
+#include "estimators/cm_sketch_estimator.h"
+#include "estimators/ffn_estimator.h"
+#include "estimators/histogram2d_estimator.h"
+#include "estimators/reservoir_hash_estimator.h"
+#include "estimators/reservoir_list_estimator.h"
+#include "estimators/spn_estimator.h"
+
+namespace latest::estimators {
+
+const char* EstimatorKindName(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kH4096:
+      return "H4096";
+    case EstimatorKind::kRsl:
+      return "RSL";
+    case EstimatorKind::kRsh:
+      return "RSH";
+    case EstimatorKind::kAasp:
+      return "AASP";
+    case EstimatorKind::kFfn:
+      return "FFN";
+    case EstimatorKind::kSpn:
+      return "SPN";
+    case EstimatorKind::kCmSketch:
+      return "CMS";
+  }
+  return "unknown";
+}
+
+void Estimator::OnFeedback(const stream::Query& /*q*/, double /*estimate*/,
+                           uint64_t /*actual*/) {}
+
+util::Status EstimatorConfig::Validate() const {
+  if (!bounds.IsValid()) {
+    return util::Status::InvalidArgument("bounds must have positive area");
+  }
+  LATEST_RETURN_IF_ERROR(window.Validate());
+  if (histogram_cells == 0) {
+    return util::Status::InvalidArgument("histogram_cells must be > 0");
+  }
+  if (reservoir_capacity == 0) {
+    return util::Status::InvalidArgument("reservoir_capacity must be > 0");
+  }
+  if (rsh_grid_cells == 0) {
+    return util::Status::InvalidArgument("rsh_grid_cells must be > 0");
+  }
+  if (aasp_split_value <= 0.0 || aasp_split_value > 1.0) {
+    return util::Status::InvalidArgument(
+        "aasp_split_value must be in (0, 1]");
+  }
+  if (aasp_partitions == 0) {
+    return util::Status::InvalidArgument("aasp_partitions must be > 0");
+  }
+  if (aasp_kmv_size < 2) {
+    return util::Status::InvalidArgument("aasp_kmv_size must be >= 2");
+  }
+  if (aasp_node_keywords == 0 || aasp_root_keywords == 0) {
+    return util::Status::InvalidArgument(
+        "aasp keyword counter capacities must be > 0");
+  }
+  if (ffn_hidden_units == 0) {
+    return util::Status::InvalidArgument("ffn_hidden_units must be > 0");
+  }
+  if (ffn_learning_rate <= 0.0) {
+    return util::Status::InvalidArgument("ffn_learning_rate must be > 0");
+  }
+  if (spn_clusters == 0) {
+    return util::Status::InvalidArgument("spn_clusters must be > 0");
+  }
+  if (cms_grid_cells == 0 || cms_depth == 0 || cms_width == 0) {
+    return util::Status::InvalidArgument("cms knobs must be > 0");
+  }
+  return util::Status::Ok();
+}
+
+util::Result<std::unique_ptr<Estimator>> CreateEstimator(
+    EstimatorKind kind, const EstimatorConfig& config) {
+  LATEST_RETURN_IF_ERROR(config.Validate());
+  std::unique_ptr<Estimator> estimator;
+  switch (kind) {
+    case EstimatorKind::kH4096:
+      estimator = std::make_unique<Histogram2dEstimator>(config);
+      break;
+    case EstimatorKind::kRsl:
+      estimator = std::make_unique<ReservoirListEstimator>(config);
+      break;
+    case EstimatorKind::kRsh:
+      estimator = std::make_unique<ReservoirHashEstimator>(config);
+      break;
+    case EstimatorKind::kAasp:
+      estimator = std::make_unique<AaspEstimator>(config);
+      break;
+    case EstimatorKind::kFfn:
+      estimator = std::make_unique<FfnEstimator>(config);
+      break;
+    case EstimatorKind::kSpn:
+      estimator = std::make_unique<SpnEstimator>(config);
+      break;
+    case EstimatorKind::kCmSketch:
+      estimator = std::make_unique<CmSketchEstimator>(config);
+      break;
+  }
+  if (estimator == nullptr) {
+    return util::Status::InvalidArgument("unknown estimator kind");
+  }
+  return estimator;
+}
+
+}  // namespace latest::estimators

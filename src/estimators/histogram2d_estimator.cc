@@ -1,0 +1,85 @@
+#include "estimators/histogram2d_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace latest::estimators {
+
+namespace {
+
+// Side length of the square grid for a cell budget (largest square <=
+// budget).
+uint32_t GridSide(uint32_t cells) {
+  auto side = static_cast<uint32_t>(std::sqrt(static_cast<double>(cells)));
+  while ((side + 1) * (side + 1) <= cells) ++side;
+  return std::max(1u, side);
+}
+
+}  // namespace
+
+Histogram2dEstimator::Histogram2dEstimator(const EstimatorConfig& config)
+    : WindowedEstimatorBase(config.window.num_slices),
+      grid_(config.bounds, GridSide(config.histogram_cells),
+            GridSide(config.histogram_cells)),
+      num_slices_(config.window.num_slices),
+      slice_counts_(static_cast<size_t>(config.window.num_slices) *
+                    grid_.num_cells()),
+      live_counts_(grid_.num_cells()) {}
+
+void Histogram2dEstimator::InsertImpl(const stream::GeoTextObject& obj) {
+  const uint32_t cell = grid_.CellOf(obj.loc);
+  ++slice_counts_[static_cast<size_t>(head_slice_) * grid_.num_cells() + cell];
+  ++live_counts_[cell];
+}
+
+void Histogram2dEstimator::RotateImpl() {
+  // The next ring position holds the oldest slice; subtract and reuse it.
+  head_slice_ = (head_slice_ + 1) % num_slices_;
+  uint64_t* oldest =
+      &slice_counts_[static_cast<size_t>(head_slice_) * grid_.num_cells()];
+  for (uint32_t c = 0; c < grid_.num_cells(); ++c) {
+    assert(live_counts_[c] >= oldest[c]);
+    live_counts_[c] -= oldest[c];
+    oldest[c] = 0;
+  }
+}
+
+double Histogram2dEstimator::Estimate(const stream::Query& q) const {
+  if (!q.HasRange()) {
+    // Pure keyword query: no textual statistics; fall back to everything.
+    return static_cast<double>(seen_population());
+  }
+  uint32_t col_lo;
+  uint32_t row_lo;
+  uint32_t col_hi;
+  uint32_t row_hi;
+  if (!grid_.CellRange(*q.range, &col_lo, &row_lo, &col_hi, &row_hi)) {
+    return 0.0;
+  }
+  double estimate = 0.0;
+  for (uint32_t row = row_lo; row <= row_hi; ++row) {
+    for (uint32_t col = col_lo; col <= col_hi; ++col) {
+      const uint32_t cell = row * grid_.cols() + col;
+      const uint64_t count = live_counts_[cell];
+      if (count == 0) continue;
+      // Uniformity assumption inside the cell.
+      const double fraction = grid_.CellRect(cell).OverlapFraction(*q.range);
+      estimate += static_cast<double>(count) * fraction;
+    }
+  }
+  return estimate;
+}
+
+size_t Histogram2dEstimator::MemoryBytes() const {
+  return slice_counts_.size() * sizeof(uint64_t) +
+         live_counts_.size() * sizeof(uint64_t);
+}
+
+void Histogram2dEstimator::ResetImpl() {
+  std::fill(slice_counts_.begin(), slice_counts_.end(), 0);
+  std::fill(live_counts_.begin(), live_counts_.end(), 0);
+  head_slice_ = 0;
+}
+
+}  // namespace latest::estimators

@@ -1,0 +1,47 @@
+#include "estimators/kmv_synopsis.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hashing.h"
+
+namespace latest::estimators {
+
+KmvSynopsis::KmvSynopsis(uint32_t k, uint64_t hash_seed)
+    : k_(k), hash_seed_(hash_seed) {
+  assert(k >= 2);
+  values_.reserve(k);
+}
+
+void KmvSynopsis::InsertHash(double h) {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), h);
+  if (it != values_.end() && *it == h) return;  // Duplicate element.
+  if (values_.size() < k_) {
+    values_.insert(it, h);
+    return;
+  }
+  if (h >= values_.back()) return;  // Not among the k smallest.
+  values_.insert(it, h);
+  values_.pop_back();
+}
+
+void KmvSynopsis::Add(uint64_t element) {
+  InsertHash(util::HashToUnit(util::SeededHash(element, hash_seed_)));
+}
+
+double KmvSynopsis::EstimateDistinct() const {
+  if (values_.size() < k_) {
+    // Synopsis not saturated: it has seen every distinct element.
+    return static_cast<double>(values_.size());
+  }
+  const double h_k = values_.back();
+  if (h_k <= 0.0) return static_cast<double>(values_.size());
+  return static_cast<double>(k_ - 1) / h_k;
+}
+
+void KmvSynopsis::Merge(const KmvSynopsis& other) {
+  assert(other.k_ == k_ && other.hash_seed_ == hash_seed_);
+  for (const double h : other.values_) InsertHash(h);
+}
+
+}  // namespace latest::estimators

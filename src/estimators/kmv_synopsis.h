@@ -1,0 +1,51 @@
+// KMV (k minimum values) synopsis for distinct-value estimation
+// (Bar-Yossef et al., RANDOM 2002), the "augmented" part of the AASP tree.
+//
+// Elements are hashed to the unit interval; the synopsis keeps the k
+// smallest distinct hash values. With the k-th smallest value h_k, the
+// number of distinct elements is estimated as (k - 1) / h_k.
+
+#ifndef LATEST_ESTIMATORS_KMV_SYNOPSIS_H_
+#define LATEST_ESTIMATORS_KMV_SYNOPSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace latest::estimators {
+
+/// Distinct-count synopsis of a multiset of 64-bit elements.
+class KmvSynopsis {
+ public:
+  /// k: synopsis size (>= 2 for estimation). hash_seed: selects the hash
+  /// function; synopses must share a seed to be mergeable.
+  KmvSynopsis(uint32_t k, uint64_t hash_seed);
+
+  /// Adds one element occurrence (duplicates are ignored by value).
+  void Add(uint64_t element);
+
+  /// Estimated number of distinct elements added.
+  double EstimateDistinct() const;
+
+  /// Merges another synopsis (same k and seed) into this one, as if all
+  /// its elements had been added here.
+  void Merge(const KmvSynopsis& other);
+
+  /// Number of hash values currently held (<= k).
+  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+
+  uint32_t k() const { return k_; }
+  uint64_t hash_seed() const { return hash_seed_; }
+
+  void Clear() { values_.clear(); }
+
+ private:
+  void InsertHash(double h);
+
+  uint32_t k_;
+  uint64_t hash_seed_;
+  std::vector<double> values_;  // Sorted ascending, distinct, size <= k.
+};
+
+}  // namespace latest::estimators
+
+#endif  // LATEST_ESTIMATORS_KMV_SYNOPSIS_H_

@@ -1,0 +1,68 @@
+#include "estimators/reservoir_list_estimator.h"
+
+#include <algorithm>
+
+namespace latest::estimators {
+
+ReservoirListEstimator::ReservoirListEstimator(const EstimatorConfig& config)
+    : WindowedEstimatorBase(config.window.num_slices),
+      capacity_per_slice_(std::max(
+          1u, config.reservoir_capacity / config.window.num_slices)),
+      slices_(config.window.num_slices),
+      rng_(config.seed) {}
+
+void ReservoirListEstimator::InsertImpl(const stream::GeoTextObject& obj) {
+  SliceReservoir& slice = slices_.Current();
+  ++slice.seen;
+  if (slice.sample.size() < capacity_per_slice_) {
+    slice.sample.push_back(obj);
+    return;
+  }
+  // Algorithm R: replace a random slot with probability capacity/seen.
+  const uint64_t j = rng_.NextBounded(slice.seen);
+  if (j < capacity_per_slice_) {
+    slice.sample[static_cast<size_t>(j)] = obj;
+  }
+}
+
+void ReservoirListEstimator::RotateImpl() { slices_.Rotate(); }
+
+double ReservoirListEstimator::Estimate(const stream::Query& q) const {
+  // Stratified estimate: each slice's matching fraction scales to that
+  // slice's population.
+  double estimate = 0.0;
+  slices_.ForEach([&](const SliceReservoir& slice) {
+    if (slice.sample.empty()) return;
+    uint64_t matches = 0;
+    for (const auto& obj : slice.sample) {
+      if (q.Matches(obj)) ++matches;
+    }
+    estimate += static_cast<double>(matches) /
+                static_cast<double>(slice.sample.size()) *
+                static_cast<double>(slice.seen);
+  });
+  return estimate;
+}
+
+uint64_t ReservoirListEstimator::SampleSize() const {
+  uint64_t total = 0;
+  slices_.ForEach(
+      [&](const SliceReservoir& slice) { total += slice.sample.size(); });
+  return total;
+}
+
+size_t ReservoirListEstimator::MemoryBytes() const {
+  size_t bytes = 0;
+  slices_.ForEach([&](const SliceReservoir& slice) {
+    bytes += sizeof(SliceReservoir) +
+             slice.sample.capacity() * sizeof(stream::GeoTextObject);
+    for (const auto& obj : slice.sample) {
+      bytes += obj.keywords.capacity() * sizeof(stream::KeywordId);
+    }
+  });
+  return bytes;
+}
+
+void ReservoirListEstimator::ResetImpl() { slices_.Clear(); }
+
+}  // namespace latest::estimators

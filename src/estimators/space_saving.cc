@@ -1,0 +1,79 @@
+#include "estimators/space_saving.h"
+
+#include <cassert>
+#include <limits>
+
+namespace latest::estimators {
+
+SpaceSavingCounter::SpaceSavingCounter(uint32_t capacity)
+    : capacity_(capacity) {
+  assert(capacity > 0);
+  entries_.reserve(capacity);
+}
+
+uint32_t SpaceSavingCounter::MinKey() const {
+  double min_count = std::numeric_limits<double>::infinity();
+  uint32_t min_key = 0;
+  for (const auto& [key, count] : entries_) {
+    if (count < min_count) {
+      min_count = count;
+      min_key = key;
+    }
+  }
+  return min_key;
+}
+
+void SpaceSavingCounter::Add(uint32_t key, double weight) {
+  total_weight_ += weight;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second += weight;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.emplace(key, weight);
+    return;
+  }
+  // Space-Saving eviction: the new key inherits the minimum counter.
+  const uint32_t victim = MinKey();
+  const double inherited = entries_[victim];
+  entries_.erase(victim);
+  entries_.emplace(key, inherited + weight);
+}
+
+double SpaceSavingCounter::Count(uint32_t key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? 0.0 : it->second;
+}
+
+bool SpaceSavingCounter::IsTracked(uint32_t key) const {
+  return entries_.count(key) > 0;
+}
+
+double SpaceSavingCounter::TrackedTotal() const {
+  double total = 0.0;
+  for (const auto& [key, count] : entries_) {
+    (void)key;
+    total += count;
+  }
+  return total;
+}
+
+void SpaceSavingCounter::Decay(double factor, double prune_below) {
+  total_weight_ *= factor;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it->second *= factor;
+    if (it->second < prune_below) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SpaceSavingCounter::Clear() {
+  entries_.clear();
+  total_weight_ = 0.0;
+}
+
+}  // namespace latest::estimators

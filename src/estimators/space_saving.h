@@ -1,0 +1,69 @@
+// Space-Saving heavy-hitter counter (Metwally et al., ICDT 2005) with
+// optional exponential decay for sliding-window approximation.
+//
+// AASP tree nodes and the FFN keyword-popularity feature both need
+// bounded-size per-keyword frequency counters over the window. Space-
+// Saving tracks the (approximately) most frequent keywords in a fixed
+// number of counters; multiplying all counters by (num_slices-1)/num_slices
+// on each slice rotation geometrically forgets expired history.
+
+#ifndef LATEST_ESTIMATORS_SPACE_SAVING_H_
+#define LATEST_ESTIMATORS_SPACE_SAVING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace latest::estimators {
+
+/// Fixed-capacity approximate frequency counter over 32-bit keys.
+class SpaceSavingCounter {
+ public:
+  /// capacity: maximum tracked keys (> 0).
+  explicit SpaceSavingCounter(uint32_t capacity);
+
+  /// Records one occurrence of `key`.
+  void Add(uint32_t key, double weight = 1.0);
+
+  /// Estimated count of `key`; 0 when untracked. (Space-Saving counts are
+  /// overestimates for tracked keys, by at most the minimum counter.)
+  double Count(uint32_t key) const;
+
+  /// True iff the key currently owns a counter.
+  bool IsTracked(uint32_t key) const;
+
+  /// Sum of all counter values (upper bound on total tracked weight).
+  double TrackedTotal() const;
+
+  /// Total weight ever added (decayed alongside the counters).
+  double total_weight() const { return total_weight_; }
+
+  /// Number of occupied counters.
+  uint32_t size() const { return static_cast<uint32_t>(entries_.size()); }
+
+  uint32_t capacity() const { return capacity_; }
+
+  /// Multiplies every counter (and the running total) by `factor`;
+  /// counters decayed below `prune_below` are dropped.
+  void Decay(double factor, double prune_below = 1e-3);
+
+  /// Applies fn(key, count) to every tracked key.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, count] : entries_) fn(key, count);
+  }
+
+  void Clear();
+
+ private:
+  /// Key of the minimum counter (linear scan; capacity is small).
+  uint32_t MinKey() const;
+
+  uint32_t capacity_;
+  std::unordered_map<uint32_t, double> entries_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace latest::estimators
+
+#endif  // LATEST_ESTIMATORS_SPACE_SAVING_H_

@@ -1,0 +1,53 @@
+// Shared window-population bookkeeping for estimator implementations.
+
+#ifndef LATEST_ESTIMATORS_WINDOWED_ESTIMATOR_BASE_H_
+#define LATEST_ESTIMATORS_WINDOWED_ESTIMATOR_BASE_H_
+
+#include "estimators/estimator.h"
+
+namespace latest::estimators {
+
+/// Base class that tracks the per-slice population an estimator has seen,
+/// so seen_population() is uniform across implementations. Subclasses
+/// override the *Impl hooks.
+class WindowedEstimatorBase : public Estimator {
+ public:
+  void Insert(const stream::GeoTextObject& obj) final {
+    InsertImpl(obj);
+    population_.Add();
+  }
+
+  void OnSliceRotate() final {
+    RotateImpl();  // Runs first so the hook can inspect the expiring slice.
+    population_.Rotate();
+  }
+
+  uint64_t seen_population() const final { return population_.total(); }
+
+  void Reset() final {
+    ResetImpl();
+    population_.Clear();
+  }
+
+ protected:
+  explicit WindowedEstimatorBase(uint32_t num_slices)
+      : population_(num_slices) {}
+
+  /// Absorbs one object into subclass state.
+  virtual void InsertImpl(const stream::GeoTextObject& obj) = 0;
+
+  /// Expires the oldest slice of subclass state.
+  virtual void RotateImpl() = 0;
+
+  /// Wipes subclass state.
+  virtual void ResetImpl() = 0;
+
+  const stream::WindowPopulation& population() const { return population_; }
+
+ private:
+  stream::WindowPopulation population_;
+};
+
+}  // namespace latest::estimators
+
+#endif  // LATEST_ESTIMATORS_WINDOWED_ESTIMATOR_BASE_H_

@@ -1,0 +1,36 @@
+#include "exact/exact_evaluator.h"
+
+namespace latest::exact {
+
+ExactEvaluator::ExactEvaluator(const geo::Rect& bounds,
+                               stream::Timestamp window_length_ms,
+                               uint32_t grid_cols, uint32_t grid_rows)
+    : window_length_ms_(window_length_ms),
+      grid_(bounds, grid_cols, grid_rows) {}
+
+void ExactEvaluator::Insert(const stream::GeoTextObject& obj) {
+  grid_.Insert(obj);
+  if (!obj.keywords.empty()) inverted_.Insert(obj);
+}
+
+uint64_t ExactEvaluator::TrueSelectivity(const stream::Query& q) {
+  const stream::Timestamp cutoff = q.timestamp - window_length_ms_;
+  // Keyword postings are usually far more selective than spatial cells in
+  // these workloads, so any query with a keyword predicate goes to the
+  // inverted index; pure spatial queries go to the grid.
+  if (q.HasKeywords()) return inverted_.CountMatches(q, cutoff);
+  return grid_.CountMatches(q, cutoff);
+}
+
+void ExactEvaluator::EvictExpired(stream::Timestamp now) {
+  const stream::Timestamp cutoff = now - window_length_ms_;
+  grid_.EvictBefore(cutoff);
+  inverted_.EvictBefore(cutoff);
+}
+
+void ExactEvaluator::Clear() {
+  grid_.Clear();
+  inverted_.Clear();
+}
+
+}  // namespace latest::exact

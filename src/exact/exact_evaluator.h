@@ -1,0 +1,51 @@
+// Exact RC-DVQ evaluation: the "query processor + system logs" of the
+// paper.
+//
+// After LATEST returns an estimate, the actual query executes on real data
+// and the system log records the true selectivity (Section V-D). This
+// evaluator plays that role: it maintains the window of actual objects in
+// a spatial grid plus an inverted keyword index and answers every query
+// exactly, choosing the backend by predicate type.
+
+#ifndef LATEST_EXACT_EXACT_EVALUATOR_H_
+#define LATEST_EXACT_EXACT_EVALUATOR_H_
+
+#include <cstdint>
+
+#include "exact/grid_index.h"
+#include "exact/inverted_index.h"
+#include "stream/object.h"
+#include "stream/query.h"
+
+namespace latest::exact {
+
+/// Ground-truth evaluator over the sliding window.
+class ExactEvaluator {
+ public:
+  /// bounds: spatial domain; window_length_ms: the window size T.
+  ExactEvaluator(const geo::Rect& bounds, stream::Timestamp window_length_ms,
+                 uint32_t grid_cols = 64, uint32_t grid_rows = 64);
+
+  /// Inserts an object (timestamps non-decreasing).
+  void Insert(const stream::GeoTextObject& obj);
+
+  /// Exact selectivity of q over the window ending at q.timestamp.
+  uint64_t TrueSelectivity(const stream::Query& q);
+
+  /// Evicts everything older than now - T; call periodically to bound
+  /// memory between queries.
+  void EvictExpired(stream::Timestamp now);
+
+  stream::Timestamp window_length_ms() const { return window_length_ms_; }
+
+  void Clear();
+
+ private:
+  stream::Timestamp window_length_ms_;
+  GridIndex grid_;
+  InvertedIndex inverted_;
+};
+
+}  // namespace latest::exact
+
+#endif  // LATEST_EXACT_EXACT_EVALUATOR_H_

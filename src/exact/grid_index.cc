@@ -1,0 +1,54 @@
+#include "exact/grid_index.h"
+
+namespace latest::exact {
+
+GridIndex::GridIndex(const geo::Rect& bounds, uint32_t cols, uint32_t rows)
+    : grid_(bounds, cols, rows), cells_(grid_.num_cells()) {}
+
+void GridIndex::Insert(const stream::GeoTextObject& obj) {
+  cells_[grid_.CellOf(obj.loc)].push_back(obj);
+  ++size_;
+}
+
+void GridIndex::EvictCell(uint32_t cell, stream::Timestamp cutoff) {
+  auto& bucket = cells_[cell];
+  while (!bucket.empty() && bucket.front().timestamp < cutoff) {
+    bucket.pop_front();
+    --size_;
+  }
+}
+
+void GridIndex::EvictBefore(stream::Timestamp cutoff) {
+  for (uint32_t c = 0; c < cells_.size(); ++c) EvictCell(c, cutoff);
+}
+
+uint64_t GridIndex::CountMatches(const stream::Query& q,
+                                 stream::Timestamp cutoff) {
+  uint32_t col_lo = 0;
+  uint32_t row_lo = 0;
+  uint32_t col_hi = grid_.cols() - 1;
+  uint32_t row_hi = grid_.rows() - 1;
+  if (q.HasRange()) {
+    if (!grid_.CellRange(*q.range, &col_lo, &row_lo, &col_hi, &row_hi)) {
+      return 0;
+    }
+  }
+  uint64_t count = 0;
+  for (uint32_t row = row_lo; row <= row_hi; ++row) {
+    for (uint32_t col = col_lo; col <= col_hi; ++col) {
+      const uint32_t cell = row * grid_.cols() + col;
+      EvictCell(cell, cutoff);
+      for (const auto& obj : cells_[cell]) {
+        if (q.Matches(obj)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+void GridIndex::Clear() {
+  for (auto& cell : cells_) cell.clear();
+  size_ = 0;
+}
+
+}  // namespace latest::exact

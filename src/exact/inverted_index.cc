@@ -1,0 +1,49 @@
+#include "exact/inverted_index.h"
+
+#include <cassert>
+
+namespace latest::exact {
+
+void InvertedIndex::Insert(const stream::GeoTextObject& obj) {
+  for (const stream::KeywordId id : obj.keywords) {
+    if (id >= postings_.size()) postings_.resize(id + 1);
+    postings_[id].push_back(Posting{obj.timestamp, obj.loc, obj.oid});
+    ++num_postings_;
+  }
+}
+
+void InvertedIndex::EvictList(stream::KeywordId id, stream::Timestamp cutoff) {
+  auto& list = postings_[id];
+  while (!list.empty() && list.front().timestamp < cutoff) {
+    list.pop_front();
+    --num_postings_;
+  }
+}
+
+uint64_t InvertedIndex::CountMatches(const stream::Query& q,
+                                     stream::Timestamp cutoff) {
+  assert(q.HasKeywords());
+  std::unordered_set<stream::ObjectId> seen;
+  for (const stream::KeywordId id : q.keywords) {
+    if (id >= postings_.size()) continue;
+    EvictList(id, cutoff);
+    for (const Posting& p : postings_[id]) {
+      if (q.HasRange() && !q.range->Contains(p.loc)) continue;
+      seen.insert(p.oid);
+    }
+  }
+  return seen.size();
+}
+
+void InvertedIndex::EvictBefore(stream::Timestamp cutoff) {
+  for (stream::KeywordId id = 0; id < postings_.size(); ++id) {
+    EvictList(id, cutoff);
+  }
+}
+
+void InvertedIndex::Clear() {
+  postings_.clear();
+  num_postings_ = 0;
+}
+
+}  // namespace latest::exact

@@ -1,0 +1,57 @@
+// Windowed inverted keyword index, the textual backend of the exact
+// evaluator.
+//
+// Per keyword, a timestamp-ordered postings deque of (timestamp, location,
+// oid). Keyword and hybrid RC-DVQ queries are answered exactly by merging
+// the postings of the query keywords and deduplicating object ids (an
+// object carrying several query keywords counts once).
+
+#ifndef LATEST_EXACT_INVERTED_INDEX_H_
+#define LATEST_EXACT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "stream/object.h"
+#include "stream/query.h"
+
+namespace latest::exact {
+
+/// Windowed exact inverted keyword index.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Indexes an object under each of its keywords.
+  void Insert(const stream::GeoTextObject& obj);
+
+  /// Exact number of window objects matching a query that has a keyword
+  /// predicate. Must not be called for pure spatial queries.
+  uint64_t CountMatches(const stream::Query& q, stream::Timestamp cutoff);
+
+  /// Removes all postings with timestamp < cutoff.
+  void EvictBefore(stream::Timestamp cutoff);
+
+  /// Total live postings (not distinct objects).
+  uint64_t num_postings() const { return num_postings_; }
+
+  void Clear();
+
+ private:
+  struct Posting {
+    stream::Timestamp timestamp;
+    geo::Point loc;
+    stream::ObjectId oid;
+  };
+
+  void EvictList(stream::KeywordId id, stream::Timestamp cutoff);
+
+  std::vector<std::deque<Posting>> postings_;
+  uint64_t num_postings_ = 0;
+};
+
+}  // namespace latest::exact
+
+#endif  // LATEST_EXACT_INVERTED_INDEX_H_

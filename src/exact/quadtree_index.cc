@@ -1,0 +1,124 @@
+#include "exact/quadtree_index.h"
+
+#include <cassert>
+
+namespace latest::exact {
+
+QuadTreeIndex::QuadTreeIndex(const geo::Rect& bounds, uint32_t leaf_capacity,
+                             uint32_t max_depth)
+    : root_(std::make_unique<Node>()),
+      leaf_capacity_(leaf_capacity),
+      max_depth_(max_depth) {
+  assert(bounds.IsValid());
+  assert(leaf_capacity > 0);
+  root_->cell = bounds;
+}
+
+int QuadTreeIndex::QuadrantOf(const Node& node, const geo::Point& p) const {
+  const geo::Point c = node.cell.Center();
+  const int east = p.x >= c.x ? 1 : 0;
+  const int north = p.y >= c.y ? 2 : 0;
+  return east + north;
+}
+
+void QuadTreeIndex::Split(Node* node) {
+  const geo::Point c = node->cell.Center();
+  const geo::Rect& b = node->cell;
+  const geo::Rect quads[4] = {
+      {b.min_x, b.min_y, c.x, c.y},  // SW
+      {c.x, b.min_y, b.max_x, c.y},  // SE
+      {b.min_x, c.y, c.x, b.max_y},  // NW
+      {c.x, c.y, b.max_x, b.max_y},  // NE
+  };
+  for (int i = 0; i < 4; ++i) {
+    node->children[i] = std::make_unique<Node>();
+    node->children[i]->cell = quads[i];
+    node->children[i]->depth = node->depth + 1;
+  }
+  num_nodes_ += 4;
+  node->is_leaf = false;
+  // Redistribute, preserving timestamp order (deque order is arrival
+  // order, and we push in that order).
+  for (const auto& obj : node->objects) {
+    node->children[QuadrantOf(*node, obj.loc)]->objects.push_back(obj);
+  }
+  node->objects.clear();
+  node->objects.shrink_to_fit();
+}
+
+void QuadTreeIndex::InsertInto(Node* node, const stream::GeoTextObject& obj) {
+  while (!node->is_leaf) {
+    node = node->children[QuadrantOf(*node, obj.loc)].get();
+  }
+  node->objects.push_back(obj);
+  if (node->objects.size() > leaf_capacity_ && node->depth < max_depth_) {
+    Split(node);
+  }
+}
+
+void QuadTreeIndex::Insert(const stream::GeoTextObject& obj) {
+  InsertInto(root_.get(), obj);
+  ++size_;
+}
+
+uint64_t QuadTreeIndex::CountNode(Node* node, const stream::Query& q,
+                                  stream::Timestamp cutoff) {
+  if (q.HasRange() && !q.range->Intersects(node->cell)) return 0;
+  if (node->is_leaf) {
+    while (!node->objects.empty() &&
+           node->objects.front().timestamp < cutoff) {
+      node->objects.pop_front();
+      --size_;
+    }
+    uint64_t count = 0;
+    for (const auto& obj : node->objects) {
+      if (q.Matches(obj)) ++count;
+    }
+    return count;
+  }
+  uint64_t count = 0;
+  for (auto& child : node->children) {
+    count += CountNode(child.get(), q, cutoff);
+  }
+  return count;
+}
+
+uint64_t QuadTreeIndex::CountMatches(const stream::Query& q,
+                                     stream::Timestamp cutoff) {
+  return CountNode(root_.get(), q, cutoff);
+}
+
+uint64_t QuadTreeIndex::EvictNode(Node* node, stream::Timestamp cutoff) {
+  if (node->is_leaf) {
+    while (!node->objects.empty() &&
+           node->objects.front().timestamp < cutoff) {
+      node->objects.pop_front();
+      --size_;
+    }
+    return node->objects.size();
+  }
+  uint64_t live = 0;
+  for (auto& child : node->children) {
+    live += EvictNode(child.get(), cutoff);
+  }
+  if (live == 0) {
+    for (auto& child : node->children) child.reset();
+    node->is_leaf = true;
+    num_nodes_ -= 4;
+  }
+  return live;
+}
+
+void QuadTreeIndex::EvictBefore(stream::Timestamp cutoff) {
+  EvictNode(root_.get(), cutoff);
+}
+
+void QuadTreeIndex::Clear() {
+  const geo::Rect bounds = root_->cell;
+  root_ = std::make_unique<Node>();
+  root_->cell = bounds;
+  size_ = 0;
+  num_nodes_ = 1;
+}
+
+}  // namespace latest::exact

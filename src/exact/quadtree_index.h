@@ -1,0 +1,77 @@
+// Full point-region quadtree index over the window: stores actual objects.
+//
+// The "QuadTree" full index of Table I. Leaves hold timestamp-ordered
+// object buckets; a leaf splits into four children when it exceeds
+// `leaf_capacity` live objects (up to `max_depth`). Window expiry pops
+// expired prefixes lazily and empty subtrees collapse back into leaves.
+
+#ifndef LATEST_EXACT_QUADTREE_INDEX_H_
+#define LATEST_EXACT_QUADTREE_INDEX_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "geo/rect.h"
+#include "stream/object.h"
+#include "stream/query.h"
+
+namespace latest::exact {
+
+/// Windowed exact quadtree index.
+class QuadTreeIndex {
+ public:
+  /// bounds: spatial domain. leaf_capacity: split threshold. max_depth:
+  /// maximum subdivision depth (leaves at max depth grow unbounded).
+  QuadTreeIndex(const geo::Rect& bounds, uint32_t leaf_capacity,
+                uint32_t max_depth);
+
+  /// Inserts an object (timestamps must be non-decreasing overall).
+  void Insert(const stream::GeoTextObject& obj);
+
+  /// Exact number of window objects matching the query; objects older than
+  /// `cutoff` are ignored and lazily evicted.
+  uint64_t CountMatches(const stream::Query& q, stream::Timestamp cutoff);
+
+  /// Removes all objects with timestamp < cutoff and collapses empty
+  /// subtrees.
+  void EvictBefore(stream::Timestamp cutoff);
+
+  /// Number of objects currently stored (including not-yet-evicted ones).
+  uint64_t size() const { return size_; }
+
+  /// Number of tree nodes (internal + leaves), for memory accounting.
+  uint64_t num_nodes() const { return num_nodes_; }
+
+  void Clear();
+
+ private:
+  struct Node {
+    geo::Rect cell;
+    uint32_t depth = 0;
+    // Leaf payload; empty and unused for internal nodes.
+    std::deque<stream::GeoTextObject> objects;
+    // Children quadrants (all set for internal nodes): SW, SE, NW, NE.
+    std::unique_ptr<Node> children[4];
+    bool is_leaf = true;
+  };
+
+  void InsertInto(Node* node, const stream::GeoTextObject& obj);
+  void Split(Node* node);
+  int QuadrantOf(const Node& node, const geo::Point& p) const;
+  uint64_t CountNode(Node* node, const stream::Query& q,
+                     stream::Timestamp cutoff);
+  /// Evicts expired objects; returns the node's live object count and
+  /// collapses nodes whose subtree became empty.
+  uint64_t EvictNode(Node* node, stream::Timestamp cutoff);
+
+  std::unique_ptr<Node> root_;
+  uint32_t leaf_capacity_;
+  uint32_t max_depth_;
+  uint64_t size_ = 0;
+  uint64_t num_nodes_ = 1;
+};
+
+}  // namespace latest::exact
+
+#endif  // LATEST_EXACT_QUADTREE_INDEX_H_

@@ -1,0 +1,65 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace latest::geo {
+
+Grid::Grid(const Rect& bounds, uint32_t cols, uint32_t rows)
+    : bounds_(bounds),
+      cols_(cols),
+      rows_(rows),
+      cell_w_(bounds.Width() / cols),
+      cell_h_(bounds.Height() / rows) {
+  assert(bounds.IsValid());
+  assert(cols > 0 && rows > 0);
+}
+
+uint32_t Grid::CellOf(const Point& p) const {
+  auto clamp_idx = [](double v, uint32_t n) {
+    if (v < 0) return 0u;
+    const auto i = static_cast<int64_t>(v);
+    if (i >= static_cast<int64_t>(n)) return n - 1;
+    return static_cast<uint32_t>(i);
+  };
+  const uint32_t col = clamp_idx((p.x - bounds_.min_x) / cell_w_, cols_);
+  const uint32_t row = clamp_idx((p.y - bounds_.min_y) / cell_h_, rows_);
+  return row * cols_ + col;
+}
+
+Rect Grid::CellRect(uint32_t cell) const {
+  const auto [col, row] = CellCoords(cell);
+  Rect r;
+  r.min_x = bounds_.min_x + col * cell_w_;
+  r.min_y = bounds_.min_y + row * cell_h_;
+  r.max_x = r.min_x + cell_w_;
+  r.max_y = r.min_y + cell_h_;
+  return r;
+}
+
+bool Grid::CellRange(const Rect& r, uint32_t* col_lo, uint32_t* row_lo,
+                     uint32_t* col_hi, uint32_t* row_hi) const {
+  if (!r.IsValid() || !r.Intersects(bounds_)) return false;
+  const Rect c = r.Intersection(bounds_);
+  auto lo_idx = [](double offset, double cell, uint32_t n) {
+    const auto i = static_cast<int64_t>(std::floor(offset / cell));
+    return static_cast<uint32_t>(std::clamp<int64_t>(i, 0, n - 1));
+  };
+  auto hi_idx = [](double offset, double cell, uint32_t n) {
+    // Half-open query max edge: a max exactly on a cell boundary does not
+    // reach the next cell.
+    const double scaled = offset / cell;
+    int64_t i = static_cast<int64_t>(std::ceil(scaled)) - 1;
+    if (static_cast<double>(i + 1) < scaled) i += 1;  // Guard FP rounding.
+    return static_cast<uint32_t>(std::clamp<int64_t>(i, 0, n - 1));
+  };
+  *col_lo = lo_idx(c.min_x - bounds_.min_x, cell_w_, cols_);
+  *row_lo = lo_idx(c.min_y - bounds_.min_y, cell_h_, rows_);
+  *col_hi = hi_idx(c.max_x - bounds_.min_x, cell_w_, cols_);
+  *row_hi = hi_idx(c.max_y - bounds_.min_y, cell_h_, rows_);
+  if (*col_hi < *col_lo || *row_hi < *row_lo) return false;
+  return true;
+}
+
+}  // namespace latest::geo

@@ -1,0 +1,57 @@
+// Uniform grid partitioning of a bounding box into cols x rows cells.
+//
+// Shared by the 2-D histogram estimator (H4096), the hybrid reservoir
+// hashmap (RSH), and the exact Grid index: all three need the same
+// point -> cell and cell -> rect arithmetic.
+
+#ifndef LATEST_GEO_GRID_H_
+#define LATEST_GEO_GRID_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace latest::geo {
+
+/// Immutable description of a uniform grid over a bounding box.
+class Grid {
+ public:
+  /// bounds must be valid; cols and rows must be > 0.
+  Grid(const Rect& bounds, uint32_t cols, uint32_t rows);
+
+  /// Total number of cells (cols * rows).
+  uint32_t num_cells() const { return cols_ * rows_; }
+  uint32_t cols() const { return cols_; }
+  uint32_t rows() const { return rows_; }
+  const Rect& bounds() const { return bounds_; }
+
+  /// Cell id of the cell containing p. Points outside the bounds are
+  /// clamped to the border cells (streams occasionally carry outliers).
+  uint32_t CellOf(const Point& p) const;
+
+  /// (col, row) coordinates of a cell id.
+  std::pair<uint32_t, uint32_t> CellCoords(uint32_t cell) const {
+    return {cell % cols_, cell / cols_};
+  }
+
+  /// Spatial extent of a cell.
+  Rect CellRect(uint32_t cell) const;
+
+  /// Inclusive [col_lo, col_hi] x [row_lo, row_hi] range of cells that
+  /// intersect `r`. Returns false when r misses the grid entirely.
+  bool CellRange(const Rect& r, uint32_t* col_lo, uint32_t* row_lo,
+                 uint32_t* col_hi, uint32_t* row_hi) const;
+
+ private:
+  Rect bounds_;
+  uint32_t cols_;
+  uint32_t rows_;
+  double cell_w_;
+  double cell_h_;
+};
+
+}  // namespace latest::geo
+
+#endif  // LATEST_GEO_GRID_H_

@@ -1,0 +1,22 @@
+// Two-dimensional point in longitude/latitude coordinates.
+
+#ifndef LATEST_GEO_POINT_H_
+#define LATEST_GEO_POINT_H_
+
+namespace latest::geo {
+
+/// A location in 2-D space. `x` is longitude, `y` is latitude, both in
+/// degrees. Plain Euclidean geometry over the degree coordinates is used
+/// throughout (as in the paper's grid/quadtree estimators).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+}  // namespace latest::geo
+
+#endif  // LATEST_GEO_POINT_H_

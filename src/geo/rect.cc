@@ -1,0 +1,39 @@
+#include "geo/rect.h"
+
+#include <algorithm>
+
+namespace latest::geo {
+
+Rect Rect::FromCenter(const Point& center, double width, double height) {
+  return Rect{center.x - width / 2, center.y - height / 2,
+              center.x + width / 2, center.y + height / 2};
+}
+
+Rect Rect::Intersection(const Rect& other) const {
+  Rect r;
+  r.min_x = std::max(min_x, other.min_x);
+  r.min_y = std::max(min_y, other.min_y);
+  r.max_x = std::min(max_x, other.max_x);
+  r.max_y = std::min(max_y, other.max_y);
+  if (!r.IsValid()) return Rect{};  // Degenerate: zero area.
+  return r;
+}
+
+double Rect::OverlapFraction(const Rect& other) const {
+  if (!IsValid()) return 0.0;
+  const Rect inter = Intersection(other);
+  if (!inter.IsValid()) return 0.0;
+  return inter.Area() / Area();
+}
+
+Point Rect::Clamp(const Point& p) const {
+  // Nudge inside the half-open max edges so the result tests as contained.
+  const double eps_x = Width() * 1e-12;
+  const double eps_y = Height() * 1e-12;
+  Point out;
+  out.x = std::clamp(p.x, min_x, max_x - eps_x);
+  out.y = std::clamp(p.y, min_y, max_y - eps_y);
+  return out;
+}
+
+}  // namespace latest::geo

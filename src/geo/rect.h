@@ -1,0 +1,68 @@
+// Axis-aligned rectangles: query ranges, grid cells, quadtree cells.
+
+#ifndef LATEST_GEO_RECT_H_
+#define LATEST_GEO_RECT_H_
+
+#include "geo/point.h"
+
+namespace latest::geo {
+
+/// Closed-open axis-aligned rectangle [min_x, max_x) x [min_y, max_y).
+///
+/// The closed-open convention makes disjoint grid cells tile the space with
+/// every point belonging to exactly one cell, which the histogram and
+/// quadtree estimators rely on.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  /// Builds a rectangle from a center point and full side lengths.
+  static Rect FromCenter(const Point& center, double width, double height);
+
+  /// True iff the rectangle has positive area.
+  bool IsValid() const { return max_x > min_x && max_y > min_y; }
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+  double Area() const { return Width() * Height(); }
+  Point Center() const { return {(min_x + max_x) / 2, (min_y + max_y) / 2}; }
+
+  /// Point containment under the closed-open convention.
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x < max_x && p.y >= min_y && p.y < max_y;
+  }
+
+  /// True iff `other` lies entirely inside this rectangle.
+  bool ContainsRect(const Rect& other) const {
+    return other.min_x >= min_x && other.max_x <= max_x &&
+           other.min_y >= min_y && other.max_y <= max_y;
+  }
+
+  /// True iff the two rectangles share any area.
+  bool Intersects(const Rect& other) const {
+    return min_x < other.max_x && other.min_x < max_x && min_y < other.max_y &&
+           other.min_y < max_y;
+  }
+
+  /// The overlapping region; an invalid (zero-area) Rect when disjoint.
+  Rect Intersection(const Rect& other) const;
+
+  /// Fraction of this rectangle's area covered by `other`, in [0, 1].
+  /// Used for fractional-overlap estimation in grid/quadtree cells.
+  double OverlapFraction(const Rect& other) const;
+
+  /// Clamps a point into the rectangle (half-open: max edges are excluded
+  /// by the smallest representable margin of the given extent fraction).
+  Point Clamp(const Point& p) const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+}  // namespace latest::geo
+
+#endif  // LATEST_GEO_RECT_H_

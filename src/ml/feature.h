@@ -1,0 +1,47 @@
+// Feature schema and vectors consumed by the incremental learning model.
+//
+// The Hoeffding tree is generic over a mixed schema of categorical and
+// numeric attributes plus a finite class label, matching the training
+// records of Section V-C (query type is categorical; normalized accuracy,
+// latency, and workload statistics are numeric; the label is the
+// recommended estimator).
+
+#ifndef LATEST_ML_FEATURE_H_
+#define LATEST_ML_FEATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace latest::ml {
+
+/// Shape of the learning problem: attribute arities and class count.
+struct FeatureSchema {
+  /// Cardinality of each categorical attribute, in attribute order.
+  std::vector<uint32_t> categorical_cardinalities;
+
+  /// Number of numeric attributes.
+  uint32_t num_numeric = 0;
+
+  /// Number of classes of the label.
+  uint32_t num_classes = 0;
+
+  uint32_t num_categorical() const {
+    return static_cast<uint32_t>(categorical_cardinalities.size());
+  }
+};
+
+/// One observation: values for every attribute of the schema.
+struct FeatureVector {
+  std::vector<int> categorical;  // categorical[i] in [0, cardinality_i)
+  std::vector<double> numeric;
+};
+
+/// A labeled observation used for (incremental) training.
+struct TrainingExample {
+  FeatureVector features;
+  uint32_t label = 0;
+};
+
+}  // namespace latest::ml
+
+#endif  // LATEST_ML_FEATURE_H_

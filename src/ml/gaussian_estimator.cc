@@ -1,0 +1,52 @@
+#include "ml/gaussian_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace latest::ml {
+
+GaussianEstimator GaussianEstimator::FromMoments(uint64_t count, double mean,
+                                                 double m2, double min,
+                                                 double max) {
+  GaussianEstimator g;
+  g.count_ = count;
+  g.mean_ = mean;
+  g.m2_ = m2;
+  g.min_ = min;
+  g.max_ = max;
+  return g;
+}
+
+void GaussianEstimator::Add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (v - mean_);
+}
+
+double GaussianEstimator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double GaussianEstimator::stddev() const { return std::sqrt(variance()); }
+
+double GaussianEstimator::ProbabilityBelow(double v) const {
+  if (count_ == 0) return 0.0;
+  const double sd = stddev();
+  if (sd <= 0.0) return v > mean_ ? 1.0 : 0.0;
+  const double z = (v - mean_) / sd;
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double GaussianEstimator::CountBelow(double v) const {
+  return static_cast<double>(count_) * ProbabilityBelow(v);
+}
+
+}  // namespace latest::ml

@@ -1,0 +1,52 @@
+// Streaming Gaussian attribute observer used by the Hoeffding tree for
+// numeric attributes (the classic VFDT numeric handling): per class, the
+// tree keeps a running Gaussian of each numeric attribute and evaluates
+// candidate binary splits via the Gaussian CDF.
+
+#ifndef LATEST_ML_GAUSSIAN_ESTIMATOR_H_
+#define LATEST_ML_GAUSSIAN_ESTIMATOR_H_
+
+#include <cstdint>
+
+namespace latest::ml {
+
+/// Incremental mean/variance/min/max of a numeric stream, with a normal
+/// CDF for probability-mass-below-threshold queries.
+class GaussianEstimator {
+ public:
+  /// Rebuilds an estimator from previously captured moments (used when
+  /// restoring a persisted Hoeffding tree).
+  static GaussianEstimator FromMoments(uint64_t count, double mean,
+                                       double m2, double min, double max);
+
+  void Add(double v);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Sum of squared deviations (Welford accumulator), for persistence.
+  double m2() const { return m2_; }
+
+  /// Estimated probability mass strictly below `v` under the fitted
+  /// Gaussian. With fewer than two samples falls back to a step function
+  /// at the mean.
+  double ProbabilityBelow(double v) const;
+
+  /// Expected number of the observed points below `v`:
+  /// count() * ProbabilityBelow(v).
+  double CountBelow(double v) const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace latest::ml
+
+#endif  // LATEST_ML_GAUSSIAN_ESTIMATOR_H_

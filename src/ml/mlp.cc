@@ -1,0 +1,105 @@
+#include "ml/mlp.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace latest::ml {
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+Mlp::Mlp(const MlpConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  Reset();
+}
+
+void Mlp::Reset() {
+  const size_t n1 =
+      static_cast<size_t>(config_.num_hidden) * (config_.num_inputs + 1);
+  const size_t n2 = config_.num_hidden + 1;
+  w1_.resize(n1);
+  w2_.resize(n2);
+  w1_velocity_.assign(n1, 0.0);
+  w2_velocity_.assign(n2, 0.0);
+  // Xavier-style init scaled by fan-in.
+  const double scale1 = 1.0 / std::sqrt(config_.num_inputs + 1.0);
+  const double scale2 = 1.0 / std::sqrt(config_.num_hidden + 1.0);
+  for (auto& w : w1_) w = rng_.NextDouble(-scale1, scale1);
+  for (auto& w : w2_) w = rng_.NextDouble(-scale2, scale2);
+  num_steps_ = 0;
+}
+
+double Mlp::ForwardInternal(const std::vector<double>& inputs,
+                            std::vector<double>* hidden) const {
+  assert(inputs.size() == config_.num_inputs);
+  hidden->resize(config_.num_hidden);
+  for (uint32_t h = 0; h < config_.num_hidden; ++h) {
+    const double* row = &w1_[static_cast<size_t>(h) * (config_.num_inputs + 1)];
+    double z = row[config_.num_inputs];  // Bias.
+    for (uint32_t i = 0; i < config_.num_inputs; ++i) z += row[i] * inputs[i];
+    (*hidden)[h] = Sigmoid(z);
+  }
+  double z = w2_[config_.num_hidden];  // Bias.
+  for (uint32_t h = 0; h < config_.num_hidden; ++h) {
+    z += w2_[h] * (*hidden)[h];
+  }
+  return Sigmoid(z);
+}
+
+double Mlp::Forward(const std::vector<double>& inputs) const {
+  std::vector<double> hidden;
+  return ForwardInternal(inputs, &hidden);
+}
+
+double Mlp::TrainStep(const std::vector<double>& inputs, double target) {
+  std::vector<double> hidden;
+  const double out = ForwardInternal(inputs, &hidden);
+  const double error = out - target;
+
+  // Output layer gradient (squared error, sigmoid output).
+  const double delta_out = error * out * (1.0 - out);
+  // Hidden layer deltas.
+  std::vector<double> delta_hidden(config_.num_hidden);
+  for (uint32_t h = 0; h < config_.num_hidden; ++h) {
+    delta_hidden[h] =
+        delta_out * w2_[h] * hidden[h] * (1.0 - hidden[h]);
+  }
+
+  // Update output weights.
+  for (uint32_t h = 0; h < config_.num_hidden; ++h) {
+    const double grad = delta_out * hidden[h];
+    w2_velocity_[h] =
+        config_.momentum * w2_velocity_[h] - config_.learning_rate * grad;
+    w2_[h] += w2_velocity_[h];
+  }
+  w2_velocity_[config_.num_hidden] =
+      config_.momentum * w2_velocity_[config_.num_hidden] -
+      config_.learning_rate * delta_out;
+  w2_[config_.num_hidden] += w2_velocity_[config_.num_hidden];
+
+  // Update hidden weights.
+  for (uint32_t h = 0; h < config_.num_hidden; ++h) {
+    const size_t base = static_cast<size_t>(h) * (config_.num_inputs + 1);
+    for (uint32_t i = 0; i < config_.num_inputs; ++i) {
+      const double grad = delta_hidden[h] * inputs[i];
+      w1_velocity_[base + i] = config_.momentum * w1_velocity_[base + i] -
+                               config_.learning_rate * grad;
+      w1_[base + i] += w1_velocity_[base + i];
+    }
+    w1_velocity_[base + config_.num_inputs] =
+        config_.momentum * w1_velocity_[base + config_.num_inputs] -
+        config_.learning_rate * delta_hidden[h];
+    w1_[base + config_.num_inputs] += w1_velocity_[base + config_.num_inputs];
+  }
+
+  ++num_steps_;
+  return error * error;
+}
+
+}  // namespace latest::ml

@@ -1,0 +1,65 @@
+// Minimal feed-forward neural network (multilayer perceptron) with one
+// sigmoid hidden layer and a sigmoid output, trained by stochastic
+// gradient descent with momentum — the workload-driven FFN estimator of
+// the paper (WEKA MultilayerPerceptron with learning rate 0.3 and
+// momentum 0.2).
+
+#ifndef LATEST_ML_MLP_H_
+#define LATEST_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace latest::ml {
+
+/// Configuration of the network and its optimizer.
+struct MlpConfig {
+  uint32_t num_inputs = 8;
+  uint32_t num_hidden = 16;
+  double learning_rate = 0.3;
+  double momentum = 0.2;
+};
+
+/// input -> sigmoid hidden layer -> sigmoid scalar output in (0, 1).
+class Mlp {
+ public:
+  Mlp(const MlpConfig& config, uint64_t seed);
+
+  /// Forward pass; inputs.size() must equal num_inputs.
+  double Forward(const std::vector<double>& inputs) const;
+
+  /// One SGD-with-momentum step on squared error against `target` in
+  /// [0, 1]. Returns the pre-update squared error.
+  double TrainStep(const std::vector<double>& inputs, double target);
+
+  const MlpConfig& config() const { return config_; }
+
+  /// Total training steps taken.
+  uint64_t num_steps() const { return num_steps_; }
+
+  /// Re-initializes all weights.
+  void Reset();
+
+ private:
+  /// Computes hidden activations into `hidden` and returns the output.
+  double ForwardInternal(const std::vector<double>& inputs,
+                         std::vector<double>* hidden) const;
+
+  MlpConfig config_;
+  util::Rng rng_;
+  // Layout: w1_[h * (num_inputs+1) + i], last column is the bias.
+  std::vector<double> w1_;
+  std::vector<double> w2_;  // num_hidden + 1 (bias last).
+  std::vector<double> w1_velocity_;
+  std::vector<double> w2_velocity_;
+  uint64_t num_steps_ = 0;
+};
+
+/// Numerically safe logistic sigmoid.
+double Sigmoid(double x);
+
+}  // namespace latest::ml
+
+#endif  // LATEST_ML_MLP_H_

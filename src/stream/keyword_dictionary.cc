@@ -1,0 +1,49 @@
+#include "stream/keyword_dictionary.h"
+
+#include <cassert>
+
+namespace latest::stream {
+
+KeywordId KeywordDictionary::Intern(std::string_view keyword) {
+  auto it = ids_.find(std::string(keyword));
+  if (it != ids_.end()) return it->second;
+  const KeywordId id = static_cast<KeywordId>(spellings_.size());
+  spellings_.emplace_back(keyword);
+  counts_.push_back(0);
+  ids_.emplace(spellings_.back(), id);
+  return id;
+}
+
+bool KeywordDictionary::Lookup(std::string_view keyword, KeywordId* id) const {
+  auto it = ids_.find(std::string(keyword));
+  if (it == ids_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+const std::string& KeywordDictionary::Spelling(KeywordId id) const {
+  assert(id < spellings_.size());
+  return spellings_[id];
+}
+
+void KeywordDictionary::CountOccurrences(
+    const std::vector<KeywordId>& keywords) {
+  for (const KeywordId id : keywords) {
+    if (id >= counts_.size()) counts_.resize(id + 1, 0);
+    ++counts_[id];
+    ++total_occurrences_;
+  }
+}
+
+uint64_t KeywordDictionary::OccurrenceCount(KeywordId id) const {
+  if (id >= counts_.size()) return 0;
+  return counts_[id];
+}
+
+double KeywordDictionary::Frequency(KeywordId id) const {
+  if (total_occurrences_ == 0) return 0.0;
+  return static_cast<double>(OccurrenceCount(id)) /
+         static_cast<double>(total_occurrences_);
+}
+
+}  // namespace latest::stream

@@ -1,0 +1,60 @@
+// Keyword string interning and global frequency statistics.
+//
+// The dictionary maps keyword strings (hashtags, species codes, tags) to
+// dense KeywordIds and tracks how often each keyword has been observed on
+// the stream. Frequencies feed (a) the workload-driven FFN estimator's
+// keyword-popularity feature and (b) the learning model's
+// keyword-selectivity feature.
+
+#ifndef LATEST_STREAM_KEYWORD_DICTIONARY_H_
+#define LATEST_STREAM_KEYWORD_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/object.h"
+
+namespace latest::stream {
+
+/// Interns keyword strings to dense ids and counts stream occurrences.
+class KeywordDictionary {
+ public:
+  KeywordDictionary() = default;
+
+  /// Returns the id for the keyword, interning it on first sight.
+  KeywordId Intern(std::string_view keyword);
+
+  /// Id lookup without interning; returns false when unknown.
+  bool Lookup(std::string_view keyword, KeywordId* id) const;
+
+  /// The string for an id. Id must have been returned by Intern.
+  const std::string& Spelling(KeywordId id) const;
+
+  /// Number of distinct interned keywords.
+  size_t size() const { return spellings_.size(); }
+
+  /// Records one stream occurrence of each keyword of an object.
+  void CountOccurrences(const std::vector<KeywordId>& keywords);
+
+  /// Total occurrences recorded for one keyword (0 for ids never counted).
+  uint64_t OccurrenceCount(KeywordId id) const;
+
+  /// Total keyword occurrences recorded across the stream lifetime.
+  uint64_t total_occurrences() const { return total_occurrences_; }
+
+  /// Fraction of all occurrences carried by `id` (0 when nothing counted).
+  double Frequency(KeywordId id) const;
+
+ private:
+  std::unordered_map<std::string, KeywordId> ids_;
+  std::vector<std::string> spellings_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_occurrences_ = 0;
+};
+
+}  // namespace latest::stream
+
+#endif  // LATEST_STREAM_KEYWORD_DICTIONARY_H_

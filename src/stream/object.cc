@@ -1,0 +1,31 @@
+#include "stream/object.h"
+
+#include <algorithm>
+
+namespace latest::stream {
+
+bool GeoTextObject::MatchesAnyKeyword(
+    const std::vector<KeywordId>& query_keywords) const {
+  // Merge-style intersection test over two sorted vectors; both sides are
+  // small (objects carry a handful of keywords, queries up to ~5).
+  auto a = keywords.begin();
+  auto b = query_keywords.begin();
+  while (a != keywords.end() && b != query_keywords.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CanonicalizeKeywords(std::vector<KeywordId>* keywords) {
+  std::sort(keywords->begin(), keywords->end());
+  keywords->erase(std::unique(keywords->begin(), keywords->end()),
+                  keywords->end());
+}
+
+}  // namespace latest::stream

@@ -1,0 +1,45 @@
+// The geo-textual stream data model of Section III.
+//
+// Each stream object o = (oid, loc, kw, timestamp): an object id, a 2-D
+// location, a set of keyword ids, and the posting time. Keywords are
+// interned to dense 32-bit ids by stream::KeywordDictionary.
+
+#ifndef LATEST_STREAM_OBJECT_H_
+#define LATEST_STREAM_OBJECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace latest::stream {
+
+/// Unique object identifier within a stream.
+using ObjectId = uint64_t;
+
+/// Dense interned keyword identifier.
+using KeywordId = uint32_t;
+
+/// Stream event time, in milliseconds since the stream epoch. All clocks in
+/// LATEST are simulated event time, so experiments replay deterministically.
+using Timestamp = int64_t;
+
+/// One geo-textual stream object.
+struct GeoTextObject {
+  ObjectId oid = 0;
+  geo::Point loc;
+  std::vector<KeywordId> keywords;  // Sorted ascending, deduplicated.
+  Timestamp timestamp = 0;
+
+  /// True iff the object carries at least one of the query keywords.
+  /// Both keyword vectors must be sorted ascending.
+  bool MatchesAnyKeyword(const std::vector<KeywordId>& query_keywords) const;
+};
+
+/// Sorts and deduplicates a keyword set in place (canonical form used by
+/// GeoTextObject and queries).
+void CanonicalizeKeywords(std::vector<KeywordId>* keywords);
+
+}  // namespace latest::stream
+
+#endif  // LATEST_STREAM_OBJECT_H_

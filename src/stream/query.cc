@@ -1,0 +1,32 @@
+#include "stream/query.h"
+
+#include <cassert>
+
+namespace latest::stream {
+
+const char* QueryTypeName(QueryType type) {
+  switch (type) {
+    case QueryType::kSpatial:
+      return "spatial";
+    case QueryType::kKeyword:
+      return "keyword";
+    case QueryType::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+QueryType Query::Type() const {
+  assert(HasRange() || HasKeywords());
+  if (HasRange() && HasKeywords()) return QueryType::kHybrid;
+  if (HasRange()) return QueryType::kSpatial;
+  return QueryType::kKeyword;
+}
+
+bool Query::Matches(const GeoTextObject& obj) const {
+  if (HasRange() && !range->Contains(obj.loc)) return false;
+  if (HasKeywords() && !obj.MatchesAnyKeyword(keywords)) return false;
+  return true;
+}
+
+}  // namespace latest::stream

@@ -1,0 +1,58 @@
+// The RC-DVQ estimation query of Section III.
+//
+// Range-Counting Distinct-Value Query: q = (spatial range R, keyword set W),
+// both optional. It estimates |{o in S_T : o.loc in R and o.kw intersects
+// W}| over the time window S_T. With only R it degenerates to a range
+// counting query; with only W to a distinct-value (keyword) query.
+
+#ifndef LATEST_STREAM_QUERY_H_
+#define LATEST_STREAM_QUERY_H_
+
+#include <optional>
+#include <vector>
+
+#include "geo/rect.h"
+#include "stream/object.h"
+
+namespace latest::stream {
+
+/// Which predicates a query carries. This is feature (2) of the learning
+/// model's training records (Section V-C).
+enum class QueryType {
+  kSpatial = 0,  // Range only.
+  kKeyword = 1,  // Keywords only.
+  kHybrid = 2,   // Both.
+};
+
+/// Returns a short stable name ("spatial", "keyword", "hybrid").
+const char* QueryTypeName(QueryType type);
+
+/// One snapshot RC-DVQ estimation query.
+struct Query {
+  /// Spatial predicate; absent for pure keyword queries.
+  std::optional<geo::Rect> range;
+
+  /// Keyword predicate (canonical: sorted, deduplicated); empty for pure
+  /// spatial queries.
+  std::vector<KeywordId> keywords;
+
+  /// Arrival time of the query on the stream.
+  Timestamp timestamp = 0;
+
+  /// Classifies the query; at least one predicate must be present.
+  QueryType Type() const;
+
+  /// True iff the query carries a spatial predicate.
+  bool HasRange() const { return range.has_value(); }
+
+  /// True iff the query carries a keyword predicate.
+  bool HasKeywords() const { return !keywords.empty(); }
+
+  /// Predicate evaluation against one object (window membership is the
+  /// caller's concern). Implements conditions (1) and (2) of RC-DVQ.
+  bool Matches(const GeoTextObject& obj) const;
+};
+
+}  // namespace latest::stream
+
+#endif  // LATEST_STREAM_QUERY_H_

@@ -1,0 +1,157 @@
+// Time-window machinery shared by every windowed structure in LATEST.
+//
+// The paper evaluates all queries against S_T, the past T time units of the
+// stream. We discretize the window into `num_slices` equal time slices; a
+// structure keeps per-slice state and drops the oldest slice whenever event
+// time crosses a slice boundary. This gives O(1) amortized expiry without
+// storing raw per-object timestamps in every estimator.
+
+#ifndef LATEST_STREAM_SLIDING_WINDOW_H_
+#define LATEST_STREAM_SLIDING_WINDOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/object.h"
+#include "util/status.h"
+
+namespace latest::stream {
+
+/// Configuration of the shared time window.
+struct WindowConfig {
+  /// Window length T in milliseconds of event time.
+  Timestamp window_length_ms = 60 * 60 * 1000;
+
+  /// Number of equal slices the window is divided into. More slices means
+  /// finer expiry granularity at slightly higher per-structure overhead.
+  uint32_t num_slices = 16;
+
+  /// Validates the configuration.
+  util::Status Validate() const;
+
+  /// Duration of one slice.
+  Timestamp SliceDuration() const {
+    return window_length_ms / static_cast<Timestamp>(num_slices);
+  }
+};
+
+/// Maps event time to absolute slice indexes and detects rotations.
+///
+/// Usage: the stream driver calls Advance(t) for every event; the returned
+/// count says how many slice rotations occurred, which the owner fans out
+/// to every windowed structure (estimators, window population counter...).
+class SliceClock {
+ public:
+  explicit SliceClock(const WindowConfig& config);
+
+  /// Advances event time to `t` (monotonically non-decreasing) and returns
+  /// the number of slice boundaries crossed since the last call.
+  uint32_t Advance(Timestamp t);
+
+  /// Absolute index of the slice containing `t`.
+  int64_t SliceIndexOf(Timestamp t) const;
+
+  /// Absolute index of the current (newest) slice.
+  int64_t current_slice() const { return current_slice_; }
+
+  /// Latest event time seen.
+  Timestamp now() const { return now_; }
+
+  const WindowConfig& config() const { return config_; }
+
+ private:
+  WindowConfig config_;
+  Timestamp now_ = 0;
+  int64_t current_slice_ = 0;
+};
+
+/// A ring buffer of per-slice values of type T. `Rotate()` drops the oldest
+/// slice and opens a fresh (value-initialized) one.
+template <typename T>
+class SliceRing {
+ public:
+  explicit SliceRing(uint32_t num_slices)
+      : slices_(num_slices), head_(0) {}
+
+  /// Mutable access to the newest slice.
+  T& Current() { return slices_[head_]; }
+  const T& Current() const { return slices_[head_]; }
+
+  /// Slice i steps back from the newest (0 = newest).
+  T& FromNewest(uint32_t i) {
+    return slices_[(head_ + slices_.size() - i) % slices_.size()];
+  }
+  const T& FromNewest(uint32_t i) const {
+    return slices_[(head_ + slices_.size() - i) % slices_.size()];
+  }
+
+  /// Drops the oldest slice; the freed slot becomes the new empty current
+  /// slice.
+  void Rotate() {
+    head_ = (head_ + 1) % slices_.size();
+    slices_[head_] = T{};
+  }
+
+  /// Applies `fn` to every slice (ordering unspecified).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (auto& s : slices_) fn(s);
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& s : slices_) fn(s);
+  }
+
+  uint32_t num_slices() const { return static_cast<uint32_t>(slices_.size()); }
+
+  /// Value-initializes every slice.
+  void Clear() {
+    for (auto& s : slices_) s = T{};
+    head_ = 0;
+  }
+
+ private:
+  std::vector<T> slices_;
+  size_t head_;
+};
+
+/// Per-slice object population of the window: how many stream objects fall
+/// in each live slice. LATEST uses it to scale estimates from partially
+/// pre-filled estimators (Section V-D) and as the window size |S_T|.
+class WindowPopulation {
+ public:
+  explicit WindowPopulation(uint32_t num_slices) : counts_(num_slices) {}
+
+  /// Records one arriving object (into the current slice).
+  void Add() {
+    ++counts_.Current();
+    ++total_;
+  }
+
+  /// Drops the oldest slice.
+  void Rotate() {
+    total_ -= counts_.FromNewest(counts_.num_slices() - 1);
+    counts_.Rotate();
+  }
+
+  /// Objects currently inside the window.
+  uint64_t total() const { return total_; }
+
+  /// Objects in the newest `k` slices (k <= num_slices).
+  uint64_t TotalOfNewest(uint32_t k) const;
+
+  uint32_t num_slices() const { return counts_.num_slices(); }
+
+  void Clear() {
+    counts_.Clear();
+    total_ = 0;
+  }
+
+ private:
+  SliceRing<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace latest::stream
+
+#endif  // LATEST_STREAM_SLIDING_WINDOW_H_

@@ -1,0 +1,73 @@
+#include "stream/tokenizer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace latest::stream {
+
+namespace {
+
+// A compact English stopword list; enough to keep hashtag/content words.
+constexpr std::array<std::string_view, 52> kStopwords = {
+    "a",    "an",   "and",  "are",  "as",    "at",    "be",    "but",
+    "by",   "can",  "do",   "for",  "from",  "had",   "has",   "have",
+    "he",   "her",  "his",  "i",    "if",    "in",    "is",    "it",
+    "its",  "just", "me",   "my",   "no",    "not",   "of",    "on",
+    "or",   "our",  "out",  "she",  "so",    "that",  "the",   "their",
+    "them", "they", "this", "to",   "was",   "we",    "were",  "will",
+    "with", "you",  "your", "yours"};
+
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(const TokenizerOptions& options) : options_(options) {}
+
+bool Tokenizer::IsStopword(std::string_view word) {
+  return std::find(kStopwords.begin(), kStopwords.end(), word) !=
+         kStopwords.end();
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::unordered_set<std::string> seen;
+  size_t i = 0;
+  while (i < text.size()) {
+    // Detect a hashtag marker immediately preceding a token.
+    bool is_hashtag = false;
+    if (text[i] == '#' && i + 1 < text.size() && IsTokenChar(text[i + 1])) {
+      is_hashtag = true;
+      ++i;
+    }
+    if (!IsTokenChar(text[i])) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    while (i < text.size() && IsTokenChar(text[i])) ++i;
+
+    std::string token(text.substr(start, i - start));
+    std::transform(token.begin(), token.end(), token.begin(), [](char c) {
+      return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    });
+
+    if (!is_hashtag) {
+      if (token.size() < options_.min_token_length) continue;
+      if (options_.filter_stopwords && IsStopword(token)) continue;
+    }
+    if (is_hashtag && options_.keep_hashtag_marker) {
+      token.insert(token.begin(), '#');
+    }
+    if (!seen.insert(token).second) continue;
+    tokens.push_back(std::move(token));
+    if (options_.max_tokens > 0 && tokens.size() >= options_.max_tokens) {
+      break;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace latest::stream

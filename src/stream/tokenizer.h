@@ -1,0 +1,54 @@
+// Text tokenization for raw geo-textual posts.
+//
+// Real streams carry raw text ("House fire near #DowntownTO, please
+// help!"), not keyword sets. The tokenizer lowercases, splits on
+// non-alphanumeric characters, keeps hashtags as first-class tokens (the
+// paper uses tweet hashtags as keywords), and filters stopwords and
+// too-short tokens. Used by core::EstimationService and the examples.
+
+#ifndef LATEST_STREAM_TOKENIZER_H_
+#define LATEST_STREAM_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace latest::stream {
+
+/// Tokenizer configuration.
+struct TokenizerOptions {
+  /// Tokens shorter than this are dropped (hashtags are always kept).
+  size_t min_token_length = 3;
+
+  /// Drop the built-in English stopword list ("the", "and", ...).
+  bool filter_stopwords = true;
+
+  /// Keep the '#' on hashtag tokens ("#fire" stays distinct from "fire").
+  bool keep_hashtag_marker = true;
+
+  /// Maximum tokens emitted per text (0 = unlimited).
+  size_t max_tokens = 32;
+};
+
+/// Splits raw text into keyword tokens.
+class Tokenizer {
+ public:
+  explicit Tokenizer(const TokenizerOptions& options = TokenizerOptions());
+
+  /// Tokenizes `text`; tokens are lowercase, in order of appearance,
+  /// duplicates removed (keeping the first occurrence).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+  /// True iff the lowercase word is on the built-in stopword list.
+  static bool IsStopword(std::string_view word);
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace latest::stream
+
+#endif  // LATEST_STREAM_TOKENIZER_H_

@@ -1,0 +1,90 @@
+// Moving-window and exponentially-weighted statistics.
+//
+// LATEST's accuracy monitor averages estimation accuracy over the most
+// recent queries (Section V-D); the per-estimator scoreboard keeps EWMA
+// accuracy/latency per query type.
+
+#ifndef LATEST_UTIL_MOVING_STATS_H_
+#define LATEST_UTIL_MOVING_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace latest::util {
+
+/// Mean over a fixed-capacity sliding window of the most recent samples.
+class MovingAverage {
+ public:
+  /// capacity: number of most-recent samples averaged (> 0).
+  explicit MovingAverage(size_t capacity);
+
+  /// Adds a sample, evicting the oldest once at capacity.
+  void Add(double v);
+
+  /// Mean of the currently held samples; 0 when empty.
+  double Mean() const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return buffer_.size(); }
+  bool full() const { return size_ == buffer_.size(); }
+
+  /// Drops all samples.
+  void Reset();
+
+ private:
+  std::vector<double> buffer_;
+  size_t head_ = 0;  // Next write position.
+  size_t size_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Exponentially weighted moving average: ewma <- (1-a)*ewma + a*v.
+class Ewma {
+ public:
+  /// alpha in (0, 1]: weight of the newest sample.
+  explicit Ewma(double alpha);
+
+  void Add(double v);
+
+  /// Current estimate; `fallback` before any sample.
+  double Value(double fallback = 0.0) const;
+
+  /// Restores a persisted state (value meaningful only when seeded).
+  void Restore(double value, bool seeded) {
+    value_ = value;
+    seeded_ = seeded;
+  }
+
+  bool empty() const { return !seeded_; }
+  void Reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Streaming mean/variance (Welford).
+class RunningMoments {
+ public:
+  void Add(double v);
+  size_t count() const { return count_; }
+  double Mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 with fewer than two samples.
+  double Variance() const;
+  double StdDev() const;
+  double Min() const { return count_ ? min_ : 0.0; }
+  double Max() const { return count_ ? max_ : 0.0; }
+  void Reset();
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace latest::util
+
+#endif  // LATEST_UTIL_MOVING_STATS_H_

@@ -1,0 +1,73 @@
+// Minimal binary serialization used to persist learned state (the
+// Hoeffding tree and the scoreboard) across process restarts.
+//
+// Format: little-endian fixed-width integers and IEEE doubles, written
+// sequentially. The reader is bounds-checked: every Read* returns false
+// on truncation instead of reading past the buffer, so corrupt snapshots
+// fail cleanly.
+
+#ifndef LATEST_UTIL_SERIALIZATION_H_
+#define LATEST_UTIL_SERIALIZATION_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace latest::util {
+
+/// Appends typed values to a byte buffer.
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+  void WriteBool(bool v) { WriteU32(v ? 1 : 0); }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string&& TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  void WriteRaw(const void* data, size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+
+  std::string buffer_;
+};
+
+/// Sequentially consumes typed values from a byte view.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadI64(int64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadDouble(double* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadBool(bool* v) {
+    uint32_t raw;
+    if (!ReadU32(&raw)) return false;
+    *v = raw != 0;
+    return true;
+  }
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - offset_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  bool ReadRaw(void* out, size_t size) {
+    if (remaining() < size) return false;
+    std::memcpy(out, data_.data() + offset_, size);
+    offset_ += size;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+}  // namespace latest::util
+
+#endif  // LATEST_UTIL_SERIALIZATION_H_

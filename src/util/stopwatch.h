@@ -1,0 +1,43 @@
+// Wall-clock measurement of estimation query latency.
+
+#ifndef LATEST_UTIL_STOPWATCH_H_
+#define LATEST_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace latest::util {
+
+/// Monotonic stopwatch; starts at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement from now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds (fractional).
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+
+  /// Elapsed time in milliseconds (fractional).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace latest::util
+
+#endif  // LATEST_UTIL_STOPWATCH_H_

@@ -1,0 +1,35 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace latest::util {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s, uint64_t seed)
+    : s_(s), rng_(seed) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  const double inv_total = 1.0 / total;
+  for (auto& c : cdf_) c *= inv_total;
+  cdf_.back() = 1.0;  // Guard against round-off at the tail.
+}
+
+uint64_t ZipfSampler::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(uint64_t k) const {
+  assert(k < cdf_.size());
+  if (k == 0) return cdf_[0];
+  return cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace latest::util

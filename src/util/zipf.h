@@ -1,0 +1,42 @@
+// Zipf-distributed sampling over {0, ..., n-1}.
+//
+// Keyword frequencies in user-generated geo-textual streams are heavily
+// skewed; the workload generators draw keyword ids from this sampler. Uses a
+// precomputed inverse-CDF table (O(log n) per draw), which is exact and fast
+// for the vocabulary sizes LATEST works with (up to a few million terms).
+
+#ifndef LATEST_UTIL_ZIPF_H_
+#define LATEST_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace latest::util {
+
+/// Samples ranks from a Zipf(s) distribution: P(k) proportional to
+/// 1 / (k+1)^s for k in [0, n).
+class ZipfSampler {
+ public:
+  /// n: support size (> 0). s: skew exponent (>= 0; 0 is uniform).
+  ZipfSampler(uint64_t n, double s, uint64_t seed);
+
+  /// Draws one rank in [0, n). Rank 0 is the most frequent.
+  uint64_t Next();
+
+  /// Probability mass of rank k.
+  double Probability(uint64_t k) const;
+
+  uint64_t support_size() const { return cdf_.size(); }
+  double skew() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+  Rng rng_;
+};
+
+}  // namespace latest::util
+
+#endif  // LATEST_UTIL_ZIPF_H_

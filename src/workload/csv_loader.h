@@ -1,0 +1,51 @@
+// CSV loading of geo-textual streams.
+//
+// Adopters replaying real datasets (geotagged tweets, eBird records,
+// check-ins) can feed LATEST from a CSV file instead of the synthetic
+// generators. Expected format, one object per line:
+//
+//   timestamp_ms,lon,lat,keyword1;keyword2;...
+//
+// - `#`-prefixed lines and blank lines are skipped.
+// - The keyword field may be empty (object without keywords).
+// - Keyword strings are interned through a caller-supplied dictionary.
+// - Rows must be sorted by timestamp (validated).
+
+#ifndef LATEST_WORKLOAD_CSV_LOADER_H_
+#define LATEST_WORKLOAD_CSV_LOADER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stream/keyword_dictionary.h"
+#include "stream/object.h"
+#include "util/status.h"
+
+namespace latest::workload {
+
+/// Result of loading a CSV stream.
+struct CsvStream {
+  std::vector<stream::GeoTextObject> objects;  // Timestamp-sorted.
+  uint64_t lines_skipped = 0;                  // Comments and blanks.
+};
+
+/// Parses one CSV line into an object (oid assigned by the caller).
+/// Returns InvalidArgument with a descriptive message on malformed input.
+util::Status ParseCsvLine(std::string_view line,
+                          stream::KeywordDictionary* dictionary,
+                          stream::GeoTextObject* out);
+
+/// Loads a whole CSV file. Fails on the first malformed row (the message
+/// names the line number) or if timestamps regress.
+util::Result<CsvStream> LoadCsvStream(const std::string& path,
+                                      stream::KeywordDictionary* dictionary);
+
+/// Parses CSV content from memory (same format/validation as the file
+/// loader; useful for tests and embedded data).
+util::Result<CsvStream> ParseCsvStream(std::string_view content,
+                                       stream::KeywordDictionary* dictionary);
+
+}  // namespace latest::workload
+
+#endif  // LATEST_WORKLOAD_CSV_LOADER_H_

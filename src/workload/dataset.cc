@@ -1,0 +1,172 @@
+#include "workload/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace latest::workload {
+
+util::Status DatasetSpec::Validate() const {
+  if (!bounds.IsValid()) {
+    return util::Status::InvalidArgument("bounds must have positive area");
+  }
+  if (hotspots.empty() && uniform_fraction <= 0.0) {
+    return util::Status::InvalidArgument(
+        "need hotspots or a positive uniform_fraction");
+  }
+  if (uniform_fraction < 0.0 || uniform_fraction > 1.0) {
+    return util::Status::InvalidArgument(
+        "uniform_fraction must be in [0, 1]");
+  }
+  if (vocabulary_size == 0) {
+    return util::Status::InvalidArgument("vocabulary_size must be > 0");
+  }
+  if (min_keywords_per_object > max_keywords_per_object) {
+    return util::Status::InvalidArgument(
+        "min_keywords_per_object > max_keywords_per_object");
+  }
+  if (num_objects == 0) {
+    return util::Status::InvalidArgument("num_objects must be > 0");
+  }
+  if (duration_ms <= 0) {
+    return util::Status::InvalidArgument("duration_ms must be > 0");
+  }
+  return util::Status::Ok();
+}
+
+DatasetSpec TwitterLikeSpec(double scale, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "twitter-like";
+  spec.bounds = geo::Rect{-125.0, 24.0, -66.0, 50.0};  // Contiguous US.
+  // Major metro hotspots (approximate lon/lat), weights ~ population.
+  spec.hotspots = {
+      {{-74.0, 40.7}, 0.8, 8.4},    // New York
+      {{-118.2, 34.1}, 0.9, 4.0},   // Los Angeles
+      {{-87.6, 41.9}, 0.7, 2.7},    // Chicago
+      {{-95.4, 29.8}, 0.8, 2.3},    // Houston
+      {{-112.1, 33.4}, 0.7, 1.7},   // Phoenix
+      {{-75.2, 39.9}, 0.5, 1.6},    // Philadelphia
+      {{-122.4, 37.8}, 0.5, 0.9},   // San Francisco
+      {{-122.3, 47.6}, 0.5, 0.8},   // Seattle
+      {{-80.2, 25.8}, 0.6, 0.5},    // Miami
+      {{-84.4, 33.7}, 0.6, 0.5},    // Atlanta
+      {{-104.9, 39.7}, 0.6, 0.7},   // Denver
+      {{-90.1, 29.9}, 0.4, 0.4},    // New Orleans
+  };
+  spec.uniform_fraction = 0.15;
+  spec.vocabulary_size = 20000;  // Hashtag-like vocabulary.
+  spec.zipf_skew = 1.0;
+  spec.min_keywords_per_object = 1;
+  spec.max_keywords_per_object = 3;
+  spec.num_objects = static_cast<uint64_t>(150000 * scale);
+  spec.duration_ms = 10LL * 60 * 60 * 1000;  // 10 hours, as in the paper.
+  spec.seed = seed;
+  return spec;
+}
+
+DatasetSpec EbirdLikeSpec(double scale, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "ebird-like";
+  spec.bounds = geo::Rect{-170.0, -56.0, -30.0, 72.0};  // The Americas.
+  spec.hotspots = {
+      {{-76.5, 42.4}, 4.0, 3.0},    // Northeastern US (Cornell country).
+      {{-122.0, 37.0}, 3.5, 2.0},   // Pacific coast.
+      {{-80.0, 26.0}, 3.0, 1.5},    // Florida.
+      {{-99.0, 19.4}, 3.0, 1.0},    // Central Mexico.
+      {{-58.4, -34.6}, 4.0, 0.8},   // Rio de la Plata.
+      {{-123.1, 49.3}, 3.0, 0.9},   // British Columbia.
+      {{-87.0, 41.0}, 3.5, 1.5},    // Great Lakes.
+  };
+  spec.uniform_fraction = 0.25;
+  spec.vocabulary_size = 1200;  // Species codes / protocol types.
+  spec.zipf_skew = 0.8;
+  spec.min_keywords_per_object = 1;
+  spec.max_keywords_per_object = 4;
+  spec.num_objects = static_cast<uint64_t>(120000 * scale);
+  spec.duration_ms = 6LL * 60 * 60 * 1000;  // 6 hours, as in the paper.
+  spec.seed = seed;
+  return spec;
+}
+
+DatasetSpec CheckinLikeSpec(double scale, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "checkin-like";
+  spec.bounds = geo::Rect{-125.0, 24.0, -66.0, 50.0};
+  // Check-ins concentrate even harder in city cores.
+  spec.hotspots = {
+      {{-74.0, 40.7}, 0.25, 10.0},  // New York
+      {{-118.2, 34.1}, 0.3, 5.0},   // Los Angeles
+      {{-87.6, 41.9}, 0.25, 3.0},   // Chicago
+      {{-122.4, 37.8}, 0.2, 2.5},   // San Francisco
+      {{-97.7, 30.3}, 0.2, 1.5},    // Austin
+      {{-71.1, 42.4}, 0.2, 1.5},    // Boston
+  };
+  spec.uniform_fraction = 0.05;
+  spec.vocabulary_size = 5000;  // Venue tags.
+  spec.zipf_skew = 1.05;
+  spec.min_keywords_per_object = 1;
+  spec.max_keywords_per_object = 3;
+  spec.num_objects = static_cast<uint64_t>(97000 * scale);
+  spec.duration_ms = 4LL * 60 * 60 * 1000;
+  spec.seed = seed;
+  return spec;
+}
+
+DatasetGenerator::DatasetGenerator(const DatasetSpec& spec)
+    : spec_(spec),
+      rng_(spec.seed),
+      keyword_sampler_(spec.vocabulary_size, spec.zipf_skew,
+                       spec.seed ^ 0x5DEECE66DULL) {
+  assert(spec.Validate().ok());
+  double total = 0.0;
+  hotspot_cdf_.reserve(spec_.hotspots.size());
+  for (const Hotspot& h : spec_.hotspots) {
+    total += h.weight;
+    hotspot_cdf_.push_back(total);
+  }
+  for (auto& c : hotspot_cdf_) c /= total;
+}
+
+geo::Point DatasetGenerator::SampleLocation() {
+  if (spec_.hotspots.empty() || rng_.NextBool(spec_.uniform_fraction)) {
+    return geo::Point{
+        rng_.NextDouble(spec_.bounds.min_x, spec_.bounds.max_x),
+        rng_.NextDouble(spec_.bounds.min_y, spec_.bounds.max_y)};
+  }
+  const double u = rng_.NextDouble();
+  const auto it =
+      std::lower_bound(hotspot_cdf_.begin(), hotspot_cdf_.end(), u);
+  const size_t idx = static_cast<size_t>(it - hotspot_cdf_.begin());
+  const Hotspot& h =
+      spec_.hotspots[std::min(idx, spec_.hotspots.size() - 1)];
+  geo::Point p{rng_.NextGaussian(h.center.x, h.stddev),
+               rng_.NextGaussian(h.center.y, h.stddev)};
+  return spec_.bounds.Clamp(p);
+}
+
+stream::GeoTextObject DatasetGenerator::Next() {
+  assert(HasNext());
+  stream::GeoTextObject obj;
+  obj.oid = produced_;
+  obj.loc = SampleLocation();
+  const uint32_t num_keywords =
+      spec_.min_keywords_per_object +
+      static_cast<uint32_t>(rng_.NextBounded(
+          spec_.max_keywords_per_object - spec_.min_keywords_per_object + 1));
+  obj.keywords.reserve(num_keywords);
+  for (uint32_t i = 0; i < num_keywords; ++i) {
+    obj.keywords.push_back(
+        static_cast<stream::KeywordId>(keyword_sampler_.Next()));
+  }
+  stream::CanonicalizeKeywords(&obj.keywords);
+  // Evenly spaced arrivals; the slice clock only needs non-decreasing
+  // times.
+  obj.timestamp = static_cast<stream::Timestamp>(
+      static_cast<double>(spec_.duration_ms) *
+      static_cast<double>(produced_) /
+      static_cast<double>(spec_.num_objects));
+  ++produced_;
+  return obj;
+}
+
+}  // namespace latest::workload

@@ -1,0 +1,220 @@
+#include "workload/query_workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace latest::workload {
+
+namespace {
+
+constexpr double kMixTolerance = 1e-6;
+
+}  // namespace
+
+util::Status WorkloadSpec::Validate() const {
+  if (segments.empty()) {
+    return util::Status::InvalidArgument("workload needs >= 1 segment");
+  }
+  double fraction_total = 0.0;
+  for (const WorkloadSegment& seg : segments) {
+    const double mix_total = seg.mix.spatial + seg.mix.keyword + seg.mix.hybrid;
+    if (std::abs(mix_total - 1.0) > kMixTolerance) {
+      return util::Status::InvalidArgument("segment mix must sum to 1");
+    }
+    if (seg.mix.spatial < 0 || seg.mix.keyword < 0 || seg.mix.hybrid < 0) {
+      return util::Status::InvalidArgument("segment mix must be >= 0");
+    }
+    fraction_total += seg.fraction;
+  }
+  if (std::abs(fraction_total - 1.0) > kMixTolerance) {
+    return util::Status::InvalidArgument("segment fractions must sum to 1");
+  }
+  if (min_side_fraction <= 0.0 || max_side_fraction < min_side_fraction ||
+      max_side_fraction > 1.0) {
+    return util::Status::InvalidArgument("bad query side fractions");
+  }
+  if (min_query_keywords == 0 || max_query_keywords < min_query_keywords) {
+    return util::Status::InvalidArgument("bad query keyword counts");
+  }
+  if (num_queries == 0) {
+    return util::Status::InvalidArgument("num_queries must be > 0");
+  }
+  return util::Status::Ok();
+}
+
+const char* WorkloadIdName(WorkloadId id) {
+  switch (id) {
+    case WorkloadId::kTwQW1:
+      return "TwQW1";
+    case WorkloadId::kTwQW2:
+      return "TwQW2";
+    case WorkloadId::kTwQW3:
+      return "TwQW3";
+    case WorkloadId::kTwQW4:
+      return "TwQW4";
+    case WorkloadId::kTwQW5:
+      return "TwQW5";
+    case WorkloadId::kTwQW6:
+      return "TwQW6";
+    case WorkloadId::kEbRQW1:
+      return "EbRQW1";
+    case WorkloadId::kCiQW1:
+      return "CiQW1";
+  }
+  return "unknown";
+}
+
+WorkloadSpec MakeWorkloadSpec(WorkloadId id, uint32_t num_queries,
+                              uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = WorkloadIdName(id);
+  spec.num_queries = num_queries;
+  spec.seed = seed;
+  switch (id) {
+    case WorkloadId::kTwQW1:
+      // One-third each overall, with the dominant type rotating through
+      // phases — the workload that triggers four switches in Figure 3.
+      spec.segments = {
+          {{0.20, 0.30, 0.50}, 0.18},  // Hybrid-leaning warm mix.
+          {{0.90, 0.05, 0.05}, 0.13},  // Spatial-dominated.
+          {{0.20, 0.30, 0.50}, 0.22},  // Back to mixed.
+          {{0.05, 0.90, 0.05}, 0.22},  // Keyword-dominated.
+          {{0.20, 0.30, 0.50}, 0.25},  // Mixed tail.
+      };
+      spec.spatial_side_scale = 0.35;
+      break;
+    case WorkloadId::kTwQW2:
+      spec.segments = {{{1.0, 0.0, 0.0}, 1.0}};
+      break;
+    case WorkloadId::kTwQW3:
+      spec.segments = {{{0.5, 0.0, 0.5}, 1.0}};
+      break;
+    case WorkloadId::kTwQW4:
+      spec.segments = {{{0.0, 1.0, 0.0}, 1.0}};
+      spec.min_query_keywords = 1;
+      spec.max_query_keywords = 1;
+      break;
+    case WorkloadId::kTwQW5:
+      spec.segments = {{{0.0, 1.0, 0.0}, 1.0}};
+      spec.min_query_keywords = 2;
+      spec.max_query_keywords = 5;
+      break;
+    case WorkloadId::kTwQW6:
+      // Same 1/3 composition as TwQW1 but phases land in a different
+      // order — two switches in Figure 4.
+      spec.segments = {
+          {{0.25, 0.35, 0.40}, 0.18},  // Keyword-leaning mix.
+          {{0.90, 0.05, 0.05}, 0.21},  // Spatial-dominated.
+          {{0.15, 0.45, 0.40}, 0.61},  // Keyword-heavy tail.
+      };
+      spec.spatial_side_scale = 0.35;
+      break;
+    case WorkloadId::kEbRQW1:
+      spec.segments = {{{1.0, 0.0, 0.0}, 1.0}};
+      // Real dataset-search requests vary widely in extent.
+      spec.min_side_fraction = 0.01;
+      spec.max_side_fraction = 0.15;
+      spec.hotspot_center_probability = 0.7;
+      break;
+    case WorkloadId::kCiQW1:
+      spec.segments = {{{0.0, 1.0, 0.0}, 1.0}};
+      spec.min_query_keywords = 1;
+      spec.max_query_keywords = 1;
+      break;
+  }
+  return spec;
+}
+
+QueryGenerator::QueryGenerator(const WorkloadSpec& spec,
+                               const DatasetSpec& dataset)
+    : spec_(spec),
+      dataset_(dataset),
+      rng_(spec.seed),
+      keyword_sampler_(dataset.vocabulary_size, dataset.zipf_skew,
+                       spec.seed ^ 0xDEADBEEFULL) {
+  assert(spec.Validate().ok());
+  double total = 0.0;
+  hotspot_cdf_.reserve(dataset_.hotspots.size());
+  for (const Hotspot& h : dataset_.hotspots) {
+    total += h.weight;
+    hotspot_cdf_.push_back(total);
+  }
+  for (auto& c : hotspot_cdf_) c /= total;
+
+  segment_start_.reserve(spec_.segments.size());
+  double cumulative = 0.0;
+  for (const WorkloadSegment& seg : spec_.segments) {
+    segment_start_.push_back(static_cast<uint32_t>(
+        cumulative * static_cast<double>(spec_.num_queries)));
+    cumulative += seg.fraction;
+  }
+}
+
+const WorkloadSegment& QueryGenerator::CurrentSegment() const {
+  size_t i = segment_start_.size() - 1;
+  while (i > 0 && segment_start_[i] > produced_) --i;
+  return spec_.segments[i];
+}
+
+geo::Point QueryGenerator::SampleCenter() {
+  if (hotspot_cdf_.empty() ||
+      !rng_.NextBool(spec_.hotspot_center_probability)) {
+    return geo::Point{
+        rng_.NextDouble(dataset_.bounds.min_x, dataset_.bounds.max_x),
+        rng_.NextDouble(dataset_.bounds.min_y, dataset_.bounds.max_y)};
+  }
+  const double u = rng_.NextDouble();
+  const auto it =
+      std::lower_bound(hotspot_cdf_.begin(), hotspot_cdf_.end(), u);
+  const size_t idx = static_cast<size_t>(it - hotspot_cdf_.begin());
+  const Hotspot& h =
+      dataset_.hotspots[std::min(idx, dataset_.hotspots.size() - 1)];
+  // Spread query centers a bit wider than the data hotspot itself.
+  geo::Point p{rng_.NextGaussian(h.center.x, h.stddev * 1.5),
+               rng_.NextGaussian(h.center.y, h.stddev * 1.5)};
+  return dataset_.bounds.Clamp(p);
+}
+
+geo::Rect QueryGenerator::SampleRange(double side_scale) {
+  const double side_fraction =
+      rng_.NextDouble(spec_.min_side_fraction, spec_.max_side_fraction) *
+      side_scale;
+  const double width = dataset_.bounds.Width() * side_fraction;
+  const double height = dataset_.bounds.Height() * side_fraction;
+  return geo::Rect::FromCenter(SampleCenter(), width, height);
+}
+
+std::vector<stream::KeywordId> QueryGenerator::SampleKeywords() {
+  const uint32_t count =
+      spec_.min_query_keywords +
+      static_cast<uint32_t>(rng_.NextBounded(
+          spec_.max_query_keywords - spec_.min_query_keywords + 1));
+  std::vector<stream::KeywordId> keywords;
+  keywords.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    keywords.push_back(
+        static_cast<stream::KeywordId>(keyword_sampler_.Next()));
+  }
+  stream::CanonicalizeKeywords(&keywords);
+  return keywords;
+}
+
+stream::Query QueryGenerator::Next() {
+  assert(HasNext());
+  const QueryMix& mix = CurrentSegment().mix;
+  const double u = rng_.NextDouble();
+  stream::Query q;
+  if (u < mix.spatial) {
+    q.range = SampleRange(spec_.spatial_side_scale);
+  } else if (u < mix.spatial + mix.keyword) {
+    q.keywords = SampleKeywords();
+  } else {
+    q.range = SampleRange(1.0);
+    q.keywords = SampleKeywords();
+  }
+  ++produced_;
+  return q;
+}
+
+}  // namespace latest::workload

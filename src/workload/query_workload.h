@@ -1,0 +1,124 @@
+// Query workload generators: the TwQW*/EbRQW*/CiQW* workloads of
+// Section VI-A.
+//
+// A workload is a sequence of segments, each with its own mix of pure
+// spatial / pure keyword / hybrid queries. Phase-changing mixes (TwQW1,
+// TwQW6) drive LATEST's estimator switches; uniform mixes (TwQW2..TwQW5)
+// exercise single-regime behaviour. Query centers follow the Bing-mobile-
+// search pattern of the paper: mostly near data hotspots, with uniform
+// background noise; query keywords are drawn from the dataset's keyword
+// distribution.
+
+#ifndef LATEST_WORKLOAD_QUERY_WORKLOAD_H_
+#define LATEST_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/query.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/zipf.h"
+#include "workload/dataset.h"
+
+namespace latest::workload {
+
+/// Mix of query types within one segment; fractions must sum to 1.
+struct QueryMix {
+  double spatial = 0.0;
+  double keyword = 0.0;
+  double hybrid = 0.0;
+};
+
+/// One contiguous stretch of the workload with a fixed mix.
+struct WorkloadSegment {
+  QueryMix mix;
+  /// Fraction of the workload's total queries in this segment; segment
+  /// fractions must sum to 1.
+  double fraction = 1.0;
+};
+
+/// Full description of a query workload.
+struct WorkloadSpec {
+  std::string name;
+  std::vector<WorkloadSegment> segments;
+
+  /// Query rectangle side, as a fraction of the domain side, drawn
+  /// uniformly from [min_side_fraction, max_side_fraction].
+  double min_side_fraction = 0.01;
+  double max_side_fraction = 0.06;
+
+  /// Side multiplier applied to *pure spatial* queries only. Location-only
+  /// searches (POI lookups) are tighter than topic searches, which makes
+  /// spatial-dominated phases low-selectivity — the regime where sampling
+  /// estimators lose accuracy and the histogram stays strong.
+  double spatial_side_scale = 1.0;
+
+  /// Keywords per keyword-bearing query, uniform in [min, max].
+  uint32_t min_query_keywords = 1;
+  uint32_t max_query_keywords = 3;
+
+  /// Probability that a query center is drawn near a data hotspot rather
+  /// than uniformly (Bing search locations correlate with population).
+  double hotspot_center_probability = 0.85;
+
+  uint32_t num_queries = 100000;
+  uint64_t seed = 17;
+
+  util::Status Validate() const;
+};
+
+/// The named workloads reproduced from the paper.
+enum class WorkloadId {
+  kTwQW1,   // 1/3 each, phase-rotating (several switches; Fig. 3).
+  kTwQW2,   // 100% pure spatial.
+  kTwQW3,   // 50% spatial, 50% hybrid (Table II, Figs. 6-7).
+  kTwQW4,   // 100% single-keyword (Fig. 10, Table I).
+  kTwQW5,   // 100% multi-keyword (Fig. 11).
+  kTwQW6,   // 1/3 each, different phase order (two switches; Fig. 4).
+  kEbRQW1,  // 100% spatial, eBird real-request style (Figs. 5, 8).
+  kCiQW1,   // 100% single-keyword, CheckIn (Fig. 12).
+};
+
+/// Name of a workload id ("TwQW1", ...).
+const char* WorkloadIdName(WorkloadId id);
+
+/// Builds the spec for a named workload with the given query volume.
+WorkloadSpec MakeWorkloadSpec(WorkloadId id, uint32_t num_queries,
+                              uint64_t seed = 17);
+
+/// Streams the queries of a workload (timestamps are assigned by the
+/// stream driver, not here).
+class QueryGenerator {
+ public:
+  /// dataset: the stream the queries will be posted against (provides
+  /// bounds, hotspots, and the keyword distribution).
+  QueryGenerator(const WorkloadSpec& spec, const DatasetSpec& dataset);
+
+  bool HasNext() const { return produced_ < spec_.num_queries; }
+
+  /// Produces the next query (timestamp 0; the driver stamps it).
+  stream::Query Next();
+
+  const WorkloadSpec& spec() const { return spec_; }
+  uint32_t produced() const { return produced_; }
+
+ private:
+  const WorkloadSegment& CurrentSegment() const;
+  geo::Point SampleCenter();
+  geo::Rect SampleRange(double side_scale);
+  std::vector<stream::KeywordId> SampleKeywords();
+
+  WorkloadSpec spec_;
+  DatasetSpec dataset_;
+  util::Rng rng_;
+  util::ZipfSampler keyword_sampler_;
+  std::vector<double> hotspot_cdf_;
+  std::vector<uint32_t> segment_start_;  // Query index where segment i starts.
+  uint32_t produced_ = 0;
+};
+
+}  // namespace latest::workload
+
+#endif  // LATEST_WORKLOAD_QUERY_WORKLOAD_H_

@@ -1,0 +1,34 @@
+#include "workload/stream_driver.h"
+
+#include <cassert>
+
+namespace latest::workload {
+
+StreamDriver::StreamDriver(DatasetGenerator* dataset, QueryGenerator* queries,
+                           stream::Timestamp query_start_ms,
+                           stream::Timestamp query_end_ms)
+    : dataset_(dataset),
+      queries_(queries),
+      query_start_ms_(query_start_ms),
+      query_end_ms_(query_end_ms) {
+  assert(dataset != nullptr && queries != nullptr);
+  assert(query_end_ms >= query_start_ms);
+}
+
+stream::Timestamp StreamDriver::QueryTimestamp(uint32_t index) const {
+  const uint32_t total = queries_->spec().num_queries;
+  if (total <= 1) return query_start_ms_;
+  return query_start_ms_ +
+         static_cast<stream::Timestamp>(
+             static_cast<double>(query_end_ms_ - query_start_ms_) *
+             static_cast<double>(index) / static_cast<double>(total - 1));
+}
+
+stream::Timestamp StreamDriver::ObjectTimestamp(uint64_t index) const {
+  const DatasetSpec& spec = dataset_->spec();
+  return static_cast<stream::Timestamp>(
+      static_cast<double>(spec.duration_ms) * static_cast<double>(index) /
+      static_cast<double>(spec.num_objects));
+}
+
+}  // namespace latest::workload

@@ -1,0 +1,76 @@
+// Interleaves a dataset stream with a query workload in event-time order
+// and feeds them to callbacks (typically LatestModule::OnObject/OnQuery).
+//
+// Queries are stamped evenly across [query_start_ms, query_end_ms] of the
+// stream; query_start_ms should be at least the window length T so the
+// warm-up phase (which receives data only) completes first.
+
+#ifndef LATEST_WORKLOAD_STREAM_DRIVER_H_
+#define LATEST_WORKLOAD_STREAM_DRIVER_H_
+
+#include <cstdint>
+
+#include "stream/object.h"
+#include "stream/query.h"
+#include "util/status.h"
+#include "workload/dataset.h"
+#include "workload/query_workload.h"
+
+namespace latest::workload {
+
+/// Event-time interleaving of objects and queries.
+class StreamDriver {
+ public:
+  /// Queries are spread evenly over [query_start_ms, query_end_ms].
+  StreamDriver(DatasetGenerator* dataset, QueryGenerator* queries,
+               stream::Timestamp query_start_ms,
+               stream::Timestamp query_end_ms);
+
+  /// Runs the whole stream. `object_fn(const GeoTextObject&)` and
+  /// `query_fn(const Query&, uint32_t query_index)` are invoked in
+  /// non-decreasing timestamp order.
+  template <typename ObjectFn, typename QueryFn>
+  void Run(ObjectFn&& object_fn, QueryFn&& query_fn) {
+    while (dataset_->HasNext() || queries_->HasNext()) {
+      if (!queries_->HasNext()) {
+        object_fn(dataset_->Next());
+        continue;
+      }
+      const stream::Timestamp next_query_time =
+          QueryTimestamp(queries_->produced());
+      if (!dataset_->HasNext()) {
+        stream::Query q = queries_->Next();
+        q.timestamp = next_query_time;
+        query_fn(q, queries_->produced() - 1);
+        continue;
+      }
+      // Peek the next object's timestamp without consuming it: object
+      // times are deterministic in arrival index.
+      const stream::Timestamp next_object_time =
+          ObjectTimestamp(dataset_->produced());
+      if (next_object_time <= next_query_time) {
+        object_fn(dataset_->Next());
+      } else {
+        stream::Query q = queries_->Next();
+        q.timestamp = next_query_time;
+        query_fn(q, queries_->produced() - 1);
+      }
+    }
+  }
+
+  /// Timestamp assigned to query `index`.
+  stream::Timestamp QueryTimestamp(uint32_t index) const;
+
+  /// Timestamp the dataset generator will assign to object `index`.
+  stream::Timestamp ObjectTimestamp(uint64_t index) const;
+
+ private:
+  DatasetGenerator* dataset_;
+  QueryGenerator* queries_;
+  stream::Timestamp query_start_ms_;
+  stream::Timestamp query_end_ms_;
+};
+
+}  // namespace latest::workload
+
+#endif  // LATEST_WORKLOAD_STREAM_DRIVER_H_

@@ -1,0 +1,222 @@
+// Robustness tests: degenerate and adversarial streams that stress every
+// estimator and the module — point-mass locations, keyword-free objects,
+// single-keyword vocabularies, bursty arrivals with multi-slice gaps, and
+// outlier coordinates.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/latest_module.h"
+#include "estimators/estimator.h"
+#include "tests/test_stream.h"
+
+namespace latest {
+namespace {
+
+using estimators::CreateEstimator;
+using estimators::EstimatorKind;
+using estimators::kNumEstimatorKinds;
+using testing_support::MakeHybridQuery;
+using testing_support::MakeKeywordQuery;
+using testing_support::MakeSpatialQuery;
+using testing_support::TestEstimatorConfig;
+
+constexpr EstimatorKind kEveryKind[] = {
+    EstimatorKind::kH4096, EstimatorKind::kRsl,  EstimatorKind::kRsh,
+    EstimatorKind::kAasp,  EstimatorKind::kFfn,  EstimatorKind::kSpn,
+    EstimatorKind::kCmSketch,
+};
+
+class AdversarialStreamTest : public ::testing::TestWithParam<EstimatorKind> {
+ protected:
+  std::unique_ptr<estimators::Estimator> Make() {
+    return std::move(CreateEstimator(GetParam(), TestEstimatorConfig()))
+        .value();
+  }
+
+  void CheckSane(const estimators::Estimator& est, const stream::Query& q) {
+    const double e = est.Estimate(q);
+    EXPECT_GE(e, 0.0);
+    EXPECT_TRUE(std::isfinite(e));
+  }
+};
+
+TEST_P(AdversarialStreamTest, PointMassLocation) {
+  // Every object at exactly one point: quadtrees hit their depth cap,
+  // histograms put everything in one cell, clusters collapse.
+  auto est = Make();
+  for (int i = 0; i < 20000; ++i) {
+    stream::GeoTextObject obj;
+    obj.oid = i;
+    obj.loc = {50.0, 50.0};
+    obj.keywords = {static_cast<stream::KeywordId>(i % 5)};
+    obj.timestamp = i / 25;
+    est->Insert(obj);
+  }
+  CheckSane(*est, MakeSpatialQuery({49, 49, 51, 51}));
+  CheckSane(*est, MakeSpatialQuery({0, 0, 10, 10}));
+  CheckSane(*est, MakeKeywordQuery({0}));
+  CheckSane(*est, MakeHybridQuery({49, 49, 51, 51}, {0, 1}));
+  // The tight box holds everything. Cell/bin-based estimators spread the
+  // point mass uniformly over the containing cell (1.5-3 units per side,
+  // diluting across BOTH dimensions: the coarsest resolution here keeps
+  // (2/3.125)^2 ~ 10% of the mass inside the 2x2 box). The FFN is exempt:
+  // it is workload-driven and has received no training feedback.
+  if (GetParam() != EstimatorKind::kFfn) {
+    EXPECT_GT(est->Estimate(MakeSpatialQuery({49, 49, 51, 51})),
+              0.08 * static_cast<double>(est->seen_population()));
+    // A full-domain box must capture (nearly) everything.
+    EXPECT_GT(est->Estimate(MakeSpatialQuery({0, 0, 100, 100})),
+              0.8 * static_cast<double>(est->seen_population()));
+  }
+}
+
+TEST_P(AdversarialStreamTest, KeywordFreeObjects) {
+  auto est = Make();
+  for (int i = 0; i < 5000; ++i) {
+    stream::GeoTextObject obj;
+    obj.oid = i;
+    obj.loc = {static_cast<double>(i % 100), 50.0};
+    obj.timestamp = i / 10;
+    est->Insert(obj);  // No keywords at all.
+  }
+  CheckSane(*est, MakeKeywordQuery({7}));
+  CheckSane(*est, MakeSpatialQuery({0, 0, 100, 100}));
+  // No object carries keyword 7; sampling/sketch estimators must not
+  // hallucinate more than a sliver.
+  if (GetParam() == EstimatorKind::kRsl || GetParam() == EstimatorKind::kRsh) {
+    EXPECT_DOUBLE_EQ(est->Estimate(MakeKeywordQuery({7})), 0.0);
+  }
+}
+
+TEST_P(AdversarialStreamTest, SingleKeywordVocabulary) {
+  auto est = Make();
+  for (int i = 0; i < 5000; ++i) {
+    stream::GeoTextObject obj;
+    obj.oid = i;
+    obj.loc = {static_cast<double>(i % 100), static_cast<double>(i % 97)};
+    obj.keywords = {42};
+    obj.timestamp = i / 10;
+    est->Insert(obj);
+  }
+  CheckSane(*est, MakeKeywordQuery({42}));
+  // Everyone carries keyword 42: keyword-capable estimators should be
+  // close to the full population.
+  if (GetParam() == EstimatorKind::kRsl ||
+      GetParam() == EstimatorKind::kRsh ||
+      GetParam() == EstimatorKind::kCmSketch) {
+    EXPECT_NEAR(est->Estimate(MakeKeywordQuery({42})) /
+                    static_cast<double>(est->seen_population()),
+                1.0, 0.05);
+  }
+}
+
+TEST_P(AdversarialStreamTest, BurstyArrivalWithLongGaps) {
+  // Bursts separated by gaps longer than the whole window: rotation fans
+  // out many slices at once and everything from the previous burst
+  // expires.
+  auto est = Make();
+  const auto config = TestEstimatorConfig();
+  stream::SliceClock clock(config.window);
+  for (int burst = 0; burst < 4; ++burst) {
+    const stream::Timestamp base = burst * 5000;  // Window is 1000 ms.
+    for (int i = 0; i < 1000; ++i) {
+      stream::GeoTextObject obj;
+      obj.oid = burst * 1000 + i;
+      obj.loc = {static_cast<double>(i % 100), 30.0};
+      obj.keywords = {static_cast<stream::KeywordId>(i % 10)};
+      obj.timestamp = base + i / 10;
+      const uint32_t rotations = clock.Advance(obj.timestamp);
+      for (uint32_t r = 0; r < rotations; ++r) est->OnSliceRotate();
+      est->Insert(obj);
+    }
+    // Only the current burst is inside the window.
+    EXPECT_LE(est->seen_population(), 1000u);
+    CheckSane(*est, MakeSpatialQuery({0, 0, 100, 100}));
+  }
+}
+
+TEST_P(AdversarialStreamTest, OutlierCoordinatesAreClamped) {
+  auto est = Make();
+  for (int i = 0; i < 2000; ++i) {
+    stream::GeoTextObject obj;
+    obj.oid = i;
+    // Every fourth object is far outside the configured bounds.
+    obj.loc = (i % 4 == 0) ? geo::Point{1e6, -1e6}
+                           : geo::Point{50.0, 50.0};
+    obj.keywords = {1};
+    obj.timestamp = i / 10;
+    est->Insert(obj);
+  }
+  CheckSane(*est, MakeSpatialQuery({0, 0, 100, 100}));
+  CheckSane(*est, MakeSpatialQuery({-1e7, -1e7, 1e7, 1e7}));
+  CheckSane(*est, MakeKeywordQuery({1}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, AdversarialStreamTest, ::testing::ValuesIn(kEveryKind),
+    [](const ::testing::TestParamInfo<EstimatorKind>& info) {
+      return estimators::EstimatorKindName(info.param);
+    });
+
+// --------------------------------------------------------------------
+// Module-level degenerate streams.
+
+TEST(AdversarialModuleTest, QueriesOnAnEmptyWindow) {
+  core::LatestConfig config;
+  config.bounds = testing_support::kTestBounds;
+  config.window.window_length_ms = 1000;
+  config.window.num_slices = 10;
+  config.pretrain_queries = 5;
+  config.monitor_window = 4;
+  auto module = std::move(core::LatestModule::Create(config)).value();
+
+  // Fill one window, then leave a gap so everything expires, then query.
+  for (int i = 0; i < 1000; ++i) {
+    stream::GeoTextObject obj;
+    obj.oid = i;
+    obj.loc = {50, 50};
+    obj.keywords = {1};
+    obj.timestamp = i;
+    module->OnObject(obj);
+  }
+  stream::GeoTextObject late;
+  late.oid = 1000;
+  late.loc = {50, 50};
+  late.keywords = {1};
+  late.timestamp = 10000;  // 10 windows later.
+  module->OnObject(late);
+
+  stream::Query q = testing_support::MakeSpatialQuery({0, 0, 100, 100});
+  q.timestamp = 10001;
+  const auto outcome = module->OnQuery(q);
+  EXPECT_EQ(outcome.actual, 1u);
+  EXPECT_TRUE(std::isfinite(outcome.estimate));
+}
+
+TEST(AdversarialModuleTest, AllQueriesMatchNothing) {
+  core::LatestConfig config;
+  config.bounds = testing_support::kTestBounds;
+  config.window.window_length_ms = 1000;
+  config.window.num_slices = 10;
+  config.pretrain_queries = 10;
+  config.monitor_window = 8;
+  auto module = std::move(core::LatestModule::Create(config)).value();
+  const auto objects = testing_support::MakeClusteredObjects(3000, 31, 2000);
+  for (const auto& obj : objects) {
+    module->OnObject(obj);
+    if (obj.timestamp >= 1000 && obj.oid % 20 == 0) {
+      // A region outside the data domain: actual is always 0.
+      stream::Query q =
+          testing_support::MakeSpatialQuery({200, 200, 300, 300});
+      q.timestamp = obj.timestamp;
+      const auto outcome = module->OnQuery(q);
+      EXPECT_EQ(outcome.actual, 0u);
+      EXPECT_TRUE(std::isfinite(outcome.estimate));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace latest

@@ -1,0 +1,327 @@
+// Tests for src/exact: grid index, quadtree index, inverted index, and the
+// exact evaluator, cross-validated against a brute-force scan.
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exact/exact_evaluator.h"
+#include "exact/grid_index.h"
+#include "exact/inverted_index.h"
+#include "exact/quadtree_index.h"
+#include "util/rng.h"
+
+namespace latest::exact {
+namespace {
+
+using stream::GeoTextObject;
+using stream::KeywordId;
+using stream::Query;
+using stream::Timestamp;
+
+constexpr geo::Rect kBounds{0, 0, 100, 100};
+
+// Deterministic synthetic stream of objects in timestamp order.
+std::vector<GeoTextObject> MakeObjects(int n, uint64_t seed,
+                                       Timestamp duration = 10000) {
+  util::Rng rng(seed);
+  std::vector<GeoTextObject> objects;
+  objects.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    GeoTextObject obj;
+    obj.oid = static_cast<stream::ObjectId>(i);
+    obj.loc = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    const int num_kw = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int k = 0; k < num_kw; ++k) {
+      obj.keywords.push_back(static_cast<KeywordId>(rng.NextBounded(30)));
+    }
+    stream::CanonicalizeKeywords(&obj.keywords);
+    obj.timestamp = duration * i / n;
+    objects.push_back(obj);
+  }
+  return objects;
+}
+
+uint64_t BruteForce(const std::vector<GeoTextObject>& objects, const Query& q,
+                    Timestamp cutoff) {
+  uint64_t count = 0;
+  for (const auto& obj : objects) {
+    if (obj.timestamp >= cutoff && q.Matches(obj)) ++count;
+  }
+  return count;
+}
+
+Query SpatialQuery(const geo::Rect& r, Timestamp t = 10000) {
+  Query q;
+  q.range = r;
+  q.timestamp = t;
+  return q;
+}
+
+Query KeywordQuery(std::vector<KeywordId> kws, Timestamp t = 10000) {
+  Query q;
+  q.keywords = std::move(kws);
+  stream::CanonicalizeKeywords(&q.keywords);
+  q.timestamp = t;
+  return q;
+}
+
+Query HybridQuery(const geo::Rect& r, std::vector<KeywordId> kws,
+                  Timestamp t = 10000) {
+  Query q = KeywordQuery(std::move(kws), t);
+  q.range = r;
+  return q;
+}
+
+// --------------------------------------------------------------------
+// GridIndex
+
+TEST(GridIndexTest, EmptyIndexCountsZero) {
+  GridIndex index(kBounds, 8, 8);
+  EXPECT_EQ(index.CountMatches(SpatialQuery({0, 0, 50, 50}), 0), 0u);
+}
+
+TEST(GridIndexTest, CountsMatchBruteForce) {
+  const auto objects = MakeObjects(2000, 1);
+  GridIndex index(kBounds, 8, 8);
+  for (const auto& obj : objects) index.Insert(obj);
+
+  util::Rng rng(2);
+  for (int iter = 0; iter < 50; ++iter) {
+    const geo::Point c{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    const Query q = SpatialQuery(
+        geo::Rect::FromCenter(c, rng.NextDouble(1, 40), rng.NextDouble(1, 40)));
+    EXPECT_EQ(index.CountMatches(q, 0), BruteForce(objects, q, 0));
+  }
+}
+
+TEST(GridIndexTest, HybridPredicateExact) {
+  const auto objects = MakeObjects(1000, 3);
+  GridIndex index(kBounds, 8, 8);
+  for (const auto& obj : objects) index.Insert(obj);
+  const Query q = HybridQuery({20, 20, 70, 70}, {1, 5});
+  EXPECT_EQ(index.CountMatches(q, 0), BruteForce(objects, q, 0));
+}
+
+TEST(GridIndexTest, WindowCutoffExcludesExpired) {
+  const auto objects = MakeObjects(1000, 4);
+  GridIndex index(kBounds, 8, 8);
+  for (const auto& obj : objects) index.Insert(obj);
+  const Query q = SpatialQuery({0, 0, 100, 100});
+  EXPECT_EQ(index.CountMatches(q, 5000), BruteForce(objects, q, 5000));
+}
+
+TEST(GridIndexTest, LazyEvictionShrinksSize) {
+  const auto objects = MakeObjects(1000, 5);
+  GridIndex index(kBounds, 8, 8);
+  for (const auto& obj : objects) index.Insert(obj);
+  EXPECT_EQ(index.size(), 1000u);
+  index.EvictBefore(5000);
+  EXPECT_EQ(index.size(), BruteForce(objects, SpatialQuery(kBounds), 5000));
+}
+
+TEST(GridIndexTest, ClearEmpties) {
+  const auto objects = MakeObjects(100, 6);
+  GridIndex index(kBounds, 8, 8);
+  for (const auto& obj : objects) index.Insert(obj);
+  index.Clear();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.CountMatches(SpatialQuery(kBounds), 0), 0u);
+}
+
+TEST(GridIndexTest, FullDomainQueryCountsEverything) {
+  const auto objects = MakeObjects(500, 7);
+  GridIndex index(kBounds, 8, 8);
+  for (const auto& obj : objects) index.Insert(obj);
+  EXPECT_EQ(index.CountMatches(SpatialQuery({-10, -10, 110, 110}), 0), 500u);
+}
+
+// --------------------------------------------------------------------
+// QuadTreeIndex
+
+TEST(QuadTreeIndexTest, CountsMatchBruteForce) {
+  const auto objects = MakeObjects(2000, 8);
+  QuadTreeIndex index(kBounds, 32, 10);
+  for (const auto& obj : objects) index.Insert(obj);
+
+  util::Rng rng(9);
+  for (int iter = 0; iter < 50; ++iter) {
+    const geo::Point c{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    const Query q = SpatialQuery(
+        geo::Rect::FromCenter(c, rng.NextDouble(1, 40), rng.NextDouble(1, 40)));
+    EXPECT_EQ(index.CountMatches(q, 0), BruteForce(objects, q, 0));
+  }
+}
+
+TEST(QuadTreeIndexTest, SplitsUnderLoad) {
+  const auto objects = MakeObjects(2000, 10);
+  QuadTreeIndex index(kBounds, 32, 10);
+  for (const auto& obj : objects) index.Insert(obj);
+  EXPECT_GT(index.num_nodes(), 1u);
+  EXPECT_EQ(index.size(), 2000u);
+}
+
+TEST(QuadTreeIndexTest, WindowCutoffMatchesBruteForce) {
+  const auto objects = MakeObjects(2000, 11);
+  QuadTreeIndex index(kBounds, 32, 10);
+  for (const auto& obj : objects) index.Insert(obj);
+  const Query q = SpatialQuery({10, 10, 60, 60});
+  EXPECT_EQ(index.CountMatches(q, 7000), BruteForce(objects, q, 7000));
+}
+
+TEST(QuadTreeIndexTest, EvictionCollapsesEmptySubtrees) {
+  const auto objects = MakeObjects(2000, 12);
+  QuadTreeIndex index(kBounds, 32, 10);
+  for (const auto& obj : objects) index.Insert(obj);
+  const uint64_t nodes_full = index.num_nodes();
+  index.EvictBefore(20000);  // Everything expires.
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.num_nodes(), 1u);
+  EXPECT_GT(nodes_full, 1u);
+}
+
+TEST(QuadTreeIndexTest, HybridPredicate) {
+  const auto objects = MakeObjects(1000, 13);
+  QuadTreeIndex index(kBounds, 16, 10);
+  for (const auto& obj : objects) index.Insert(obj);
+  const Query q = HybridQuery({0, 0, 50, 100}, {2, 3, 4});
+  EXPECT_EQ(index.CountMatches(q, 0), BruteForce(objects, q, 0));
+}
+
+TEST(QuadTreeIndexTest, DegenerateAllSamePoint) {
+  // All objects at one location: depth cap must prevent infinite splits.
+  QuadTreeIndex index(kBounds, 4, 6);
+  for (int i = 0; i < 1000; ++i) {
+    GeoTextObject obj;
+    obj.oid = static_cast<stream::ObjectId>(i);
+    obj.loc = {50, 50};
+    obj.timestamp = i;
+    index.Insert(obj);
+  }
+  EXPECT_EQ(index.size(), 1000u);
+  EXPECT_EQ(index.CountMatches(SpatialQuery({49, 49, 51, 51}), 0), 1000u);
+}
+
+// --------------------------------------------------------------------
+// InvertedIndex
+
+TEST(InvertedIndexTest, KeywordCountsMatchBruteForce) {
+  const auto objects = MakeObjects(2000, 14);
+  InvertedIndex index;
+  for (const auto& obj : objects) index.Insert(obj);
+  for (KeywordId kw = 0; kw < 30; kw += 3) {
+    const Query q = KeywordQuery({kw});
+    EXPECT_EQ(index.CountMatches(q, 0), BruteForce(objects, q, 0));
+  }
+}
+
+TEST(InvertedIndexTest, MultiKeywordDeduplicatesObjects) {
+  // An object carrying both query keywords must count once.
+  InvertedIndex index;
+  GeoTextObject obj;
+  obj.oid = 1;
+  obj.loc = {1, 1};
+  obj.keywords = {3, 7};
+  obj.timestamp = 0;
+  index.Insert(obj);
+  EXPECT_EQ(index.CountMatches(KeywordQuery({3, 7}), 0), 1u);
+}
+
+TEST(InvertedIndexTest, MultiKeywordMatchesBruteForce) {
+  const auto objects = MakeObjects(2000, 15);
+  InvertedIndex index;
+  for (const auto& obj : objects) index.Insert(obj);
+  const Query q = KeywordQuery({1, 4, 9, 16, 25});
+  EXPECT_EQ(index.CountMatches(q, 0), BruteForce(objects, q, 0));
+}
+
+TEST(InvertedIndexTest, HybridFiltersByRange) {
+  const auto objects = MakeObjects(2000, 16);
+  InvertedIndex index;
+  for (const auto& obj : objects) index.Insert(obj);
+  const Query q = HybridQuery({25, 25, 75, 75}, {0, 1, 2});
+  EXPECT_EQ(index.CountMatches(q, 0), BruteForce(objects, q, 0));
+}
+
+TEST(InvertedIndexTest, CutoffExpiresPostings) {
+  const auto objects = MakeObjects(2000, 17);
+  InvertedIndex index;
+  for (const auto& obj : objects) index.Insert(obj);
+  const Query q = KeywordQuery({2});
+  EXPECT_EQ(index.CountMatches(q, 6000), BruteForce(objects, q, 6000));
+  index.EvictBefore(6000);
+  EXPECT_EQ(index.CountMatches(q, 6000), BruteForce(objects, q, 6000));
+}
+
+TEST(InvertedIndexTest, UnknownKeywordCountsZero) {
+  InvertedIndex index;
+  EXPECT_EQ(index.CountMatches(KeywordQuery({999}), 0), 0u);
+}
+
+// --------------------------------------------------------------------
+// ExactEvaluator
+
+class ExactEvaluatorTest : public ::testing::Test {
+ protected:
+  static constexpr Timestamp kWindow = 4000;
+
+  void SetUp() override {
+    objects_ = MakeObjects(3000, 18);
+    evaluator_.emplace(kBounds, kWindow);
+    for (const auto& obj : objects_) evaluator_->Insert(obj);
+  }
+
+  uint64_t Truth(const Query& q) const {
+    return BruteForce(objects_, q, q.timestamp - kWindow);
+  }
+
+  std::vector<GeoTextObject> objects_;
+  std::optional<ExactEvaluator> evaluator_;
+};
+
+TEST_F(ExactEvaluatorTest, SpatialQueriesExact) {
+  util::Rng rng(20);
+  for (int iter = 0; iter < 30; ++iter) {
+    const geo::Point c{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    Query q = SpatialQuery(
+        geo::Rect::FromCenter(c, rng.NextDouble(1, 50), rng.NextDouble(1, 50)),
+        /*t=*/8000);
+    EXPECT_EQ(evaluator_->TrueSelectivity(q), Truth(q));
+  }
+}
+
+TEST_F(ExactEvaluatorTest, KeywordQueriesExact) {
+  for (KeywordId kw = 0; kw < 30; kw += 5) {
+    Query q = KeywordQuery({kw, static_cast<KeywordId>(kw + 1)}, 8000);
+    EXPECT_EQ(evaluator_->TrueSelectivity(q), Truth(q));
+  }
+}
+
+TEST_F(ExactEvaluatorTest, HybridQueriesExact) {
+  util::Rng rng(21);
+  for (int iter = 0; iter < 30; ++iter) {
+    const geo::Point c{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    Query q = HybridQuery(
+        geo::Rect::FromCenter(c, rng.NextDouble(5, 60), rng.NextDouble(5, 60)),
+        {static_cast<KeywordId>(rng.NextBounded(30)),
+         static_cast<KeywordId>(rng.NextBounded(30))},
+        8000);
+    EXPECT_EQ(evaluator_->TrueSelectivity(q), Truth(q));
+  }
+}
+
+TEST_F(ExactEvaluatorTest, WindowSlides) {
+  // A query at t=14000 sees only objects newer than 10000: none.
+  Query q = SpatialQuery({0, 0, 100, 100}, 14001);
+  EXPECT_EQ(evaluator_->TrueSelectivity(q), 0u);
+}
+
+TEST_F(ExactEvaluatorTest, EvictExpiredKeepsAnswersCorrect) {
+  evaluator_->EvictExpired(9000);
+  Query q = SpatialQuery({0, 0, 100, 100}, 9000);
+  EXPECT_EQ(evaluator_->TrueSelectivity(q), Truth(q));
+}
+
+}  // namespace
+}  // namespace latest::exact

@@ -1,0 +1,234 @@
+// Unit and property tests for src/geo: Rect geometry and Grid arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+#include "util/rng.h"
+
+namespace latest::geo {
+namespace {
+
+// --------------------------------------------------------------------
+// Rect
+
+TEST(RectTest, ValidityRequiresPositiveArea) {
+  EXPECT_TRUE((Rect{0, 0, 1, 1}).IsValid());
+  EXPECT_FALSE((Rect{0, 0, 0, 1}).IsValid());
+  EXPECT_FALSE((Rect{1, 0, 0, 1}).IsValid());
+  EXPECT_FALSE(Rect{}.IsValid());
+}
+
+TEST(RectTest, DimensionsAndCenter) {
+  const Rect r{0, 0, 4, 2};
+  EXPECT_DOUBLE_EQ(r.Width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 2.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 8.0);
+  EXPECT_EQ(r.Center(), (Point{2, 1}));
+}
+
+TEST(RectTest, FromCenter) {
+  const Rect r = Rect::FromCenter({5, 5}, 2, 4);
+  EXPECT_EQ(r, (Rect{4, 3, 6, 7}));
+}
+
+TEST(RectTest, ContainsIsClosedOpen) {
+  const Rect r{0, 0, 1, 1};
+  EXPECT_TRUE(r.Contains({0, 0}));      // Min edges included.
+  EXPECT_TRUE(r.Contains({0.5, 0.5}));
+  EXPECT_FALSE(r.Contains({1, 0.5}));   // Max edges excluded.
+  EXPECT_FALSE(r.Contains({0.5, 1}));
+  EXPECT_FALSE(r.Contains({-0.1, 0.5}));
+}
+
+TEST(RectTest, AdjacentCellsPartitionPoints) {
+  // The closed-open convention means a boundary point belongs to exactly
+  // one of two adjacent cells.
+  const Rect left{0, 0, 1, 1};
+  const Rect right{1, 0, 2, 1};
+  const Point boundary{1, 0.5};
+  EXPECT_FALSE(left.Contains(boundary));
+  EXPECT_TRUE(right.Contains(boundary));
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.ContainsRect({1, 1, 9, 9}));
+  EXPECT_TRUE(outer.ContainsRect(outer));
+  EXPECT_FALSE(outer.ContainsRect({1, 1, 11, 9}));
+}
+
+TEST(RectTest, Intersects) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_TRUE(a.Intersects({1, 1, 3, 3}));
+  EXPECT_FALSE(a.Intersects({2, 0, 3, 2}));  // Touching edges: no area.
+  EXPECT_FALSE(a.Intersects({5, 5, 6, 6}));
+}
+
+TEST(RectTest, Intersection) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_EQ(a.Intersection({1, 1, 3, 3}), (Rect{1, 1, 2, 2}));
+  EXPECT_FALSE(a.Intersection({3, 3, 4, 4}).IsValid());
+}
+
+TEST(RectTest, OverlapFraction) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(a.OverlapFraction({0, 0, 1, 1}), 0.25);
+  EXPECT_DOUBLE_EQ(a.OverlapFraction({0, 0, 2, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(a.OverlapFraction({-10, -10, 20, 20}), 1.0);
+  EXPECT_DOUBLE_EQ(a.OverlapFraction({5, 5, 6, 6}), 0.0);
+}
+
+TEST(RectTest, ClampPullsPointsInside) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.Contains(r.Clamp({-5, 5})));
+  EXPECT_TRUE(r.Contains(r.Clamp({5, 15})));
+  EXPECT_TRUE(r.Contains(r.Clamp({10, 10})));  // Max corner nudged in.
+  const Point inside{3, 4};
+  EXPECT_EQ(r.Clamp(inside), inside);
+}
+
+// Property: overlap fractions of a partition of a rect sum to 1.
+TEST(RectTest, QuadrantOverlapFractionsSumToOne) {
+  util::Rng rng(4);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Rect cell{rng.NextDouble(-100, 0), rng.NextDouble(-100, 0),
+                    rng.NextDouble(1, 100), rng.NextDouble(1, 100)};
+    const Point c = cell.Center();
+    const Rect quads[4] = {
+        {cell.min_x, cell.min_y, c.x, c.y},
+        {c.x, cell.min_y, cell.max_x, c.y},
+        {cell.min_x, c.y, c.x, cell.max_y},
+        {c.x, c.y, cell.max_x, cell.max_y},
+    };
+    double total = 0.0;
+    for (const Rect& q : quads) total += cell.OverlapFraction(q);
+    ASSERT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+// --------------------------------------------------------------------
+// Grid
+
+TEST(GridTest, Dimensions) {
+  const Grid g(Rect{0, 0, 64, 32}, 8, 4);
+  EXPECT_EQ(g.num_cells(), 32u);
+  EXPECT_EQ(g.cols(), 8u);
+  EXPECT_EQ(g.rows(), 4u);
+}
+
+TEST(GridTest, CellOfCorners) {
+  const Grid g(Rect{0, 0, 10, 10}, 10, 10);
+  EXPECT_EQ(g.CellOf({0, 0}), 0u);
+  EXPECT_EQ(g.CellOf({9.5, 0}), 9u);
+  EXPECT_EQ(g.CellOf({0, 9.5}), 90u);
+  EXPECT_EQ(g.CellOf({9.5, 9.5}), 99u);
+}
+
+TEST(GridTest, OutOfBoundsClampsToBorder) {
+  const Grid g(Rect{0, 0, 10, 10}, 10, 10);
+  EXPECT_EQ(g.CellOf({-5, -5}), 0u);
+  EXPECT_EQ(g.CellOf({15, 15}), 99u);
+  EXPECT_EQ(g.CellOf({10, 0}), 9u);  // Exactly on max edge.
+}
+
+TEST(GridTest, CellRectRoundTrip) {
+  const Grid g(Rect{-10, -10, 10, 10}, 4, 4);
+  for (uint32_t cell = 0; cell < g.num_cells(); ++cell) {
+    const Rect r = g.CellRect(cell);
+    EXPECT_EQ(g.CellOf(r.Center()), cell);
+  }
+}
+
+TEST(GridTest, CellRectsTileTheBounds) {
+  const Grid g(Rect{0, 0, 8, 8}, 4, 4);
+  double total_area = 0.0;
+  for (uint32_t cell = 0; cell < g.num_cells(); ++cell) {
+    total_area += g.CellRect(cell).Area();
+  }
+  EXPECT_NEAR(total_area, 64.0, 1e-9);
+}
+
+TEST(GridTest, CellRangeForSubRect) {
+  const Grid g(Rect{0, 0, 10, 10}, 10, 10);
+  uint32_t col_lo;
+  uint32_t row_lo;
+  uint32_t col_hi;
+  uint32_t row_hi;
+  ASSERT_TRUE(g.CellRange(Rect{2.5, 3.5, 4.5, 6.5}, &col_lo, &row_lo,
+                          &col_hi, &row_hi));
+  EXPECT_EQ(col_lo, 2u);
+  EXPECT_EQ(col_hi, 4u);
+  EXPECT_EQ(row_lo, 3u);
+  EXPECT_EQ(row_hi, 6u);
+}
+
+TEST(GridTest, CellRangeMissesDisjointRect) {
+  const Grid g(Rect{0, 0, 10, 10}, 10, 10);
+  uint32_t a;
+  uint32_t b;
+  uint32_t c;
+  uint32_t d;
+  EXPECT_FALSE(g.CellRange(Rect{20, 20, 30, 30}, &a, &b, &c, &d));
+  EXPECT_FALSE(g.CellRange(Rect{}, &a, &b, &c, &d));
+}
+
+TEST(GridTest, CellRangeClampsOverhang) {
+  const Grid g(Rect{0, 0, 10, 10}, 10, 10);
+  uint32_t col_lo;
+  uint32_t row_lo;
+  uint32_t col_hi;
+  uint32_t row_hi;
+  ASSERT_TRUE(g.CellRange(Rect{-5, -5, 15, 15}, &col_lo, &row_lo, &col_hi,
+                          &row_hi));
+  EXPECT_EQ(col_lo, 0u);
+  EXPECT_EQ(row_lo, 0u);
+  EXPECT_EQ(col_hi, 9u);
+  EXPECT_EQ(row_hi, 9u);
+}
+
+// Property: every contained point's cell is inside CellRange of any rect
+// containing the point.
+TEST(GridTest, CellRangeCoversContainedPoints) {
+  const Grid g(Rect{-50, -20, 70, 44}, 16, 16);
+  util::Rng rng(9);
+  for (int iter = 0; iter < 500; ++iter) {
+    const Point p{rng.NextDouble(-50, 70), rng.NextDouble(-20, 44)};
+    const double w = rng.NextDouble(0.1, 30);
+    const double h = rng.NextDouble(0.1, 30);
+    const Rect q = Rect::FromCenter(p, w, h);
+    if (!q.Contains(p)) continue;
+    uint32_t col_lo;
+    uint32_t row_lo;
+    uint32_t col_hi;
+    uint32_t row_hi;
+    ASSERT_TRUE(g.CellRange(q, &col_lo, &row_lo, &col_hi, &row_hi));
+    const auto [col, row] = g.CellCoords(g.CellOf(p));
+    EXPECT_GE(col, col_lo);
+    EXPECT_LE(col, col_hi);
+    EXPECT_GE(row, row_lo);
+    EXPECT_LE(row, row_hi);
+  }
+}
+
+// Property sweep over grid resolutions: cells partition points uniquely.
+class GridResolutionTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(GridResolutionTest, EveryPointInExactlyOneCell) {
+  const uint32_t side = GetParam();
+  const Grid g(Rect{0, 0, 1, 1}, side, side);
+  util::Rng rng(13);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    const uint32_t cell = g.CellOf(p);
+    ASSERT_LT(cell, g.num_cells());
+    EXPECT_TRUE(g.CellRect(cell).Contains(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, GridResolutionTest,
+                         ::testing::Values(1u, 2u, 7u, 16u, 64u));
+
+}  // namespace
+}  // namespace latest::geo

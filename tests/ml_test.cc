@@ -1,0 +1,394 @@
+// Tests for src/ml: Gaussian attribute observer, Hoeffding tree (VFDT),
+// and the MLP.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/gaussian_estimator.h"
+#include "ml/hoeffding_tree.h"
+#include "ml/mlp.h"
+#include "util/rng.h"
+
+namespace latest::ml {
+namespace {
+
+// --------------------------------------------------------------------
+// GaussianEstimator
+
+TEST(GaussianEstimatorTest, MomentsOfKnownSample) {
+  GaussianEstimator g;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) g.Add(v);
+  EXPECT_DOUBLE_EQ(g.mean(), 5.0);
+  EXPECT_NEAR(g.variance(), 32.0 / 7.0, 1e-9);  // Sample variance.
+  EXPECT_DOUBLE_EQ(g.min(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max(), 9.0);
+}
+
+TEST(GaussianEstimatorTest, EmptyIsSafe) {
+  GaussianEstimator g;
+  EXPECT_EQ(g.count(), 0u);
+  EXPECT_DOUBLE_EQ(g.ProbabilityBelow(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.CountBelow(1.0), 0.0);
+}
+
+TEST(GaussianEstimatorTest, ProbabilityBelowMatchesNormalCdf) {
+  GaussianEstimator g;
+  util::Rng rng(1);
+  for (int i = 0; i < 100000; ++i) g.Add(rng.NextGaussian(10.0, 2.0));
+  EXPECT_NEAR(g.ProbabilityBelow(10.0), 0.5, 0.01);
+  EXPECT_NEAR(g.ProbabilityBelow(12.0), 0.8413, 0.01);
+  EXPECT_NEAR(g.ProbabilityBelow(8.0), 0.1587, 0.01);
+}
+
+TEST(GaussianEstimatorTest, ZeroVarianceIsStepFunction) {
+  GaussianEstimator g;
+  g.Add(5.0);
+  g.Add(5.0);
+  EXPECT_DOUBLE_EQ(g.ProbabilityBelow(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.ProbabilityBelow(6.0), 1.0);
+}
+
+// --------------------------------------------------------------------
+// Entropy / Hoeffding bound
+
+TEST(EntropyTest, PureDistributionIsZero) {
+  EXPECT_DOUBLE_EQ(Entropy({10.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(EntropyTest, UniformBinaryIsOneBit) {
+  EXPECT_DOUBLE_EQ(Entropy({5.0, 5.0}), 1.0);
+}
+
+TEST(EntropyTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Entropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({0.0, 0.0}), 0.0);
+}
+
+TEST(HoeffdingBoundTest, ShrinksWithN) {
+  const double e100 = HoeffdingBound(1.0, 1e-7, 100);
+  const double e10000 = HoeffdingBound(1.0, 1e-7, 10000);
+  EXPECT_GT(e100, e10000);
+  EXPECT_NEAR(e100 / e10000, 10.0, 1e-9);  // 1/sqrt(n) scaling.
+}
+
+TEST(HoeffdingBoundTest, KnownValue) {
+  // eps = sqrt(R^2 ln(1/delta) / 2n).
+  const double eps = HoeffdingBound(1.0, std::exp(-2.0), 100);
+  EXPECT_NEAR(eps, std::sqrt(2.0 / 200.0), 1e-12);
+}
+
+// --------------------------------------------------------------------
+// HoeffdingTree
+
+HoeffdingTreeConfig FastConfig() {
+  HoeffdingTreeConfig config;
+  config.grace_period = 50;
+  config.split_confidence = 1e-3;
+  config.tie_threshold = 0.1;
+  return config;
+}
+
+TEST(HoeffdingTreeConfigTest, Validation) {
+  EXPECT_TRUE(HoeffdingTreeConfig{}.Validate().ok());
+  HoeffdingTreeConfig bad = FastConfig();
+  bad.grace_period = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = FastConfig();
+  bad.split_confidence = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = FastConfig();
+  bad.split_confidence = 1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = FastConfig();
+  bad.tie_threshold = -0.1;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = FastConfig();
+  bad.numeric_split_candidates = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+FeatureSchema CatSchema() {
+  FeatureSchema schema;
+  schema.categorical_cardinalities = {3};
+  schema.num_numeric = 0;
+  schema.num_classes = 3;
+  return schema;
+}
+
+TEST(HoeffdingTreeTest, UntrainedPredictsUniformDistribution) {
+  HoeffdingTree tree(CatSchema(), FastConfig());
+  FeatureVector f;
+  f.categorical = {0};
+  const auto dist = tree.PredictDistribution(f);
+  ASSERT_EQ(dist.size(), 3u);
+  for (const double p : dist) EXPECT_DOUBLE_EQ(p, 1.0 / 3.0);
+}
+
+TEST(HoeffdingTreeTest, LearnsCategoricalIdentity) {
+  // Label equals the single categorical attribute: the tree must split on
+  // it and reach perfect accuracy.
+  HoeffdingTree tree(CatSchema(), FastConfig());
+  util::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const int v = static_cast<int>(rng.NextBounded(3));
+    TrainingExample ex;
+    ex.features.categorical = {v};
+    ex.label = static_cast<uint32_t>(v);
+    tree.Train(ex);
+  }
+  EXPECT_GT(tree.num_splits(), 0u);
+  for (int v = 0; v < 3; ++v) {
+    FeatureVector f;
+    f.categorical = {v};
+    EXPECT_EQ(tree.Predict(f), static_cast<uint32_t>(v));
+  }
+}
+
+TEST(HoeffdingTreeTest, LearnsNumericThreshold) {
+  FeatureSchema schema;
+  schema.num_numeric = 1;
+  schema.num_classes = 2;
+  HoeffdingTree tree(schema, FastConfig());
+  util::Rng rng(2);
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.NextDouble();
+    TrainingExample ex;
+    ex.features.numeric = {x};
+    ex.label = x < 0.5 ? 0u : 1u;
+    tree.Train(ex);
+  }
+  EXPECT_GT(tree.num_splits(), 0u);
+  FeatureVector low;
+  low.numeric = {0.1};
+  FeatureVector high;
+  high.numeric = {0.9};
+  EXPECT_EQ(tree.Predict(low), 0u);
+  EXPECT_EQ(tree.Predict(high), 1u);
+}
+
+TEST(HoeffdingTreeTest, MixedSchemaTwoLevelConcept) {
+  // Label = categorical value if cat < 2, else depends on the numeric
+  // attribute. Requires a two-level tree.
+  FeatureSchema schema;
+  schema.categorical_cardinalities = {3};
+  schema.num_numeric = 1;
+  schema.num_classes = 3;
+  HoeffdingTree tree(schema, FastConfig());
+  util::Rng rng(3);
+  auto label_of = [](int cat, double x) -> uint32_t {
+    if (cat < 2) return static_cast<uint32_t>(cat);
+    return x < 0.5 ? 0u : 2u;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    const int cat = static_cast<int>(rng.NextBounded(3));
+    const double x = rng.NextDouble();
+    TrainingExample ex;
+    ex.features.categorical = {cat};
+    ex.features.numeric = {x};
+    ex.label = label_of(cat, x);
+    tree.Train(ex);
+  }
+  int correct = 0;
+  for (int i = 0; i < 300; ++i) {
+    const int cat = static_cast<int>(rng.NextBounded(3));
+    const double x = rng.NextDouble();
+    FeatureVector f;
+    f.categorical = {cat};
+    f.numeric = {x};
+    correct += tree.Predict(f) == label_of(cat, x);
+  }
+  EXPECT_GT(correct, 270);  // >90% on a noiseless concept.
+  EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST(HoeffdingTreeTest, PureStreamNeverSplits) {
+  HoeffdingTree tree(CatSchema(), FastConfig());
+  util::Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    TrainingExample ex;
+    ex.features.categorical = {static_cast<int>(rng.NextBounded(3))};
+    ex.label = 1;  // Single class.
+    tree.Train(ex);
+  }
+  EXPECT_EQ(tree.num_splits(), 0u);
+  FeatureVector f;
+  f.categorical = {0};
+  EXPECT_EQ(tree.Predict(f), 1u);
+}
+
+TEST(HoeffdingTreeTest, NoiseDoesNotForceSpuriousDepth) {
+  // Random labels independent of features: the Hoeffding bound should
+  // mostly prevent splits (tie threshold may allow a few).
+  HoeffdingTree tree(CatSchema(), HoeffdingTreeConfig{});
+  util::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    TrainingExample ex;
+    ex.features.categorical = {static_cast<int>(rng.NextBounded(3))};
+    ex.label = static_cast<uint32_t>(rng.NextBounded(3));
+    tree.Train(ex);
+  }
+  EXPECT_LE(tree.depth(), 1u);
+}
+
+TEST(HoeffdingTreeTest, CountsAndResets) {
+  HoeffdingTree tree(CatSchema(), FastConfig());
+  util::Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = static_cast<int>(rng.NextBounded(3));
+    TrainingExample ex;
+    ex.features.categorical = {v};
+    ex.label = static_cast<uint32_t>(v);
+    tree.Train(ex);
+  }
+  EXPECT_EQ(tree.num_trained(), 1000u);
+  EXPECT_GT(tree.num_leaves(), 1u);
+  tree.Reset();
+  EXPECT_EQ(tree.num_trained(), 0u);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_EQ(tree.depth(), 0u);
+}
+
+TEST(HoeffdingTreeTest, DistributionSumsToOne) {
+  HoeffdingTree tree(CatSchema(), FastConfig());
+  util::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    TrainingExample ex;
+    ex.features.categorical = {static_cast<int>(rng.NextBounded(3))};
+    ex.label = static_cast<uint32_t>(rng.NextBounded(2));
+    tree.Train(ex);
+  }
+  FeatureVector f;
+  f.categorical = {1};
+  const auto dist = tree.PredictDistribution(f);
+  double total = 0.0;
+  for (const double p : dist) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// Incremental-learning property: accuracy improves monotonically-ish with
+// more training data on a learnable concept (the paper's Section V-B
+// claim about VFDT convergence).
+TEST(HoeffdingTreeTest, AccuracyImprovesWithData) {
+  FeatureSchema schema;
+  schema.num_numeric = 2;
+  schema.num_classes = 2;
+  HoeffdingTree tree(schema, FastConfig());
+  util::Rng rng(8);
+  auto target_concept = [](double x, double y) {
+    return (x + y > 1.0) ? 1u : 0u;
+  };
+  auto eval = [&]() {
+    util::Rng eval_rng(99);
+    int correct = 0;
+    for (int i = 0; i < 500; ++i) {
+      const double x = eval_rng.NextDouble();
+      const double y = eval_rng.NextDouble();
+      FeatureVector f;
+      f.numeric = {x, y};
+      correct += tree.Predict(f) == target_concept(x, y);
+    }
+    return correct;
+  };
+  const int before = eval();
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    const double y = rng.NextDouble();
+    TrainingExample ex;
+    ex.features.numeric = {x, y};
+    ex.label = target_concept(x, y);
+    tree.Train(ex);
+  }
+  const int after = eval();
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 400);  // >80%.
+}
+
+// --------------------------------------------------------------------
+// Mlp
+
+TEST(MlpTest, OutputInUnitInterval) {
+  Mlp net(MlpConfig{.num_inputs = 3, .num_hidden = 4}, 1);
+  const double out = net.Forward({0.1, 0.5, 0.9});
+  EXPECT_GT(out, 0.0);
+  EXPECT_LT(out, 1.0);
+}
+
+TEST(MlpTest, DeterministicForSeed) {
+  const MlpConfig config{.num_inputs = 2, .num_hidden = 4};
+  Mlp a(config, 7);
+  Mlp b(config, 7);
+  EXPECT_DOUBLE_EQ(a.Forward({0.3, 0.7}), b.Forward({0.3, 0.7}));
+}
+
+TEST(MlpTest, LearnsConstant) {
+  Mlp net(MlpConfig{.num_inputs = 1, .num_hidden = 4}, 2);
+  for (int i = 0; i < 2000; ++i) net.TrainStep({0.5}, 0.8);
+  EXPECT_NEAR(net.Forward({0.5}), 0.8, 0.05);
+}
+
+TEST(MlpTest, LearnsLinearMap) {
+  Mlp net(MlpConfig{.num_inputs = 1,
+                    .num_hidden = 8,
+                    .learning_rate = 0.3,
+                    .momentum = 0.2},
+          3);
+  util::Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.NextDouble();
+    net.TrainStep({x}, 0.2 + 0.6 * x);
+  }
+  for (const double x : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_NEAR(net.Forward({x}), 0.2 + 0.6 * x, 0.08);
+  }
+}
+
+TEST(MlpTest, LearnsXorWithHiddenLayer) {
+  // XOR requires the hidden layer; a linear model cannot represent it.
+  Mlp net(MlpConfig{.num_inputs = 2,
+                    .num_hidden = 8,
+                    .learning_rate = 0.5,
+                    .momentum = 0.3},
+          17);
+  util::Rng rng(4);
+  for (int i = 0; i < 60000; ++i) {
+    const int a = static_cast<int>(rng.NextBounded(2));
+    const int b = static_cast<int>(rng.NextBounded(2));
+    net.TrainStep({static_cast<double>(a), static_cast<double>(b)},
+                  a == b ? 0.0 : 1.0);
+  }
+  EXPECT_LT(net.Forward({0, 0}), 0.3);
+  EXPECT_GT(net.Forward({0, 1}), 0.7);
+  EXPECT_GT(net.Forward({1, 0}), 0.7);
+  EXPECT_LT(net.Forward({1, 1}), 0.3);
+}
+
+TEST(MlpTest, TrainStepReturnsSquaredError) {
+  Mlp net(MlpConfig{.num_inputs = 1, .num_hidden = 2}, 5);
+  const double out = net.Forward({0.5});
+  const double err = net.TrainStep({0.5}, 1.0);
+  EXPECT_NEAR(err, (out - 1.0) * (out - 1.0), 1e-12);
+}
+
+TEST(MlpTest, ResetRestoresInitialWeights) {
+  Mlp net(MlpConfig{.num_inputs = 1, .num_hidden = 4}, 6);
+  for (int i = 0; i < 100; ++i) net.TrainStep({0.5}, 0.9);
+  net.Reset();
+  EXPECT_EQ(net.num_steps(), 0u);
+  // After reset the output changes from the trained value (fresh weights
+  // from the generator's continued stream differ).
+  EXPECT_TRUE(std::isfinite(net.Forward({0.5})));
+}
+
+TEST(SigmoidTest, SymmetryAndSaturation) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(10.0), 1.0, 1e-4);
+  EXPECT_NEAR(Sigmoid(-10.0), 0.0, 1e-4);
+  EXPECT_NEAR(Sigmoid(2.0) + Sigmoid(-2.0), 1.0, 1e-12);
+  // Extreme inputs must not overflow.
+  EXPECT_DOUBLE_EQ(Sigmoid(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(Sigmoid(-1000.0), 0.0);
+}
+
+}  // namespace
+}  // namespace latest::ml

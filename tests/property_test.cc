@@ -1,0 +1,297 @@
+// Cross-cutting property and invariant tests: determinism of the whole
+// module, statistical guarantees of the synopses, window-scaling
+// behaviour, and incremental adaptation of the learning model.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/latest_module.h"
+#include "estimators/histogram2d_estimator.h"
+#include "estimators/kmv_synopsis.h"
+#include "estimators/reservoir_list_estimator.h"
+#include "estimators/space_saving.h"
+#include "ml/hoeffding_tree.h"
+#include "tests/test_stream.h"
+
+namespace latest {
+namespace {
+
+using core::LatestConfig;
+using core::LatestModule;
+using core::QueryOutcome;
+using testing_support::BruteForceCount;
+using testing_support::FeedObjects;
+using testing_support::MakeClusteredObjects;
+using testing_support::MakeKeywordQuery;
+using testing_support::MakeSpatialQuery;
+using testing_support::TestEstimatorConfig;
+
+LatestConfig PropertyConfig() {
+  LatestConfig config;
+  config.bounds = testing_support::kTestBounds;
+  config.window.window_length_ms = 1000;
+  config.window.num_slices = 10;
+  config.pretrain_queries = 40;
+  config.monitor_window = 16;
+  config.min_queries_between_switches = 16;
+  config.estimator.reservoir_capacity = 400;
+  return config;
+}
+
+// Runs a fixed object/query schedule and returns the outcomes.
+std::vector<QueryOutcome> RunSchedule(LatestModule* module, uint64_t seed) {
+  const auto objects = MakeClusteredObjects(5000, seed, 4000);
+  util::Rng rng(seed + 1);
+  std::vector<QueryOutcome> outcomes;
+  for (const auto& obj : objects) {
+    module->OnObject(obj);
+    if (obj.timestamp >= 1000 && obj.oid % 15 == 0) {
+      stream::Query q;
+      if (rng.NextBool(0.5)) {
+        const geo::Point c{rng.NextDouble(10, 90), rng.NextDouble(10, 90)};
+        q = MakeSpatialQuery(
+            geo::Rect::FromCenter(c, rng.NextDouble(5, 25),
+                                  rng.NextDouble(5, 25)));
+      } else {
+        q = MakeKeywordQuery(
+            {static_cast<stream::KeywordId>(rng.NextBounded(50))});
+      }
+      q.timestamp = obj.timestamp;
+      outcomes.push_back(module->OnQuery(q));
+    }
+  }
+  return outcomes;
+}
+
+// --------------------------------------------------------------------
+// Determinism. All data-dependent quantities (ground truth, the data
+// each estimator holds) are fully deterministic; the *switch schedule*
+// is not, because the adaptor legitimately reacts to measured wall-clock
+// latency (exactly as the paper's system does).
+
+TEST(DeterminismTest, GroundTruthAndDataAreReplayable) {
+  auto a = std::move(LatestModule::Create(PropertyConfig())).value();
+  auto b = std::move(LatestModule::Create(PropertyConfig())).value();
+  const auto outcomes_a = RunSchedule(a.get(), 7);
+  const auto outcomes_b = RunSchedule(b.get(), 7);
+  ASSERT_EQ(outcomes_a.size(), outcomes_b.size());
+  bool histories_identical = true;
+  for (size_t i = 0; i < outcomes_a.size(); ++i) {
+    EXPECT_EQ(outcomes_a[i].actual, outcomes_b[i].actual);
+    // Until the first (latency-driven) switch in either run, the active
+    // structures hold identical data and estimates are bit-identical.
+    // After a switch, pre-fill start times differ between runs, so only
+    // the ground truth stays comparable.
+    if (outcomes_a[i].switched || outcomes_b[i].switched) {
+      histories_identical = false;
+    }
+    if (histories_identical) {
+      EXPECT_DOUBLE_EQ(outcomes_a[i].estimate, outcomes_b[i].estimate);
+    }
+  }
+  EXPECT_EQ(a->objects_ingested(), b->objects_ingested());
+  EXPECT_EQ(a->window_population(), b->window_population());
+}
+
+TEST(DeterminismTest, ModuleActualMatchesBruteForce) {
+  auto module = std::move(LatestModule::Create(PropertyConfig())).value();
+  const auto objects = MakeClusteredObjects(4000, 9, 3000);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const auto& obj = objects[i];
+    module->OnObject(obj);
+    if (obj.timestamp >= 1000 && obj.oid % 50 == 0) {
+      stream::Query q = MakeSpatialQuery({20, 20, 60, 60});
+      q.timestamp = obj.timestamp;
+      const auto outcome = module->OnQuery(q);
+      // Continuous window [t - T, t]: count only the objects already
+      // ingested (future objects are not part of the stream yet).
+      uint64_t truth = 0;
+      for (size_t j = 0; j <= i; ++j) {
+        if (objects[j].timestamp >= obj.timestamp - 1000 &&
+            q.Matches(objects[j])) {
+          ++truth;
+        }
+      }
+      EXPECT_EQ(outcome.actual, truth);
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Estimator scaling for partially filled structures.
+
+TEST(ScalingTest, PartialHistogramScalesToFullEstimate) {
+  auto config = TestEstimatorConfig();
+  const auto objects = MakeClusteredObjects(20000, 11);
+
+  estimators::Histogram2dEstimator full(config);
+  FeedObjects(&full, config.window, objects);
+
+  // The partial instance only sees the last 30% of the stream (a
+  // pre-filled candidate); its estimate scaled by population ratio must
+  // approximate the full estimate (the stream is stationary).
+  estimators::Histogram2dEstimator partial(config);
+  const size_t start = objects.size() * 7 / 10;
+  stream::SliceClock clock(config.window);
+  clock.Advance(objects[start].timestamp);  // Align slice phase.
+  for (size_t i = start; i < objects.size(); ++i) {
+    const uint32_t rotations = clock.Advance(objects[i].timestamp);
+    for (uint32_t r = 0; r < rotations; ++r) partial.OnSliceRotate();
+    partial.Insert(objects[i]);
+  }
+
+  const stream::Query q = MakeSpatialQuery({20, 20, 40, 40});
+  const double scale = static_cast<double>(full.seen_population()) /
+                       static_cast<double>(partial.seen_population());
+  const double scaled = partial.Estimate(q) * scale;
+  EXPECT_NEAR(scaled / full.Estimate(q), 1.0, 0.15);
+}
+
+// --------------------------------------------------------------------
+// Statistical guarantees.
+
+TEST(StatisticalTest, ReservoirSampleIsUnbiasedInLocation) {
+  // The mean x-coordinate of the reservoir must match the stream's.
+  auto config = TestEstimatorConfig();
+  config.reservoir_capacity = 1000;
+  estimators::ReservoirListEstimator est(config);
+  const auto objects = MakeClusteredObjects(50000, 13);
+  FeedObjects(&est, config.window, objects);
+
+  double stream_mean = 0.0;
+  for (const auto& obj : objects) stream_mean += obj.loc.x;
+  stream_mean /= static_cast<double>(objects.size());
+
+  // Estimate the sample mean through half-domain counting: the fraction
+  // of samples left of the stream mean must match the stream's fraction.
+  const stream::Query left =
+      MakeSpatialQuery({0, 0, stream_mean, 100});
+  const double est_left = est.Estimate(left);
+  const double true_left =
+      static_cast<double>(BruteForceCount(objects, left, 0));
+  EXPECT_NEAR(est_left / true_left, 1.0, 0.1);
+}
+
+TEST(StatisticalTest, SpaceSavingErrorBound) {
+  // Space-Saving guarantee: for every key, estimate - truth <= N / m.
+  estimators::SpaceSavingCounter counter(32);
+  util::Rng rng(17);
+  std::vector<int> truth(500, 0);
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.NextDouble();
+    const auto key = static_cast<uint32_t>(u * u * 500);
+    ++truth[key];
+    counter.Add(key);
+  }
+  const double bound = static_cast<double>(kN) / 32.0;
+  counter.ForEach([&](uint32_t key, double count) {
+    EXPECT_LE(count - truth[key], bound + 1e-9);
+    EXPECT_GE(count, truth[key]);  // Never undercounts tracked keys.
+  });
+}
+
+TEST(StatisticalTest, KmvMergeIsCommutative) {
+  estimators::KmvSynopsis ab(64, 5);
+  estimators::KmvSynopsis ba(64, 5);
+  estimators::KmvSynopsis a(64, 5);
+  estimators::KmvSynopsis b(64, 5);
+  for (uint64_t e = 0; e < 3000; ++e) {
+    if (e % 2 == 0) a.Add(e);
+    if (e % 3 == 0) b.Add(e);
+  }
+  ab = a;
+  ab.Merge(b);
+  ba = b;
+  ba.Merge(a);
+  EXPECT_DOUBLE_EQ(ab.EstimateDistinct(), ba.EstimateDistinct());
+}
+
+// --------------------------------------------------------------------
+// Learning-model adaptation (the paper's core requirement: the model
+// must keep up with changing workloads).
+
+TEST(AdaptationTest, HoeffdingTreeTracksConceptDrift) {
+  ml::FeatureSchema schema;
+  schema.categorical_cardinalities = {3};
+  schema.num_classes = 3;
+  ml::HoeffdingTreeConfig tree_config;
+  tree_config.grace_period = 50;
+  tree_config.split_confidence = 1e-3;
+  tree_config.tie_threshold = 0.1;
+  ml::HoeffdingTree tree(schema, tree_config);
+
+  util::Rng rng(19);
+  // Phase 1: label = attribute.
+  for (int i = 0; i < 2000; ++i) {
+    const int v = static_cast<int>(rng.NextBounded(3));
+    tree.Train(ml::TrainingExample{{{v}, {}}, static_cast<uint32_t>(v)});
+  }
+  ml::FeatureVector probe;
+  probe.categorical = {1};
+  EXPECT_EQ(tree.Predict(probe), 1u);
+
+  // Phase 2 (drift): label = attribute + 1 mod 3. Leaf majorities must
+  // flip once enough post-drift records accumulate.
+  for (int i = 0; i < 10000; ++i) {
+    const int v = static_cast<int>(rng.NextBounded(3));
+    tree.Train(ml::TrainingExample{{{v}, {}},
+                                   static_cast<uint32_t>((v + 1) % 3)});
+  }
+  EXPECT_EQ(tree.Predict(probe), 2u);
+}
+
+TEST(AdaptationTest, ModuleRecoversFromWorkloadShift) {
+  // Phase 1 is pure spatial (histogram territory); phase 2 is pure
+  // keyword (histogram useless). The module must not be stuck on H4096
+  // by the end.
+  auto config = PropertyConfig();
+  config.default_estimator = estimators::EstimatorKind::kH4096;
+  auto module = std::move(LatestModule::Create(config)).value();
+
+  const auto objects = MakeClusteredObjects(9000, 21, 6000);
+  util::Rng rng(22);
+  for (const auto& obj : objects) {
+    module->OnObject(obj);
+    if (obj.timestamp >= 1000 && obj.oid % 10 == 0) {
+      stream::Query q;
+      if (obj.timestamp < 3500) {
+        const geo::Point c{rng.NextDouble(10, 90), rng.NextDouble(10, 90)};
+        q = MakeSpatialQuery(geo::Rect::FromCenter(
+            c, rng.NextDouble(5, 25), rng.NextDouble(5, 25)));
+      } else {
+        q = MakeKeywordQuery(
+            {static_cast<stream::KeywordId>(rng.NextBounded(50))});
+      }
+      q.timestamp = obj.timestamp;
+      module->OnQuery(q);
+    }
+  }
+  EXPECT_NE(module->active_kind(), estimators::EstimatorKind::kH4096);
+}
+
+// --------------------------------------------------------------------
+// Window semantics across the portfolio.
+
+TEST(WindowTest, AllEstimatorsAgreeOnPopulation) {
+  const auto config = TestEstimatorConfig();
+  const auto objects = MakeClusteredObjects(8000, 23, 2500);
+  std::vector<std::unique_ptr<estimators::Estimator>> portfolio;
+  for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+    portfolio.push_back(
+        std::move(estimators::CreateEstimator(
+                      static_cast<estimators::EstimatorKind>(k), config))
+            .value());
+  }
+  for (auto& est : portfolio) {
+    FeedObjects(est.get(), config.window, objects);
+  }
+  for (size_t k = 1; k < portfolio.size(); ++k) {
+    EXPECT_EQ(portfolio[k]->seen_population(),
+              portfolio[0]->seen_population());
+  }
+}
+
+}  // namespace
+}  // namespace latest

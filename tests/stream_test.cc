@@ -1,0 +1,280 @@
+// Unit and property tests for src/stream: objects, queries, keyword
+// dictionary, and the sliding-window machinery.
+
+#include <gtest/gtest.h>
+
+#include "stream/keyword_dictionary.h"
+#include "stream/object.h"
+#include "stream/query.h"
+#include "stream/sliding_window.h"
+
+namespace latest::stream {
+namespace {
+
+// --------------------------------------------------------------------
+// GeoTextObject / keywords
+
+TEST(ObjectTest, CanonicalizeSortsAndDeduplicates) {
+  std::vector<KeywordId> kws = {5, 1, 5, 3, 1};
+  CanonicalizeKeywords(&kws);
+  EXPECT_EQ(kws, (std::vector<KeywordId>{1, 3, 5}));
+}
+
+TEST(ObjectTest, MatchesAnyKeyword) {
+  GeoTextObject obj;
+  obj.keywords = {2, 5, 9};
+  EXPECT_TRUE(obj.MatchesAnyKeyword({5}));
+  EXPECT_TRUE(obj.MatchesAnyKeyword({1, 9}));
+  EXPECT_FALSE(obj.MatchesAnyKeyword({1, 3, 4}));
+  EXPECT_FALSE(obj.MatchesAnyKeyword({}));
+}
+
+TEST(ObjectTest, MatchesAnyKeywordEmptyObject) {
+  GeoTextObject obj;
+  EXPECT_FALSE(obj.MatchesAnyKeyword({1, 2}));
+}
+
+// --------------------------------------------------------------------
+// Query
+
+TEST(QueryTest, TypeClassification) {
+  Query spatial;
+  spatial.range = geo::Rect{0, 0, 1, 1};
+  EXPECT_EQ(spatial.Type(), QueryType::kSpatial);
+
+  Query keyword;
+  keyword.keywords = {1};
+  EXPECT_EQ(keyword.Type(), QueryType::kKeyword);
+
+  Query hybrid;
+  hybrid.range = geo::Rect{0, 0, 1, 1};
+  hybrid.keywords = {1};
+  EXPECT_EQ(hybrid.Type(), QueryType::kHybrid);
+}
+
+TEST(QueryTest, TypeNames) {
+  EXPECT_STREQ(QueryTypeName(QueryType::kSpatial), "spatial");
+  EXPECT_STREQ(QueryTypeName(QueryType::kKeyword), "keyword");
+  EXPECT_STREQ(QueryTypeName(QueryType::kHybrid), "hybrid");
+}
+
+TEST(QueryTest, MatchesImplementsRcDvq) {
+  GeoTextObject in_both;
+  in_both.loc = {0.5, 0.5};
+  in_both.keywords = {3};
+
+  Query hybrid;
+  hybrid.range = geo::Rect{0, 0, 1, 1};
+  hybrid.keywords = {3, 7};
+  EXPECT_TRUE(hybrid.Matches(in_both));
+
+  GeoTextObject outside = in_both;
+  outside.loc = {2, 2};
+  EXPECT_FALSE(hybrid.Matches(outside));
+
+  GeoTextObject wrong_kw = in_both;
+  wrong_kw.keywords = {4};
+  EXPECT_FALSE(hybrid.Matches(wrong_kw));
+}
+
+TEST(QueryTest, SpatialOnlyIgnoresKeywords) {
+  Query q;
+  q.range = geo::Rect{0, 0, 1, 1};
+  GeoTextObject obj;
+  obj.loc = {0.5, 0.5};
+  obj.keywords = {};  // No keywords at all.
+  EXPECT_TRUE(q.Matches(obj));
+}
+
+TEST(QueryTest, KeywordOnlyIgnoresLocation) {
+  Query q;
+  q.keywords = {3};
+  GeoTextObject obj;
+  obj.loc = {1000, 1000};
+  obj.keywords = {3};
+  EXPECT_TRUE(q.Matches(obj));
+}
+
+// --------------------------------------------------------------------
+// KeywordDictionary
+
+TEST(KeywordDictionaryTest, InternIsIdempotent) {
+  KeywordDictionary dict;
+  const KeywordId a = dict.Intern("fire");
+  const KeywordId b = dict.Intern("rescue");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("fire"), a);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(KeywordDictionaryTest, SpellingRoundTrip) {
+  KeywordDictionary dict;
+  const KeywordId a = dict.Intern("fire");
+  EXPECT_EQ(dict.Spelling(a), "fire");
+}
+
+TEST(KeywordDictionaryTest, LookupWithoutIntern) {
+  KeywordDictionary dict;
+  dict.Intern("fire");
+  KeywordId id;
+  EXPECT_TRUE(dict.Lookup("fire", &id));
+  EXPECT_FALSE(dict.Lookup("flood", &id));
+  EXPECT_EQ(dict.size(), 1u);  // Lookup must not intern.
+}
+
+TEST(KeywordDictionaryTest, FrequencyTracking) {
+  KeywordDictionary dict;
+  const KeywordId fire = dict.Intern("fire");
+  const KeywordId help = dict.Intern("help");
+  dict.CountOccurrences({fire, help});
+  dict.CountOccurrences({fire});
+  dict.CountOccurrences({fire});
+  EXPECT_EQ(dict.OccurrenceCount(fire), 3u);
+  EXPECT_EQ(dict.OccurrenceCount(help), 1u);
+  EXPECT_EQ(dict.total_occurrences(), 4u);
+  EXPECT_DOUBLE_EQ(dict.Frequency(fire), 0.75);
+}
+
+TEST(KeywordDictionaryTest, FrequencyOfUnknownIsZero) {
+  KeywordDictionary dict;
+  EXPECT_DOUBLE_EQ(dict.Frequency(99), 0.0);
+  EXPECT_EQ(dict.OccurrenceCount(99), 0u);
+}
+
+// --------------------------------------------------------------------
+// WindowConfig / SliceClock
+
+TEST(WindowConfigTest, Validation) {
+  WindowConfig good{.window_length_ms = 1600, .num_slices = 16};
+  EXPECT_TRUE(good.Validate().ok());
+  EXPECT_EQ(good.SliceDuration(), 100);
+
+  WindowConfig zero_len{.window_length_ms = 0, .num_slices = 4};
+  EXPECT_FALSE(zero_len.Validate().ok());
+
+  WindowConfig zero_slices{.window_length_ms = 100, .num_slices = 0};
+  EXPECT_FALSE(zero_slices.Validate().ok());
+
+  WindowConfig indivisible{.window_length_ms = 100, .num_slices = 3};
+  EXPECT_FALSE(indivisible.Validate().ok());
+}
+
+TEST(SliceClockTest, NoRotationWithinSlice) {
+  SliceClock clock(WindowConfig{.window_length_ms = 1600, .num_slices = 16});
+  EXPECT_EQ(clock.Advance(0), 0u);
+  EXPECT_EQ(clock.Advance(99), 0u);
+  EXPECT_EQ(clock.current_slice(), 0);
+}
+
+TEST(SliceClockTest, SingleRotationOnBoundary) {
+  SliceClock clock(WindowConfig{.window_length_ms = 1600, .num_slices = 16});
+  EXPECT_EQ(clock.Advance(100), 1u);
+  EXPECT_EQ(clock.current_slice(), 1);
+}
+
+TEST(SliceClockTest, MultipleRotationsOnJump) {
+  SliceClock clock(WindowConfig{.window_length_ms = 1600, .num_slices = 16});
+  EXPECT_EQ(clock.Advance(550), 5u);
+  EXPECT_EQ(clock.current_slice(), 5);
+  EXPECT_EQ(clock.now(), 550);
+}
+
+TEST(SliceClockTest, RotationsAccumulateAcrossCalls) {
+  SliceClock clock(WindowConfig{.window_length_ms = 1000, .num_slices = 10});
+  uint32_t total = 0;
+  for (Timestamp t = 0; t <= 1000; t += 37) total += clock.Advance(t);
+  EXPECT_EQ(total, static_cast<uint32_t>(clock.current_slice()));
+}
+
+// --------------------------------------------------------------------
+// SliceRing
+
+TEST(SliceRingTest, RotateDropsOldest) {
+  SliceRing<int> ring(3);
+  ring.Current() = 1;
+  ring.Rotate();
+  ring.Current() = 2;
+  ring.Rotate();
+  ring.Current() = 3;
+  EXPECT_EQ(ring.FromNewest(0), 3);
+  EXPECT_EQ(ring.FromNewest(1), 2);
+  EXPECT_EQ(ring.FromNewest(2), 1);
+  ring.Rotate();  // Drops the 1.
+  EXPECT_EQ(ring.FromNewest(0), 0);
+  EXPECT_EQ(ring.FromNewest(1), 3);
+  EXPECT_EQ(ring.FromNewest(2), 2);
+}
+
+TEST(SliceRingTest, ForEachVisitsAllSlices) {
+  SliceRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) {
+    ring.Current() = i + 1;
+    if (i < 3) ring.Rotate();
+  }
+  int sum = 0;
+  ring.ForEach([&](int v) { sum += v; });
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(SliceRingTest, ClearValueInitializes) {
+  SliceRing<int> ring(3);
+  ring.Current() = 42;
+  ring.Clear();
+  int sum = 0;
+  ring.ForEach([&](int v) { sum += v; });
+  EXPECT_EQ(sum, 0);
+}
+
+// --------------------------------------------------------------------
+// WindowPopulation
+
+TEST(WindowPopulationTest, AddsAndRotates) {
+  WindowPopulation pop(4);
+  for (int i = 0; i < 10; ++i) pop.Add();
+  EXPECT_EQ(pop.total(), 10u);
+  pop.Rotate();  // Slices: [10] -> rotation drops an empty older slice.
+  EXPECT_EQ(pop.total(), 10u);
+}
+
+TEST(WindowPopulationTest, ExpiresAfterFullWindow) {
+  WindowPopulation pop(4);
+  // One object per slice, across 4 slices.
+  for (int s = 0; s < 4; ++s) {
+    pop.Add();
+    pop.Rotate();
+  }
+  // After 4 rotations the first object's slice has been dropped... the
+  // window holds the most recent 4 slices (3 full + current).
+  EXPECT_EQ(pop.total(), 3u);
+}
+
+TEST(WindowPopulationTest, TotalOfNewest) {
+  WindowPopulation pop(4);
+  pop.Add();  // Slice 0: 1 object.
+  pop.Rotate();
+  pop.Add();
+  pop.Add();  // Slice 1: 2 objects.
+  EXPECT_EQ(pop.TotalOfNewest(1), 2u);
+  EXPECT_EQ(pop.TotalOfNewest(2), 3u);
+  EXPECT_EQ(pop.total(), 3u);
+}
+
+TEST(WindowPopulationTest, SteadyStateIsBounded) {
+  WindowPopulation pop(8);
+  // 5 objects per slice for many slices: total must stabilize at 8*5.
+  for (int s = 0; s < 100; ++s) {
+    for (int i = 0; i < 5; ++i) pop.Add();
+    pop.Rotate();
+  }
+  EXPECT_EQ(pop.total(), 7u * 5u);  // 7 full past slices + empty current.
+}
+
+TEST(WindowPopulationTest, ClearEmpties) {
+  WindowPopulation pop(4);
+  pop.Add();
+  pop.Clear();
+  EXPECT_EQ(pop.total(), 0u);
+}
+
+}  // namespace
+}  // namespace latest::stream

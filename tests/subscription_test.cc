@@ -1,0 +1,207 @@
+// Tests for continuous estimation subscriptions and the module stats
+// snapshot.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/module_stats.h"
+#include "core/subscription_manager.h"
+#include "tests/test_stream.h"
+
+namespace latest::core {
+namespace {
+
+LatestConfig SubConfig() {
+  LatestConfig config;
+  config.bounds = testing_support::kTestBounds;
+  config.window.window_length_ms = 1000;
+  config.window.num_slices = 10;
+  config.pretrain_queries = 10;
+  config.monitor_window = 8;
+  return config;
+}
+
+TEST(SubscriptionTest, SubscribeValidation) {
+  auto module = std::move(LatestModule::Create(SubConfig())).value();
+  SubscriptionManager subs(module.get());
+  const auto cb = [](const SubscriptionEvent&) {};
+
+  stream::Query empty;
+  EXPECT_FALSE(subs.Subscribe(empty, 100, cb).ok());
+
+  stream::Query q = testing_support::MakeSpatialQuery({10, 10, 50, 50});
+  EXPECT_FALSE(subs.Subscribe(q, 0, cb).ok());
+  EXPECT_FALSE(subs.Subscribe(q, 100, nullptr).ok());
+
+  stream::Query degenerate;
+  degenerate.range = geo::Rect{5, 5, 5, 9};
+  EXPECT_FALSE(subs.Subscribe(degenerate, 100, cb).ok());
+
+  EXPECT_TRUE(subs.Subscribe(q, 100, cb).ok());
+  EXPECT_EQ(subs.active_subscriptions(), 1u);
+}
+
+TEST(SubscriptionTest, FiresOncePerPeriod) {
+  auto module = std::move(LatestModule::Create(SubConfig())).value();
+  SubscriptionManager subs(module.get());
+  int fires = 0;
+  auto id = subs.Subscribe(
+      testing_support::MakeSpatialQuery({10, 10, 50, 50}),
+      /*period_ms=*/100,
+      [&](const SubscriptionEvent& e) {
+        ++fires;
+        EXPECT_GT(e.fired_at, 0);
+      },
+      /*start_ms=*/0);
+  ASSERT_TRUE(id.ok());
+
+  const auto objects = testing_support::MakeClusteredObjects(2000, 1, 2000);
+  for (const auto& obj : objects) {
+    module->OnObject(obj);
+    subs.OnAdvance(obj.timestamp);
+  }
+  // 2000ms of stream with a 100ms period: ~19 firings (first at 100ms).
+  EXPECT_GE(fires, 15);
+  EXPECT_LE(fires, 20);
+  EXPECT_EQ(subs.events_delivered(), static_cast<uint64_t>(fires));
+}
+
+TEST(SubscriptionTest, MissedPeriodsCoalesce) {
+  auto module = std::move(LatestModule::Create(SubConfig())).value();
+  SubscriptionManager subs(module.get());
+  int fires = 0;
+  ASSERT_TRUE(subs.Subscribe(
+                      testing_support::MakeSpatialQuery({10, 10, 50, 50}),
+                      /*period_ms=*/10,
+                      [&](const SubscriptionEvent&) { ++fires; },
+                      /*start_ms=*/0)
+                  .ok());
+  // A single jump across 50 periods delivers exactly one fresh result.
+  subs.OnAdvance(500);
+  EXPECT_EQ(fires, 1);
+  // The next deadline is strictly after 500.
+  subs.OnAdvance(505);
+  EXPECT_EQ(fires, 1);
+  subs.OnAdvance(510);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(SubscriptionTest, UnarmedSubscriptionWaitsOnePeriod) {
+  auto module = std::move(LatestModule::Create(SubConfig())).value();
+  SubscriptionManager subs(module.get());
+  int fires = 0;
+  ASSERT_TRUE(subs.Subscribe(testing_support::MakeKeywordQuery({1}),
+                             /*period_ms=*/100,
+                             [&](const SubscriptionEvent&) { ++fires; })
+                  .ok());
+  subs.OnAdvance(1000);  // Arms: next fire at 1100.
+  EXPECT_EQ(fires, 0);
+  subs.OnAdvance(1099);
+  EXPECT_EQ(fires, 0);
+  subs.OnAdvance(1100);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(SubscriptionTest, UnsubscribeStopsDelivery) {
+  auto module = std::move(LatestModule::Create(SubConfig())).value();
+  SubscriptionManager subs(module.get());
+  int fires = 0;
+  auto id = subs.Subscribe(testing_support::MakeKeywordQuery({1}),
+                           /*period_ms=*/100,
+                           [&](const SubscriptionEvent&) { ++fires; },
+                           /*start_ms=*/0);
+  ASSERT_TRUE(id.ok());
+  subs.OnAdvance(100);
+  EXPECT_EQ(fires, 1);
+  EXPECT_TRUE(subs.Unsubscribe(*id));
+  EXPECT_FALSE(subs.Unsubscribe(*id));  // Second cancel is a no-op.
+  subs.OnAdvance(300);
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(subs.active_subscriptions(), 0u);
+}
+
+TEST(SubscriptionTest, MultipleSubscriptionsIndependentPeriods) {
+  auto module = std::move(LatestModule::Create(SubConfig())).value();
+  SubscriptionManager subs(module.get());
+  int fast_fires = 0;
+  int slow_fires = 0;
+  ASSERT_TRUE(subs.Subscribe(testing_support::MakeKeywordQuery({1}), 50,
+                             [&](const SubscriptionEvent&) { ++fast_fires; },
+                             0)
+                  .ok());
+  ASSERT_TRUE(subs.Subscribe(testing_support::MakeKeywordQuery({2}), 200,
+                             [&](const SubscriptionEvent&) { ++slow_fires; },
+                             0)
+                  .ok());
+  for (stream::Timestamp t = 0; t <= 1000; t += 25) subs.OnAdvance(t);
+  EXPECT_EQ(fast_fires, 20);
+  EXPECT_EQ(slow_fires, 5);
+}
+
+TEST(SubscriptionTest, OutcomesTrackGroundTruth) {
+  auto module = std::move(LatestModule::Create(SubConfig())).value();
+  SubscriptionManager subs(module.get());
+  std::vector<SubscriptionEvent> events;
+  ASSERT_TRUE(subs.Subscribe(
+                      testing_support::MakeSpatialQuery({20, 20, 40, 40}),
+                      /*period_ms=*/200,
+                      [&](const SubscriptionEvent& e) {
+                        events.push_back(e);
+                      },
+                      /*start_ms=*/1000)
+                  .ok());
+  const auto objects = testing_support::MakeClusteredObjects(5000, 2, 3000);
+  for (const auto& obj : objects) {
+    module->OnObject(obj);
+    subs.OnAdvance(obj.timestamp);
+  }
+  ASSERT_GT(events.size(), 5u);
+  for (const auto& event : events) {
+    EXPECT_GT(event.outcome.actual, 0u);  // The cluster is always busy.
+    EXPECT_TRUE(std::isfinite(event.outcome.estimate));
+  }
+}
+
+// --------------------------------------------------------------------
+// ModuleStats
+
+TEST(ModuleStatsTest, SnapshotReflectsModule) {
+  auto module = std::move(LatestModule::Create(SubConfig())).value();
+  const auto objects = testing_support::MakeClusteredObjects(3000, 3, 2000);
+  for (const auto& obj : objects) {
+    module->OnObject(obj);
+    if (obj.timestamp >= 1000 && obj.oid % 25 == 0) {
+      stream::Query q = testing_support::MakeSpatialQuery({20, 20, 40, 40});
+      q.timestamp = obj.timestamp;
+      module->OnQuery(q);
+    }
+  }
+  const ModuleStats stats = module->GetStats();
+  EXPECT_EQ(stats.objects_ingested, 3000u);
+  EXPECT_EQ(stats.queries_answered, module->queries_answered());
+  EXPECT_EQ(stats.window_population, module->window_population());
+  EXPECT_EQ(stats.phase, module->phase());
+  EXPECT_EQ(stats.active, module->active_kind());
+  EXPECT_EQ(stats.model_records, module->model().num_trained());
+  // Paper portfolio enabled, CMS extension disabled by default.
+  EXPECT_TRUE(stats.enabled[0]);
+  EXPECT_FALSE(
+      stats.enabled[static_cast<uint32_t>(estimators::EstimatorKind::kCmSketch)]);
+  // Spatial cells of enabled estimators carry measurements.
+  EXPECT_GT(stats.scoreboard[0][static_cast<uint32_t>(stats.active)].accuracy,
+            0.0);
+}
+
+TEST(ModuleStatsTest, FormatContainsKeyFields) {
+  auto module = std::move(LatestModule::Create(SubConfig())).value();
+  const auto text = FormatStats(module->GetStats());
+  EXPECT_NE(text.find("phase=warmup"), std::string::npos);
+  EXPECT_NE(text.find("active=RSH"), std::string::npos);
+  EXPECT_NE(text.find("scoreboard"), std::string::npos);
+  EXPECT_NE(text.find("H4096"), std::string::npos);
+  EXPECT_EQ(text.find("CMS"), std::string::npos);  // Disabled by default.
+}
+
+}  // namespace
+}  // namespace latest::core

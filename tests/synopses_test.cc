@@ -1,0 +1,187 @@
+// Tests for the KMV distinct-value synopsis and the Space-Saving counter.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "estimators/kmv_synopsis.h"
+#include "estimators/space_saving.h"
+#include "util/rng.h"
+
+namespace latest::estimators {
+namespace {
+
+// --------------------------------------------------------------------
+// KmvSynopsis
+
+TEST(KmvTest, ExactBelowK) {
+  KmvSynopsis kmv(64, 1);
+  for (uint64_t e = 0; e < 40; ++e) kmv.Add(e);
+  EXPECT_DOUBLE_EQ(kmv.EstimateDistinct(), 40.0);
+}
+
+TEST(KmvTest, DuplicatesDoNotInflate) {
+  KmvSynopsis kmv(64, 1);
+  for (int rep = 0; rep < 100; ++rep) {
+    for (uint64_t e = 0; e < 10; ++e) kmv.Add(e);
+  }
+  EXPECT_DOUBLE_EQ(kmv.EstimateDistinct(), 10.0);
+}
+
+TEST(KmvTest, EstimatesLargeCardinality) {
+  KmvSynopsis kmv(256, 7);
+  constexpr uint64_t kDistinct = 50000;
+  for (uint64_t e = 0; e < kDistinct; ++e) kmv.Add(e);
+  const double est = kmv.EstimateDistinct();
+  // KMV standard error ~ 1/sqrt(k-2) ~ 6%; allow 20%.
+  EXPECT_NEAR(est, static_cast<double>(kDistinct), 0.20 * kDistinct);
+}
+
+TEST(KmvTest, MergeEqualsUnion) {
+  KmvSynopsis a(128, 3);
+  KmvSynopsis b(128, 3);
+  KmvSynopsis all(128, 3);
+  for (uint64_t e = 0; e < 5000; ++e) {
+    if (e % 2 == 0) a.Add(e);
+    if (e % 3 == 0) b.Add(e);
+    if (e % 2 == 0 || e % 3 == 0) all.Add(e);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.EstimateDistinct(), all.EstimateDistinct());
+}
+
+TEST(KmvTest, MergeWithOverlapDoesNotDoubleCount) {
+  KmvSynopsis a(64, 3);
+  KmvSynopsis b(64, 3);
+  for (uint64_t e = 0; e < 30; ++e) {
+    a.Add(e);
+    b.Add(e);  // Identical contents.
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.EstimateDistinct(), 30.0);
+}
+
+TEST(KmvTest, ClearEmpties) {
+  KmvSynopsis kmv(16, 5);
+  for (uint64_t e = 0; e < 100; ++e) kmv.Add(e);
+  kmv.Clear();
+  EXPECT_EQ(kmv.size(), 0u);
+  EXPECT_DOUBLE_EQ(kmv.EstimateDistinct(), 0.0);
+}
+
+TEST(KmvTest, SizeCapsAtK) {
+  KmvSynopsis kmv(16, 5);
+  for (uint64_t e = 0; e < 1000; ++e) kmv.Add(e);
+  EXPECT_EQ(kmv.size(), 16u);
+}
+
+// Property sweep over k: estimate within tolerance for several sizes.
+class KmvSizeTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(KmvSizeTest, EstimateWithinStatisticalBand) {
+  const uint32_t k = GetParam();
+  KmvSynopsis kmv(k, 11);
+  constexpr uint64_t kDistinct = 20000;
+  for (uint64_t e = 0; e < kDistinct; ++e) kmv.Add(e * 977 + 13);
+  const double est = kmv.EstimateDistinct();
+  const double tolerance = 5.0 / std::sqrt(static_cast<double>(k));
+  EXPECT_NEAR(est / kDistinct, 1.0, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KmvSizeTest,
+                         ::testing::Values(32u, 64u, 128u, 256u, 512u));
+
+// --------------------------------------------------------------------
+// SpaceSavingCounter
+
+TEST(SpaceSavingTest, ExactBelowCapacity) {
+  SpaceSavingCounter counter(10);
+  for (int i = 0; i < 5; ++i) counter.Add(1);
+  for (int i = 0; i < 3; ++i) counter.Add(2);
+  EXPECT_DOUBLE_EQ(counter.Count(1), 5.0);
+  EXPECT_DOUBLE_EQ(counter.Count(2), 3.0);
+  EXPECT_DOUBLE_EQ(counter.Count(99), 0.0);
+  EXPECT_EQ(counter.size(), 2u);
+}
+
+TEST(SpaceSavingTest, NeverUndercountsTrackedKeys) {
+  // Space-Saving invariant: a tracked key's counter >= its true count.
+  SpaceSavingCounter counter(8);
+  util::Rng rng(3);
+  std::vector<int> truth(100, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    const auto key = static_cast<uint32_t>(u * u * 100);  // Skewed.
+    ++truth[key];
+    counter.Add(key);
+  }
+  counter.ForEach([&](uint32_t key, double count) {
+    EXPECT_GE(count, static_cast<double>(truth[key]));
+  });
+}
+
+TEST(SpaceSavingTest, HeavyHittersSurvive) {
+  SpaceSavingCounter counter(8);
+  util::Rng rng(5);
+  // Key 0 gets 30% of 20000 adds; it must be tracked at the end.
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.NextBool(0.3)) {
+      counter.Add(0);
+    } else {
+      counter.Add(1 + static_cast<uint32_t>(rng.NextBounded(500)));
+    }
+  }
+  EXPECT_TRUE(counter.IsTracked(0));
+  EXPECT_NEAR(counter.Count(0), 6000.0, 1500.0);
+}
+
+TEST(SpaceSavingTest, TotalWeightTracksAdds) {
+  SpaceSavingCounter counter(4);
+  for (int i = 0; i < 100; ++i) counter.Add(i);
+  EXPECT_DOUBLE_EQ(counter.total_weight(), 100.0);
+  EXPECT_EQ(counter.size(), 4u);
+}
+
+TEST(SpaceSavingTest, DecayScalesCounts) {
+  SpaceSavingCounter counter(4);
+  counter.Add(1, 8.0);
+  counter.Add(2, 4.0);
+  counter.Decay(0.5);
+  EXPECT_DOUBLE_EQ(counter.Count(1), 4.0);
+  EXPECT_DOUBLE_EQ(counter.Count(2), 2.0);
+  EXPECT_DOUBLE_EQ(counter.total_weight(), 6.0);
+}
+
+TEST(SpaceSavingTest, DecayPrunesTinyCounts) {
+  SpaceSavingCounter counter(4);
+  counter.Add(1, 1.0);
+  counter.Decay(1e-6, /*prune_below=*/1e-3);
+  EXPECT_EQ(counter.size(), 0u);
+  EXPECT_FALSE(counter.IsTracked(1));
+}
+
+TEST(SpaceSavingTest, WeightedAdds) {
+  SpaceSavingCounter counter(4);
+  counter.Add(7, 2.5);
+  counter.Add(7, 2.5);
+  EXPECT_DOUBLE_EQ(counter.Count(7), 5.0);
+}
+
+TEST(SpaceSavingTest, ClearEmpties) {
+  SpaceSavingCounter counter(4);
+  counter.Add(1);
+  counter.Clear();
+  EXPECT_EQ(counter.size(), 0u);
+  EXPECT_DOUBLE_EQ(counter.total_weight(), 0.0);
+}
+
+TEST(SpaceSavingTest, TrackedTotalSumsCounters) {
+  SpaceSavingCounter counter(4);
+  counter.Add(1, 3.0);
+  counter.Add(2, 4.0);
+  EXPECT_DOUBLE_EQ(counter.TrackedTotal(), 7.0);
+}
+
+}  // namespace
+}  // namespace latest::estimators

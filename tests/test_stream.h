@@ -1,0 +1,106 @@
+// Shared test helpers: deterministic synthetic streams and queries for
+// estimator tests, plus a tiny driver that feeds a windowed estimator and
+// tracks ground truth.
+
+#ifndef LATEST_TESTS_TEST_STREAM_H_
+#define LATEST_TESTS_TEST_STREAM_H_
+
+#include <vector>
+
+#include "estimators/estimator.h"
+#include "stream/object.h"
+#include "stream/query.h"
+#include "stream/sliding_window.h"
+#include "util/rng.h"
+
+namespace latest::testing_support {
+
+inline constexpr geo::Rect kTestBounds{0, 0, 100, 100};
+
+/// Default estimator configuration for tests: 1000 ms window, 10 slices.
+inline estimators::EstimatorConfig TestEstimatorConfig() {
+  estimators::EstimatorConfig config;
+  config.bounds = kTestBounds;
+  config.window.window_length_ms = 1000;
+  config.window.num_slices = 10;
+  config.seed = 42;
+  return config;
+}
+
+/// Clustered synthetic objects: 70% in a dense square [20,40]^2, the rest
+/// uniform; keywords Zipf-ish over [0, 50) by squaring a uniform draw.
+inline std::vector<stream::GeoTextObject> MakeClusteredObjects(
+    int n, uint64_t seed, stream::Timestamp duration = 1000) {
+  util::Rng rng(seed);
+  std::vector<stream::GeoTextObject> objects;
+  objects.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    stream::GeoTextObject obj;
+    obj.oid = static_cast<stream::ObjectId>(i);
+    if (rng.NextBool(0.7)) {
+      obj.loc = {rng.NextDouble(20, 40), rng.NextDouble(20, 40)};
+    } else {
+      obj.loc = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    }
+    const int num_kw = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int k = 0; k < num_kw; ++k) {
+      const double u = rng.NextDouble();
+      obj.keywords.push_back(static_cast<stream::KeywordId>(u * u * 50));
+    }
+    stream::CanonicalizeKeywords(&obj.keywords);
+    obj.timestamp = duration * i / n;
+    objects.push_back(obj);
+  }
+  return objects;
+}
+
+/// Feeds objects to an estimator, rotating slices per the window config.
+/// Returns the number of rotations performed.
+inline uint32_t FeedObjects(estimators::Estimator* estimator,
+                            const stream::WindowConfig& window,
+                            const std::vector<stream::GeoTextObject>& objects) {
+  stream::SliceClock clock(window);
+  uint32_t rotations = 0;
+  for (const auto& obj : objects) {
+    const uint32_t r = clock.Advance(obj.timestamp);
+    for (uint32_t i = 0; i < r; ++i) estimator->OnSliceRotate();
+    rotations += r;
+    estimator->Insert(obj);
+  }
+  return rotations;
+}
+
+/// Brute-force truth over objects newer than `cutoff`.
+inline uint64_t BruteForceCount(
+    const std::vector<stream::GeoTextObject>& objects, const stream::Query& q,
+    stream::Timestamp cutoff) {
+  uint64_t count = 0;
+  for (const auto& obj : objects) {
+    if (obj.timestamp >= cutoff && q.Matches(obj)) ++count;
+  }
+  return count;
+}
+
+inline stream::Query MakeSpatialQuery(const geo::Rect& r) {
+  stream::Query q;
+  q.range = r;
+  return q;
+}
+
+inline stream::Query MakeKeywordQuery(std::vector<stream::KeywordId> kws) {
+  stream::Query q;
+  q.keywords = std::move(kws);
+  stream::CanonicalizeKeywords(&q.keywords);
+  return q;
+}
+
+inline stream::Query MakeHybridQuery(const geo::Rect& r,
+                                     std::vector<stream::KeywordId> kws) {
+  stream::Query q = MakeKeywordQuery(std::move(kws));
+  q.range = r;
+  return q;
+}
+
+}  // namespace latest::testing_support
+
+#endif  // LATEST_TESTS_TEST_STREAM_H_

@@ -1,0 +1,105 @@
+// Tests for the raw-text tokenizer.
+
+#include <gtest/gtest.h>
+
+#include "stream/tokenizer.h"
+
+namespace latest::stream {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("House FIRE near Downtown");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"house", "fire", "near",
+                                              "downtown"}));
+}
+
+TEST(TokenizerTest, SplitsOnPunctuation) {
+  Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("fire!!!rescue,,,help...now");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"fire", "rescue", "help", "now"}));
+}
+
+TEST(TokenizerTest, FiltersStopwords) {
+  Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("the fire is in the building");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"fire", "building"}));
+}
+
+TEST(TokenizerTest, StopwordFilterCanBeDisabled) {
+  TokenizerOptions options;
+  options.filter_stopwords = false;
+  options.min_token_length = 1;
+  Tokenizer tokenizer(options);
+  const auto tokens = tokenizer.Tokenize("the fire");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"the", "fire"}));
+}
+
+TEST(TokenizerTest, DropsShortTokens) {
+  Tokenizer tokenizer;  // min_token_length = 3.
+  const auto tokens = tokenizer.Tokenize("go to la xy fire");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"fire"}));
+}
+
+TEST(TokenizerTest, HashtagsKeptEvenWhenShort) {
+  Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("evacuating #la now #FireRescue");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"evacuating", "#la", "now",
+                                              "#firerescue"}));
+}
+
+TEST(TokenizerTest, HashtagMarkerCanBeStripped) {
+  TokenizerOptions options;
+  options.keep_hashtag_marker = false;
+  Tokenizer tokenizer(options);
+  const auto tokens = tokenizer.Tokenize("#Fire downtown");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"fire", "downtown"}));
+}
+
+TEST(TokenizerTest, HashtagAndPlainWordStayDistinct) {
+  Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("#fire fire");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"#fire", "fire"}));
+}
+
+TEST(TokenizerTest, DeduplicatesKeepingFirst) {
+  Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("fire help fire HELP Fire");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"fire", "help"}));
+}
+
+TEST(TokenizerTest, MaxTokensCap) {
+  TokenizerOptions options;
+  options.max_tokens = 2;
+  Tokenizer tokenizer(options);
+  const auto tokens = tokenizer.Tokenize("alpha bravo charlie delta");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"alpha", "bravo"}));
+}
+
+TEST(TokenizerTest, EmptyAndSymbolOnlyText) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("!!! ... ###").empty());
+}
+
+TEST(TokenizerTest, UnderscoresAndDigitsAreTokenChars) {
+  Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("route_66 covid19");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"route_66", "covid19"}));
+}
+
+TEST(TokenizerTest, IsStopwordLookup) {
+  EXPECT_TRUE(Tokenizer::IsStopword("the"));
+  EXPECT_TRUE(Tokenizer::IsStopword("with"));
+  EXPECT_FALSE(Tokenizer::IsStopword("fire"));
+}
+
+TEST(TokenizerTest, HashAloneIsNotAToken) {
+  Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("# fire");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"fire"}));
+}
+
+}  // namespace
+}  // namespace latest::stream

@@ -1,0 +1,346 @@
+// Tests for src/workload: dataset generators, query workload generators,
+// and the stream driver.
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "workload/dataset.h"
+#include "workload/query_workload.h"
+#include "workload/stream_driver.h"
+
+namespace latest::workload {
+namespace {
+
+// --------------------------------------------------------------------
+// DatasetSpec / DatasetGenerator
+
+TEST(DatasetSpecTest, PresetsValidate) {
+  EXPECT_TRUE(TwitterLikeSpec().Validate().ok());
+  EXPECT_TRUE(EbirdLikeSpec().Validate().ok());
+  EXPECT_TRUE(CheckinLikeSpec().Validate().ok());
+}
+
+TEST(DatasetSpecTest, ScaleMultipliesObjectCount) {
+  EXPECT_EQ(TwitterLikeSpec(2.0).num_objects, 2 * TwitterLikeSpec().num_objects);
+  EXPECT_EQ(TwitterLikeSpec(0.1).num_objects,
+            TwitterLikeSpec().num_objects / 10);
+}
+
+TEST(DatasetSpecTest, ValidationCatchesBadSpecs) {
+  auto spec = TwitterLikeSpec();
+  spec.bounds = geo::Rect{};
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = TwitterLikeSpec();
+  spec.vocabulary_size = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = TwitterLikeSpec();
+  spec.min_keywords_per_object = 5;
+  spec.max_keywords_per_object = 2;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = TwitterLikeSpec();
+  spec.uniform_fraction = 1.5;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = TwitterLikeSpec();
+  spec.num_objects = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(DatasetGeneratorTest, ProducesExactCount) {
+  auto spec = TwitterLikeSpec(0.01);
+  DatasetGenerator gen(spec);
+  uint64_t count = 0;
+  while (gen.HasNext()) {
+    gen.Next();
+    ++count;
+  }
+  EXPECT_EQ(count, spec.num_objects);
+}
+
+TEST(DatasetGeneratorTest, TimestampsNonDecreasingWithinDuration) {
+  auto spec = TwitterLikeSpec(0.02);
+  DatasetGenerator gen(spec);
+  stream::Timestamp prev = -1;
+  while (gen.HasNext()) {
+    const auto obj = gen.Next();
+    EXPECT_GE(obj.timestamp, prev);
+    EXPECT_LT(obj.timestamp, spec.duration_ms);
+    prev = obj.timestamp;
+  }
+}
+
+TEST(DatasetGeneratorTest, LocationsInsideBounds) {
+  auto spec = CheckinLikeSpec(0.05);
+  DatasetGenerator gen(spec);
+  while (gen.HasNext()) {
+    const auto obj = gen.Next();
+    EXPECT_TRUE(spec.bounds.Contains(obj.loc));
+  }
+}
+
+TEST(DatasetGeneratorTest, KeywordsCanonicalAndInVocabulary) {
+  auto spec = EbirdLikeSpec(0.02);
+  DatasetGenerator gen(spec);
+  while (gen.HasNext()) {
+    const auto obj = gen.Next();
+    ASSERT_GE(obj.keywords.size(), 1u);
+    ASSERT_LE(obj.keywords.size(),
+              static_cast<size_t>(spec.max_keywords_per_object));
+    for (size_t i = 0; i < obj.keywords.size(); ++i) {
+      EXPECT_LT(obj.keywords[i], spec.vocabulary_size);
+      if (i > 0) {
+        EXPECT_GT(obj.keywords[i], obj.keywords[i - 1]);
+      }
+    }
+  }
+}
+
+TEST(DatasetGeneratorTest, KeywordFrequenciesAreSkewed) {
+  auto spec = TwitterLikeSpec(0.2);
+  DatasetGenerator gen(spec);
+  std::map<stream::KeywordId, int> counts;
+  while (gen.HasNext()) {
+    for (const auto kw : gen.Next().keywords) ++counts[kw];
+  }
+  // Zipf: the most frequent keyword appears far more than the 100th.
+  EXPECT_GT(counts[0], 20 * std::max(1, counts[100]));
+}
+
+TEST(DatasetGeneratorTest, SpatialDensityIsHotspotSkewed) {
+  auto spec = TwitterLikeSpec(0.2);
+  DatasetGenerator gen(spec);
+  // Count objects near New York (hotspot) vs an empty-ocean box of the
+  // same size.
+  const geo::Rect nyc = geo::Rect::FromCenter({-74.0, 40.7}, 4, 4);
+  const geo::Rect ocean = geo::Rect::FromCenter({-70.0, 30.0}, 4, 4);
+  int near_nyc = 0;
+  int near_ocean = 0;
+  while (gen.HasNext()) {
+    const auto obj = gen.Next();
+    near_nyc += nyc.Contains(obj.loc);
+    near_ocean += ocean.Contains(obj.loc);
+  }
+  EXPECT_GT(near_nyc, 10 * (near_ocean + 1));
+}
+
+TEST(DatasetGeneratorTest, DeterministicForSeed) {
+  auto spec = TwitterLikeSpec(0.01);
+  DatasetGenerator a(spec);
+  DatasetGenerator b(spec);
+  while (a.HasNext()) {
+    const auto oa = a.Next();
+    const auto ob = b.Next();
+    EXPECT_EQ(oa.loc, ob.loc);
+    EXPECT_EQ(oa.keywords, ob.keywords);
+    EXPECT_EQ(oa.timestamp, ob.timestamp);
+  }
+}
+
+// --------------------------------------------------------------------
+// WorkloadSpec / QueryGenerator
+
+TEST(WorkloadSpecTest, AllPresetsValidate) {
+  for (const WorkloadId id :
+       {WorkloadId::kTwQW1, WorkloadId::kTwQW2, WorkloadId::kTwQW3,
+        WorkloadId::kTwQW4, WorkloadId::kTwQW5, WorkloadId::kTwQW6,
+        WorkloadId::kEbRQW1, WorkloadId::kCiQW1}) {
+    const auto spec = MakeWorkloadSpec(id, 1000);
+    EXPECT_TRUE(spec.Validate().ok()) << WorkloadIdName(id);
+    EXPECT_EQ(spec.name, WorkloadIdName(id));
+  }
+}
+
+TEST(WorkloadSpecTest, ValidationCatchesBadMixes) {
+  WorkloadSpec spec = MakeWorkloadSpec(WorkloadId::kTwQW2, 100);
+  spec.segments[0].mix = {0.5, 0.1, 0.1};  // Sums to 0.7.
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = MakeWorkloadSpec(WorkloadId::kTwQW2, 100);
+  spec.segments[0].fraction = 0.5;  // Fractions must sum to 1.
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = MakeWorkloadSpec(WorkloadId::kTwQW2, 100);
+  spec.segments.clear();
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = MakeWorkloadSpec(WorkloadId::kTwQW2, 100);
+  spec.min_side_fraction = 0.0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = MakeWorkloadSpec(WorkloadId::kTwQW2, 100);
+  spec.min_query_keywords = 3;
+  spec.max_query_keywords = 1;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(QueryGeneratorTest, PureSpatialWorkloadHasOnlySpatialQueries) {
+  const auto dataset = TwitterLikeSpec();
+  QueryGenerator gen(MakeWorkloadSpec(WorkloadId::kTwQW2, 500), dataset);
+  while (gen.HasNext()) {
+    const auto q = gen.Next();
+    EXPECT_EQ(q.Type(), stream::QueryType::kSpatial);
+    EXPECT_TRUE(q.range->IsValid());
+  }
+}
+
+TEST(QueryGeneratorTest, SingleKeywordWorkload) {
+  const auto dataset = TwitterLikeSpec();
+  QueryGenerator gen(MakeWorkloadSpec(WorkloadId::kTwQW4, 500), dataset);
+  while (gen.HasNext()) {
+    const auto q = gen.Next();
+    EXPECT_EQ(q.Type(), stream::QueryType::kKeyword);
+    EXPECT_EQ(q.keywords.size(), 1u);
+    EXPECT_LT(q.keywords[0], dataset.vocabulary_size);
+  }
+}
+
+TEST(QueryGeneratorTest, MultiKeywordWorkloadHasTwoToFive) {
+  const auto dataset = TwitterLikeSpec();
+  QueryGenerator gen(MakeWorkloadSpec(WorkloadId::kTwQW5, 500), dataset);
+  while (gen.HasNext()) {
+    const auto q = gen.Next();
+    EXPECT_EQ(q.Type(), stream::QueryType::kKeyword);
+    EXPECT_GE(q.keywords.size(), 1u);  // Dedup may shrink below 2.
+    EXPECT_LE(q.keywords.size(), 5u);
+  }
+}
+
+TEST(QueryGeneratorTest, MixedWorkloadApproximatesThirds) {
+  const auto dataset = TwitterLikeSpec();
+  QueryGenerator gen(MakeWorkloadSpec(WorkloadId::kTwQW1, 6000), dataset);
+  int counts[3] = {};
+  while (gen.HasNext()) {
+    ++counts[static_cast<int>(gen.Next().Type())];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 6000 / 5);  // Each type well represented.
+    EXPECT_LT(c, 6000 / 2);
+  }
+}
+
+TEST(QueryGeneratorTest, PhasesChangeDominantType) {
+  const auto dataset = TwitterLikeSpec();
+  const auto spec = MakeWorkloadSpec(WorkloadId::kTwQW1, 10000);
+  QueryGenerator gen(spec, dataset);
+  // Segment 2 of TwQW1 (queries 1800..3100) is spatial-dominated.
+  int spatial_in_segment2 = 0;
+  int total_in_segment2 = 0;
+  while (gen.HasNext()) {
+    const uint32_t index = gen.produced();
+    const auto q = gen.Next();
+    if (index >= 1900 && index < 3000) {
+      ++total_in_segment2;
+      spatial_in_segment2 += (q.Type() == stream::QueryType::kSpatial);
+    }
+  }
+  ASSERT_GT(total_in_segment2, 0);
+  EXPECT_GT(static_cast<double>(spatial_in_segment2) / total_in_segment2,
+            0.8);
+}
+
+TEST(QueryGeneratorTest, RangeSidesWithinSpec) {
+  const auto dataset = TwitterLikeSpec();
+  auto spec = MakeWorkloadSpec(WorkloadId::kTwQW2, 300);
+  QueryGenerator gen(spec, dataset);
+  while (gen.HasNext()) {
+    const auto q = gen.Next();
+    const double side_fraction = q.range->Width() / dataset.bounds.Width();
+    EXPECT_GE(side_fraction, spec.min_side_fraction - 1e-9);
+    EXPECT_LE(side_fraction, spec.max_side_fraction + 1e-9);
+  }
+}
+
+TEST(QueryGeneratorTest, SpatialSideScaleShrinksPureSpatialOnly) {
+  const auto dataset = TwitterLikeSpec();
+  auto spec = MakeWorkloadSpec(WorkloadId::kTwQW1, 2000);
+  ASSERT_LT(spec.spatial_side_scale, 1.0);
+  QueryGenerator gen(spec, dataset);
+  double max_spatial_side = 0.0;
+  double max_hybrid_side = 0.0;
+  while (gen.HasNext()) {
+    const auto q = gen.Next();
+    if (!q.HasRange()) continue;
+    const double side = q.range->Width() / dataset.bounds.Width();
+    if (q.Type() == stream::QueryType::kSpatial) {
+      max_spatial_side = std::max(max_spatial_side, side);
+    } else {
+      max_hybrid_side = std::max(max_hybrid_side, side);
+    }
+  }
+  EXPECT_LT(max_spatial_side, spec.max_side_fraction * spec.spatial_side_scale +
+                                  1e-9);
+  EXPECT_GT(max_hybrid_side, max_spatial_side);
+}
+
+TEST(QueryGeneratorTest, DeterministicForSeed) {
+  const auto dataset = TwitterLikeSpec();
+  const auto spec = MakeWorkloadSpec(WorkloadId::kTwQW1, 200);
+  QueryGenerator a(spec, dataset);
+  QueryGenerator b(spec, dataset);
+  while (a.HasNext()) {
+    const auto qa = a.Next();
+    const auto qb = b.Next();
+    EXPECT_EQ(qa.HasRange(), qb.HasRange());
+    EXPECT_EQ(qa.keywords, qb.keywords);
+  }
+}
+
+// --------------------------------------------------------------------
+// StreamDriver
+
+TEST(StreamDriverTest, EmitsEverythingInTimestampOrder) {
+  auto dataset_spec = TwitterLikeSpec(0.02);
+  DatasetGenerator dataset(dataset_spec);
+  const auto workload_spec = MakeWorkloadSpec(WorkloadId::kTwQW1, 200);
+  QueryGenerator queries(workload_spec, dataset_spec);
+  StreamDriver driver(&dataset, &queries, /*query_start_ms=*/3600000,
+                      dataset_spec.duration_ms);
+  stream::Timestamp last = -1;
+  uint64_t objects = 0;
+  uint32_t query_count = 0;
+  driver.Run(
+      [&](const stream::GeoTextObject& obj) {
+        EXPECT_GE(obj.timestamp, last);
+        last = obj.timestamp;
+        ++objects;
+      },
+      [&](const stream::Query& q, uint32_t index) {
+        EXPECT_GE(q.timestamp, last);
+        last = q.timestamp;
+        EXPECT_EQ(index, query_count);
+        ++query_count;
+      });
+  EXPECT_EQ(objects, dataset_spec.num_objects);
+  EXPECT_EQ(query_count, 200u);
+}
+
+TEST(StreamDriverTest, QueriesStartAfterWarmup) {
+  auto dataset_spec = TwitterLikeSpec(0.02);
+  DatasetGenerator dataset(dataset_spec);
+  const auto workload_spec = MakeWorkloadSpec(WorkloadId::kTwQW2, 100);
+  QueryGenerator queries(workload_spec, dataset_spec);
+  const stream::Timestamp start = 2 * 3600000;
+  StreamDriver driver(&dataset, &queries, start, dataset_spec.duration_ms);
+  driver.Run([](const stream::GeoTextObject&) {},
+             [&](const stream::Query& q, uint32_t) {
+               EXPECT_GE(q.timestamp, start);
+             });
+}
+
+TEST(StreamDriverTest, QueryTimestampsSpanTheConfiguredRange) {
+  auto dataset_spec = TwitterLikeSpec(0.01);
+  DatasetGenerator dataset(dataset_spec);
+  const auto workload_spec = MakeWorkloadSpec(WorkloadId::kTwQW2, 50);
+  QueryGenerator queries(workload_spec, dataset_spec);
+  StreamDriver driver(&dataset, &queries, 1000000, 2000000);
+  EXPECT_EQ(driver.QueryTimestamp(0), 1000000);
+  EXPECT_EQ(driver.QueryTimestamp(49), 2000000);
+}
+
+}  // namespace
+}  // namespace latest::workload
