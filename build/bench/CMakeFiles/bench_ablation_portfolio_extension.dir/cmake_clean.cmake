@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_portfolio_extension.dir/bench_ablation_portfolio_extension.cc.o"
+  "CMakeFiles/bench_ablation_portfolio_extension.dir/bench_ablation_portfolio_extension.cc.o.d"
+  "bench_ablation_portfolio_extension"
+  "bench_ablation_portfolio_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_portfolio_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_spatial_range_twqw1.dir/bench_fig9_spatial_range_twqw1.cc.o"
+  "CMakeFiles/bench_fig9_spatial_range_twqw1.dir/bench_fig9_spatial_range_twqw1.cc.o.d"
+  "bench_fig9_spatial_range_twqw1"
+  "bench_fig9_spatial_range_twqw1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_spatial_range_twqw1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

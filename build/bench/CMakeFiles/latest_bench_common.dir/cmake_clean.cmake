@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latest_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/latest_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/latest_bench_common.dir/portfolio_harness.cc.o"
+  "CMakeFiles/latest_bench_common.dir/portfolio_harness.cc.o.d"
+  "liblatest_bench_common.a"
+  "liblatest_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latest_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

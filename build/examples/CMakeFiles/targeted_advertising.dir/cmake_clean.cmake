@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targeted_advertising.dir/targeted_advertising.cpp.o"
+  "CMakeFiles/targeted_advertising.dir/targeted_advertising.cpp.o.d"
+  "targeted_advertising"
+  "targeted_advertising.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targeted_advertising.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

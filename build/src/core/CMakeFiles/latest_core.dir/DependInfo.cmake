@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/estimation_service.cc" "src/core/CMakeFiles/latest_core.dir/estimation_service.cc.o" "gcc" "src/core/CMakeFiles/latest_core.dir/estimation_service.cc.o.d"
+  "/root/repo/src/core/latest_module.cc" "src/core/CMakeFiles/latest_core.dir/latest_module.cc.o" "gcc" "src/core/CMakeFiles/latest_core.dir/latest_module.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/latest_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/latest_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/module_stats.cc" "src/core/CMakeFiles/latest_core.dir/module_stats.cc.o" "gcc" "src/core/CMakeFiles/latest_core.dir/module_stats.cc.o.d"
+  "/root/repo/src/core/scoreboard.cc" "src/core/CMakeFiles/latest_core.dir/scoreboard.cc.o" "gcc" "src/core/CMakeFiles/latest_core.dir/scoreboard.cc.o.d"
+  "/root/repo/src/core/subscription_manager.cc" "src/core/CMakeFiles/latest_core.dir/subscription_manager.cc.o" "gcc" "src/core/CMakeFiles/latest_core.dir/subscription_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/estimators/CMakeFiles/latest_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/latest_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/latest_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/latest_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/latest_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/latest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latest_core.dir/estimation_service.cc.o"
+  "CMakeFiles/latest_core.dir/estimation_service.cc.o.d"
+  "CMakeFiles/latest_core.dir/latest_module.cc.o"
+  "CMakeFiles/latest_core.dir/latest_module.cc.o.d"
+  "CMakeFiles/latest_core.dir/metrics.cc.o"
+  "CMakeFiles/latest_core.dir/metrics.cc.o.d"
+  "CMakeFiles/latest_core.dir/module_stats.cc.o"
+  "CMakeFiles/latest_core.dir/module_stats.cc.o.d"
+  "CMakeFiles/latest_core.dir/scoreboard.cc.o"
+  "CMakeFiles/latest_core.dir/scoreboard.cc.o.d"
+  "CMakeFiles/latest_core.dir/subscription_manager.cc.o"
+  "CMakeFiles/latest_core.dir/subscription_manager.cc.o.d"
+  "liblatest_core.a"
+  "liblatest_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latest_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

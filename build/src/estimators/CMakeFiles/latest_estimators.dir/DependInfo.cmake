@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimators/aasp_estimator.cc" "src/estimators/CMakeFiles/latest_estimators.dir/aasp_estimator.cc.o" "gcc" "src/estimators/CMakeFiles/latest_estimators.dir/aasp_estimator.cc.o.d"
+  "/root/repo/src/estimators/cm_sketch_estimator.cc" "src/estimators/CMakeFiles/latest_estimators.dir/cm_sketch_estimator.cc.o" "gcc" "src/estimators/CMakeFiles/latest_estimators.dir/cm_sketch_estimator.cc.o.d"
+  "/root/repo/src/estimators/estimator.cc" "src/estimators/CMakeFiles/latest_estimators.dir/estimator.cc.o" "gcc" "src/estimators/CMakeFiles/latest_estimators.dir/estimator.cc.o.d"
+  "/root/repo/src/estimators/ffn_estimator.cc" "src/estimators/CMakeFiles/latest_estimators.dir/ffn_estimator.cc.o" "gcc" "src/estimators/CMakeFiles/latest_estimators.dir/ffn_estimator.cc.o.d"
+  "/root/repo/src/estimators/histogram2d_estimator.cc" "src/estimators/CMakeFiles/latest_estimators.dir/histogram2d_estimator.cc.o" "gcc" "src/estimators/CMakeFiles/latest_estimators.dir/histogram2d_estimator.cc.o.d"
+  "/root/repo/src/estimators/kmv_synopsis.cc" "src/estimators/CMakeFiles/latest_estimators.dir/kmv_synopsis.cc.o" "gcc" "src/estimators/CMakeFiles/latest_estimators.dir/kmv_synopsis.cc.o.d"
+  "/root/repo/src/estimators/reservoir_hash_estimator.cc" "src/estimators/CMakeFiles/latest_estimators.dir/reservoir_hash_estimator.cc.o" "gcc" "src/estimators/CMakeFiles/latest_estimators.dir/reservoir_hash_estimator.cc.o.d"
+  "/root/repo/src/estimators/reservoir_list_estimator.cc" "src/estimators/CMakeFiles/latest_estimators.dir/reservoir_list_estimator.cc.o" "gcc" "src/estimators/CMakeFiles/latest_estimators.dir/reservoir_list_estimator.cc.o.d"
+  "/root/repo/src/estimators/space_saving.cc" "src/estimators/CMakeFiles/latest_estimators.dir/space_saving.cc.o" "gcc" "src/estimators/CMakeFiles/latest_estimators.dir/space_saving.cc.o.d"
+  "/root/repo/src/estimators/spn_estimator.cc" "src/estimators/CMakeFiles/latest_estimators.dir/spn_estimator.cc.o" "gcc" "src/estimators/CMakeFiles/latest_estimators.dir/spn_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/latest_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/latest_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/latest_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/latest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latest_estimators.dir/aasp_estimator.cc.o"
+  "CMakeFiles/latest_estimators.dir/aasp_estimator.cc.o.d"
+  "CMakeFiles/latest_estimators.dir/cm_sketch_estimator.cc.o"
+  "CMakeFiles/latest_estimators.dir/cm_sketch_estimator.cc.o.d"
+  "CMakeFiles/latest_estimators.dir/estimator.cc.o"
+  "CMakeFiles/latest_estimators.dir/estimator.cc.o.d"
+  "CMakeFiles/latest_estimators.dir/ffn_estimator.cc.o"
+  "CMakeFiles/latest_estimators.dir/ffn_estimator.cc.o.d"
+  "CMakeFiles/latest_estimators.dir/histogram2d_estimator.cc.o"
+  "CMakeFiles/latest_estimators.dir/histogram2d_estimator.cc.o.d"
+  "CMakeFiles/latest_estimators.dir/kmv_synopsis.cc.o"
+  "CMakeFiles/latest_estimators.dir/kmv_synopsis.cc.o.d"
+  "CMakeFiles/latest_estimators.dir/reservoir_hash_estimator.cc.o"
+  "CMakeFiles/latest_estimators.dir/reservoir_hash_estimator.cc.o.d"
+  "CMakeFiles/latest_estimators.dir/reservoir_list_estimator.cc.o"
+  "CMakeFiles/latest_estimators.dir/reservoir_list_estimator.cc.o.d"
+  "CMakeFiles/latest_estimators.dir/space_saving.cc.o"
+  "CMakeFiles/latest_estimators.dir/space_saving.cc.o.d"
+  "CMakeFiles/latest_estimators.dir/spn_estimator.cc.o"
+  "CMakeFiles/latest_estimators.dir/spn_estimator.cc.o.d"
+  "liblatest_estimators.a"
+  "liblatest_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latest_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exact/exact_evaluator.cc" "src/exact/CMakeFiles/latest_exact.dir/exact_evaluator.cc.o" "gcc" "src/exact/CMakeFiles/latest_exact.dir/exact_evaluator.cc.o.d"
+  "/root/repo/src/exact/grid_index.cc" "src/exact/CMakeFiles/latest_exact.dir/grid_index.cc.o" "gcc" "src/exact/CMakeFiles/latest_exact.dir/grid_index.cc.o.d"
+  "/root/repo/src/exact/inverted_index.cc" "src/exact/CMakeFiles/latest_exact.dir/inverted_index.cc.o" "gcc" "src/exact/CMakeFiles/latest_exact.dir/inverted_index.cc.o.d"
+  "/root/repo/src/exact/quadtree_index.cc" "src/exact/CMakeFiles/latest_exact.dir/quadtree_index.cc.o" "gcc" "src/exact/CMakeFiles/latest_exact.dir/quadtree_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/latest_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/latest_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/latest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

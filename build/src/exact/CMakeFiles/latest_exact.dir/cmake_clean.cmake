@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latest_exact.dir/exact_evaluator.cc.o"
+  "CMakeFiles/latest_exact.dir/exact_evaluator.cc.o.d"
+  "CMakeFiles/latest_exact.dir/grid_index.cc.o"
+  "CMakeFiles/latest_exact.dir/grid_index.cc.o.d"
+  "CMakeFiles/latest_exact.dir/inverted_index.cc.o"
+  "CMakeFiles/latest_exact.dir/inverted_index.cc.o.d"
+  "CMakeFiles/latest_exact.dir/quadtree_index.cc.o"
+  "CMakeFiles/latest_exact.dir/quadtree_index.cc.o.d"
+  "liblatest_exact.a"
+  "liblatest_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latest_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latest_geo.dir/grid.cc.o"
+  "CMakeFiles/latest_geo.dir/grid.cc.o.d"
+  "CMakeFiles/latest_geo.dir/rect.cc.o"
+  "CMakeFiles/latest_geo.dir/rect.cc.o.d"
+  "liblatest_geo.a"
+  "liblatest_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latest_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

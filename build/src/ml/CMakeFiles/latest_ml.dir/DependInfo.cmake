@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/gaussian_estimator.cc" "src/ml/CMakeFiles/latest_ml.dir/gaussian_estimator.cc.o" "gcc" "src/ml/CMakeFiles/latest_ml.dir/gaussian_estimator.cc.o.d"
+  "/root/repo/src/ml/hoeffding_tree.cc" "src/ml/CMakeFiles/latest_ml.dir/hoeffding_tree.cc.o" "gcc" "src/ml/CMakeFiles/latest_ml.dir/hoeffding_tree.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/latest_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/latest_ml.dir/mlp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/latest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

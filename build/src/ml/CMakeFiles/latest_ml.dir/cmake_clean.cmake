@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latest_ml.dir/gaussian_estimator.cc.o"
+  "CMakeFiles/latest_ml.dir/gaussian_estimator.cc.o.d"
+  "CMakeFiles/latest_ml.dir/hoeffding_tree.cc.o"
+  "CMakeFiles/latest_ml.dir/hoeffding_tree.cc.o.d"
+  "CMakeFiles/latest_ml.dir/mlp.cc.o"
+  "CMakeFiles/latest_ml.dir/mlp.cc.o.d"
+  "liblatest_ml.a"
+  "liblatest_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latest_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/keyword_dictionary.cc" "src/stream/CMakeFiles/latest_stream.dir/keyword_dictionary.cc.o" "gcc" "src/stream/CMakeFiles/latest_stream.dir/keyword_dictionary.cc.o.d"
+  "/root/repo/src/stream/object.cc" "src/stream/CMakeFiles/latest_stream.dir/object.cc.o" "gcc" "src/stream/CMakeFiles/latest_stream.dir/object.cc.o.d"
+  "/root/repo/src/stream/query.cc" "src/stream/CMakeFiles/latest_stream.dir/query.cc.o" "gcc" "src/stream/CMakeFiles/latest_stream.dir/query.cc.o.d"
+  "/root/repo/src/stream/sliding_window.cc" "src/stream/CMakeFiles/latest_stream.dir/sliding_window.cc.o" "gcc" "src/stream/CMakeFiles/latest_stream.dir/sliding_window.cc.o.d"
+  "/root/repo/src/stream/tokenizer.cc" "src/stream/CMakeFiles/latest_stream.dir/tokenizer.cc.o" "gcc" "src/stream/CMakeFiles/latest_stream.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/latest_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/latest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

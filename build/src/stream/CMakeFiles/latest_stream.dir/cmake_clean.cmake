@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latest_stream.dir/keyword_dictionary.cc.o"
+  "CMakeFiles/latest_stream.dir/keyword_dictionary.cc.o.d"
+  "CMakeFiles/latest_stream.dir/object.cc.o"
+  "CMakeFiles/latest_stream.dir/object.cc.o.d"
+  "CMakeFiles/latest_stream.dir/query.cc.o"
+  "CMakeFiles/latest_stream.dir/query.cc.o.d"
+  "CMakeFiles/latest_stream.dir/sliding_window.cc.o"
+  "CMakeFiles/latest_stream.dir/sliding_window.cc.o.d"
+  "CMakeFiles/latest_stream.dir/tokenizer.cc.o"
+  "CMakeFiles/latest_stream.dir/tokenizer.cc.o.d"
+  "liblatest_stream.a"
+  "liblatest_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latest_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latest_util.dir/minmax_scaler.cc.o"
+  "CMakeFiles/latest_util.dir/minmax_scaler.cc.o.d"
+  "CMakeFiles/latest_util.dir/moving_stats.cc.o"
+  "CMakeFiles/latest_util.dir/moving_stats.cc.o.d"
+  "CMakeFiles/latest_util.dir/rng.cc.o"
+  "CMakeFiles/latest_util.dir/rng.cc.o.d"
+  "CMakeFiles/latest_util.dir/status.cc.o"
+  "CMakeFiles/latest_util.dir/status.cc.o.d"
+  "CMakeFiles/latest_util.dir/zipf.cc.o"
+  "CMakeFiles/latest_util.dir/zipf.cc.o.d"
+  "liblatest_util.a"
+  "liblatest_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latest_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblatest_util.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/csv_loader.cc" "src/workload/CMakeFiles/latest_workload.dir/csv_loader.cc.o" "gcc" "src/workload/CMakeFiles/latest_workload.dir/csv_loader.cc.o.d"
+  "/root/repo/src/workload/dataset.cc" "src/workload/CMakeFiles/latest_workload.dir/dataset.cc.o" "gcc" "src/workload/CMakeFiles/latest_workload.dir/dataset.cc.o.d"
+  "/root/repo/src/workload/query_workload.cc" "src/workload/CMakeFiles/latest_workload.dir/query_workload.cc.o" "gcc" "src/workload/CMakeFiles/latest_workload.dir/query_workload.cc.o.d"
+  "/root/repo/src/workload/stream_driver.cc" "src/workload/CMakeFiles/latest_workload.dir/stream_driver.cc.o" "gcc" "src/workload/CMakeFiles/latest_workload.dir/stream_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/latest_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/latest_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/latest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

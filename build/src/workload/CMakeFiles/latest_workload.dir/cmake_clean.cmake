@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latest_workload.dir/csv_loader.cc.o"
+  "CMakeFiles/latest_workload.dir/csv_loader.cc.o.d"
+  "CMakeFiles/latest_workload.dir/dataset.cc.o"
+  "CMakeFiles/latest_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/latest_workload.dir/query_workload.cc.o"
+  "CMakeFiles/latest_workload.dir/query_workload.cc.o.d"
+  "CMakeFiles/latest_workload.dir/stream_driver.cc.o"
+  "CMakeFiles/latest_workload.dir/stream_driver.cc.o.d"
+  "liblatest_workload.a"
+  "liblatest_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latest_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblatest_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aasp_estimator_test.dir/aasp_estimator_test.cc.o"
+  "CMakeFiles/aasp_estimator_test.dir/aasp_estimator_test.cc.o.d"
+  "aasp_estimator_test"
+  "aasp_estimator_test.pdb"
+  "aasp_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aasp_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

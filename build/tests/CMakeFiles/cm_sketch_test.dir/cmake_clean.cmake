@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_sketch_test.dir/cm_sketch_test.cc.o"
+  "CMakeFiles/cm_sketch_test.dir/cm_sketch_test.cc.o.d"
+  "cm_sketch_test"
+  "cm_sketch_test.pdb"
+  "cm_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

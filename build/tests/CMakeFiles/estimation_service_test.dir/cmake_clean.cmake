@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimation_service_test.dir/estimation_service_test.cc.o"
+  "CMakeFiles/estimation_service_test.dir/estimation_service_test.cc.o.d"
+  "estimation_service_test"
+  "estimation_service_test.pdb"
+  "estimation_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimation_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latest_module_test.dir/latest_module_test.cc.o"
+  "CMakeFiles/latest_module_test.dir/latest_module_test.cc.o.d"
+  "latest_module_test"
+  "latest_module_test.pdb"
+  "latest_module_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latest_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_estimator_test.dir/learned_estimator_test.cc.o"
+  "CMakeFiles/learned_estimator_test.dir/learned_estimator_test.cc.o.d"
+  "learned_estimator_test"
+  "learned_estimator_test.pdb"
+  "learned_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservoir_estimator_test.dir/reservoir_estimator_test.cc.o"
+  "CMakeFiles/reservoir_estimator_test.dir/reservoir_estimator_test.cc.o.d"
+  "reservoir_estimator_test"
+  "reservoir_estimator_test.pdb"
+  "reservoir_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservoir_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscription_test.dir/subscription_test.cc.o"
+  "CMakeFiles/subscription_test.dir/subscription_test.cc.o.d"
+  "subscription_test"
+  "subscription_test.pdb"
+  "subscription_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscription_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

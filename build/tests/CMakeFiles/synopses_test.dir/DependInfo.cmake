@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/synopses_test.cc" "tests/CMakeFiles/synopses_test.dir/synopses_test.cc.o" "gcc" "tests/CMakeFiles/synopses_test.dir/synopses_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/latest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/latest_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimators/CMakeFiles/latest_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/latest_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/latest_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/latest_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/latest_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/latest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

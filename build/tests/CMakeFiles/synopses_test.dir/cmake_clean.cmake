@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synopses_test.dir/synopses_test.cc.o"
+  "CMakeFiles/synopses_test.dir/synopses_test.cc.o.d"
+  "synopses_test"
+  "synopses_test.pdb"
+  "synopses_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synopses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_test[1]_include.cmake")
+include("/root/repo/build/tests/synopses_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/reservoir_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/aasp_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/learned_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/estimator_common_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/latest_module_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/tokenizer_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_loader_test[1]_include.cmake")
+include("/root/repo/build/tests/estimation_service_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/cm_sketch_test[1]_include.cmake")
+include("/root/repo/build/tests/subscription_test[1]_include.cmake")
+include("/root/repo/build/tests/persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/adversarial_test[1]_include.cmake")
