@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics_registry.h"
 #include "workload/stream_driver.h"
 
 namespace latest::bench {
@@ -59,6 +60,8 @@ TimelineResult RunTimeline(const workload::DatasetSpec& dataset_spec,
                                 /*query_start_ms=*/config.window
                                     .window_length_ms,
                                 dataset_spec.duration_ms);
+  driver.AttachTelemetry(&module.telemetry().registry());
+  obs::Histogram active_latency(obs::Histogram::LatencyBucketsMs());
   uint64_t incremental_index = 0;
   driver.Run(
       [&](const stream::GeoTextObject& obj) { module.OnObject(obj); },
@@ -79,6 +82,7 @@ TimelineResult RunTimeline(const workload::DatasetSpec& dataset_spec,
         stats.active = outcome.active;
         result.mean_active_accuracy += outcome.accuracy;
         result.mean_active_latency_ms += outcome.latency_ms;
+        active_latency.Observe(outcome.latency_ms);
         ++incremental_index;
       });
 
@@ -86,6 +90,9 @@ TimelineResult RunTimeline(const workload::DatasetSpec& dataset_spec,
   if (incremental_index > 0) {
     result.mean_active_accuracy /= static_cast<double>(incremental_index);
     result.mean_active_latency_ms /= static_cast<double>(incremental_index);
+    result.p50_latency_ms = active_latency.Percentile(50.0);
+    result.p95_latency_ms = active_latency.Percentile(95.0);
+    result.p99_latency_ms = active_latency.Percentile(99.0);
   }
   for (const auto& sw : module.switch_log()) {
     result.switches.push_back(TimelineSwitch{
@@ -152,9 +159,26 @@ void PrintTimelineFigure(const std::string& title,
   }
   std::printf(
       "\nmean active-estimator accuracy %.3f, latency %.4f ms over %llu "
-      "incremental queries; final estimator %s\n\n",
+      "incremental queries; final estimator %s\n",
       result.mean_active_accuracy, result.mean_active_latency_ms,
       static_cast<unsigned long long>(result.incremental_queries),
+      estimators::EstimatorKindName(result.final_active));
+  std::printf(
+      "active-estimator latency percentiles: p50 %.4f ms, p95 %.4f ms, "
+      "p99 %.4f ms\n",
+      result.p50_latency_ms, result.p95_latency_ms, result.p99_latency_ms);
+  // One machine-readable line per figure for log scraping / regression
+  // tracking.
+  std::printf(
+      "RESULT_JSON {\"experiment\":\"%s\",\"incremental_queries\":%llu,"
+      "\"mean_accuracy\":%.6f,\"mean_latency_ms\":%.6f,"
+      "\"p50_latency_ms\":%.6f,\"p95_latency_ms\":%.6f,"
+      "\"p99_latency_ms\":%.6f,\"switches\":%zu,\"final_active\":\"%s\"}\n\n",
+      title.c_str(),
+      static_cast<unsigned long long>(result.incremental_queries),
+      result.mean_active_accuracy, result.mean_active_latency_ms,
+      result.p50_latency_ms, result.p95_latency_ms, result.p99_latency_ms,
+      result.switches.size(),
       estimators::EstimatorKindName(result.final_active));
 }
 
@@ -190,6 +214,29 @@ void PrintSweepFigure(const std::string& title, const std::string& x_label,
     }
     std::printf("\n");
   }
+  // Machine-readable summary: one line per sweep point with mean and tail
+  // latency per included estimator.
+  for (const SweepPoint& p : points) {
+    std::printf("RESULT_JSON {\"experiment\":\"%s\",\"point\":\"%s\","
+                "\"estimators\":{",
+                title.c_str(), p.label.c_str());
+    bool first = true;
+    for (uint32_t k = 0; k < estimators::kNumPaperEstimatorKinds; ++k) {
+      if (!p.included[k]) continue;
+      std::printf("%s\"%s\":{\"mean_latency_ms\":%.6f,"
+                  "\"p95_latency_ms\":%.6f,\"p99_latency_ms\":%.6f,"
+                  "\"accuracy\":%.6f}",
+                  first ? "" : ",",
+                  estimators::EstimatorKindName(
+                      static_cast<estimators::EstimatorKind>(k)),
+                  p.latency_ms[k], p.p95_latency_ms[k], p.p99_latency_ms[k],
+                  p.accuracy[k]);
+      first = false;
+    }
+    std::printf("},\"choice\":\"%s\"}\n",
+                estimators::EstimatorKindName(p.choice));
+  }
+  std::printf("\n");
 }
 
 void PrintHeader(const std::string& experiment, const std::string& detail) {

@@ -60,6 +60,11 @@ struct TimelineResult {
   std::vector<TimelineSwitch> switches;
   double mean_active_accuracy = 0.0;
   double mean_active_latency_ms = 0.0;
+  /// Active-estimator estimate-latency percentiles over the incremental
+  /// phase (telemetry histogram, linear interpolation within buckets).
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
   uint64_t incremental_queries = 0;
   estimators::EstimatorKind final_active = estimators::EstimatorKind::kRsh;
 };
@@ -83,6 +88,9 @@ struct SweepPoint {
   std::string label;
   std::array<double, estimators::kNumEstimatorKinds> latency_ms = {};
   std::array<double, estimators::kNumEstimatorKinds> accuracy = {};
+  /// Per-estimator latency percentiles over the evaluation batch.
+  std::array<double, estimators::kNumEstimatorKinds> p95_latency_ms = {};
+  std::array<double, estimators::kNumEstimatorKinds> p99_latency_ms = {};
   std::array<bool, estimators::kNumEstimatorKinds> included = {};
   estimators::EstimatorKind choice = estimators::EstimatorKind::kRsh;
 };

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "core/metrics.h"
+#include "obs/metrics_registry.h"
 #include "util/minmax_scaler.h"
 #include "util/stopwatch.h"
 
@@ -100,6 +101,12 @@ SweepPoint PortfolioHarness::Evaluate(
   // module's scoreboard does: the normalization range is then set by the
   // portfolio's real worst case, not by compressed batch means.
   util::MinMaxScaler scaler;
+  std::vector<std::unique_ptr<obs::Histogram>> latency_histograms;
+  latency_histograms.reserve(estimators::kNumPaperEstimatorKinds);
+  for (uint32_t k = 0; k < estimators::kNumPaperEstimatorKinds; ++k) {
+    latency_histograms.push_back(
+        std::make_unique<obs::Histogram>(obs::Histogram::LatencyBucketsMs()));
+  }
   for (const stream::Query& q_in : queries) {
     stream::Query q = q_in;
     q.timestamp = now_;
@@ -112,6 +119,7 @@ SweepPoint PortfolioHarness::Evaluate(
       const double estimate = est->Estimate(q);
       const double latency = watch.ElapsedMillis();
       scaler.Observe(latency);
+      latency_histograms[k]->Observe(latency);
       point.latency_ms[k] += latency;
       point.accuracy[k] += core::EstimationAccuracy(estimate, actual);
       point.included[k] = true;
@@ -122,6 +130,11 @@ SweepPoint PortfolioHarness::Evaluate(
     for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
       point.latency_ms[k] /= static_cast<double>(batch);
       point.accuracy[k] /= static_cast<double>(batch);
+    }
+    for (uint32_t k = 0; k < estimators::kNumPaperEstimatorKinds; ++k) {
+      if (!point.included[k]) continue;
+      point.p95_latency_ms[k] = latency_histograms[k]->Percentile(95.0);
+      point.p99_latency_ms[k] = latency_histograms[k]->Percentile(99.0);
     }
   }
   // LATEST's alpha-blended choice across the batch.

@@ -1,5 +1,7 @@
 #include "core/estimation_service.h"
 
+#include "util/stopwatch.h"
+
 namespace latest::core {
 
 util::Result<std::unique_ptr<EstimationService>> EstimationService::Create(
@@ -14,7 +16,22 @@ util::Result<std::unique_ptr<EstimationService>> EstimationService::Create(
 EstimationService::EstimationService(
     std::unique_ptr<LatestModule> module,
     const stream::TokenizerOptions& tokenizer_options)
-    : module_(std::move(module)), tokenizer_(tokenizer_options) {}
+    : module_(std::move(module)), tokenizer_(tokenizer_options) {
+  obs::MetricsRegistry& registry = module_->telemetry().registry();
+  posts_counter_ = registry.GetCounter(
+      "latest_service_posts_total", "Raw posts ingested through the service");
+  requests_counter_ = registry.GetCounter(
+      "latest_service_requests_total",
+      "EstimateCount requests received by the service");
+  rejected_counter_ = registry.GetCounter(
+      "latest_service_requests_rejected_total",
+      "EstimateCount requests rejected before reaching the module");
+  dropped_keywords_counter_ = registry.GetCounter(
+      "latest_service_unknown_keywords_total",
+      "Query keywords dropped because they never appeared on the stream");
+  vocabulary_gauge_ = registry.GetGauge(
+      "latest_service_vocabulary_size", "Distinct keywords interned");
+}
 
 void EstimationService::IngestPost(stream::ObjectId oid,
                                    const geo::Point& location,
@@ -36,12 +53,16 @@ void EstimationService::IngestKeywords(
   }
   stream::CanonicalizeKeywords(&obj.keywords);
   dictionary_.CountOccurrences(obj.keywords);
+  posts_counter_->Increment();
+  vocabulary_gauge_->Set(static_cast<double>(dictionary_.size()));
   module_->OnObject(obj);
 }
 
 util::Result<QueryOutcome> EstimationService::EstimateCount(
     const std::optional<geo::Rect>& range,
     const std::vector<std::string>& keywords, stream::Timestamp timestamp) {
+  requests_counter_->Increment();
+  const util::Stopwatch tokenize_watch;
   stream::Query q;
   q.range = range;
   q.timestamp = timestamp;
@@ -49,9 +70,14 @@ util::Result<QueryOutcome> EstimationService::EstimateCount(
     stream::KeywordId id;
     // Unknown keywords have never appeared in the window: they cannot
     // match anything and are dropped from the predicate.
-    if (dictionary_.Lookup(keyword, &id)) q.keywords.push_back(id);
+    if (dictionary_.Lookup(keyword, &id)) {
+      q.keywords.push_back(id);
+    } else {
+      dropped_keywords_counter_->Increment();
+    }
   }
   stream::CanonicalizeKeywords(&q.keywords);
+  const double tokenize_ms = tokenize_watch.ElapsedMillis();
 
   if (!q.HasRange() && !q.HasKeywords()) {
     if (!keywords.empty()) {
@@ -62,13 +88,15 @@ util::Result<QueryOutcome> EstimationService::EstimateCount(
       outcome.accuracy = 1.0;
       return outcome;
     }
+    rejected_counter_->Increment();
     return util::Status::InvalidArgument(
         "query needs a spatial range or at least one keyword");
   }
   if (range.has_value() && !range->IsValid()) {
+    rejected_counter_->Increment();
     return util::Status::InvalidArgument("spatial range has no area");
   }
-  return module_->OnQuery(q);
+  return module_->OnQuery(q, tokenize_ms);
 }
 
 uint64_t EstimationService::KeywordOccurrences(

@@ -73,6 +73,13 @@ class EstimationService {
   std::unique_ptr<LatestModule> module_;
   stream::KeywordDictionary dictionary_;
   stream::Tokenizer tokenizer_;
+
+  // Service-layer telemetry (owned by the module's registry).
+  obs::Counter* posts_counter_ = nullptr;
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* dropped_keywords_counter_ = nullptr;
+  obs::Gauge* vocabulary_gauge_ = nullptr;
 };
 
 }  // namespace latest::core

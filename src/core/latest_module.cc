@@ -101,13 +101,93 @@ LatestModule::LatestModule(const LatestConfig& config)
       keyword_stats_(4096),
       keyword_decay_(
           static_cast<double>(config.window.num_slices - 1) /
-          std::max(1u, config.window.num_slices)) {
+          std::max(1u, config.window.num_slices)),
+      telemetry_(std::make_unique<obs::Telemetry>(config.telemetry)) {
+  RegisterMetrics();
+  scoreboard_.AttachTelemetry(&telemetry_->registry());
   // All enabled estimation structures are pre-filled during the warm-up
   // phase (Section V-C), so every enabled instance exists from the start.
   for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
     const auto kind = static_cast<estimators::EstimatorKind>(k);
     if (IsEnabled(kind)) EnsureInstance(kind);
   }
+}
+
+void LatestModule::RegisterMetrics() {
+  obs::MetricsRegistry& registry = telemetry_->registry();
+  objects_counter_ = registry.GetCounter(
+      "latest_objects_ingested_total",
+      "Stream objects ingested over the module lifetime");
+  queries_counter_ = registry.GetCounter(
+      "latest_queries_total",
+      "Estimation queries answered over the module lifetime");
+  switches_counter_ = registry.GetCounter(
+      "latest_switches_total", "Active-estimator switches performed");
+  prefills_started_counter_ = registry.GetCounter(
+      "latest_prefills_started_total",
+      "Replacement pre-fills started by the accuracy monitor");
+  prefills_aborted_counter_ = registry.GetCounter(
+      "latest_prefills_aborted_total",
+      "Pre-filled candidates discarded after accuracy recovered");
+  retrains_counter_ = registry.GetCounter(
+      "latest_model_retrains_total",
+      "Automatic Hoeffding-tree retrainings (Section V-D trigger)");
+  phase_gauge_ = registry.GetGauge(
+      "latest_phase",
+      "Lifecycle phase: 0 warmup, 1 pretraining, 2 incremental");
+  active_gauge_ = registry.GetGauge(
+      "latest_active_estimator",
+      "EstimatorKind index of the active estimator");
+  candidate_gauge_ = registry.GetGauge(
+      "latest_candidate_estimator",
+      "EstimatorKind index of the pre-filling candidate (-1 when none)");
+  candidate_gauge_->Set(-1.0);
+  monitor_accuracy_gauge_ = registry.GetGauge(
+      "latest_monitor_accuracy",
+      "Moving-average accuracy of the active estimator");
+  window_population_gauge_ = registry.GetGauge(
+      "latest_window_population", "Objects currently inside the window");
+  model_records_gauge_ = registry.GetGauge(
+      "latest_model_records", "Training records absorbed by the model");
+  model_leaves_gauge_ =
+      registry.GetGauge("latest_model_leaves", "Hoeffding-tree leaves");
+  model_depth_gauge_ =
+      registry.GetGauge("latest_model_depth", "Hoeffding-tree depth");
+  accuracy_histogram_ = registry.GetHistogram(
+      "latest_query_accuracy", "Per-query estimation accuracy in [0, 1]",
+      obs::Histogram::UnitIntervalBuckets());
+  for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+    const auto kind = static_cast<estimators::EstimatorKind>(k);
+    if (!IsEnabled(kind)) continue;
+    estimator_latency_histograms_[k] = registry.GetHistogram(
+        "latest_estimate_latency_ms",
+        "Wall clock of Estimate calls per portfolio member (ms)",
+        obs::Histogram::LatencyBucketsMs(),
+        {{"estimator", estimators::EstimatorKindName(kind)}});
+  }
+  phase_gauge_->Set(static_cast<double>(phase_));
+  active_gauge_->Set(static_cast<double>(active_kind_));
+}
+
+obs::Event LatestModule::MakeEvent(obs::EventType type) const {
+  obs::Event event;
+  event.type = type;
+  event.timestamp = static_cast<int64_t>(clock_.now());
+  event.query_count = queries_counter_->value();
+  event.phase = static_cast<int32_t>(phase_);
+  event.from_estimator = static_cast<int32_t>(active_kind_);
+  event.monitor_accuracy = accuracy_monitor_.Mean();
+  return event;
+}
+
+void LatestModule::EnterPhase(Phase next) {
+  if (next == phase_) return;
+  obs::Event event = MakeEvent(obs::EventType::kPhaseChanged);
+  event.detail = static_cast<double>(phase_);  // Previous phase.
+  phase_ = next;
+  event.phase = static_cast<int32_t>(phase_);
+  phase_gauge_->Set(static_cast<double>(phase_));
+  telemetry_->events().Append(event);
 }
 
 estimators::Estimator* LatestModule::EnsureInstance(
@@ -152,10 +232,12 @@ void LatestModule::OnObject(const stream::GeoTextObject& obj) {
   for (auto& instance : instances_) {
     if (instance != nullptr) instance->Insert(obj);
   }
-  ++objects_ingested_;
+  objects_counter_->Increment();
+  window_population_gauge_->Set(
+      static_cast<double>(window_population_.total()));
   if (phase_ == Phase::kWarmup &&
       clock_.now() >= config_.window.window_length_ms) {
-    phase_ = Phase::kPretraining;
+    EnterPhase(Phase::kPretraining);
   }
 }
 
@@ -211,7 +293,7 @@ estimators::EstimatorKind LatestModule::Recommend(
 }
 
 void LatestModule::ConcludePretraining() {
-  phase_ = Phase::kIncremental;
+  EnterPhase(Phase::kIncremental);
   active_kind_ = config_.default_estimator;
   candidate_kind_.reset();
   if (!config_.maintain_shadow_estimators) {
@@ -223,8 +305,12 @@ void LatestModule::ConcludePretraining() {
     }
   }
   accuracy_monitor_.Reset();
+  monitor_below_prefill_ = false;
+  monitor_below_tau_ = false;
   incremental_queries_ = 0;
   last_switch_query_ = 0;
+  active_gauge_->Set(static_cast<double>(active_kind_));
+  candidate_gauge_->Set(-1.0);
 }
 
 
@@ -279,6 +365,7 @@ void LatestModule::ResetModel() {
   model_->Reset();
   error_since_retrain_ = 0.0;
   queries_since_retrain_ = 0;
+  telemetry_->events().Append(MakeEvent(obs::EventType::kModelReset));
 }
 
 void LatestModule::TrackModelError(double relative_error) {
@@ -292,7 +379,10 @@ void LatestModule::TrackModelError(double relative_error) {
     // Section V-D: the overall error rate since the last training grew
     // past tolerance — drop the model and re-grow it from fresh records.
     model_->Reset();
-    ++model_retrains_;
+    retrains_counter_->Increment();
+    obs::Event event = MakeEvent(obs::EventType::kModelRetrained);
+    event.detail = mean_error;
+    telemetry_->events().Append(event);
   }
   error_since_retrain_ = 0.0;
   queries_since_retrain_ = 0;
@@ -326,6 +416,28 @@ bool LatestModule::MaybeSwitch(const stream::Query& q, uint64_t query_index) {
   if (!accuracy_monitor_.full()) return false;
   const double avg = accuracy_monitor_.Mean();
   const std::array<double, 3> weights = RecentTypeWeights();
+
+  // Edge-detect threshold crossings for the lifecycle event log.
+  const bool below_prefill_now = avg < config_.PrefillThreshold();
+  const bool below_tau_now = avg < config_.tau;
+  if (below_tau_now && !monitor_below_tau_) {
+    obs::Event event =
+        MakeEvent(obs::EventType::kAccuracyBelowSwitchThreshold);
+    event.detail = config_.tau;
+    telemetry_->events().Append(event);
+  } else if (below_prefill_now && !monitor_below_prefill_) {
+    obs::Event event =
+        MakeEvent(obs::EventType::kAccuracyBelowPrefillThreshold);
+    event.detail = config_.PrefillThreshold();
+    telemetry_->events().Append(event);
+  }
+  if (!below_prefill_now && monitor_below_prefill_) {
+    obs::Event event = MakeEvent(obs::EventType::kAccuracyRecovered);
+    event.detail = config_.PrefillThreshold();
+    telemetry_->events().Append(event);
+  }
+  monitor_below_prefill_ = below_prefill_now;
+  monitor_below_tau_ = below_tau_now;
 
   // The learning model's recommendation, forced away from the active
   // estimator (used once switch pressure exists).
@@ -382,8 +494,9 @@ bool LatestModule::MaybeSwitch(const stream::Query& q, uint64_t query_index) {
     // Switch. Use the pre-filled candidate when available; otherwise ask
     // the model now (the candidate will start cold — exactly the cost the
     // pre-filling phase exists to avoid).
-    const estimators::EstimatorKind to =
+    const estimators::EstimatorKind recommendation =
         candidate_kind_.value_or(recommend_non_active());
+    const estimators::EstimatorKind to = recommendation;
     if (to != active_kind_) {
       EnsureInstance(to);
       if (!config_.maintain_shadow_estimators) {
@@ -391,13 +504,23 @@ bool LatestModule::MaybeSwitch(const stream::Query& q, uint64_t query_index) {
       }
       switch_log_.push_back(SwitchEvent{query_index, clock_.now(),
                                         active_kind_, to});
+      obs::Event event = MakeEvent(obs::EventType::kSwitched);
+      event.to_estimator = static_cast<int32_t>(to);
+      event.recommended = static_cast<int32_t>(recommendation);
+      telemetry_->events().Append(event);
+      switches_counter_->Increment();
       active_kind_ = to;
       candidate_kind_.reset();
       last_switch_query_ = query_index;
       accuracy_monitor_.Reset();
+      monitor_below_prefill_ = false;
+      monitor_below_tau_ = false;
+      active_gauge_->Set(static_cast<double>(active_kind_));
+      candidate_gauge_->Set(-1.0);
       return true;
     }
     candidate_kind_.reset();
+    candidate_gauge_->Set(-1.0);
     return false;
   }
 
@@ -408,6 +531,12 @@ bool LatestModule::MaybeSwitch(const stream::Query& q, uint64_t query_index) {
       if (rec != active_kind_) {
         candidate_kind_ = rec;
         EnsureInstance(rec);
+        obs::Event event = MakeEvent(obs::EventType::kPrefillStarted);
+        event.to_estimator = static_cast<int32_t>(rec);
+        event.recommended = static_cast<int32_t>(rec);
+        telemetry_->events().Append(event);
+        prefills_started_counter_->Increment();
+        candidate_gauge_->Set(static_cast<double>(rec));
       }
     }
     return false;
@@ -418,19 +547,32 @@ bool LatestModule::MaybeSwitch(const stream::Query& q, uint64_t query_index) {
     if (!config_.maintain_shadow_estimators) {
       DestroyInstance(*candidate_kind_);
     }
+    obs::Event event = MakeEvent(obs::EventType::kPrefillAborted);
+    event.to_estimator = static_cast<int32_t>(*candidate_kind_);
+    telemetry_->events().Append(event);
+    prefills_aborted_counter_->Increment();
     candidate_kind_.reset();
+    candidate_gauge_->Set(-1.0);
   }
   return false;
 }
 
-QueryOutcome LatestModule::OnQuery(const stream::Query& q) {
+QueryOutcome LatestModule::OnQuery(const stream::Query& q,
+                                   double tokenize_ms) {
+  const util::Stopwatch total_watch;
   AdvanceClock(q.timestamp);
   if (phase_ == Phase::kWarmup &&
       clock_.now() >= config_.window.window_length_ms) {
-    phase_ = Phase::kPretraining;
+    EnterPhase(Phase::kPretraining);
   }
 
+  const uint64_t ordinal = queries_counter_->value();
+  const bool traced = telemetry_->traces().ShouldSample(ordinal);
+  queries_counter_->Increment();
+
+  const util::Stopwatch truth_watch;
   const uint64_t actual = system_log_.TrueSelectivity(q);
+  const double ground_truth_ms = truth_watch.ElapsedMillis();
   const stream::QueryType type = q.Type();
   recent_spatial_ratio_.Add(type == stream::QueryType::kSpatial ? 1.0 : 0.0);
   recent_keyword_ratio_.Add(type == stream::QueryType::kKeyword ? 1.0 : 0.0);
@@ -440,23 +582,27 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q) {
   outcome.actual = actual;
   outcome.phase = phase_;
   outcome.active = active_kind_;
-  ++queries_answered_;
 
   switch (phase_) {
     case Phase::kWarmup: {
       // The paper's warm-up receives no queries; answer with the default
       // estimator without any training.
+      const util::Stopwatch estimate_watch;
       const EstimatorMeasurement m =
           Measure(EnsureInstance(active_kind_), q, actual);
+      const double estimate_ms = estimate_watch.ElapsedMillis();
       outcome.estimate = m.estimate;
       outcome.accuracy = m.accuracy;
       outcome.latency_ms = m.latency_ms;
+      FinishQuery(q, outcome, traced, ordinal, tokenize_ms, ground_truth_ms,
+                  estimate_ms, /*model_ms=*/0.0, total_watch);
       return outcome;
     }
 
     case Phase::kPretraining: {
       // Run the query on every enabled estimator and label the training
       // record with the best alpha-blended performer (Section V-C).
+      const util::Stopwatch estimate_watch;
       outcome.measurements.reserve(estimators::kNumEstimatorKinds);
       EstimatorMeasurement active_m;
       for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
@@ -469,6 +615,9 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q) {
         if (kind == active_kind_) active_m = m;
         outcome.measurements.push_back(m);
       }
+      const double estimate_ms = estimate_watch.ElapsedMillis();
+
+      const util::Stopwatch model_watch;
       uint32_t best = static_cast<uint32_t>(active_kind_);
       double best_score = -1.0;
       for (const auto& m : outcome.measurements) {
@@ -488,10 +637,13 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q) {
       accuracy_monitor_.Add(active_m.accuracy);
       outcome.monitor_accuracy = accuracy_monitor_.Mean();
       TrackModelError(RelativeError(active_m.estimate, actual));
+      const double model_ms = model_watch.ElapsedMillis();
 
       if (++pretrain_seen_ >= config_.pretrain_queries) {
         ConcludePretraining();
       }
+      FinishQuery(q, outcome, traced, ordinal, tokenize_ms, ground_truth_ms,
+                  estimate_ms, model_ms, total_watch);
       return outcome;
     }
 
@@ -499,6 +651,7 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q) {
       ++incremental_queries_;
       // Measure the active estimator (always), the pre-filling candidate,
       // and — in evaluation mode — every shadow estimator.
+      const util::Stopwatch estimate_watch;
       EstimatorMeasurement active_m;
       for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
         const auto kind = static_cast<estimators::EstimatorKind>(k);
@@ -519,9 +672,11 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q) {
           outcome.measurements.push_back(m);
         }
       }
+      const double estimate_ms = estimate_watch.ElapsedMillis();
 
       // System-log feedback becomes an additional training record labeled
       // with the scoreboard's current best (Section V-D).
+      const util::Stopwatch model_watch;
       const auto label = static_cast<uint32_t>(
           scoreboard_.BestFor(type, config_.alpha));
       model_->Train(ml::TrainingExample{BuildFeatures(q), label});
@@ -534,10 +689,74 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q) {
       TrackModelError(RelativeError(active_m.estimate, actual));
       outcome.switched = MaybeSwitch(q, incremental_queries_);
       outcome.active = active_kind_;
+      const double model_ms = model_watch.ElapsedMillis();
+      FinishQuery(q, outcome, traced, ordinal, tokenize_ms, ground_truth_ms,
+                  estimate_ms, model_ms, total_watch);
       return outcome;
     }
   }
   return outcome;
+}
+
+void LatestModule::FinishQuery(const stream::Query& /*q*/,
+                               const QueryOutcome& outcome, bool traced,
+                               uint64_t ordinal, double tokenize_ms,
+                               double ground_truth_ms, double estimate_ms,
+                               double model_ms,
+                               const util::Stopwatch& total_watch) {
+  accuracy_histogram_->Observe(outcome.accuracy);
+  monitor_accuracy_gauge_->Set(accuracy_monitor_.Mean());
+  window_population_gauge_->Set(
+      static_cast<double>(window_population_.total()));
+  model_records_gauge_->Set(static_cast<double>(model_->num_trained()));
+  model_leaves_gauge_->Set(static_cast<double>(model_->num_leaves()));
+  model_depth_gauge_->Set(static_cast<double>(model_->depth()));
+
+  // Feed the per-estimator latency histograms once per measurement; if
+  // the active estimator was measured outside `measurements` (incremental
+  // phase without shadows), add its latency separately.
+  bool active_measured = false;
+  for (const auto& m : outcome.measurements) {
+    obs::Histogram* histogram =
+        estimator_latency_histograms_[static_cast<uint32_t>(m.kind)];
+    if (histogram != nullptr) histogram->Observe(m.latency_ms);
+    if (m.kind == outcome.active) active_measured = true;
+  }
+  if (!active_measured) {
+    obs::Histogram* histogram =
+        estimator_latency_histograms_[static_cast<uint32_t>(outcome.active)];
+    if (histogram != nullptr) histogram->Observe(outcome.latency_ms);
+  }
+
+  if (traced) {
+    obs::QueryTrace trace;
+    trace.query_ordinal = ordinal;
+    trace.timestamp = static_cast<int64_t>(clock_.now());
+    trace.phase = static_cast<int32_t>(outcome.phase);
+    trace.active_estimator = static_cast<int32_t>(outcome.active);
+    trace.stage_ms[static_cast<uint32_t>(obs::TraceStage::kTokenize)] =
+        tokenize_ms;
+    trace.stage_ms[static_cast<uint32_t>(obs::TraceStage::kGroundTruth)] =
+        ground_truth_ms;
+    trace.stage_ms[static_cast<uint32_t>(obs::TraceStage::kEstimate)] =
+        estimate_ms;
+    trace.stage_ms[static_cast<uint32_t>(obs::TraceStage::kModelUpdate)] =
+        model_ms;
+    trace.total_ms = total_watch.ElapsedMillis() + tokenize_ms;
+    telemetry_->traces().Record(trace);
+  }
+}
+
+uint64_t LatestModule::objects_ingested() const {
+  return objects_counter_->value();
+}
+
+uint64_t LatestModule::queries_answered() const {
+  return queries_counter_->value();
+}
+
+uint64_t LatestModule::model_retrains() const {
+  return retrains_counter_->value();
 }
 
 }  // namespace latest::core

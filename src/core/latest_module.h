@@ -38,10 +38,12 @@
 #include "estimators/space_saving.h"
 #include "exact/exact_evaluator.h"
 #include "ml/hoeffding_tree.h"
+#include "obs/telemetry.h"
 #include "stream/object.h"
 #include "stream/query.h"
 #include "stream/sliding_window.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace latest::core {
 
@@ -137,6 +139,11 @@ struct LatestConfig {
   /// Keep all estimators alive and measured per query (evaluation mode).
   bool maintain_shadow_estimators = false;
 
+  /// Telemetry sizing: lifecycle event-log capacity and query-trace
+  /// sampling (see obs/telemetry.h). Always on; costs a few relaxed
+  /// atomics per query.
+  obs::TelemetryConfig telemetry;
+
   /// Seed for all randomized components.
   uint64_t seed = 42;
 
@@ -185,7 +192,9 @@ class LatestModule {
   void OnObject(const stream::GeoTextObject& obj);
 
   /// Answers one estimation query and performs all phase bookkeeping.
-  QueryOutcome OnQuery(const stream::Query& q);
+  /// `tokenize_ms` lets the service layer attribute string tokenization /
+  /// interning time to the query's trace (0 for pre-interned queries).
+  QueryOutcome OnQuery(const stream::Query& q, double tokenize_ms = 0.0);
 
   /// Currently employed estimator kind.
   estimators::EstimatorKind active_kind() const { return active_kind_; }
@@ -210,11 +219,11 @@ class LatestModule {
   /// Objects currently inside the window.
   uint64_t window_population() const { return window_population_.total(); }
 
-  /// Objects ingested over the stream lifetime.
-  uint64_t objects_ingested() const { return objects_ingested_; }
+  /// Objects ingested over the stream lifetime (telemetry-backed).
+  uint64_t objects_ingested() const;
 
-  /// Queries answered over the stream lifetime.
-  uint64_t queries_answered() const { return queries_answered_; }
+  /// Queries answered over the stream lifetime (telemetry-backed).
+  uint64_t queries_answered() const;
 
   const LatestConfig& config() const { return config_; }
 
@@ -222,8 +231,12 @@ class LatestModule {
   /// re-grows from subsequent training records.
   void ResetModel();
 
-  /// Automatic model retrainings performed so far.
-  uint64_t model_retrains() const { return model_retrains_; }
+  /// Automatic model retrainings performed so far (telemetry-backed).
+  uint64_t model_retrains() const;
+
+  /// Metrics registry, lifecycle event log, and sampled query traces.
+  obs::Telemetry& telemetry() { return *telemetry_; }
+  const obs::Telemetry& telemetry() const { return *telemetry_; }
 
   /// Point-in-time introspection snapshot (see core/module_stats.h).
   ModuleStats GetStats() const;
@@ -271,6 +284,23 @@ class LatestModule {
   /// Pre-fill / discard / switch logic after an incremental query.
   bool MaybeSwitch(const stream::Query& q, uint64_t query_index);
 
+  /// Registers the module's metric handles against telemetry_.
+  void RegisterMetrics();
+
+  /// Base lifecycle event stamped with clock, query count, phase, and
+  /// monitor accuracy.
+  obs::Event MakeEvent(obs::EventType type) const;
+
+  /// Emits kPhaseChanged and updates the phase gauge.
+  void EnterPhase(Phase next);
+
+  /// Per-query telemetry tail: counters, gauges, histograms, and the
+  /// sampled stage trace.
+  void FinishQuery(const stream::Query& q, const QueryOutcome& outcome,
+                   bool traced, uint64_t ordinal, double tokenize_ms,
+                   double ground_truth_ms, double estimate_ms,
+                   double model_ms, const util::Stopwatch& total_watch);
+
   LatestConfig config_;
   Phase phase_ = Phase::kWarmup;
 
@@ -308,8 +338,6 @@ class LatestModule {
   /// retraining trigger of Section V-D.
   void TrackModelError(double relative_error);
 
-  uint64_t objects_ingested_ = 0;
-  uint64_t queries_answered_ = 0;
   uint64_t pretrain_seen_ = 0;
   uint64_t incremental_queries_ = 0;
   uint64_t last_switch_query_ = 0;
@@ -317,7 +345,31 @@ class LatestModule {
 
   double error_since_retrain_ = 0.0;
   uint64_t queries_since_retrain_ = 0;
-  uint64_t model_retrains_ = 0;
+
+  /// Telemetry: the registry is the source of truth for lifetime
+  /// counters; ModuleStats is a view over it (core/module_stats.h).
+  std::unique_ptr<obs::Telemetry> telemetry_;
+  obs::Counter* objects_counter_ = nullptr;
+  obs::Counter* queries_counter_ = nullptr;
+  obs::Counter* switches_counter_ = nullptr;
+  obs::Counter* prefills_started_counter_ = nullptr;
+  obs::Counter* prefills_aborted_counter_ = nullptr;
+  obs::Counter* retrains_counter_ = nullptr;
+  obs::Gauge* phase_gauge_ = nullptr;
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::Gauge* candidate_gauge_ = nullptr;
+  obs::Gauge* monitor_accuracy_gauge_ = nullptr;
+  obs::Gauge* window_population_gauge_ = nullptr;
+  obs::Gauge* model_records_gauge_ = nullptr;
+  obs::Gauge* model_leaves_gauge_ = nullptr;
+  obs::Gauge* model_depth_gauge_ = nullptr;
+  obs::Histogram* accuracy_histogram_ = nullptr;
+  std::array<obs::Histogram*, estimators::kNumEstimatorKinds>
+      estimator_latency_histograms_{};
+
+  /// Threshold-crossing edge detection for the event log.
+  bool monitor_below_prefill_ = false;
+  bool monitor_below_tau_ = false;
 };
 
 }  // namespace latest::core

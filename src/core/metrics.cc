@@ -6,8 +6,12 @@
 namespace latest::core {
 
 double RelativeError(double estimate, uint64_t actual) {
+  // Selectivities are counts: a raw estimate below zero (possible from
+  // scaled or learned estimators) carries no more information than zero
+  // and must not be penalized past the all-miss error.
+  const double clamped = std::max(0.0, estimate);
   const double denom = std::max<double>(1.0, static_cast<double>(actual));
-  return std::abs(estimate - static_cast<double>(actual)) / denom;
+  return std::abs(clamped - static_cast<double>(actual)) / denom;
 }
 
 double EstimationAccuracy(double estimate, uint64_t actual) {

@@ -8,10 +8,11 @@
 namespace latest::core {
 
 /// Estimation accuracy in [0, 1]: 1 - relative error, floored at 0.
-/// accuracy = max(0, 1 - |estimate - actual| / max(actual, 1)).
+/// accuracy = max(0, 1 - |max(estimate, 0) - actual| / max(actual, 1)).
 double EstimationAccuracy(double estimate, uint64_t actual);
 
-/// Relative error (unclamped): |estimate - actual| / max(actual, 1).
+/// Relative error (unclamped above, estimate floored at 0):
+/// |max(estimate, 0) - actual| / max(actual, 1).
 double RelativeError(double estimate, uint64_t actual);
 
 /// The alpha-blended reward of Section V-C. `latency_norm` is min-max

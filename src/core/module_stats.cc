@@ -10,15 +10,21 @@ ModuleStats LatestModule::GetStats() const {
   stats.active = active_kind_;
   stats.has_candidate = candidate_kind_.has_value();
   if (stats.has_candidate) stats.candidate = *candidate_kind_;
-  stats.objects_ingested = objects_ingested_;
-  stats.queries_answered = queries_answered_;
+  // Lifetime counters live in the telemetry registry; the snapshot is a
+  // view over it.
+  stats.objects_ingested = objects_counter_->value();
+  stats.queries_answered = queries_counter_->value();
   stats.window_population = window_population_.total();
   stats.monitor_accuracy = accuracy_monitor_.Mean();
-  stats.switches = switch_log_.size();
-  stats.model_retrains = model_retrains_;
+  stats.switches = switches_counter_->value();
+  stats.prefills_started = prefills_started_counter_->value();
+  stats.prefills_aborted = prefills_aborted_counter_->value();
+  stats.model_retrains = retrains_counter_->value();
   stats.model_records = model_->num_trained();
   stats.model_leaves = model_->num_leaves();
   stats.model_depth = model_->depth();
+  stats.events_logged = telemetry_->events().total_appended();
+  stats.traces_recorded = telemetry_->traces().recorded();
   for (uint32_t t = 0; t < 3; ++t) {
     for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
       const auto type = static_cast<stream::QueryType>(t);
@@ -61,6 +67,15 @@ std::string FormatStats(const ModuleStats& stats) {
                 static_cast<unsigned long long>(stats.model_records),
                 static_cast<unsigned long long>(stats.model_leaves),
                 stats.model_depth);
+  out += line;
+
+  std::snprintf(line, sizeof(line),
+                "telemetry: %llu events, %llu traces, prefills %llu "
+                "started / %llu aborted\n",
+                static_cast<unsigned long long>(stats.events_logged),
+                static_cast<unsigned long long>(stats.traces_recorded),
+                static_cast<unsigned long long>(stats.prefills_started),
+                static_cast<unsigned long long>(stats.prefills_aborted));
   out += line;
 
   out += "scoreboard (EWMA accuracy / latency ms):\n";

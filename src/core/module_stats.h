@@ -36,10 +36,17 @@ struct ModuleStats {
   double monitor_accuracy = 0.0;  // Moving accuracy of the active member.
 
   uint64_t switches = 0;
+  uint64_t prefills_started = 0;
+  uint64_t prefills_aborted = 0;
   uint64_t model_retrains = 0;
   uint64_t model_records = 0;
   uint64_t model_leaves = 0;
   uint32_t model_depth = 0;
+
+  /// Telemetry volumes: lifecycle events appended and query traces
+  /// recorded (both over the module lifetime, before ring eviction).
+  uint64_t events_logged = 0;
+  uint64_t traces_recorded = 0;
 
   /// Per query type x estimator kind scoreboard cells.
   std::array<std::array<CellStats, estimators::kNumEstimatorKinds>, 3>

@@ -8,6 +8,43 @@ Scoreboard::Scoreboard(double ewma_alpha) : ewma_alpha_(ewma_alpha) {
   }
 }
 
+void Scoreboard::AttachTelemetry(obs::MetricsRegistry* registry) {
+  for (uint32_t t = 0; t < kNumTypes; ++t) {
+    for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+      CellGauges& handles = gauges_[t][k];
+      if (registry == nullptr) {
+        handles = CellGauges{};
+        continue;
+      }
+      const obs::LabelSet labels = {
+          {"type", stream::QueryTypeName(static_cast<stream::QueryType>(t))},
+          {"estimator",
+           estimators::EstimatorKindName(
+               static_cast<estimators::EstimatorKind>(k))}};
+      handles.accuracy = registry->GetGauge(
+          "latest_scoreboard_accuracy",
+          "EWMA accuracy per (query type, estimator) scoreboard cell",
+          labels);
+      handles.latency_ms = registry->GetGauge(
+          "latest_scoreboard_latency_ms",
+          "EWMA Estimate latency per scoreboard cell (ms)", labels);
+      handles.records = registry->GetCounter(
+          "latest_scoreboard_records_total",
+          "Measurements recorded per scoreboard cell", labels);
+    }
+  }
+}
+
+void Scoreboard::PublishCell(stream::QueryType type,
+                             estimators::EstimatorKind kind) {
+  const CellGauges& handles =
+      gauges_[static_cast<uint32_t>(type)][static_cast<uint32_t>(kind)];
+  if (handles.accuracy == nullptr) return;
+  const Cell& cell = CellOf(type, kind);
+  handles.accuracy->Set(cell.accuracy.Value());
+  handles.latency_ms->Set(cell.latency_ms.Value());
+}
+
 void Scoreboard::Record(stream::QueryType type,
                         const EstimatorMeasurement& m) {
   Cell& cell = CellOf(type, m.kind);
@@ -15,6 +52,10 @@ void Scoreboard::Record(stream::QueryType type,
   cell.latency_ms.Add(m.latency_ms);
   ++cell.count;
   latency_scaler_.Observe(m.latency_ms);
+  const CellGauges& handles =
+      gauges_[static_cast<uint32_t>(type)][static_cast<uint32_t>(m.kind)];
+  if (handles.records != nullptr) handles.records->Increment();
+  PublishCell(type, m.kind);
 }
 
 std::optional<double> Scoreboard::Score(stream::QueryType type,

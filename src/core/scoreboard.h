@@ -17,6 +17,7 @@
 
 #include "core/metrics.h"
 #include "estimators/estimator.h"
+#include "obs/metrics_registry.h"
 #include "stream/query.h"
 #include "util/minmax_scaler.h"
 #include "util/moving_stats.h"
@@ -38,6 +39,12 @@ class Scoreboard {
  public:
   /// ewma_alpha: weight of the newest measurement.
   explicit Scoreboard(double ewma_alpha = 0.05);
+
+  /// Mirrors every cell into gauges on `registry`
+  /// (`latest_scoreboard_accuracy{type,estimator}` and friends). Call once
+  /// before any Record; pass null to detach. The registry must outlive the
+  /// scoreboard.
+  void AttachTelemetry(obs::MetricsRegistry* registry);
 
   /// Records one measurement under the given query type.
   void Record(stream::QueryType type, const EstimatorMeasurement& m);
@@ -111,9 +118,21 @@ class Scoreboard {
     return cells_[static_cast<uint32_t>(type)][static_cast<uint32_t>(kind)];
   }
 
+  /// Cached telemetry handles of one cell (null when detached).
+  struct CellGauges {
+    obs::Gauge* accuracy = nullptr;
+    obs::Gauge* latency_ms = nullptr;
+    obs::Counter* records = nullptr;
+  };
+
+  void PublishCell(stream::QueryType type, estimators::EstimatorKind kind);
+
   double ewma_alpha_;
   std::array<std::array<Cell, estimators::kNumEstimatorKinds>, kNumTypes>
       cells_;
+  std::array<std::array<CellGauges, estimators::kNumEstimatorKinds>,
+             kNumTypes>
+      gauges_{};
   util::MinMaxScaler latency_scaler_;
 };
 

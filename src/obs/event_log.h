@@ -1,0 +1,113 @@
+// Structured event log of the LATEST lifecycle.
+//
+// The switch log of the original module answered "when did LATEST
+// switch"; an operator also needs "why": which thresholds were crossed,
+// what the learning model recommended, which pre-fills were started and
+// then abandoned, and when the model was dropped for retraining. Every
+// lifecycle decision appends one typed Event to a bounded ring; the ring
+// overwrites its oldest entries so a long-running deployment holds the
+// recent decision history at a fixed memory cost.
+
+#ifndef LATEST_OBS_EVENT_LOG_H_
+#define LATEST_OBS_EVENT_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace latest::obs {
+
+/// Lifecycle event kinds, ordered roughly by when they appear in a
+/// stream's life.
+enum class EventType : uint32_t {
+  /// Phase machine advanced (warmup -> pretraining -> incremental).
+  kPhaseChanged = 0,
+  /// Moving accuracy fell below the pre-fill threshold tau/beta.
+  kAccuracyBelowPrefillThreshold = 1,
+  /// Moving accuracy fell below the switch threshold tau.
+  kAccuracyBelowSwitchThreshold = 2,
+  /// Moving accuracy recovered above the pre-fill threshold.
+  kAccuracyRecovered = 3,
+  /// A replacement estimator started pre-filling (Section V-D).
+  kPrefillStarted = 4,
+  /// Accuracy recovered before the switch fired; candidate discarded.
+  kPrefillAborted = 5,
+  /// The active estimator was switched.
+  kSwitched = 6,
+  /// The automatic retraining trigger dropped the learning model.
+  kModelRetrained = 7,
+  /// The model was reset manually (ResetModel / failed restore).
+  kModelReset = 8,
+};
+
+/// Stable display name ("phase_changed", "prefill_started", ...).
+const char* EventTypeName(EventType type);
+
+/// One lifecycle event. Estimator fields hold EstimatorKind indices, or
+/// -1 when not applicable, so the log stays a plain-data type without a
+/// dependency on the core module headers.
+struct Event {
+  EventType type = EventType::kPhaseChanged;
+  /// Stream event time (ms) when the event fired.
+  int64_t timestamp = 0;
+  /// Queries answered over the module lifetime when the event fired.
+  uint64_t query_count = 0;
+  /// Lifecycle phase at emission (0 warmup, 1 pretraining, 2 incremental).
+  int32_t phase = 0;
+  /// Estimator the event moves away from (-1 when not applicable).
+  int32_t from_estimator = -1;
+  /// Estimator the event moves toward (-1 when not applicable).
+  int32_t to_estimator = -1;
+  /// The learning model's recommendation at decision time (-1 when the
+  /// decision did not consult the model).
+  int32_t recommended = -1;
+  /// Moving-average accuracy of the monitor at emission.
+  double monitor_accuracy = 0.0;
+  /// Event-specific payload: the crossed threshold for threshold events,
+  /// the previous phase for kPhaseChanged, mean error for retrains.
+  double detail = 0.0;
+};
+
+/// Bounded ring of lifecycle events; appends overwrite the oldest entry
+/// once `capacity` is reached. Thread-safe (event rates are low).
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 1024);
+
+  void Append(const Event& event);
+
+  size_t capacity() const { return capacity_; }
+
+  /// Events currently retained (<= capacity).
+  size_t size() const;
+
+  /// Events appended over the log's lifetime, including overwritten ones.
+  uint64_t total_appended() const;
+
+  /// Retained events, oldest first.
+  std::vector<Event> Snapshot() const;
+
+  /// Retained events of one type, oldest first.
+  std::vector<Event> SnapshotOfType(EventType type) const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;
+  size_t capacity_;
+  size_t next_ = 0;     // Ring write position.
+  uint64_t total_ = 0;  // Lifetime appends.
+};
+
+/// One-line human-readable rendering of an event.
+std::string FormatEvent(const Event& event);
+
+/// Multi-line rendering of the whole retained log, oldest first.
+std::string FormatEventLog(const EventLog& log);
+
+}  // namespace latest::obs
+
+#endif  // LATEST_OBS_EVENT_LOG_H_

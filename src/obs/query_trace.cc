@@ -1,0 +1,93 @@
+#include "obs/query_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace latest::obs {
+
+const char* TraceStageName(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kTokenize:
+      return "tokenize";
+    case TraceStage::kGroundTruth:
+      return "ground_truth";
+    case TraceStage::kEstimate:
+      return "estimate";
+    case TraceStage::kModelUpdate:
+      return "model_update";
+  }
+  return "unknown";
+}
+
+TraceCollector::TraceCollector(uint32_t sample_every, size_t capacity,
+                               MetricsRegistry* registry)
+    : sample_every_(sample_every), capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+  if (registry != nullptr) {
+    for (uint32_t s = 0; s < kNumTraceStages; ++s) {
+      stage_histograms_[s] = registry->GetHistogram(
+          "latest_stage_latency_ms",
+          "Per-stage wall clock of sampled estimate-path queries (ms)",
+          Histogram::LatencyBucketsMs(),
+          {{"stage", TraceStageName(static_cast<TraceStage>(s))}});
+    }
+    total_histogram_ = registry->GetHistogram(
+        "latest_query_total_latency_ms",
+        "End-to-end wall clock of sampled queries (ms)",
+        Histogram::LatencyBucketsMs());
+  }
+}
+
+void TraceCollector::Record(const QueryTrace& trace) {
+  for (uint32_t s = 0; s < kNumTraceStages; ++s) {
+    if (stage_histograms_[s] != nullptr) {
+      stage_histograms_[s]->Observe(trace.stage_ms[s]);
+    }
+  }
+  if (total_histogram_ != nullptr) total_histogram_->Observe(trace.total_ms);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(trace);
+  } else {
+    ring_[next_] = trace;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+uint64_t TraceCollector::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::vector<QueryTrace> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryTrace> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::string FormatTrace(const QueryTrace& trace) {
+  char line[256];
+  std::snprintf(
+      line, sizeof(line),
+      "[q=%llu t=%lld] total=%.4fms tokenize=%.4f ground_truth=%.4f "
+      "estimate=%.4f model_update=%.4f",
+      static_cast<unsigned long long>(trace.query_ordinal),
+      static_cast<long long>(trace.timestamp), trace.total_ms,
+      trace.stage_ms[static_cast<uint32_t>(TraceStage::kTokenize)],
+      trace.stage_ms[static_cast<uint32_t>(TraceStage::kGroundTruth)],
+      trace.stage_ms[static_cast<uint32_t>(TraceStage::kEstimate)],
+      trace.stage_ms[static_cast<uint32_t>(TraceStage::kModelUpdate)]);
+  return line;
+}
+
+}  // namespace latest::obs

@@ -1,0 +1,99 @@
+// Sampled per-stage timing of the estimate path.
+//
+// A single latency number per query hides *where* the time goes: raw-text
+// tokenization and keyword interning, the estimator probe itself, the
+// exact ground-truth evaluation on the system log, or the Hoeffding-tree
+// update. The trace collector times those stages for every Nth query,
+// keeps the recent traces in a bounded ring for inspection, and feeds a
+// per-stage latency histogram family so stage percentiles are available
+// from the metrics registry.
+
+#ifndef LATEST_OBS_QUERY_TRACE_H_
+#define LATEST_OBS_QUERY_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace latest::obs {
+
+/// Stages of the estimate path, in execution order.
+enum class TraceStage : uint32_t {
+  /// String tokenization + keyword interning (service layer; 0 for
+  /// queries submitted with pre-interned keyword ids).
+  kTokenize = 0,
+  /// Exact ground-truth evaluation on the system log.
+  kGroundTruth = 1,
+  /// Estimator probes (active + candidate + shadows).
+  kEstimate = 2,
+  /// Feature build, Hoeffding-tree training, monitor and switch logic.
+  kModelUpdate = 3,
+};
+
+inline constexpr uint32_t kNumTraceStages = 4;
+
+/// Stable display name ("tokenize", "ground_truth", ...).
+const char* TraceStageName(TraceStage stage);
+
+/// Stage timings of one sampled query.
+struct QueryTrace {
+  /// Module-lifetime query ordinal (0-based).
+  uint64_t query_ordinal = 0;
+  /// Stream event time (ms) of the query.
+  int64_t timestamp = 0;
+  /// Lifecycle phase (0 warmup, 1 pretraining, 2 incremental).
+  int32_t phase = 0;
+  /// Active EstimatorKind index at answer time.
+  int32_t active_estimator = -1;
+  /// Wall-clock per stage, ms.
+  std::array<double, kNumTraceStages> stage_ms{};
+  /// End-to-end wall clock of the query, ms.
+  double total_ms = 0.0;
+};
+
+/// Collects every Nth query's trace into a bounded ring and into
+/// per-stage histograms registered under `latest_stage_latency_ms`.
+class TraceCollector {
+ public:
+  /// `sample_every` == 0 disables tracing entirely. `registry` may be
+  /// null (ring only, no histograms).
+  TraceCollector(uint32_t sample_every, size_t capacity,
+                 MetricsRegistry* registry);
+
+  /// Whether the query with this module-lifetime ordinal should be traced.
+  bool ShouldSample(uint64_t ordinal) const {
+    return sample_every_ != 0 && ordinal % sample_every_ == 0;
+  }
+
+  void Record(const QueryTrace& trace);
+
+  /// Traces recorded over the collector's lifetime.
+  uint64_t recorded() const;
+
+  /// Retained traces, oldest first.
+  std::vector<QueryTrace> Snapshot() const;
+
+  uint32_t sample_every() const { return sample_every_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  uint32_t sample_every_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<QueryTrace> ring_;
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+  std::array<Histogram*, kNumTraceStages> stage_histograms_{};
+  Histogram* total_histogram_ = nullptr;
+};
+
+/// One-line human-readable rendering of a trace.
+std::string FormatTrace(const QueryTrace& trace);
+
+}  // namespace latest::obs
+
+#endif  // LATEST_OBS_QUERY_TRACE_H_

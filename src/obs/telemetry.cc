@@ -1,0 +1,9 @@
+#include "obs/telemetry.h"
+
+namespace latest::obs {
+
+Telemetry::Telemetry(const TelemetryConfig& config)
+    : events_(config.event_log_capacity),
+      traces_(config.trace_sample_every, config.trace_capacity, &registry_) {}
+
+}  // namespace latest::obs

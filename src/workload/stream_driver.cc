@@ -15,6 +15,23 @@ StreamDriver::StreamDriver(DatasetGenerator* dataset, QueryGenerator* queries,
   assert(query_end_ms >= query_start_ms);
 }
 
+void StreamDriver::AttachTelemetry(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    objects_counter_ = nullptr;
+    queries_counter_ = nullptr;
+    event_time_gauge_ = nullptr;
+    return;
+  }
+  objects_counter_ = registry->GetCounter(
+      "latest_stream_objects_emitted_total",
+      "Objects the stream driver has delivered to the module");
+  queries_counter_ = registry->GetCounter(
+      "latest_stream_queries_emitted_total",
+      "Queries the stream driver has delivered to the module");
+  event_time_gauge_ = registry->GetGauge(
+      "latest_stream_event_time_ms", "Event time of the last emitted item");
+}
+
 stream::Timestamp StreamDriver::QueryTimestamp(uint32_t index) const {
   const uint32_t total = queries_->spec().num_queries;
   if (total <= 1) return query_start_ms_;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics_registry.h"
 #include "stream/object.h"
 #include "stream/query.h"
 #include "util/status.h"
@@ -26,6 +27,13 @@ class StreamDriver {
                stream::Timestamp query_start_ms,
                stream::Timestamp query_end_ms);
 
+  /// Mirrors driver progress into `latest_stream_objects_emitted_total`,
+  /// `latest_stream_queries_emitted_total`, and
+  /// `latest_stream_event_time_ms` on the registry (typically the module's
+  /// own, so driver progress and module state share one exposition). Pass
+  /// null to detach; the registry must outlive the driver.
+  void AttachTelemetry(obs::MetricsRegistry* registry);
+
   /// Runs the whole stream. `object_fn(const GeoTextObject&)` and
   /// `query_fn(const Query&, uint32_t query_index)` are invoked in
   /// non-decreasing timestamp order.
@@ -33,6 +41,7 @@ class StreamDriver {
   void Run(ObjectFn&& object_fn, QueryFn&& query_fn) {
     while (dataset_->HasNext() || queries_->HasNext()) {
       if (!queries_->HasNext()) {
+        EmitObject(ObjectTimestamp(dataset_->produced()));
         object_fn(dataset_->Next());
         continue;
       }
@@ -41,6 +50,7 @@ class StreamDriver {
       if (!dataset_->HasNext()) {
         stream::Query q = queries_->Next();
         q.timestamp = next_query_time;
+        EmitQuery(next_query_time);
         query_fn(q, queries_->produced() - 1);
         continue;
       }
@@ -49,10 +59,12 @@ class StreamDriver {
       const stream::Timestamp next_object_time =
           ObjectTimestamp(dataset_->produced());
       if (next_object_time <= next_query_time) {
+        EmitObject(next_object_time);
         object_fn(dataset_->Next());
       } else {
         stream::Query q = queries_->Next();
         q.timestamp = next_query_time;
+        EmitQuery(next_query_time);
         query_fn(q, queries_->produced() - 1);
       }
     }
@@ -65,10 +77,25 @@ class StreamDriver {
   stream::Timestamp ObjectTimestamp(uint64_t index) const;
 
  private:
+  void EmitObject(stream::Timestamp t) {
+    if (objects_counter_ == nullptr) return;
+    objects_counter_->Increment();
+    event_time_gauge_->Set(static_cast<double>(t));
+  }
+  void EmitQuery(stream::Timestamp t) {
+    if (queries_counter_ == nullptr) return;
+    queries_counter_->Increment();
+    event_time_gauge_->Set(static_cast<double>(t));
+  }
+
   DatasetGenerator* dataset_;
   QueryGenerator* queries_;
   stream::Timestamp query_start_ms_;
   stream::Timestamp query_end_ms_;
+
+  obs::Counter* objects_counter_ = nullptr;
+  obs::Counter* queries_counter_ = nullptr;
+  obs::Gauge* event_time_gauge_ = nullptr;
 };
 
 }  // namespace latest::workload

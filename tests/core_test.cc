@@ -35,6 +35,20 @@ TEST(MetricsTest, ZeroActualGuard) {
   EXPECT_DOUBLE_EQ(EstimationAccuracy(2.0, 0), 0.0);
 }
 
+TEST(MetricsTest, NegativeEstimateClampsToZero) {
+  // A negative count estimate is no worse than estimating zero: it must
+  // not be penalized past the all-miss error.
+  EXPECT_DOUBLE_EQ(RelativeError(-50.0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeError(-50.0, 100), RelativeError(0.0, 100));
+  EXPECT_DOUBLE_EQ(EstimationAccuracy(-50.0, 100), 0.0);
+  // A slightly negative estimate of an empty result is perfect, not half
+  // wrong.
+  EXPECT_DOUBLE_EQ(EstimationAccuracy(-0.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeError(-0.5, 0), 0.0);
+  // -0.0 behaves exactly like +0.0.
+  EXPECT_DOUBLE_EQ(EstimationAccuracy(-0.0, 0), 1.0);
+}
+
 TEST(MetricsTest, BlendedScoreExtremes) {
   // alpha = 0: accuracy only. alpha = 1: latency only.
   EXPECT_DOUBLE_EQ(BlendedScore(0.8, 0.4, 0.0), 0.8);

@@ -13,6 +13,7 @@
 #include "util/moving_stats.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 #include "util/zipf.h"
 
 namespace latest::util {
@@ -312,6 +313,17 @@ TEST(MinMaxScalerTest, RangeWidens) {
   EXPECT_DOUBLE_EQ(s.Scale(5.0), 0.5);
 }
 
+TEST(MinMaxScalerTest, NegativeRangeScalesLinearly) {
+  // Negative observations (e.g. signed error signals) must not break the
+  // normalization used for alpha blending.
+  MinMaxScaler s;
+  s.Observe(-10.0);
+  s.Observe(10.0);
+  EXPECT_DOUBLE_EQ(s.Scale(-10.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Scale(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.Scale(10.0), 1.0);
+}
+
 TEST(MinMaxScalerTest, ResetForgets) {
   MinMaxScaler s;
   s.Observe(0.0);
@@ -369,6 +381,24 @@ TEST(MovingAverageTest, ResetEmpties) {
   m.Reset();
   EXPECT_EQ(m.size(), 0u);
   EXPECT_DOUBLE_EQ(m.Mean(), 0.0);
+}
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotonic) {
+  Stopwatch watch;
+  const double first = watch.ElapsedMillis();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(watch.ElapsedMillis(), first);
+  EXPECT_GE(watch.ElapsedNanos(), 0);
+}
+
+TEST(StopwatchTest, RestartShrinksElapsed) {
+  Stopwatch watch;
+  // Burn a little time so the pre-restart reading is strictly positive.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink = sink + static_cast<double>(i);
+  const double before = watch.ElapsedNanos();
+  watch.Restart();
+  EXPECT_LE(watch.ElapsedNanos(), before);
 }
 
 TEST(EwmaTest, FirstSampleSeeds) {
