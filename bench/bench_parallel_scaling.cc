@@ -1,0 +1,136 @@
+// Parallel scaling of the estimation pool: pre-training throughput at
+// 1/2/4/8 worker threads vs the inline serial path (threads = 0).
+//
+// Pre-training fans every query out across the six estimators, so it is
+// the module's most parallel phase; the per-query critical path is the
+// slowest estimator instead of the sum of all six. The lifecycle is
+// deterministic in the thread count (see LatestConfig::num_threads), so
+// the run also cross-checks that every point ends in the same phase with
+// the same active estimator and switch count as the serial run.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/stopwatch.h"
+#include "workload/stream_driver.h"
+
+namespace {
+
+struct ScalingPoint {
+  uint32_t threads = 0;
+  uint64_t pretrain_queries = 0;
+  double pretrain_seconds = 0.0;
+  double total_seconds = 0.0;
+  latest::estimators::EstimatorKind final_active =
+      latest::estimators::EstimatorKind::kRsh;
+  size_t switches = 0;
+
+  double PretrainQps() const {
+    return pretrain_seconds > 0.0
+               ? static_cast<double>(pretrain_queries) / pretrain_seconds
+               : 0.0;
+  }
+};
+
+ScalingPoint RunPoint(const latest::workload::DatasetSpec& dataset_spec,
+                      const latest::workload::WorkloadSpec& workload_spec,
+                      latest::core::LatestConfig config, uint32_t threads) {
+  using namespace latest;
+  config.num_threads = threads;
+  workload::DatasetGenerator dataset(dataset_spec);
+  workload::QueryGenerator queries(workload_spec, dataset_spec);
+  auto module_result = core::LatestModule::Create(config);
+  if (!module_result.ok()) {
+    std::fprintf(stderr, "bad module config: %s\n",
+                 module_result.status().ToString().c_str());
+    std::exit(1);
+  }
+  core::LatestModule& module = **module_result;
+
+  ScalingPoint point;
+  point.threads = threads;
+  workload::StreamDriver driver(&dataset, &queries,
+                                /*query_start_ms=*/config.window
+                                    .window_length_ms,
+                                dataset_spec.duration_ms);
+  util::Stopwatch total_watch;
+  driver.Run(
+      [&](const stream::GeoTextObject& obj) { module.OnObject(obj); },
+      [&](const stream::Query& q, uint32_t /*index*/) {
+        util::Stopwatch watch;
+        const core::QueryOutcome outcome = module.OnQuery(q);
+        if (outcome.phase == core::Phase::kPretraining) {
+          point.pretrain_seconds += watch.ElapsedMillis() / 1000.0;
+          ++point.pretrain_queries;
+        }
+      });
+  point.total_seconds = total_watch.ElapsedMillis() / 1000.0;
+  point.final_active = module.active_kind();
+  point.switches = module.switch_log().size();
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace latest;
+  const double scale = bench::BenchScale();
+  (void)argc;
+  (void)argv;
+
+  const auto dataset = workload::TwitterLikeSpec(scale);
+  const uint32_t num_queries =
+      std::max<uint32_t>(1500, static_cast<uint32_t>(3000 * scale));
+  const auto workload_spec =
+      workload::MakeWorkloadSpec(workload::WorkloadId::kTwQW1, num_queries);
+  core::LatestConfig config = bench::DefaultModuleConfig(dataset, num_queries);
+  // A long pre-training phase is the point of this benchmark.
+  config.pretrain_queries = std::max<uint32_t>(800, num_queries / 2);
+
+  bench::PrintHeader(
+      "Parallel scaling - pre-training throughput vs estimation threads",
+      "same stream and seed at every point; speedup is relative to the "
+      "inline serial path (threads=0)");
+
+  const uint32_t thread_counts[] = {0, 1, 2, 4, 8};
+  std::vector<ScalingPoint> points;
+  for (const uint32_t threads : thread_counts) {
+    points.push_back(RunPoint(dataset, workload_spec, config, threads));
+  }
+  const double serial_qps = points[0].PretrainQps();
+
+  std::printf("  %-8s %14s %14s %12s %10s %9s\n", "threads", "pretrain_q",
+              "pretrain_qps", "speedup", "active", "switches");
+  bool deterministic = true;
+  for (const ScalingPoint& p : points) {
+    const double speedup =
+        serial_qps > 0.0 ? p.PretrainQps() / serial_qps : 0.0;
+    std::printf("  %-8u %14llu %14.1f %11.2fx %10s %9zu\n", p.threads,
+                static_cast<unsigned long long>(p.pretrain_queries),
+                p.PretrainQps(), speedup,
+                estimators::EstimatorKindName(p.final_active), p.switches);
+    deterministic = deterministic && p.final_active == points[0].final_active &&
+                    p.switches == points[0].switches &&
+                    p.pretrain_queries == points[0].pretrain_queries;
+    std::printf(
+        "RESULT_JSON {\"experiment\":\"parallel_scaling\",\"threads\":%u,"
+        "\"pretrain_queries\":%llu,\"pretrain_qps\":%.3f,"
+        "\"speedup_vs_serial\":%.4f,\"total_seconds\":%.3f,"
+        "\"final_active\":\"%s\",\"switches\":%zu}\n",
+        p.threads, static_cast<unsigned long long>(p.pretrain_queries),
+        p.PretrainQps(), speedup, p.total_seconds,
+        estimators::EstimatorKindName(p.final_active), p.switches);
+  }
+  std::printf(
+      "\nlifecycle deterministic across thread counts: %s\n",
+      deterministic ? "yes" : "NO (bug: selections must not depend on the "
+                              "thread count)");
+  std::printf(
+      "Expected shape: pretrain_qps grows with threads until the slowest "
+      "estimator dominates the critical path (~the AASP share of the "
+      "portfolio); speedup at 4 threads should exceed 2.5x on multicore "
+      "hardware.\n");
+  return deterministic ? 0 : 1;
+}

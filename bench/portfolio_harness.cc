@@ -14,12 +14,15 @@ namespace latest::bench {
 PortfolioHarness::PortfolioHarness(
     const workload::DatasetSpec& dataset_spec,
     const stream::WindowConfig& window,
-    const std::vector<estimators::EstimatorConfig>& configs)
+    const std::vector<estimators::EstimatorConfig>& configs,
+    uint32_t num_threads)
     : dataset_spec_(dataset_spec),
       window_(window),
       clock_(window),
       population_(window.num_slices),
+      pool_(std::make_unique<util::ThreadPool>(num_threads)),
       exact_(dataset_spec.bounds, window.window_length_ms) {
+  exact_.set_thread_pool(pool_.get());
   groups_.reserve(configs.size());
   for (size_t g = 0; g < configs.size(); ++g) {
     estimators::EstimatorConfig config = configs[g];
@@ -43,9 +46,14 @@ PortfolioHarness::PortfolioHarness(
 }
 
 void PortfolioHarness::Feed(const std::vector<stream::Query>& feedback_queries) {
+  // Pass 1 (serial): materialize the stream, drive the shared clock /
+  // population / exact evaluator, and resolve the ground truth of every
+  // feedback point. Feedback cadence: spread the feedback queries across
+  // the stream after the first window has filled.
   workload::DatasetGenerator dataset(dataset_spec_);
-  // Feedback cadence: spread the feedback queries across the stream after
-  // the first window has filled.
+  std::vector<stream::GeoTextObject> objects;
+  objects.reserve(dataset_spec_.num_objects);
+  std::vector<FeedbackPoint> feedback_points;
   size_t next_feedback = 0;
   const uint64_t feedback_every =
       feedback_queries.empty()
@@ -55,32 +63,56 @@ void PortfolioHarness::Feed(const std::vector<stream::Query>& feedback_queries) 
   while (dataset.HasNext()) {
     const stream::GeoTextObject obj = dataset.Next();
     const uint32_t rotations = clock_.Advance(obj.timestamp);
-    for (uint32_t r = 0; r < rotations; ++r) {
-      population_.Rotate();
-      for (auto& group : groups_) {
-        for (auto& est : group.members) est->OnSliceRotate();
-      }
-    }
+    for (uint32_t r = 0; r < rotations; ++r) population_.Rotate();
     if (rotations > 0) exact_.EvictExpired(clock_.now());
     exact_.Insert(obj);
     population_.Add();
-    for (auto& group : groups_) {
-      for (auto& est : group.members) est->Insert(obj);
-    }
-    // Workload-driven training feedback for the FFN members.
     if (feedback_every > 0 && next_feedback < feedback_queries.size() &&
         obj.timestamp >= window_.window_length_ms &&
         dataset.produced() % feedback_every == 0) {
       stream::Query q = feedback_queries[next_feedback++];
       q.timestamp = obj.timestamp;
-      const uint64_t actual = exact_.TrueSelectivity(q);
-      for (auto& group : groups_) {
-        for (auto& est : group.members) {
-          est->OnFeedback(q, est->Estimate(q), actual);
-        }
-      }
+      FeedbackPoint point;
+      point.object_index = objects.size();
+      point.actual = exact_.TrueSelectivity(q);
+      point.query = std::move(q);
+      feedback_points.push_back(std::move(point));
     }
     now_ = obj.timestamp;
+    objects.push_back(obj);
+  }
+
+  // Pass 2: replay the stream into every group — concurrently when the
+  // pool has workers. Groups share nothing mutable (each task owns its
+  // group's estimators and a private SliceClock), so any thread count
+  // yields the same estimator contents as the original serial loop.
+  pool_->ParallelFor(groups_.size(), [&](size_t g) {
+    ReplayGroup(&groups_[g], objects, feedback_points);
+  });
+}
+
+void PortfolioHarness::ReplayGroup(
+    Group* group, const std::vector<stream::GeoTextObject>& objects,
+    const std::vector<FeedbackPoint>& feedback_points) {
+  stream::SliceClock clock(window_);
+  size_t next_feedback = 0;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const stream::GeoTextObject& obj = objects[i];
+    const uint32_t rotations = clock.Advance(obj.timestamp);
+    for (uint32_t r = 0; r < rotations; ++r) {
+      for (auto& est : group->members) est->OnSliceRotate();
+    }
+    for (auto& est : group->members) est->Insert(obj);
+    // Workload-driven training feedback for the FFN members, against the
+    // ground truth resolved in pass 1.
+    while (next_feedback < feedback_points.size() &&
+           feedback_points[next_feedback].object_index == i) {
+      const FeedbackPoint& point = feedback_points[next_feedback++];
+      for (auto& est : group->members) {
+        est->OnFeedback(point.query, est->Estimate(point.query),
+                        point.actual);
+      }
+    }
   }
 }
 

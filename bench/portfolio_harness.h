@@ -20,6 +20,7 @@
 #include "estimators/estimator.h"
 #include "exact/exact_evaluator.h"
 #include "stream/sliding_window.h"
+#include "util/thread_pool.h"
 #include "workload/dataset.h"
 
 namespace latest::bench {
@@ -28,10 +29,18 @@ namespace latest::bench {
 class PortfolioHarness {
  public:
   /// One group per estimator configuration (bounds/window are overridden
-  /// from the dataset and the shared window config).
+  /// from the dataset and the shared window config). With
+  /// `num_threads > 0`, Feed replays the stream into the groups
+  /// concurrently (one task per group) and exact ground truth shards
+  /// grid-row bands; estimator contents and ground truth stay
+  /// bit-identical to the serial run because each group's insert/rotate/
+  /// feedback sequence is unchanged — only which thread replays it
+  /// differs. Evaluate always measures serially so per-estimator
+  /// latencies are not distorted by contention.
   PortfolioHarness(const workload::DatasetSpec& dataset_spec,
                    const stream::WindowConfig& window,
-                   const std::vector<estimators::EstimatorConfig>& configs);
+                   const std::vector<estimators::EstimatorConfig>& configs,
+                   uint32_t num_threads = 0);
 
   /// Streams the whole dataset (one pass, all groups fed). Also trains
   /// the workload-driven FFN by feeding periodic query feedback drawn
@@ -59,10 +68,24 @@ class PortfolioHarness {
     std::vector<std::unique_ptr<estimators::Estimator>> members;
   };
 
+  /// One stream position where FFN feedback fires during Feed.
+  struct FeedbackPoint {
+    size_t object_index = 0;
+    stream::Query query;
+    uint64_t actual = 0;
+  };
+
+  /// Replays `objects` into one group (rotations, inserts, feedback) —
+  /// the per-group body of Feed, safe to run concurrently across groups.
+  void ReplayGroup(Group* group,
+                   const std::vector<stream::GeoTextObject>& objects,
+                   const std::vector<FeedbackPoint>& feedback_points);
+
   workload::DatasetSpec dataset_spec_;
   stream::WindowConfig window_;
   stream::SliceClock clock_;
   stream::WindowPopulation population_;
+  std::unique_ptr<util::ThreadPool> pool_;  // Before exact_, which borrows it.
   exact::ExactEvaluator exact_;
   std::vector<Group> groups_;
   stream::Timestamp now_ = 0;

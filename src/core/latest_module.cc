@@ -73,6 +73,9 @@ util::Status LatestConfig::Validate() const {
     return util::Status::InvalidArgument(
         "auto_retrain_error_threshold must be >= 0");
   }
+  if (num_threads > 128) {
+    return util::Status::InvalidArgument("num_threads must be <= 128");
+  }
   return util::Status::Ok();
 }
 
@@ -88,6 +91,7 @@ util::Result<std::unique_ptr<LatestModule>> LatestModule::Create(
 
 LatestModule::LatestModule(const LatestConfig& config)
     : config_(config),
+      pool_(std::make_unique<util::ThreadPool>(config.num_threads)),
       clock_(config.window),
       window_population_(config.window.num_slices),
       system_log_(config.bounds, config.window.window_length_ms),
@@ -105,6 +109,9 @@ LatestModule::LatestModule(const LatestConfig& config)
       telemetry_(std::make_unique<obs::Telemetry>(config.telemetry)) {
   RegisterMetrics();
   scoreboard_.AttachTelemetry(&telemetry_->registry());
+  obs::ThreadPoolMetrics::Attach(pool_.get(), &telemetry_->registry(),
+                                 "estimation", &pool_metrics_);
+  system_log_.set_thread_pool(pool_.get());
   // All enabled estimation structures are pre-filled during the warm-up
   // phase (Section V-C), so every enabled instance exists from the start.
   for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
@@ -261,6 +268,22 @@ EstimatorMeasurement LatestModule::Measure(estimators::Estimator* est,
   m.estimate = estimate;
   m.accuracy = EstimationAccuracy(estimate, actual);
   return m;
+}
+
+void LatestModule::MeasurePortfolio(
+    const std::vector<uint32_t>& kinds, const stream::Query& q,
+    uint64_t actual,
+    std::array<EstimatorMeasurement, estimators::kNumEstimatorKinds>* slots)
+    const {
+  // One task per estimator, each writing a distinct pre-sized slot.
+  // Estimate() only touches the estimator's own structures, so tasks
+  // share nothing mutable; with zero workers ParallelFor degenerates to
+  // the exact serial loop this replaced.
+  pool_->ParallelFor(kinds.size(), [&](size_t i) {
+    const uint32_t k = kinds[i];
+    (*slots)[k] = Measure(
+        instances_[k].get(), q, actual);
+  });
 }
 
 ml::FeatureVector LatestModule::BuildFeatures(const stream::Query& q) const {
@@ -600,18 +623,31 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q,
     }
 
     case Phase::kPretraining: {
-      // Run the query on every enabled estimator and label the training
-      // record with the best alpha-blended performer (Section V-C).
+      // Run the query on every enabled estimator — concurrently when the
+      // pool has workers — and label the training record with the best
+      // alpha-blended performer (Section V-C). The fan-out writes into
+      // pre-sized slots; scoreboard EWMAs, feedback, and the latency
+      // scaler are updated serially after the join, in kind order, so
+      // the learned state is independent of the thread count.
       const util::Stopwatch estimate_watch;
       outcome.measurements.reserve(estimators::kNumEstimatorKinds);
       EstimatorMeasurement active_m;
+      std::vector<uint32_t> kinds;
+      kinds.reserve(estimators::kNumEstimatorKinds);
       for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
         const auto kind = static_cast<estimators::EstimatorKind>(k);
         if (!IsEnabled(kind)) continue;
-        estimators::Estimator* est = EnsureInstance(kind);
-        EstimatorMeasurement m = Measure(est, q, actual);
+        EnsureInstance(kind);
+        kinds.push_back(k);
+      }
+      std::array<EstimatorMeasurement, estimators::kNumEstimatorKinds>
+          slots;
+      MeasurePortfolio(kinds, q, actual, &slots);
+      for (const uint32_t k : kinds) {
+        const auto kind = static_cast<estimators::EstimatorKind>(k);
+        const EstimatorMeasurement& m = slots[k];
         scoreboard_.Record(type, m);
-        est->OnFeedback(q, m.estimate, actual);
+        instance(kind)->OnFeedback(q, m.estimate, actual);
         if (kind == active_kind_) active_m = m;
         outcome.measurements.push_back(m);
       }
@@ -650,13 +686,15 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q,
     case Phase::kIncremental: {
       ++incremental_queries_;
       // Measure the active estimator (always), the pre-filling candidate,
-      // and — in evaluation mode — every shadow estimator.
+      // and — in evaluation mode — every shadow estimator. Fan-out and
+      // post-join bookkeeping mirror the pre-training phase.
       const util::Stopwatch estimate_watch;
       EstimatorMeasurement active_m;
+      std::vector<uint32_t> kinds;
+      kinds.reserve(estimators::kNumEstimatorKinds);
       for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
         const auto kind = static_cast<estimators::EstimatorKind>(k);
-        estimators::Estimator* est = instance(kind);
-        if (est == nullptr) continue;
+        if (instance(kind) == nullptr) continue;
         const bool is_active = kind == active_kind_;
         const bool is_candidate =
             candidate_kind_.has_value() && kind == *candidate_kind_;
@@ -664,10 +702,19 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q,
             !config_.maintain_shadow_estimators) {
           continue;
         }
-        EstimatorMeasurement m = Measure(est, q, actual);
+        kinds.push_back(k);
+      }
+      std::array<EstimatorMeasurement, estimators::kNumEstimatorKinds>
+          slots;
+      MeasurePortfolio(kinds, q, actual, &slots);
+      for (const uint32_t k : kinds) {
+        const auto kind = static_cast<estimators::EstimatorKind>(k);
+        const EstimatorMeasurement& m = slots[k];
         scoreboard_.Record(type, m);
-        est->OnFeedback(q, m.estimate, actual);
-        if (is_active) active_m = m;
+        instance(kind)->OnFeedback(q, m.estimate, actual);
+        const bool is_candidate =
+            candidate_kind_.has_value() && kind == *candidate_kind_;
+        if (kind == active_kind_) active_m = m;
         if (config_.maintain_shadow_estimators || is_candidate) {
           outcome.measurements.push_back(m);
         }

@@ -38,12 +38,14 @@
 #include "estimators/space_saving.h"
 #include "exact/exact_evaluator.h"
 #include "ml/hoeffding_tree.h"
+#include "obs/pool_metrics.h"
 #include "obs/telemetry.h"
 #include "stream/object.h"
 #include "stream/query.h"
 #include "stream/sliding_window.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace latest::core {
 
@@ -143,6 +145,20 @@ struct LatestConfig {
   /// sampling (see obs/telemetry.h). Always on; costs a few relaxed
   /// atomics per query.
   obs::TelemetryConfig telemetry;
+
+  /// Worker threads of the module's estimation pool: pre-training (and
+  /// shadow-mode) portfolio measurement fans each query out across the
+  /// enabled estimators, and spatial ground truth shards grid-row bands.
+  /// 0 (the default) runs everything inline on the caller's thread. The
+  /// lifecycle is deterministic in this knob: measurements land in
+  /// pre-sized slots and every order-sensitive side effect (scoreboard
+  /// EWMAs, estimator feedback, tree training) happens serially after
+  /// the join, so — latency measurements aside — any thread count
+  /// produces the same selections, labels, and estimates. Object
+  /// ingestion (estimator Insert) intentionally stays single-threaded:
+  /// inserts mutate every estimator's window state and are ordered by
+  /// the stream.
+  uint32_t num_threads = 0;
 
   /// Seed for all randomized components.
   uint64_t seed = 42;
@@ -275,6 +291,17 @@ class LatestModule {
   EstimatorMeasurement Measure(estimators::Estimator* est,
                                const stream::Query& q, uint64_t actual) const;
 
+  /// Measures every kind in `kinds` (instances must exist), writing each
+  /// result into its pre-sized slot. Fans out across pool_ when it has
+  /// workers; otherwise runs inline in `kinds` order. No shared mutable
+  /// state is touched: Record/OnFeedback stay with the caller, after the
+  /// join.
+  void MeasurePortfolio(
+      const std::vector<uint32_t>& kinds, const stream::Query& q,
+      uint64_t actual,
+      std::array<EstimatorMeasurement, estimators::kNumEstimatorKinds>*
+          slots) const;
+
   /// Builds the learning-model feature vector for a query.
   ml::FeatureVector BuildFeatures(const stream::Query& q) const;
 
@@ -303,6 +330,12 @@ class LatestModule {
 
   LatestConfig config_;
   Phase phase_ = Phase::kWarmup;
+
+  /// Estimation pool (inline when config_.num_threads == 0): portfolio
+  /// fan-out and grid-sharded ground truth. Declared before system_log_,
+  /// which borrows it, so the pool outlives its borrowers.
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<obs::ThreadPoolMetrics> pool_metrics_;
 
   stream::SliceClock clock_;
   stream::WindowPopulation window_population_;

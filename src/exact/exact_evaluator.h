@@ -40,6 +40,14 @@ class ExactEvaluator {
 
   void Clear();
 
+  /// Shards spatial ground-truth scans across `pool` (see
+  /// GridIndex::set_thread_pool); null restores serial evaluation. The
+  /// pool is borrowed and must outlive the evaluator. Keyword queries
+  /// stay on the inverted index and are unaffected.
+  void set_thread_pool(util::ThreadPool* pool) {
+    grid_.set_thread_pool(pool);
+  }
+
  private:
   stream::Timestamp window_length_ms_;
   GridIndex grid_;

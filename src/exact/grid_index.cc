@@ -1,6 +1,16 @@
 #include "exact/grid_index.h"
 
+#include <algorithm>
+
 namespace latest::exact {
+
+namespace {
+
+/// Minimum candidate cells before a query is worth sharding: below this
+/// the dispatch overhead dominates the per-cell scan.
+constexpr uint64_t kMinCellsForSharding = 64;
+
+}  // namespace
 
 GridIndex::GridIndex(const geo::Rect& bounds, uint32_t cols, uint32_t rows)
     : grid_(bounds, cols, rows), cells_(grid_.num_cells()) {}
@@ -10,16 +20,40 @@ void GridIndex::Insert(const stream::GeoTextObject& obj) {
   ++size_;
 }
 
-void GridIndex::EvictCell(uint32_t cell, stream::Timestamp cutoff) {
+uint64_t GridIndex::EvictCell(uint32_t cell, stream::Timestamp cutoff) {
   auto& bucket = cells_[cell];
+  uint64_t evicted = 0;
   while (!bucket.empty() && bucket.front().timestamp < cutoff) {
     bucket.pop_front();
-    --size_;
+    ++evicted;
   }
+  return evicted;
 }
 
 void GridIndex::EvictBefore(stream::Timestamp cutoff) {
-  for (uint32_t c = 0; c < cells_.size(); ++c) EvictCell(c, cutoff);
+  for (uint32_t c = 0; c < cells_.size(); ++c) {
+    size_ -= EvictCell(c, cutoff);
+  }
+}
+
+std::pair<uint64_t, uint64_t> GridIndex::ScanRows(const stream::Query& q,
+                                                  stream::Timestamp cutoff,
+                                                  uint32_t row_lo,
+                                                  uint32_t row_hi,
+                                                  uint32_t col_lo,
+                                                  uint32_t col_hi) {
+  uint64_t count = 0;
+  uint64_t evicted = 0;
+  for (uint32_t row = row_lo; row <= row_hi; ++row) {
+    for (uint32_t col = col_lo; col <= col_hi; ++col) {
+      const uint32_t cell = row * grid_.cols() + col;
+      evicted += EvictCell(cell, cutoff);
+      for (const auto& obj : cells_[cell]) {
+        if (q.Matches(obj)) ++count;
+      }
+    }
+  }
+  return {count, evicted};
 }
 
 uint64_t GridIndex::CountMatches(const stream::Query& q,
@@ -33,15 +67,34 @@ uint64_t GridIndex::CountMatches(const stream::Query& q,
       return 0;
     }
   }
+  const uint64_t num_rows = row_hi - row_lo + 1;
+  const uint64_t num_cells = num_rows * (col_hi - col_lo + 1);
+  if (pool_ == nullptr || pool_->num_threads() == 0 ||
+      num_cells < kMinCellsForSharding || num_rows < 2) {
+    const auto [count, evicted] =
+        ScanRows(q, cutoff, row_lo, row_hi, col_lo, col_hi);
+    size_ -= evicted;
+    return count;
+  }
+  // Shard contiguous row bands: each cell (hence each deque) is touched
+  // by exactly one shard, per-shard tallies land in pre-sized slots, and
+  // the shared size_ is only adjusted after the join. Summing unsigned
+  // partial counts is exact, so the result matches the serial scan bit
+  // for bit.
+  const uint32_t num_shards = static_cast<uint32_t>(std::min<uint64_t>(
+      num_rows, static_cast<uint64_t>(pool_->num_threads())));
+  std::vector<std::pair<uint64_t, uint64_t>> shard_results(num_shards);
+  pool_->ParallelFor(num_shards, [&](size_t shard) {
+    const uint64_t begin = row_lo + num_rows * shard / num_shards;
+    const uint64_t end = row_lo + num_rows * (shard + 1) / num_shards - 1;
+    shard_results[shard] =
+        ScanRows(q, cutoff, static_cast<uint32_t>(begin),
+                 static_cast<uint32_t>(end), col_lo, col_hi);
+  });
   uint64_t count = 0;
-  for (uint32_t row = row_lo; row <= row_hi; ++row) {
-    for (uint32_t col = col_lo; col <= col_hi; ++col) {
-      const uint32_t cell = row * grid_.cols() + col;
-      EvictCell(cell, cutoff);
-      for (const auto& obj : cells_[cell]) {
-        if (q.Matches(obj)) ++count;
-      }
-    }
+  for (const auto& [shard_count, shard_evicted] : shard_results) {
+    count += shard_count;
+    size_ -= shard_evicted;
   }
   return count;
 }

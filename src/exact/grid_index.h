@@ -11,11 +11,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "geo/grid.h"
 #include "stream/object.h"
 #include "stream/query.h"
+#include "util/thread_pool.h"
 
 namespace latest::exact {
 
@@ -44,13 +46,29 @@ class GridIndex {
   /// Drops all objects.
   void Clear();
 
+  /// Shards CountMatches row bands across `pool` when the candidate cell
+  /// range is large enough to amortize dispatch. Pass null (the default)
+  /// for fully serial scans. The pool is borrowed, not owned, and must
+  /// outlive the index. Results are bit-identical to the serial path:
+  /// each cell is scanned (and lazily evicted) by exactly one shard and
+  /// per-shard counts are summed after the join.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+
  private:
-  /// Pops expired objects from one cell's front.
-  void EvictCell(uint32_t cell, stream::Timestamp cutoff);
+  /// Pops expired objects from one cell's front; returns evictions.
+  uint64_t EvictCell(uint32_t cell, stream::Timestamp cutoff);
+
+  /// Serial scan of rows [row_lo, row_hi] x cols [col_lo, col_hi];
+  /// returns {matches, evicted} without touching size_.
+  std::pair<uint64_t, uint64_t> ScanRows(const stream::Query& q,
+                                         stream::Timestamp cutoff,
+                                         uint32_t row_lo, uint32_t row_hi,
+                                         uint32_t col_lo, uint32_t col_hi);
 
   geo::Grid grid_;
   std::vector<std::deque<stream::GeoTextObject>> cells_;
   uint64_t size_ = 0;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace latest::exact

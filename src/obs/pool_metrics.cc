@@ -1,0 +1,40 @@
+#include "obs/pool_metrics.h"
+
+#include <memory>
+
+namespace latest::obs {
+
+ThreadPoolMetrics::ThreadPoolMetrics(MetricsRegistry* registry,
+                                     const std::string& pool_name) {
+  const LabelSet labels = {{"pool", pool_name}};
+  queue_depth_ = registry->GetGauge(
+      "latest_pool_queue_depth", "Tasks waiting in the thread-pool queue",
+      labels);
+  task_latency_ms_ = registry->GetHistogram(
+      "latest_pool_task_latency_ms",
+      "Wall clock of thread-pool task execution (ms)",
+      Histogram::LatencyBucketsMs(), labels);
+  tasks_total_ = registry->GetCounter(
+      "latest_pool_tasks_total", "Tasks executed by the thread pool",
+      labels);
+}
+
+void ThreadPoolMetrics::Attach(util::ThreadPool* pool,
+                               MetricsRegistry* registry,
+                               const std::string& pool_name,
+                               std::unique_ptr<ThreadPoolMetrics>* out) {
+  *out = std::make_unique<ThreadPoolMetrics>(registry, pool_name);
+  pool->SetObserver(out->get());
+}
+
+void ThreadPoolMetrics::OnTaskQueued(size_t queue_depth) {
+  queue_depth_->Set(static_cast<double>(queue_depth));
+}
+
+void ThreadPoolMetrics::OnTaskDone(double latency_ms, size_t queue_depth) {
+  queue_depth_->Set(static_cast<double>(queue_depth));
+  task_latency_ms_->Observe(latency_ms);
+  tasks_total_->Increment();
+}
+
+}  // namespace latest::obs

@@ -1,0 +1,50 @@
+// Registry-backed telemetry for a util::ThreadPool.
+//
+// The pool lives in the dependency-free util layer and only knows an
+// abstract Observer; this adapter implements it against a
+// MetricsRegistry so every pool exports a queue-depth gauge and a task
+// latency histogram under a stable `pool` label:
+//
+//   latest_pool_queue_depth{pool="portfolio"}
+//   latest_pool_task_latency_ms{pool="portfolio"} (histogram)
+//   latest_pool_tasks_total{pool="portfolio"}
+//
+// Callbacks fire on worker threads; all updates go through the
+// registry's relaxed-atomic handles, so attaching telemetry adds no
+// locks to the task path.
+
+#ifndef LATEST_OBS_POOL_METRICS_H_
+#define LATEST_OBS_POOL_METRICS_H_
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "util/thread_pool.h"
+
+namespace latest::obs {
+
+/// MetricsRegistry-backed ThreadPool observer.
+class ThreadPoolMetrics : public util::ThreadPool::Observer {
+ public:
+  /// Registers the pool's metric instances under label {pool=pool_name}.
+  /// The registry must outlive this object.
+  ThreadPoolMetrics(MetricsRegistry* registry, const std::string& pool_name);
+
+  /// Registers the metrics and installs this object as `pool`'s
+  /// observer in one step.
+  static void Attach(util::ThreadPool* pool, MetricsRegistry* registry,
+                     const std::string& pool_name,
+                     std::unique_ptr<ThreadPoolMetrics>* out);
+
+  void OnTaskQueued(size_t queue_depth) override;
+  void OnTaskDone(double latency_ms, size_t queue_depth) override;
+
+ private:
+  Gauge* queue_depth_ = nullptr;
+  Histogram* task_latency_ms_ = nullptr;
+  Counter* tasks_total_ = nullptr;
+};
+
+}  // namespace latest::obs
+
+#endif  // LATEST_OBS_POOL_METRICS_H_

@@ -24,7 +24,9 @@ SliceClock::SliceClock(const WindowConfig& config) : config_(config) {
 }
 
 uint32_t SliceClock::Advance(Timestamp t) {
-  assert(t >= now_ && "event time must be monotonically non-decreasing");
+  // Late (out-of-order) timestamps clamp: t < now_ leaves the clock
+  // where it is, so a straggler neither rotates slices nor rewinds
+  // `now()` — it is accounted into the current slice.
   now_ = std::max(now_, t);
   const int64_t slice = SliceIndexOf(now_);
   if (slice <= current_slice_) return 0;

@@ -44,8 +44,11 @@ class SliceClock {
  public:
   explicit SliceClock(const WindowConfig& config);
 
-  /// Advances event time to `t` (monotonically non-decreasing) and returns
-  /// the number of slice boundaries crossed since the last call.
+  /// Advances event time to `t` and returns the number of slice
+  /// boundaries crossed since the last call. Out-of-order (late)
+  /// timestamps clamp to the current event time: the clock never moves
+  /// backwards, a late event causes no rotation, and `now()` is
+  /// unchanged — the late object simply lands in the current slice.
   uint32_t Advance(Timestamp t);
 
   /// Absolute index of the slice containing `t`.

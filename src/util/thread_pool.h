@@ -1,0 +1,101 @@
+// A fixed-size, work-stealing-free thread pool for deterministic
+// fan-out/join parallelism.
+//
+// LATEST's parallel sections (portfolio measurement during pre-training,
+// grid-sharded ground truth) all follow the same shape: N independent
+// tasks write into pre-sized slots, the caller joins, and every
+// order-sensitive side effect happens serially after the join. The pool
+// therefore exposes exactly two operations — fire-and-collect `Submit`
+// and blocking `ParallelFor` — and guarantees that a pool constructed
+// with zero threads degenerates to inline execution on the caller's
+// thread, so the serial and parallel code paths are one code path.
+//
+// Determinism contract: ParallelFor(n, fn) invokes fn exactly once for
+// every index in [0, n); which thread runs which index is unspecified,
+// so fn must only touch per-index state. Exceptions thrown by fn are
+// captured per index and the lowest-index exception is rethrown on the
+// caller — independent of scheduling, the same failure surfaces for the
+// same input.
+
+#ifndef LATEST_UTIL_THREAD_POOL_H_
+#define LATEST_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace latest::util {
+
+/// Fixed-size thread pool with a single shared FIFO queue.
+class ThreadPool {
+ public:
+  /// Telemetry hook: implemented by the observability layer so the pool
+  /// itself stays free of metric dependencies. Callbacks fire on worker
+  /// threads (or the caller's thread in inline mode) and must be
+  /// thread-safe; the registry-backed implementation uses relaxed
+  /// atomics only.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    /// A task was enqueued; `queue_depth` includes it.
+    virtual void OnTaskQueued(size_t queue_depth) = 0;
+    /// A task finished running (normally or by throwing).
+    virtual void OnTaskDone(double latency_ms, size_t queue_depth) = 0;
+  };
+
+  /// Spawns `num_threads` workers; 0 means no workers and every Submit /
+  /// ParallelFor executes inline on the calling thread.
+  explicit ThreadPool(uint32_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue — every task already submitted still runs — then
+  /// joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues one task. The future rethrows whatever the task threw.
+  /// Inline mode runs the task before returning (the future is ready).
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(0) ... fn(n-1), blocking until all complete. Indices are
+  /// dispatched as individual tasks (callers shard coarse work, e.g. one
+  /// index per grid-row band, to keep task counts small). Rethrows the
+  /// lowest-index exception after all indices finished.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Worker threads (0 = inline mode).
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Tasks currently waiting in the queue (excludes running tasks).
+  size_t QueueDepth() const;
+
+  /// Installs (or clears, with nullptr) the telemetry observer. Not
+  /// synchronized against in-flight tasks: install before first use.
+  void SetObserver(Observer* observer) { observer_ = observer; }
+
+ private:
+  void WorkerLoop();
+  void RunTask(std::function<void()>& task);
+
+  const uint32_t num_threads_;
+  Observer* observer_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace latest::util
+
+#endif  // LATEST_UTIL_THREAD_POOL_H_

@@ -10,7 +10,9 @@
 #include "exact/grid_index.h"
 #include "exact/inverted_index.h"
 #include "exact/quadtree_index.h"
+#include "tests/test_stream.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace latest::exact {
 namespace {
@@ -20,142 +22,121 @@ using stream::KeywordId;
 using stream::Query;
 using stream::Timestamp;
 
-constexpr geo::Rect kBounds{0, 0, 100, 100};
+using testing_support::BruteForceCount;
+using testing_support::kTestBounds;
+using testing_support::MakeHybridQuery;
+using testing_support::MakeKeywordQuery;
+using testing_support::MakeSpatialQuery;
+using testing_support::MakeUniformObjects;
 
-// Deterministic synthetic stream of objects in timestamp order.
-std::vector<GeoTextObject> MakeObjects(int n, uint64_t seed,
-                                       Timestamp duration = 10000) {
-  util::Rng rng(seed);
-  std::vector<GeoTextObject> objects;
-  objects.reserve(n);
-  for (int i = 0; i < n; ++i) {
-    GeoTextObject obj;
-    obj.oid = static_cast<stream::ObjectId>(i);
-    obj.loc = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
-    const int num_kw = 1 + static_cast<int>(rng.NextBounded(3));
-    for (int k = 0; k < num_kw; ++k) {
-      obj.keywords.push_back(static_cast<KeywordId>(rng.NextBounded(30)));
-    }
-    stream::CanonicalizeKeywords(&obj.keywords);
-    obj.timestamp = duration * i / n;
-    objects.push_back(obj);
-  }
-  return objects;
-}
-
-uint64_t BruteForce(const std::vector<GeoTextObject>& objects, const Query& q,
-                    Timestamp cutoff) {
-  uint64_t count = 0;
-  for (const auto& obj : objects) {
-    if (obj.timestamp >= cutoff && q.Matches(obj)) ++count;
-  }
-  return count;
-}
-
-Query SpatialQuery(const geo::Rect& r, Timestamp t = 10000) {
-  Query q;
-  q.range = r;
-  q.timestamp = t;
-  return q;
-}
-
-Query KeywordQuery(std::vector<KeywordId> kws, Timestamp t = 10000) {
-  Query q;
-  q.keywords = std::move(kws);
-  stream::CanonicalizeKeywords(&q.keywords);
-  q.timestamp = t;
-  return q;
-}
-
-Query HybridQuery(const geo::Rect& r, std::vector<KeywordId> kws,
-                  Timestamp t = 10000) {
-  Query q = KeywordQuery(std::move(kws), t);
-  q.range = r;
-  return q;
-}
+constexpr geo::Rect kBounds = kTestBounds;
 
 // --------------------------------------------------------------------
 // GridIndex
 
 TEST(GridIndexTest, EmptyIndexCountsZero) {
   GridIndex index(kBounds, 8, 8);
-  EXPECT_EQ(index.CountMatches(SpatialQuery({0, 0, 50, 50}), 0), 0u);
+  EXPECT_EQ(index.CountMatches(MakeSpatialQuery({0, 0, 50, 50}), 0), 0u);
 }
 
 TEST(GridIndexTest, CountsMatchBruteForce) {
-  const auto objects = MakeObjects(2000, 1);
+  const auto objects = MakeUniformObjects(2000, 1);
   GridIndex index(kBounds, 8, 8);
   for (const auto& obj : objects) index.Insert(obj);
 
   util::Rng rng(2);
   for (int iter = 0; iter < 50; ++iter) {
     const geo::Point c{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
-    const Query q = SpatialQuery(
+    const Query q = MakeSpatialQuery(
         geo::Rect::FromCenter(c, rng.NextDouble(1, 40), rng.NextDouble(1, 40)));
-    EXPECT_EQ(index.CountMatches(q, 0), BruteForce(objects, q, 0));
+    EXPECT_EQ(index.CountMatches(q, 0), BruteForceCount(objects, q, 0));
   }
 }
 
 TEST(GridIndexTest, HybridPredicateExact) {
-  const auto objects = MakeObjects(1000, 3);
+  const auto objects = MakeUniformObjects(1000, 3);
   GridIndex index(kBounds, 8, 8);
   for (const auto& obj : objects) index.Insert(obj);
-  const Query q = HybridQuery({20, 20, 70, 70}, {1, 5});
-  EXPECT_EQ(index.CountMatches(q, 0), BruteForce(objects, q, 0));
+  const Query q = MakeHybridQuery({20, 20, 70, 70}, {1, 5});
+  EXPECT_EQ(index.CountMatches(q, 0), BruteForceCount(objects, q, 0));
 }
 
 TEST(GridIndexTest, WindowCutoffExcludesExpired) {
-  const auto objects = MakeObjects(1000, 4);
+  const auto objects = MakeUniformObjects(1000, 4);
   GridIndex index(kBounds, 8, 8);
   for (const auto& obj : objects) index.Insert(obj);
-  const Query q = SpatialQuery({0, 0, 100, 100});
-  EXPECT_EQ(index.CountMatches(q, 5000), BruteForce(objects, q, 5000));
+  const Query q = MakeSpatialQuery({0, 0, 100, 100});
+  EXPECT_EQ(index.CountMatches(q, 5000), BruteForceCount(objects, q, 5000));
 }
 
 TEST(GridIndexTest, LazyEvictionShrinksSize) {
-  const auto objects = MakeObjects(1000, 5);
+  const auto objects = MakeUniformObjects(1000, 5);
   GridIndex index(kBounds, 8, 8);
   for (const auto& obj : objects) index.Insert(obj);
   EXPECT_EQ(index.size(), 1000u);
   index.EvictBefore(5000);
-  EXPECT_EQ(index.size(), BruteForce(objects, SpatialQuery(kBounds), 5000));
+  EXPECT_EQ(index.size(), BruteForceCount(objects, MakeSpatialQuery(kBounds), 5000));
 }
 
 TEST(GridIndexTest, ClearEmpties) {
-  const auto objects = MakeObjects(100, 6);
+  const auto objects = MakeUniformObjects(100, 6);
   GridIndex index(kBounds, 8, 8);
   for (const auto& obj : objects) index.Insert(obj);
   index.Clear();
   EXPECT_EQ(index.size(), 0u);
-  EXPECT_EQ(index.CountMatches(SpatialQuery(kBounds), 0), 0u);
+  EXPECT_EQ(index.CountMatches(MakeSpatialQuery(kBounds), 0), 0u);
 }
 
 TEST(GridIndexTest, FullDomainQueryCountsEverything) {
-  const auto objects = MakeObjects(500, 7);
+  const auto objects = MakeUniformObjects(500, 7);
   GridIndex index(kBounds, 8, 8);
   for (const auto& obj : objects) index.Insert(obj);
-  EXPECT_EQ(index.CountMatches(SpatialQuery({-10, -10, 110, 110}), 0), 500u);
+  EXPECT_EQ(index.CountMatches(MakeSpatialQuery({-10, -10, 110, 110}), 0), 500u);
+}
+
+TEST(GridIndexTest, ShardedCountsMatchSerialBitForBit) {
+  // Same stream into a serial index and one counting on a 4-thread pool:
+  // counts (unsigned sums) and lazy-eviction sizes must agree exactly on
+  // every query, including cutoffs that trigger concurrent eviction.
+  const auto objects = MakeUniformObjects(3000, 30);
+  util::ThreadPool pool(4);
+  GridIndex serial(kBounds, 8, 8);
+  GridIndex sharded(kBounds, 8, 8);
+  sharded.set_thread_pool(&pool);
+  for (const auto& obj : objects) {
+    serial.Insert(obj);
+    sharded.Insert(obj);
+  }
+  util::Rng rng(31);
+  for (int iter = 0; iter < 60; ++iter) {
+    const geo::Point c{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    const Query q = MakeSpatialQuery(geo::Rect::FromCenter(
+        c, rng.NextDouble(1, 80), rng.NextDouble(1, 80)));
+    const Timestamp cutoff = static_cast<Timestamp>(rng.NextBounded(9000));
+    EXPECT_EQ(sharded.CountMatches(q, cutoff), serial.CountMatches(q, cutoff));
+    EXPECT_EQ(sharded.size(), serial.size());
+  }
 }
 
 // --------------------------------------------------------------------
 // QuadTreeIndex
 
 TEST(QuadTreeIndexTest, CountsMatchBruteForce) {
-  const auto objects = MakeObjects(2000, 8);
+  const auto objects = MakeUniformObjects(2000, 8);
   QuadTreeIndex index(kBounds, 32, 10);
   for (const auto& obj : objects) index.Insert(obj);
 
   util::Rng rng(9);
   for (int iter = 0; iter < 50; ++iter) {
     const geo::Point c{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
-    const Query q = SpatialQuery(
+    const Query q = MakeSpatialQuery(
         geo::Rect::FromCenter(c, rng.NextDouble(1, 40), rng.NextDouble(1, 40)));
-    EXPECT_EQ(index.CountMatches(q, 0), BruteForce(objects, q, 0));
+    EXPECT_EQ(index.CountMatches(q, 0), BruteForceCount(objects, q, 0));
   }
 }
 
 TEST(QuadTreeIndexTest, SplitsUnderLoad) {
-  const auto objects = MakeObjects(2000, 10);
+  const auto objects = MakeUniformObjects(2000, 10);
   QuadTreeIndex index(kBounds, 32, 10);
   for (const auto& obj : objects) index.Insert(obj);
   EXPECT_GT(index.num_nodes(), 1u);
@@ -163,15 +144,15 @@ TEST(QuadTreeIndexTest, SplitsUnderLoad) {
 }
 
 TEST(QuadTreeIndexTest, WindowCutoffMatchesBruteForce) {
-  const auto objects = MakeObjects(2000, 11);
+  const auto objects = MakeUniformObjects(2000, 11);
   QuadTreeIndex index(kBounds, 32, 10);
   for (const auto& obj : objects) index.Insert(obj);
-  const Query q = SpatialQuery({10, 10, 60, 60});
-  EXPECT_EQ(index.CountMatches(q, 7000), BruteForce(objects, q, 7000));
+  const Query q = MakeSpatialQuery({10, 10, 60, 60});
+  EXPECT_EQ(index.CountMatches(q, 7000), BruteForceCount(objects, q, 7000));
 }
 
 TEST(QuadTreeIndexTest, EvictionCollapsesEmptySubtrees) {
-  const auto objects = MakeObjects(2000, 12);
+  const auto objects = MakeUniformObjects(2000, 12);
   QuadTreeIndex index(kBounds, 32, 10);
   for (const auto& obj : objects) index.Insert(obj);
   const uint64_t nodes_full = index.num_nodes();
@@ -182,11 +163,11 @@ TEST(QuadTreeIndexTest, EvictionCollapsesEmptySubtrees) {
 }
 
 TEST(QuadTreeIndexTest, HybridPredicate) {
-  const auto objects = MakeObjects(1000, 13);
+  const auto objects = MakeUniformObjects(1000, 13);
   QuadTreeIndex index(kBounds, 16, 10);
   for (const auto& obj : objects) index.Insert(obj);
-  const Query q = HybridQuery({0, 0, 50, 100}, {2, 3, 4});
-  EXPECT_EQ(index.CountMatches(q, 0), BruteForce(objects, q, 0));
+  const Query q = MakeHybridQuery({0, 0, 50, 100}, {2, 3, 4});
+  EXPECT_EQ(index.CountMatches(q, 0), BruteForceCount(objects, q, 0));
 }
 
 TEST(QuadTreeIndexTest, DegenerateAllSamePoint) {
@@ -200,19 +181,19 @@ TEST(QuadTreeIndexTest, DegenerateAllSamePoint) {
     index.Insert(obj);
   }
   EXPECT_EQ(index.size(), 1000u);
-  EXPECT_EQ(index.CountMatches(SpatialQuery({49, 49, 51, 51}), 0), 1000u);
+  EXPECT_EQ(index.CountMatches(MakeSpatialQuery({49, 49, 51, 51}), 0), 1000u);
 }
 
 // --------------------------------------------------------------------
 // InvertedIndex
 
 TEST(InvertedIndexTest, KeywordCountsMatchBruteForce) {
-  const auto objects = MakeObjects(2000, 14);
+  const auto objects = MakeUniformObjects(2000, 14);
   InvertedIndex index;
   for (const auto& obj : objects) index.Insert(obj);
   for (KeywordId kw = 0; kw < 30; kw += 3) {
-    const Query q = KeywordQuery({kw});
-    EXPECT_EQ(index.CountMatches(q, 0), BruteForce(objects, q, 0));
+    const Query q = MakeKeywordQuery({kw});
+    EXPECT_EQ(index.CountMatches(q, 0), BruteForceCount(objects, q, 0));
   }
 }
 
@@ -225,38 +206,38 @@ TEST(InvertedIndexTest, MultiKeywordDeduplicatesObjects) {
   obj.keywords = {3, 7};
   obj.timestamp = 0;
   index.Insert(obj);
-  EXPECT_EQ(index.CountMatches(KeywordQuery({3, 7}), 0), 1u);
+  EXPECT_EQ(index.CountMatches(MakeKeywordQuery({3, 7}), 0), 1u);
 }
 
 TEST(InvertedIndexTest, MultiKeywordMatchesBruteForce) {
-  const auto objects = MakeObjects(2000, 15);
+  const auto objects = MakeUniformObjects(2000, 15);
   InvertedIndex index;
   for (const auto& obj : objects) index.Insert(obj);
-  const Query q = KeywordQuery({1, 4, 9, 16, 25});
-  EXPECT_EQ(index.CountMatches(q, 0), BruteForce(objects, q, 0));
+  const Query q = MakeKeywordQuery({1, 4, 9, 16, 25});
+  EXPECT_EQ(index.CountMatches(q, 0), BruteForceCount(objects, q, 0));
 }
 
 TEST(InvertedIndexTest, HybridFiltersByRange) {
-  const auto objects = MakeObjects(2000, 16);
+  const auto objects = MakeUniformObjects(2000, 16);
   InvertedIndex index;
   for (const auto& obj : objects) index.Insert(obj);
-  const Query q = HybridQuery({25, 25, 75, 75}, {0, 1, 2});
-  EXPECT_EQ(index.CountMatches(q, 0), BruteForce(objects, q, 0));
+  const Query q = MakeHybridQuery({25, 25, 75, 75}, {0, 1, 2});
+  EXPECT_EQ(index.CountMatches(q, 0), BruteForceCount(objects, q, 0));
 }
 
 TEST(InvertedIndexTest, CutoffExpiresPostings) {
-  const auto objects = MakeObjects(2000, 17);
+  const auto objects = MakeUniformObjects(2000, 17);
   InvertedIndex index;
   for (const auto& obj : objects) index.Insert(obj);
-  const Query q = KeywordQuery({2});
-  EXPECT_EQ(index.CountMatches(q, 6000), BruteForce(objects, q, 6000));
+  const Query q = MakeKeywordQuery({2});
+  EXPECT_EQ(index.CountMatches(q, 6000), BruteForceCount(objects, q, 6000));
   index.EvictBefore(6000);
-  EXPECT_EQ(index.CountMatches(q, 6000), BruteForce(objects, q, 6000));
+  EXPECT_EQ(index.CountMatches(q, 6000), BruteForceCount(objects, q, 6000));
 }
 
 TEST(InvertedIndexTest, UnknownKeywordCountsZero) {
   InvertedIndex index;
-  EXPECT_EQ(index.CountMatches(KeywordQuery({999}), 0), 0u);
+  EXPECT_EQ(index.CountMatches(MakeKeywordQuery({999}), 0), 0u);
 }
 
 // --------------------------------------------------------------------
@@ -267,13 +248,13 @@ class ExactEvaluatorTest : public ::testing::Test {
   static constexpr Timestamp kWindow = 4000;
 
   void SetUp() override {
-    objects_ = MakeObjects(3000, 18);
+    objects_ = MakeUniformObjects(3000, 18);
     evaluator_.emplace(kBounds, kWindow);
     for (const auto& obj : objects_) evaluator_->Insert(obj);
   }
 
   uint64_t Truth(const Query& q) const {
-    return BruteForce(objects_, q, q.timestamp - kWindow);
+    return BruteForceCount(objects_, q, q.timestamp - kWindow);
   }
 
   std::vector<GeoTextObject> objects_;
@@ -284,7 +265,7 @@ TEST_F(ExactEvaluatorTest, SpatialQueriesExact) {
   util::Rng rng(20);
   for (int iter = 0; iter < 30; ++iter) {
     const geo::Point c{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
-    Query q = SpatialQuery(
+    Query q = MakeSpatialQuery(
         geo::Rect::FromCenter(c, rng.NextDouble(1, 50), rng.NextDouble(1, 50)),
         /*t=*/8000);
     EXPECT_EQ(evaluator_->TrueSelectivity(q), Truth(q));
@@ -293,7 +274,7 @@ TEST_F(ExactEvaluatorTest, SpatialQueriesExact) {
 
 TEST_F(ExactEvaluatorTest, KeywordQueriesExact) {
   for (KeywordId kw = 0; kw < 30; kw += 5) {
-    Query q = KeywordQuery({kw, static_cast<KeywordId>(kw + 1)}, 8000);
+    Query q = MakeKeywordQuery({kw, static_cast<KeywordId>(kw + 1)}, 8000);
     EXPECT_EQ(evaluator_->TrueSelectivity(q), Truth(q));
   }
 }
@@ -302,7 +283,7 @@ TEST_F(ExactEvaluatorTest, HybridQueriesExact) {
   util::Rng rng(21);
   for (int iter = 0; iter < 30; ++iter) {
     const geo::Point c{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
-    Query q = HybridQuery(
+    Query q = MakeHybridQuery(
         geo::Rect::FromCenter(c, rng.NextDouble(5, 60), rng.NextDouble(5, 60)),
         {static_cast<KeywordId>(rng.NextBounded(30)),
          static_cast<KeywordId>(rng.NextBounded(30))},
@@ -313,13 +294,13 @@ TEST_F(ExactEvaluatorTest, HybridQueriesExact) {
 
 TEST_F(ExactEvaluatorTest, WindowSlides) {
   // A query at t=14000 sees only objects newer than 10000: none.
-  Query q = SpatialQuery({0, 0, 100, 100}, 14001);
+  Query q = MakeSpatialQuery({0, 0, 100, 100}, 14001);
   EXPECT_EQ(evaluator_->TrueSelectivity(q), 0u);
 }
 
 TEST_F(ExactEvaluatorTest, EvictExpiredKeepsAnswersCorrect) {
   evaluator_->EvictExpired(9000);
-  Query q = SpatialQuery({0, 0, 100, 100}, 9000);
+  Query q = MakeSpatialQuery({0, 0, 100, 100}, 9000);
   EXPECT_EQ(evaluator_->TrueSelectivity(q), Truth(q));
 }
 

@@ -3,10 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "stream/keyword_dictionary.h"
 #include "stream/object.h"
 #include "stream/query.h"
 #include "stream/sliding_window.h"
+#include "util/rng.h"
 
 namespace latest::stream {
 namespace {
@@ -184,6 +188,47 @@ TEST(SliceClockTest, RotationsAccumulateAcrossCalls) {
   uint32_t total = 0;
   for (Timestamp t = 0; t <= 1000; t += 37) total += clock.Advance(t);
   EXPECT_EQ(total, static_cast<uint32_t>(clock.current_slice()));
+}
+
+TEST(SliceClockTest, LateTimestampClampsWithoutRotation) {
+  SliceClock clock(WindowConfig{.window_length_ms = 1000, .num_slices = 10});
+  EXPECT_EQ(clock.Advance(550), 5u);
+  // A straggler from the past: no rotation, no rewind.
+  EXPECT_EQ(clock.Advance(120), 0u);
+  EXPECT_EQ(clock.now(), 550);
+  EXPECT_EQ(clock.current_slice(), 5);
+  // Time resumes from the clamped position, not from the straggler.
+  EXPECT_EQ(clock.Advance(600), 1u);
+  EXPECT_EQ(clock.now(), 600);
+}
+
+// Property: for any interleaving of in-order and late timestamps, the
+// clock behaves exactly like one fed the running maximum of the stream —
+// expiry only ever depends on the newest event time seen.
+TEST(SliceClockTest, PropertyOutOfOrderStreamMatchesRunningMax) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    util::Rng rng(seed);
+    SliceClock jittered(
+        WindowConfig{.window_length_ms = 1000, .num_slices = 10});
+    SliceClock monotone(
+        WindowConfig{.window_length_ms = 1000, .num_slices = 10});
+    Timestamp t = 0;
+    Timestamp running_max = 0;
+    for (int i = 0; i < 500; ++i) {
+      t += static_cast<Timestamp>(rng.NextBounded(40));
+      // 30% of events arrive late by up to 300 ms.
+      const Timestamp jitter =
+          rng.NextBool(0.3) ? static_cast<Timestamp>(rng.NextBounded(300))
+                            : 0;
+      const Timestamp late = t > jitter ? t - jitter : 0;
+      running_max = std::max(running_max, late);
+      const uint32_t a = jittered.Advance(late);
+      const uint32_t b = monotone.Advance(running_max);
+      EXPECT_EQ(a, b) << "seed " << seed << " event " << i;
+      EXPECT_EQ(jittered.now(), monotone.now());
+      EXPECT_EQ(jittered.current_slice(), monotone.current_slice());
+    }
+  }
 }
 
 // --------------------------------------------------------------------

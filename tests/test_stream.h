@@ -54,6 +54,31 @@ inline std::vector<stream::GeoTextObject> MakeClusteredObjects(
   return objects;
 }
 
+/// Uniform synthetic objects: locations uniform over kTestBounds,
+/// keywords uniform over [0, keyword_space). The index-style tests use
+/// this flavour (no spatial cluster) so per-cell workloads stay even.
+inline std::vector<stream::GeoTextObject> MakeUniformObjects(
+    int n, uint64_t seed, stream::Timestamp duration = 10000,
+    uint32_t keyword_space = 30) {
+  util::Rng rng(seed);
+  std::vector<stream::GeoTextObject> objects;
+  objects.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    stream::GeoTextObject obj;
+    obj.oid = static_cast<stream::ObjectId>(i);
+    obj.loc = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    const int num_kw = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int k = 0; k < num_kw; ++k) {
+      obj.keywords.push_back(
+          static_cast<stream::KeywordId>(rng.NextBounded(keyword_space)));
+    }
+    stream::CanonicalizeKeywords(&obj.keywords);
+    obj.timestamp = duration * i / n;
+    objects.push_back(obj);
+  }
+  return objects;
+}
+
 /// Feeds objects to an estimator, rotating slices per the window config.
 /// Returns the number of rotations performed.
 inline uint32_t FeedObjects(estimators::Estimator* estimator,
@@ -81,22 +106,27 @@ inline uint64_t BruteForceCount(
   return count;
 }
 
-inline stream::Query MakeSpatialQuery(const geo::Rect& r) {
+inline stream::Query MakeSpatialQuery(const geo::Rect& r,
+                                      stream::Timestamp t = 0) {
   stream::Query q;
   q.range = r;
+  q.timestamp = t;
   return q;
 }
 
-inline stream::Query MakeKeywordQuery(std::vector<stream::KeywordId> kws) {
+inline stream::Query MakeKeywordQuery(std::vector<stream::KeywordId> kws,
+                                      stream::Timestamp t = 0) {
   stream::Query q;
   q.keywords = std::move(kws);
   stream::CanonicalizeKeywords(&q.keywords);
+  q.timestamp = t;
   return q;
 }
 
 inline stream::Query MakeHybridQuery(const geo::Rect& r,
-                                     std::vector<stream::KeywordId> kws) {
-  stream::Query q = MakeKeywordQuery(std::move(kws));
+                                     std::vector<stream::KeywordId> kws,
+                                     stream::Timestamp t = 0) {
+  stream::Query q = MakeKeywordQuery(std::move(kws), t);
   q.range = r;
   return q;
 }

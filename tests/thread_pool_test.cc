@@ -1,0 +1,157 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace latest::util {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsTasksToCompletion) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 257;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIndicesIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SubmitFuturePropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  auto ok = pool.Submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  // Indices 3 and 7 throw distinct types; the lowest index must win
+  // regardless of which worker finishes first.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    try {
+      pool.ParallelFor(16, [](size_t i) {
+        if (i == 3) throw std::invalid_argument("three");
+        if (i == 7) throw std::out_of_range("seven");
+      });
+      FAIL() << "ParallelFor must rethrow";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_STREQ(e.what(), "three");
+    } catch (...) {
+      FAIL() << "wrong exception surfaced (scheduling-dependent rethrow)";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, AllIndicesRunEvenWhenOneThrows) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 32;
+  std::vector<std::atomic<int>> visits(kN);
+  EXPECT_THROW(pool.ParallelFor(kN,
+                                [&](size_t i) {
+                                  visits[i].fetch_add(
+                                      1, std::memory_order_relaxed);
+                                  if (i == 0) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    // One worker plus a slow head-of-line task forces the remaining
+    // tasks to still be queued when the destructor runs.
+    ThreadPool pool(1);
+    pool.Submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    });
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRunsInlineOnCallerThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  const std::thread::id caller = std::this_thread::get_id();
+
+  std::thread::id submit_thread;
+  auto future = pool.Submit([&] { submit_thread = std::this_thread::get_id(); });
+  // Inline mode completes before Submit returns.
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(submit_thread, caller);
+
+  std::vector<std::thread::id> for_threads(5);
+  std::vector<size_t> order;
+  pool.ParallelFor(5, [&](size_t i) {
+    for_threads[i] = std::this_thread::get_id();
+    order.push_back(i);
+  });
+  for (const auto& id : for_threads) EXPECT_EQ(id, caller);
+  // Inline mode preserves plain-loop visitation order.
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, ObserverSeesEveryTask) {
+  struct CountingObserver : ThreadPool::Observer {
+    std::atomic<int> queued{0};
+    std::atomic<int> done{0};
+    void OnTaskQueued(size_t) override {
+      queued.fetch_add(1, std::memory_order_relaxed);
+    }
+    void OnTaskDone(double latency_ms, size_t) override {
+      EXPECT_GE(latency_ms, 0.0);
+      done.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  CountingObserver observer;
+  {
+    ThreadPool pool(2);
+    pool.SetObserver(&observer);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 10; ++i) futures.push_back(pool.Submit([] {}));
+    for (auto& f : futures) f.get();
+    pool.ParallelFor(6, [](size_t) {});
+  }
+  // Submit notifies per task, ParallelFor once per batch.
+  EXPECT_EQ(observer.queued.load(), 11);
+  // Every task (10 submits + 6 parallel indices) reports completion.
+  EXPECT_EQ(observer.done.load(), 16);
+}
+
+}  // namespace
+}  // namespace latest::util
