@@ -1,0 +1,127 @@
+// Ingest & exact-evaluation throughput of the windowed ground-truth data
+// path (the "query processor + system logs" the LATEST lifecycle leans on
+// for every pre-training query and every incremental tree label).
+//
+// Two measurements over a Twitter-like stream:
+//   1. ingest: objects/s streamed into the ExactEvaluator with the same
+//      rotation-driven eviction cadence LatestModule uses, and
+//   2. exact-eval: queries/s answered exactly at end-of-stream, per
+//      workload mix (pure spatial, single keyword, mixed) and overall.
+//
+// Honours LATEST_BENCH_SCALE and --threads / LATEST_BENCH_THREADS (spatial
+// scans shard grid-row bands across the estimation pool). Emits one
+// RESULT_JSON line so the speedup lands in the bench trajectory.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "exact/exact_evaluator.h"
+#include "stream/sliding_window.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+#include "workload/dataset.h"
+#include "workload/query_workload.h"
+
+namespace {
+
+using namespace latest;
+
+struct QueryMix {
+  const char* label;
+  workload::WorkloadId id;
+  double qps = 0.0;
+};
+
+/// Repeats the batch until `min_iters` queries ran, returns queries/s.
+double MeasureQps(exact::ExactEvaluator* evaluator,
+                  const std::vector<stream::Query>& batch,
+                  uint64_t min_iters) {
+  uint64_t sink = 0;
+  uint64_t done = 0;
+  const util::Stopwatch watch;
+  while (done < min_iters) {
+    for (const stream::Query& q : batch) {
+      sink += evaluator->TrueSelectivity(q);
+    }
+    done += batch.size();
+  }
+  const double seconds = watch.ElapsedMillis() / 1000.0;
+  // Keep the accumulated selectivity observable so the loop can't be
+  // optimized away.
+  std::printf("  (checksum %llu)\n", static_cast<unsigned long long>(sink));
+  return seconds > 0.0 ? static_cast<double>(done) / seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::BenchScale();
+  const uint32_t threads = bench::BenchThreads(argc, argv);
+  const stream::WindowConfig window{60LL * 60 * 1000, 16};
+  const auto spec = workload::TwitterLikeSpec(scale);
+
+  bench::PrintHeader("Ingest & exact-eval throughput",
+                     "columnar window store data path (objects/s, qps)");
+  std::printf("threads: %u (pass --threads N or set LATEST_BENCH_THREADS)\n\n",
+              threads);
+
+  util::ThreadPool pool(threads);
+  exact::ExactEvaluator evaluator(spec.bounds, window.window_length_ms);
+  if (threads > 0) evaluator.set_thread_pool(&pool);
+
+  // --- Ingest: the module's cadence (rotation-driven eviction). ---
+  workload::DatasetGenerator gen(spec);
+  std::vector<stream::GeoTextObject> objects;
+  while (gen.HasNext()) objects.push_back(gen.Next());
+
+  stream::SliceClock clock(window);
+  const util::Stopwatch ingest_watch;
+  for (const auto& obj : objects) {
+    if (clock.Advance(obj.timestamp) > 0) {
+      evaluator.EvictExpired(clock.now());
+    }
+    evaluator.Insert(obj);
+  }
+  const double ingest_s = ingest_watch.ElapsedMillis() / 1000.0;
+  const double ingest_rate =
+      ingest_s > 0.0 ? static_cast<double>(objects.size()) / ingest_s : 0.0;
+  const stream::Timestamp now = clock.now();
+  std::printf("ingested %zu objects in %.3f s -> %.0f objects/s\n\n",
+              objects.size(), ingest_s, ingest_rate);
+
+  // --- Exact evaluation at end-of-stream. ---
+  QueryMix mixes[] = {
+      {"spatial", workload::WorkloadId::kTwQW2},
+      {"keyword", workload::WorkloadId::kTwQW4},
+      {"mixed", workload::WorkloadId::kTwQW1},
+  };
+  const auto min_iters = static_cast<uint64_t>(2000 * scale) + 500;
+  double total_qps = 0.0;
+  for (QueryMix& mix : mixes) {
+    const auto wspec = workload::MakeWorkloadSpec(mix.id, 256);
+    workload::QueryGenerator qgen(wspec, spec);
+    std::vector<stream::Query> batch;
+    while (qgen.HasNext()) {
+      stream::Query q = qgen.Next();
+      q.timestamp = now;
+      batch.push_back(std::move(q));
+    }
+    mix.qps = MeasureQps(&evaluator, batch, min_iters);
+    std::printf("  %-8s %12.0f queries/s\n", mix.label, mix.qps);
+    total_qps += mix.qps;
+  }
+  const double exact_eval_qps = total_qps / 3.0;
+  std::printf("\nmean exact-eval throughput: %.0f queries/s\n",
+              exact_eval_qps);
+
+  std::printf(
+      "RESULT_JSON {\"experiment\":\"ingest_throughput\",\"objects\":%zu,"
+      "\"threads\":%u,\"ingest_objects_per_s\":%.1f,"
+      "\"spatial_qps\":%.1f,\"keyword_qps\":%.1f,\"mixed_qps\":%.1f,"
+      "\"exact_eval_qps\":%.1f}\n",
+      objects.size(), threads, ingest_rate, mixes[0].qps, mixes[1].qps,
+      mixes[2].qps, exact_eval_qps);
+  return 0;
+}

@@ -2,9 +2,19 @@
 // estimator, the Hoeffding tree, and the exact evaluator. These are not
 // paper figures; they pin down per-operation costs so regressions in the
 // portfolio's insert/estimate paths are visible.
+//
+// Honours LATEST_BENCH_SCALE (multiplies the prefill dataset size) and
+// emits one RESULT_JSON line summarising ns/op per benchmark so the CI
+// smoke step and the bench trajectory can parse the results.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
 #include "estimators/estimator.h"
 #include "exact/exact_evaluator.h"
 #include "ml/hoeffding_tree.h"
@@ -16,6 +26,12 @@
 namespace {
 
 using namespace latest;
+
+// Twitter-like stream kept micro-sized: the interesting cost is per
+// operation, not per window. LATEST_BENCH_SCALE still shrinks/grows it.
+workload::DatasetSpec MicroSpec() {
+  return workload::TwitterLikeSpec(0.05 * bench::BenchScale());
+}
 
 estimators::EstimatorConfig MicroConfig(const workload::DatasetSpec& spec) {
   estimators::EstimatorConfig config;
@@ -52,7 +68,7 @@ std::vector<stream::Query> QueryBatch(const workload::DatasetSpec& spec,
 
 void BM_EstimatorInsert(benchmark::State& state) {
   const auto kind = static_cast<estimators::EstimatorKind>(state.range(0));
-  const auto spec = workload::TwitterLikeSpec(0.05);
+  const auto spec = MicroSpec();
   auto estimator =
       estimators::CreateEstimator(kind, MicroConfig(spec)).value();
   workload::DatasetGenerator gen(spec);
@@ -68,7 +84,7 @@ void BM_EstimatorInsert(benchmark::State& state) {
 
 void BM_EstimatorEstimateSpatial(benchmark::State& state) {
   const auto kind = static_cast<estimators::EstimatorKind>(state.range(0));
-  const auto spec = workload::TwitterLikeSpec(0.05);
+  const auto spec = MicroSpec();
   auto estimator = Prefilled(kind, spec);
   const auto batch = QueryBatch(spec, workload::WorkloadId::kTwQW2);
   size_t i = 0;
@@ -82,7 +98,7 @@ void BM_EstimatorEstimateSpatial(benchmark::State& state) {
 
 void BM_EstimatorEstimateKeyword(benchmark::State& state) {
   const auto kind = static_cast<estimators::EstimatorKind>(state.range(0));
-  const auto spec = workload::TwitterLikeSpec(0.05);
+  const auto spec = MicroSpec();
   auto estimator = Prefilled(kind, spec);
   const auto batch = QueryBatch(spec, workload::WorkloadId::kTwQW4);
   size_t i = 0;
@@ -137,7 +153,7 @@ void BM_HoeffdingTreePredict(benchmark::State& state) {
 }
 
 void BM_ExactEvaluator(benchmark::State& state) {
-  const auto spec = workload::TwitterLikeSpec(0.05);
+  const auto spec = MicroSpec();
   exact::ExactEvaluator evaluator(spec.bounds, 60LL * 60 * 1000);
   workload::DatasetGenerator gen(spec);
   stream::Timestamp now = 0;
@@ -156,6 +172,35 @@ void BM_ExactEvaluator(benchmark::State& state) {
   benchmark::DoNotOptimize(sink);
 }
 
+// Console reporter that also collects per-benchmark ns/op so a single
+// machine-readable RESULT_JSON summary can be printed after the run.
+class ResultJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      results_.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void PrintResultJson() const {
+    // The leading newline keeps the line clean of the console reporter's
+    // trailing colour-reset escape.
+    std::printf("\nRESULT_JSON {\"experiment\":\"micro_estimators\","
+                "\"benchmarks\":[");
+    for (size_t i = 0; i < results_.size(); ++i) {
+      std::printf("%s{\"name\":\"%s\",\"ns_per_op\":%.1f}",
+                  i == 0 ? "" : ",", results_[i].first.c_str(),
+                  results_[i].second);
+    }
+    std::printf("]}\n");
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
+
 }  // namespace
 
 BENCHMARK(BM_EstimatorInsert)->DenseRange(0, 5);
@@ -165,4 +210,12 @@ BENCHMARK(BM_HoeffdingTreeTrain);
 BENCHMARK(BM_HoeffdingTreePredict);
 BENCHMARK(BM_ExactEvaluator);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ResultJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.PrintResultJson();
+  benchmark::Shutdown();
+  return 0;
+}

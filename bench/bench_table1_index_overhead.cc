@@ -13,6 +13,7 @@
 #include "bench/portfolio_harness.h"
 #include "exact/grid_index.h"
 #include "exact/quadtree_index.h"
+#include "stream/window_store.h"
 #include "util/stopwatch.h"
 #include "workload/stream_driver.h"
 
@@ -32,15 +33,17 @@ void MeasureIndexes(const workload::DatasetSpec& dataset_spec,
                     const std::vector<stream::Query>& sample,
                     stream::Timestamp window_ms, double* grid_ms,
                     double* quadtree_ms) {
-  exact::GridIndex grid(dataset_spec.bounds, 64, 64);
-  exact::QuadTreeIndex quadtree(dataset_spec.bounds, /*leaf_capacity=*/256,
-                                /*max_depth=*/12);
+  stream::WindowStore store(window_ms / 16);
+  exact::GridIndex grid(&store, dataset_spec.bounds, 64, 64);
+  exact::QuadTreeIndex quadtree(&store, dataset_spec.bounds,
+                                /*leaf_capacity=*/256, /*max_depth=*/12);
   workload::DatasetGenerator gen(dataset_spec);
   stream::Timestamp now = 0;
   while (gen.HasNext()) {
     const auto obj = gen.Next();
-    grid.Insert(obj);
-    quadtree.Insert(obj);
+    const stream::WindowStore::Row row = store.Append(obj);
+    grid.Insert(row);
+    quadtree.Insert(row);
     now = obj.timestamp;
   }
   const stream::Timestamp cutoff = now - window_ms;

@@ -154,6 +154,15 @@ void LatestModule::RegisterMetrics() {
       "Moving-average accuracy of the active estimator");
   window_population_gauge_ = registry.GetGauge(
       "latest_window_population", "Objects currently inside the window");
+  store_live_rows_gauge_ = registry.GetGauge(
+      "latest_store_live_rows",
+      "Rows resident in the columnar window store (ground-truth path)");
+  store_arena_bytes_gauge_ = registry.GetGauge(
+      "latest_store_arena_bytes",
+      "Keyword payload bytes held across the store's slice arenas");
+  store_slices_gauge_ = registry.GetGauge(
+      "latest_store_slices_resident",
+      "Window store slices resident (including the open one)");
   model_records_gauge_ = registry.GetGauge(
       "latest_model_records", "Training records absorbed by the model");
   model_leaves_gauge_ =
@@ -242,6 +251,11 @@ void LatestModule::OnObject(const stream::GeoTextObject& obj) {
   objects_counter_->Increment();
   window_population_gauge_->Set(
       static_cast<double>(window_population_.total()));
+  // O(1) reads off the columnar store, for memory-budget scrapes.
+  const stream::WindowStore& store = system_log_.store();
+  store_live_rows_gauge_->Set(static_cast<double>(store.resident_rows()));
+  store_arena_bytes_gauge_->Set(static_cast<double>(store.arena_bytes()));
+  store_slices_gauge_->Set(static_cast<double>(store.slices_resident()));
   if (phase_ == Phase::kWarmup &&
       clock_.now() >= config_.window.window_length_ms) {
     EnterPhase(Phase::kPretraining);

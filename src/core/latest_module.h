@@ -393,6 +393,9 @@ class LatestModule {
   obs::Gauge* candidate_gauge_ = nullptr;
   obs::Gauge* monitor_accuracy_gauge_ = nullptr;
   obs::Gauge* window_population_gauge_ = nullptr;
+  obs::Gauge* store_live_rows_gauge_ = nullptr;
+  obs::Gauge* store_arena_bytes_gauge_ = nullptr;
+  obs::Gauge* store_slices_gauge_ = nullptr;
   obs::Gauge* model_records_gauge_ = nullptr;
   obs::Gauge* model_leaves_gauge_ = nullptr;
   obs::Gauge* model_depth_gauge_ = nullptr;

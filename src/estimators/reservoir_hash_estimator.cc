@@ -42,13 +42,21 @@ void ReservoirHashEstimator::MapRemove(Slice* slice, uint32_t cell,
   if (indexes.empty()) slice->by_cell.erase(it);
 }
 
+void ReservoirHashEstimator::ReserveSlice(Slice* slice) const {
+  slice->sample.Reserve(capacity_per_slice_);
+  slice->sample_cells.reserve(capacity_per_slice_);
+  // At most one map entry per sampled slot.
+  slice->by_cell.reserve(capacity_per_slice_);
+}
+
 void ReservoirHashEstimator::InsertImpl(const stream::GeoTextObject& obj) {
   Slice& slice = slices_.Current();
   ++slice.seen;
   const uint32_t cell = grid_.CellOf(obj.loc);
   if (slice.sample.size() < capacity_per_slice_) {
+    if (slice.sample.empty()) ReserveSlice(&slice);
     const auto index = static_cast<uint32_t>(slice.sample.size());
-    slice.sample.push_back(obj);
+    slice.sample.PushBack(obj);
     slice.sample_cells.push_back(cell);
     MapInsert(&slice, cell, index);
     return;
@@ -57,7 +65,7 @@ void ReservoirHashEstimator::InsertImpl(const stream::GeoTextObject& obj) {
   if (j < capacity_per_slice_) {
     const auto index = static_cast<uint32_t>(j);
     MapRemove(&slice, slice.sample_cells[index], index);
-    slice.sample[index] = obj;
+    slice.sample.Replace(index, obj);
     slice.sample_cells[index] = cell;
     MapInsert(&slice, cell, index);
   }
@@ -84,7 +92,7 @@ uint64_t ReservoirHashEstimator::SpatialSliceMatches(
         const auto it = slice.by_cell.find(row * grid_.cols() + col);
         if (it == slice.by_cell.end()) continue;
         for (const uint32_t index : it->second) {
-          if (q.Matches(slice.sample[index])) ++matches;
+          if (slice.sample.Matches(q, index)) ++matches;
         }
       }
     }
@@ -96,7 +104,7 @@ uint64_t ReservoirHashEstimator::SpatialSliceMatches(
         continue;
       }
       for (const uint32_t index : indexes) {
-        if (q.Matches(slice.sample[index])) ++matches;
+        if (slice.sample.Matches(q, index)) ++matches;
       }
     }
   }
@@ -111,8 +119,9 @@ double ReservoirHashEstimator::Estimate(const stream::Query& q) const {
     if (q.HasRange()) {
       matches = SpatialSliceMatches(slice, q);
     } else {
-      for (const auto& obj : slice.sample) {
-        if (q.Matches(obj)) ++matches;
+      const size_t n = slice.sample.size();
+      for (size_t i = 0; i < n; ++i) {
+        if (slice.sample.Matches(q, i)) ++matches;
       }
     }
     estimate += static_cast<double>(matches) /
@@ -131,12 +140,8 @@ uint64_t ReservoirHashEstimator::SampleSize() const {
 size_t ReservoirHashEstimator::MemoryBytes() const {
   size_t bytes = 0;
   slices_.ForEach([&](const Slice& slice) {
-    bytes += sizeof(Slice) +
-             slice.sample.capacity() * sizeof(stream::GeoTextObject) +
+    bytes += sizeof(Slice) + slice.sample.MemoryBytes() +
              slice.sample_cells.capacity() * sizeof(uint32_t);
-    for (const auto& obj : slice.sample) {
-      bytes += obj.keywords.capacity() * sizeof(stream::KeywordId);
-    }
     for (const auto& [cell, indexes] : slice.by_cell) {
       (void)cell;
       bytes += sizeof(uint32_t) + indexes.capacity() * sizeof(uint32_t) +

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "estimators/sample_columns.h"
 #include "estimators/windowed_estimator_base.h"
 #include "geo/grid.h"
 #include "util/rng.h"
@@ -39,13 +40,17 @@ class ReservoirHashEstimator : public WindowedEstimatorBase {
   void ResetImpl() override;
 
  private:
-  /// One slice: a reservoir plus a cell -> sample-index map.
+  /// One slice: a columnar reservoir plus a cell -> sample-index map.
   struct Slice {
-    std::vector<stream::GeoTextObject> sample;
+    SampleColumns sample;
     std::vector<uint32_t> sample_cells;  // Parallel to `sample`.
     std::unordered_map<uint32_t, std::vector<uint32_t>> by_cell;
     uint64_t seen = 0;
   };
+
+  /// Pre-sizes a fresh slice's sample columns and cell map to the
+  /// reservoir capacity, so warm-up never rehashes or reallocates.
+  void ReserveSlice(Slice* slice) const;
 
   void MapInsert(Slice* slice, uint32_t cell, uint32_t index) const;
   void MapRemove(Slice* slice, uint32_t cell, uint32_t index) const;

@@ -15,13 +15,14 @@ void ReservoirListEstimator::InsertImpl(const stream::GeoTextObject& obj) {
   SliceReservoir& slice = slices_.Current();
   ++slice.seen;
   if (slice.sample.size() < capacity_per_slice_) {
-    slice.sample.push_back(obj);
+    if (slice.sample.empty()) slice.sample.Reserve(capacity_per_slice_);
+    slice.sample.PushBack(obj);
     return;
   }
   // Algorithm R: replace a random slot with probability capacity/seen.
   const uint64_t j = rng_.NextBounded(slice.seen);
   if (j < capacity_per_slice_) {
-    slice.sample[static_cast<size_t>(j)] = obj;
+    slice.sample.Replace(static_cast<size_t>(j), obj);
   }
 }
 
@@ -34,8 +35,9 @@ double ReservoirListEstimator::Estimate(const stream::Query& q) const {
   slices_.ForEach([&](const SliceReservoir& slice) {
     if (slice.sample.empty()) return;
     uint64_t matches = 0;
-    for (const auto& obj : slice.sample) {
-      if (q.Matches(obj)) ++matches;
+    const size_t n = slice.sample.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (slice.sample.Matches(q, i)) ++matches;
     }
     estimate += static_cast<double>(matches) /
                 static_cast<double>(slice.sample.size()) *
@@ -54,11 +56,7 @@ uint64_t ReservoirListEstimator::SampleSize() const {
 size_t ReservoirListEstimator::MemoryBytes() const {
   size_t bytes = 0;
   slices_.ForEach([&](const SliceReservoir& slice) {
-    bytes += sizeof(SliceReservoir) +
-             slice.sample.capacity() * sizeof(stream::GeoTextObject);
-    for (const auto& obj : slice.sample) {
-      bytes += obj.keywords.capacity() * sizeof(stream::KeywordId);
-    }
+    bytes += sizeof(SliceReservoir) + slice.sample.MemoryBytes();
   });
   return bytes;
 }

@@ -16,16 +16,16 @@
 #ifndef LATEST_ESTIMATORS_RESERVOIR_LIST_ESTIMATOR_H_
 #define LATEST_ESTIMATORS_RESERVOIR_LIST_ESTIMATOR_H_
 
-#include <vector>
-
+#include "estimators/sample_columns.h"
 #include "estimators/windowed_estimator_base.h"
 #include "util/rng.h"
 
 namespace latest::estimators {
 
-/// One slice's reservoir: a uniform sample of the slice's arrivals.
+/// One slice's reservoir: a uniform sample of the slice's arrivals, held
+/// as SoA columns (see SampleColumns).
 struct SliceReservoir {
-  std::vector<stream::GeoTextObject> sample;
+  SampleColumns sample;
   uint64_t seen = 0;
 };
 

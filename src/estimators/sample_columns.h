@@ -1,0 +1,111 @@
+// Columnar storage for reservoir samples.
+//
+// The reservoir estimators (RSL, RSH) used to keep whole GeoTextObject
+// copies per sampled slot, each with its own heap-allocated keywords
+// vector. SampleColumns stores the slots as structure-of-arrays columns —
+// locations plus (offset,len) keyword spans into a per-sample bump arena —
+// mirroring the window store's layout: predicate scans walk plain arrays
+// and slot replacement never allocates in steady state.
+//
+// Algorithm R replaces slots in place; a bump arena cannot free a replaced
+// span, so the arena accretes garbage. Replace() compacts (rewrites live
+// spans into the arena front, preserving slot order) once garbage exceeds
+// the live payload, keeping memory within 2x of live keywords at amortized
+// O(1) per replacement.
+
+#ifndef LATEST_ESTIMATORS_SAMPLE_COLUMNS_H_
+#define LATEST_ESTIMATORS_SAMPLE_COLUMNS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "geo/point.h"
+#include "stream/keyword_arena.h"
+#include "stream/object.h"
+#include "stream/query.h"
+
+namespace latest::estimators {
+
+/// SoA columns over sampled objects: one location and one keyword span per
+/// slot. Only the attributes predicates read are kept.
+class SampleColumns {
+ public:
+  size_t size() const { return locs_.size(); }
+  bool empty() const { return locs_.empty(); }
+
+  /// Pre-sizes the slot columns (not the arena) for `n` slots.
+  void Reserve(size_t n) {
+    locs_.reserve(n);
+    spans_.reserve(n);
+  }
+
+  /// Appends one sampled object as a new slot.
+  void PushBack(const stream::GeoTextObject& obj) {
+    locs_.push_back(obj.loc);
+    spans_.push_back(
+        arena_.Append(obj.keywords.data(), obj.keywords.size()));
+    live_keywords_ += obj.keywords.size();
+  }
+
+  /// Overwrites slot i (Algorithm R replacement), compacting the arena
+  /// once replaced-span garbage exceeds the live payload.
+  void Replace(size_t i, const stream::GeoTextObject& obj) {
+    live_keywords_ -= spans_[i].len;
+    live_keywords_ += obj.keywords.size();
+    locs_[i] = obj.loc;
+    spans_[i] = arena_.Append(obj.keywords.data(), obj.keywords.size());
+    if (arena_.size() > 2 * live_keywords_ + kMinArenaSlack) Compact();
+  }
+
+  const geo::Point& loc(size_t i) const { return locs_[i]; }
+
+  /// Slot i's keyword set: pointer into the arena + length.
+  std::pair<const stream::KeywordId*, uint32_t> keywords(size_t i) const {
+    const stream::KeywordSpan span = spans_[i];
+    return {arena_.Data(span), span.len};
+  }
+
+  /// Predicate evaluation of slot i; identical to Query::Matches on the
+  /// original object (same location, same canonical keyword order).
+  bool Matches(const stream::Query& q, size_t i) const {
+    const stream::KeywordSpan span = spans_[i];
+    return q.Matches(locs_[i], arena_.Data(span), span.len);
+  }
+
+  void Clear() {
+    locs_.clear();
+    spans_.clear();
+    arena_.Clear();
+    live_keywords_ = 0;
+  }
+
+  size_t MemoryBytes() const {
+    return locs_.capacity() * sizeof(geo::Point) +
+           spans_.capacity() * sizeof(stream::KeywordSpan) +
+           arena_.capacity_bytes();
+  }
+
+ private:
+  /// Compaction is skipped below this arena payload: tiny samples churn.
+  static constexpr size_t kMinArenaSlack = 256;
+
+  /// Rewrites live spans into a fresh arena front, preserving slot order.
+  void Compact() {
+    stream::KeywordArena packed;
+    packed.Reserve(live_keywords_);
+    for (stream::KeywordSpan& span : spans_) {
+      span = packed.Append(arena_.Data(span), span.len);
+    }
+    arena_ = std::move(packed);
+  }
+
+  std::vector<geo::Point> locs_;
+  std::vector<stream::KeywordSpan> spans_;
+  stream::KeywordArena arena_;
+  size_t live_keywords_ = 0;
+};
+
+}  // namespace latest::estimators
+
+#endif  // LATEST_ESTIMATORS_SAMPLE_COLUMNS_H_

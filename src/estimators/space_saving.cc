@@ -73,6 +73,9 @@ void SpaceSavingCounter::Decay(double factor, double prune_below) {
 
 void SpaceSavingCounter::Clear() {
   entries_.clear();
+  // Keep the table pre-sized for the fixed capacity so refilling after a
+  // reset never rehashes.
+  entries_.reserve(capacity_);
   total_weight_ = 0.0;
 }
 

@@ -1,16 +1,26 @@
 #include "exact/exact_evaluator.h"
 
+#include <algorithm>
+
 namespace latest::exact {
 
 ExactEvaluator::ExactEvaluator(const geo::Rect& bounds,
                                stream::Timestamp window_length_ms,
                                uint32_t grid_cols, uint32_t grid_rows)
     : window_length_ms_(window_length_ms),
-      grid_(bounds, grid_cols, grid_rows) {}
+      store_(std::max<stream::Timestamp>(
+          1, window_length_ms / kStoreSlicesPerWindow)),
+      grid_(&store_, bounds, grid_cols, grid_rows),
+      inverted_(&store_) {}
 
 void ExactEvaluator::Insert(const stream::GeoTextObject& obj) {
-  grid_.Insert(obj);
-  if (!obj.keywords.empty()) inverted_.Insert(obj);
+  // One store row per object; both indexes reference it. The location and
+  // keyword set are passed through directly — no store read-back.
+  const stream::WindowStore::Row row = store_.Append(obj);
+  grid_.Insert(row, obj.loc);
+  if (!obj.keywords.empty()) {
+    inverted_.Insert(row, obj.keywords.data(), obj.keywords.size());
+  }
 }
 
 uint64_t ExactEvaluator::TrueSelectivity(const stream::Query& q) {
@@ -26,11 +36,15 @@ void ExactEvaluator::EvictExpired(stream::Timestamp now) {
   const stream::Timestamp cutoff = now - window_length_ms_;
   grid_.EvictBefore(cutoff);
   inverted_.EvictBefore(cutoff);
+  // Only after both indexes dropped every row below the cutoff may the
+  // store retire the slices holding them.
+  store_.DropBefore(cutoff);
 }
 
 void ExactEvaluator::Clear() {
   grid_.Clear();
   inverted_.Clear();
+  store_.Clear();
 }
 
 }  // namespace latest::exact

@@ -3,9 +3,10 @@
 //
 // After LATEST returns an estimate, the actual query executes on real data
 // and the system log records the true selectivity (Section V-D). This
-// evaluator plays that role: it maintains the window of actual objects in
-// a spatial grid plus an inverted keyword index and answers every query
-// exactly, choosing the backend by predicate type.
+// evaluator plays that role: it owns the columnar window store of actual
+// objects plus a spatial grid and an inverted keyword index referencing
+// it, and answers every query exactly, choosing the backend by predicate
+// type.
 
 #ifndef LATEST_EXACT_EXACT_EVALUATOR_H_
 #define LATEST_EXACT_EXACT_EVALUATOR_H_
@@ -16,6 +17,7 @@
 #include "exact/inverted_index.h"
 #include "stream/object.h"
 #include "stream/query.h"
+#include "stream/window_store.h"
 
 namespace latest::exact {
 
@@ -38,6 +40,9 @@ class ExactEvaluator {
 
   stream::Timestamp window_length_ms() const { return window_length_ms_; }
 
+  /// The columnar store backing both indexes (for occupancy gauges).
+  const stream::WindowStore& store() const { return store_; }
+
   void Clear();
 
   /// Shards spatial ground-truth scans across `pool` (see
@@ -49,7 +54,14 @@ class ExactEvaluator {
   }
 
  private:
+  /// Store slices per window; matches the default WindowConfig slicing so
+  /// a full rotation retires exactly one sealed slice.
+  static constexpr uint32_t kStoreSlicesPerWindow = 16;
+
   stream::Timestamp window_length_ms_;
+  // Declaration order matters: the store must outlive the indexes that
+  // hold rows into it.
+  stream::WindowStore store_;
   GridIndex grid_;
   InvertedIndex inverted_;
 };

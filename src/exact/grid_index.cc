@@ -10,46 +10,112 @@ namespace {
 /// the dispatch overhead dominates the per-cell scan.
 constexpr uint64_t kMinCellsForSharding = 64;
 
+/// Evicted prefixes are erased (compacted away) once the dead prefix is
+/// this long and at least half the buffer, keeping per-cell memory
+/// proportional to live rows without per-eviction copying.
+constexpr uint32_t kMinHeadForCompaction = 32;
+
 }  // namespace
 
-GridIndex::GridIndex(const geo::Rect& bounds, uint32_t cols, uint32_t rows)
-    : grid_(bounds, cols, rows), cells_(grid_.num_cells()) {}
+GridIndex::GridIndex(const stream::WindowStore* store, const geo::Rect& bounds,
+                     uint32_t cols, uint32_t rows)
+    : store_(store), grid_(bounds, cols, rows), cells_(grid_.num_cells()) {}
 
-void GridIndex::Insert(const stream::GeoTextObject& obj) {
-  cells_[grid_.CellOf(obj.loc)].push_back(obj);
+void GridIndex::Insert(Row row) {
+  const stream::WindowStore::Reader reader(*store_);
+  Insert(row, reader.loc(row));
+}
+
+void GridIndex::Insert(Row row, const geo::Point& loc) {
+  cells_[grid_.CellOf(loc)].rows.push_back(row);
   ++size_;
 }
 
-uint64_t GridIndex::EvictCell(uint32_t cell, stream::Timestamp cutoff) {
-  auto& bucket = cells_[cell];
+uint64_t GridIndex::EvictCell(Cell* cell,
+                              const stream::WindowStore::Reader& reader,
+                              stream::Timestamp cutoff) {
+  const size_t end = cell->rows.size();
+  if (cell->head >= end) return 0;
+  // Steady-state fast path: the cached head timestamp proves the whole
+  // cell live without a store read (rows arrive in timestamp order).
+  if (cell->head_ts != kUnknownTs && cell->head_ts >= cutoff) return 0;
+  const Row first_live = store_->first_live_row();
   uint64_t evicted = 0;
-  while (!bucket.empty() && bucket.front().timestamp < cutoff) {
-    bucket.pop_front();
+  uint32_t head = cell->head;
+  cell->head_ts = kUnknownTs;
+  while (head < end) {
+    const Row row = cell->rows[head];
+    // Rows below the store's first live row belong to dropped slices:
+    // discard them without dereferencing (they expired before the drop).
+    if (row >= first_live) {
+      const stream::Timestamp ts = reader.timestamp(row);
+      if (ts >= cutoff) {
+        cell->head_ts = ts;
+        break;
+      }
+    }
+    ++head;
     ++evicted;
+  }
+  cell->head = head;
+  if (head >= kMinHeadForCompaction && head >= cell->rows.size() / 2) {
+    cell->rows.erase(cell->rows.begin(), cell->rows.begin() + head);
+    cell->head = 0;
   }
   return evicted;
 }
 
 void GridIndex::EvictBefore(stream::Timestamp cutoff) {
-  for (uint32_t c = 0; c < cells_.size(); ++c) {
-    size_ -= EvictCell(c, cutoff);
+  const stream::WindowStore::Reader reader(*store_);
+  for (Cell& cell : cells_) {
+    size_ -= EvictCell(&cell, reader, cutoff);
   }
 }
 
-std::pair<uint64_t, uint64_t> GridIndex::ScanRows(const stream::Query& q,
-                                                  stream::Timestamp cutoff,
-                                                  uint32_t row_lo,
-                                                  uint32_t row_hi,
-                                                  uint32_t col_lo,
-                                                  uint32_t col_hi) {
+std::pair<uint64_t, uint64_t> GridIndex::ScanRows(
+    const stream::Query& q, stream::Timestamp cutoff, uint32_t row_lo,
+    uint32_t row_hi, uint32_t col_lo, uint32_t col_hi, uint32_t range_row_lo,
+    uint32_t range_row_hi) {
+  // One Reader per scan: shards of a sharded CountMatches each get their
+  // own slice cache, so concurrent scans never share mutable state.
+  const stream::WindowStore::Reader reader(*store_);
+  const bool check_range = q.HasRange();
+  const bool check_kw = q.HasKeywords();
   uint64_t count = 0;
   uint64_t evicted = 0;
+  stream::WindowStore::ColumnSlab slab;
   for (uint32_t row = row_lo; row <= row_hi; ++row) {
+    // A cell strictly inside the candidate cell range is fully covered by
+    // the query range: any non-clamped point the same floor arithmetic
+    // mapped strictly between the range's edge cells lies strictly between
+    // the range's edges, and clamped outliers only land in grid-border
+    // cells, which are never strictly interior. Rows surviving EvictCell
+    // all have ts >= cutoff (arrival order), so such cells count in O(1)
+    // with no location reads.
+    const bool row_interior = check_range && !check_kw &&
+                              row > range_row_lo && row < range_row_hi;
     for (uint32_t col = col_lo; col <= col_hi; ++col) {
-      const uint32_t cell = row * grid_.cols() + col;
-      evicted += EvictCell(cell, cutoff);
-      for (const auto& obj : cells_[cell]) {
-        if (q.Matches(obj)) ++count;
+      Cell& cell = cells_[row * grid_.cols() + col];
+      evicted += EvictCell(&cell, reader, cutoff);
+      if (row_interior && col > col_lo && col < col_hi) {
+        count += cell.live();
+        continue;
+      }
+      const size_t n = cell.rows.size();
+      for (size_t i = cell.head; i < n; ++i) {
+        const Row r = cell.rows[i];
+        if (!slab.contains(r)) slab = reader.slab(r);
+        const Row k = r - slab.base;
+        if (check_range && !q.range->Contains(slab.locs[k])) continue;
+        if (check_kw) {
+          const stream::KeywordSpan span = slab.spans[k];
+          if (!stream::KeywordSetsIntersect(slab.arena->Data(span), span.len,
+                                            q.keywords.data(),
+                                            q.keywords.size())) {
+            continue;
+          }
+        }
+        ++count;
       }
     }
   }
@@ -72,15 +138,15 @@ uint64_t GridIndex::CountMatches(const stream::Query& q,
   if (pool_ == nullptr || pool_->num_threads() == 0 ||
       num_cells < kMinCellsForSharding || num_rows < 2) {
     const auto [count, evicted] =
-        ScanRows(q, cutoff, row_lo, row_hi, col_lo, col_hi);
+        ScanRows(q, cutoff, row_lo, row_hi, col_lo, col_hi, row_lo, row_hi);
     size_ -= evicted;
     return count;
   }
-  // Shard contiguous row bands: each cell (hence each deque) is touched
-  // by exactly one shard, per-shard tallies land in pre-sized slots, and
-  // the shared size_ is only adjusted after the join. Summing unsigned
-  // partial counts is exact, so the result matches the serial scan bit
-  // for bit.
+  // Shard contiguous row bands: each cell (hence each row buffer) is
+  // touched by exactly one shard, per-shard tallies land in pre-sized
+  // slots, and the shared size_ is only adjusted after the join. Summing
+  // unsigned partial counts is exact, so the result matches the serial
+  // scan bit for bit.
   const uint32_t num_shards = static_cast<uint32_t>(std::min<uint64_t>(
       num_rows, static_cast<uint64_t>(pool_->num_threads())));
   std::vector<std::pair<uint64_t, uint64_t>> shard_results(num_shards);
@@ -89,7 +155,7 @@ uint64_t GridIndex::CountMatches(const stream::Query& q,
     const uint64_t end = row_lo + num_rows * (shard + 1) / num_shards - 1;
     shard_results[shard] =
         ScanRows(q, cutoff, static_cast<uint32_t>(begin),
-                 static_cast<uint32_t>(end), col_lo, col_hi);
+                 static_cast<uint32_t>(end), col_lo, col_hi, row_lo, row_hi);
   });
   uint64_t count = 0;
   for (const auto& [shard_count, shard_evicted] : shard_results) {
@@ -100,7 +166,11 @@ uint64_t GridIndex::CountMatches(const stream::Query& q,
 }
 
 void GridIndex::Clear() {
-  for (auto& cell : cells_) cell.clear();
+  for (Cell& cell : cells_) {
+    cell.rows.clear();
+    cell.head = 0;
+    cell.head_ts = kUnknownTs;
+  }
   size_ = 0;
 }
 

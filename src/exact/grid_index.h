@@ -1,36 +1,46 @@
-// Full spatial Grid index over the window: stores actual objects.
+// Full spatial Grid index over the window: references columnar store rows.
 //
 // This is (a) the "Grid" full index of Table I, answering queries exactly
 // by scanning candidate cells, and (b) the spatial backend of the exact
 // evaluator that produces the "system log" ground-truth selectivities.
-// Objects arrive in timestamp order; each cell keeps a timestamp-ordered
-// deque so window expiry pops an amortized-O(1) prefix.
+// Cells hold dense uint32 row references into a shared WindowStore; scans
+// resolve rows through a per-scan store Reader, so they are cache-linear
+// over plain arrays and copy no objects. Rows arrive in timestamp order;
+// window expiry advances an amortized-O(1) per-cell head offset.
 
 #ifndef LATEST_EXACT_GRID_INDEX_H_
 #define LATEST_EXACT_GRID_INDEX_H_
 
 #include <cstdint>
-#include <deque>
+#include <limits>
 #include <utility>
 #include <vector>
 
 #include "geo/grid.h"
-#include "stream/object.h"
 #include "stream/query.h"
+#include "stream/window_store.h"
 #include "util/thread_pool.h"
 
 namespace latest::exact {
 
-/// Windowed exact spatial grid index.
+/// Windowed exact spatial grid index over a shared columnar store.
 class GridIndex {
  public:
-  /// bounds: spatial domain. cols/rows: grid resolution.
-  GridIndex(const geo::Rect& bounds, uint32_t cols, uint32_t rows);
+  using Row = stream::WindowStore::Row;
 
-  /// Inserts an object (timestamps must be non-decreasing overall).
-  void Insert(const stream::GeoTextObject& obj);
+  /// store: the columnar window store rows refer into (borrowed, must
+  /// outlive the index). bounds: spatial domain. cols/rows: resolution.
+  GridIndex(const stream::WindowStore* store, const geo::Rect& bounds,
+            uint32_t cols, uint32_t rows);
 
-  /// Removes all objects with timestamp < cutoff.
+  /// Indexes a store row (append order = non-decreasing timestamps).
+  void Insert(Row row);
+
+  /// Same, with the row's location supplied by the caller (the evaluator
+  /// already holds it at append time), skipping the store lookup.
+  void Insert(Row row, const geo::Point& loc);
+
+  /// Removes all rows with timestamp < cutoff.
   void EvictBefore(stream::Timestamp cutoff);
 
   /// Exact number of window objects matching the query. `cutoff` is the
@@ -38,12 +48,12 @@ class GridIndex {
   /// lazily evicted).
   uint64_t CountMatches(const stream::Query& q, stream::Timestamp cutoff);
 
-  /// Number of objects currently stored (including not-yet-evicted ones).
+  /// Number of rows currently indexed (including not-yet-evicted ones).
   uint64_t size() const { return size_; }
 
   const geo::Grid& grid() const { return grid_; }
 
-  /// Drops all objects.
+  /// Drops all rows.
   void Clear();
 
   /// Shards CountMatches row bands across `pool` when the candidate cell
@@ -55,18 +65,42 @@ class GridIndex {
   void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
 
  private:
-  /// Pops expired objects from one cell's front; returns evictions.
-  uint64_t EvictCell(uint32_t cell, stream::Timestamp cutoff);
+  /// One grid cell: row refs in arrival order; [head, rows.size()) live.
+  struct Cell {
+    std::vector<Row> rows;
+    uint32_t head = 0;
+    /// Cached timestamp of rows[head], or kUnknownTs when not yet read.
+    /// Never stale-high: set only from an actual read, and heads only
+    /// advance, so `head_ts >= cutoff` proves the whole cell is live
+    /// without touching the store.
+    stream::Timestamp head_ts = kUnknownTs;
+
+    size_t live() const { return rows.size() - head; }
+  };
+
+  static constexpr stream::Timestamp kUnknownTs =
+      std::numeric_limits<stream::Timestamp>::min();
+
+  /// Advances one cell's head past expired rows; returns evictions.
+  uint64_t EvictCell(Cell* cell, const stream::WindowStore::Reader& reader,
+                     stream::Timestamp cutoff);
 
   /// Serial scan of rows [row_lo, row_hi] x cols [col_lo, col_hi];
   /// returns {matches, evicted} without touching size_.
+  /// [range_row_lo, range_row_hi] is the full candidate row range of the
+  /// query (a superset of the scanned band under sharding): cells strictly
+  /// inside the candidate range are fully covered by the query range and
+  /// count in O(1) without reading locations.
   std::pair<uint64_t, uint64_t> ScanRows(const stream::Query& q,
                                          stream::Timestamp cutoff,
                                          uint32_t row_lo, uint32_t row_hi,
-                                         uint32_t col_lo, uint32_t col_hi);
+                                         uint32_t col_lo, uint32_t col_hi,
+                                         uint32_t range_row_lo,
+                                         uint32_t range_row_hi);
 
+  const stream::WindowStore* store_;
   geo::Grid grid_;
-  std::vector<std::deque<stream::GeoTextObject>> cells_;
+  std::vector<Cell> cells_;
   uint64_t size_ = 0;
   util::ThreadPool* pool_ = nullptr;
 };

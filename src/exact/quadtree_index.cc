@@ -4,9 +4,19 @@
 
 namespace latest::exact {
 
-QuadTreeIndex::QuadTreeIndex(const geo::Rect& bounds, uint32_t leaf_capacity,
+namespace {
+
+/// Evicted leaf prefixes compact once the dead prefix is this long and at
+/// least half the buffer (mirrors GridIndex).
+constexpr uint32_t kMinHeadForCompaction = 32;
+
+}  // namespace
+
+QuadTreeIndex::QuadTreeIndex(const stream::WindowStore* store,
+                             const geo::Rect& bounds, uint32_t leaf_capacity,
                              uint32_t max_depth)
-    : root_(std::make_unique<Node>()),
+    : store_(store),
+      root_(std::make_unique<Node>()),
       leaf_capacity_(leaf_capacity),
       max_depth_(max_depth) {
   assert(bounds.IsValid());
@@ -21,7 +31,8 @@ int QuadTreeIndex::QuadrantOf(const Node& node, const geo::Point& p) const {
   return east + north;
 }
 
-void QuadTreeIndex::Split(Node* node) {
+void QuadTreeIndex::Split(Node* node,
+                          const stream::WindowStore::Reader& reader) {
   const geo::Point c = node->cell.Center();
   const geo::Rect& b = node->cell;
   const geo::Rect quads[4] = {
@@ -37,69 +48,105 @@ void QuadTreeIndex::Split(Node* node) {
   }
   num_nodes_ += 4;
   node->is_leaf = false;
-  // Redistribute, preserving timestamp order (deque order is arrival
-  // order, and we push in that order).
-  for (const auto& obj : node->objects) {
-    node->children[QuadrantOf(*node, obj.loc)]->objects.push_back(obj);
+  // Redistribute live rows, preserving arrival (timestamp) order.
+  for (size_t i = node->head; i < node->rows.size(); ++i) {
+    const Row row = node->rows[i];
+    node->children[QuadrantOf(*node, reader.loc(row))]->rows.push_back(row);
   }
-  node->objects.clear();
-  node->objects.shrink_to_fit();
+  node->rows.clear();
+  node->rows.shrink_to_fit();
+  node->head = 0;
 }
 
-void QuadTreeIndex::InsertInto(Node* node, const stream::GeoTextObject& obj) {
+void QuadTreeIndex::InsertInto(Node* node, Row row, const geo::Point& loc) {
   while (!node->is_leaf) {
-    node = node->children[QuadrantOf(*node, obj.loc)].get();
+    node = node->children[QuadrantOf(*node, loc)].get();
   }
-  node->objects.push_back(obj);
-  if (node->objects.size() > leaf_capacity_ && node->depth < max_depth_) {
-    Split(node);
+  node->rows.push_back(row);
+  if (node->live() > leaf_capacity_ && node->depth < max_depth_) {
+    const stream::WindowStore::Reader reader(*store_);
+    Split(node, reader);
   }
 }
 
-void QuadTreeIndex::Insert(const stream::GeoTextObject& obj) {
-  InsertInto(root_.get(), obj);
+void QuadTreeIndex::Insert(Row row) {
+  const stream::WindowStore::Reader reader(*store_);
+  Insert(row, reader.loc(row));
+}
+
+void QuadTreeIndex::Insert(Row row, const geo::Point& loc) {
+  InsertInto(root_.get(), row, loc);
   ++size_;
 }
 
+void QuadTreeIndex::EvictLeaf(Node* node, stream::Timestamp cutoff,
+                              const stream::WindowStore::Reader& reader) {
+  const Row first_live = store_->first_live_row();
+  uint32_t head = node->head;
+  while (head < node->rows.size()) {
+    const Row row = node->rows[head];
+    // Rows of dropped store slices are discarded without dereferencing.
+    if (row >= first_live && reader.timestamp(row) >= cutoff) break;
+    ++head;
+    --size_;
+  }
+  node->head = head;
+  if (head >= kMinHeadForCompaction && head >= node->rows.size() / 2) {
+    node->rows.erase(node->rows.begin(), node->rows.begin() + head);
+    node->head = 0;
+  }
+}
+
 uint64_t QuadTreeIndex::CountNode(Node* node, const stream::Query& q,
-                                  stream::Timestamp cutoff) {
+                                  stream::Timestamp cutoff,
+                                  const stream::WindowStore::Reader& reader) {
   if (q.HasRange() && !q.range->Intersects(node->cell)) return 0;
   if (node->is_leaf) {
-    while (!node->objects.empty() &&
-           node->objects.front().timestamp < cutoff) {
-      node->objects.pop_front();
-      --size_;
-    }
+    EvictLeaf(node, cutoff, reader);
+    const bool check_range = q.HasRange();
+    const bool check_kw = q.HasKeywords();
     uint64_t count = 0;
-    for (const auto& obj : node->objects) {
-      if (q.Matches(obj)) ++count;
+    stream::WindowStore::ColumnSlab slab;
+    const size_t n = node->rows.size();
+    for (size_t i = node->head; i < n; ++i) {
+      const Row row = node->rows[i];
+      if (!slab.contains(row)) slab = reader.slab(row);
+      const Row k = row - slab.base;
+      if (check_range && !q.range->Contains(slab.locs[k])) continue;
+      if (check_kw) {
+        const stream::KeywordSpan span = slab.spans[k];
+        if (!stream::KeywordSetsIntersect(slab.arena->Data(span), span.len,
+                                          q.keywords.data(),
+                                          q.keywords.size())) {
+          continue;
+        }
+      }
+      ++count;
     }
     return count;
   }
   uint64_t count = 0;
   for (auto& child : node->children) {
-    count += CountNode(child.get(), q, cutoff);
+    count += CountNode(child.get(), q, cutoff, reader);
   }
   return count;
 }
 
 uint64_t QuadTreeIndex::CountMatches(const stream::Query& q,
                                      stream::Timestamp cutoff) {
-  return CountNode(root_.get(), q, cutoff);
+  const stream::WindowStore::Reader reader(*store_);
+  return CountNode(root_.get(), q, cutoff, reader);
 }
 
-uint64_t QuadTreeIndex::EvictNode(Node* node, stream::Timestamp cutoff) {
+uint64_t QuadTreeIndex::EvictNode(Node* node, stream::Timestamp cutoff,
+                                  const stream::WindowStore::Reader& reader) {
   if (node->is_leaf) {
-    while (!node->objects.empty() &&
-           node->objects.front().timestamp < cutoff) {
-      node->objects.pop_front();
-      --size_;
-    }
-    return node->objects.size();
+    EvictLeaf(node, cutoff, reader);
+    return node->live();
   }
   uint64_t live = 0;
   for (auto& child : node->children) {
-    live += EvictNode(child.get(), cutoff);
+    live += EvictNode(child.get(), cutoff, reader);
   }
   if (live == 0) {
     for (auto& child : node->children) child.reset();
@@ -110,7 +157,8 @@ uint64_t QuadTreeIndex::EvictNode(Node* node, stream::Timestamp cutoff) {
 }
 
 void QuadTreeIndex::EvictBefore(stream::Timestamp cutoff) {
-  EvictNode(root_.get(), cutoff);
+  const stream::WindowStore::Reader reader(*store_);
+  EvictNode(root_.get(), cutoff, reader);
 }
 
 void QuadTreeIndex::Clear() {

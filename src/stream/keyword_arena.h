@@ -1,0 +1,67 @@
+// Bump arena for keyword sets: the backing storage of the columnar window
+// store's keyword column.
+//
+// Each stored object's (sorted, deduplicated) keyword set is appended once
+// into a flat KeywordId buffer and referenced by a (offset, len) Span.
+// Appends are amortized O(len) with no per-object allocation; dropping a
+// whole arena (when its window slice expires) is O(1) and keeps the buffer
+// capacity for the slice that recycles it.
+
+#ifndef LATEST_STREAM_KEYWORD_ARENA_H_
+#define LATEST_STREAM_KEYWORD_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stream/object.h"
+
+namespace latest::stream {
+
+/// A reference into a KeywordArena: `len` KeywordIds starting at `offset`.
+struct KeywordSpan {
+  uint32_t offset = 0;
+  uint32_t len = 0;
+};
+
+/// Flat append-only KeywordId storage with O(1) whole-arena reset.
+class KeywordArena {
+ public:
+  KeywordArena() = default;
+
+  /// Copies `n` ids into the arena and returns their span.
+  KeywordSpan Append(const KeywordId* ids, size_t n) {
+    const KeywordSpan span{static_cast<uint32_t>(data_.size()),
+                           static_cast<uint32_t>(n)};
+    data_.insert(data_.end(), ids, ids + n);
+    return span;
+  }
+
+  /// Pointer to the first id of a span (valid until the next Append or
+  /// Clear). A zero-length span yields an unspecified non-dereferenceable
+  /// pointer.
+  const KeywordId* Data(KeywordSpan span) const {
+    return data_.data() + span.offset;
+  }
+
+  /// Total ids stored.
+  size_t size() const { return data_.size(); }
+
+  /// Bytes of keyword payload currently stored.
+  size_t bytes() const { return data_.size() * sizeof(KeywordId); }
+
+  /// Bytes of buffer capacity held (>= bytes()).
+  size_t capacity_bytes() const { return data_.capacity() * sizeof(KeywordId); }
+
+  /// Drops every span in O(1), keeping the buffer capacity.
+  void Clear() { data_.clear(); }
+
+  void Reserve(size_t n) { data_.reserve(n); }
+
+ private:
+  std::vector<KeywordId> data_;
+};
+
+}  // namespace latest::stream
+
+#endif  // LATEST_STREAM_KEYWORD_ARENA_H_

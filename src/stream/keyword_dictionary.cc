@@ -5,7 +5,9 @@
 namespace latest::stream {
 
 KeywordId KeywordDictionary::Intern(std::string_view keyword) {
-  auto it = ids_.find(std::string(keyword));
+  // Single heterogeneous probe: find with the string_view, and only a
+  // miss pays the std::string construction for the stored key.
+  auto it = ids_.find(keyword);
   if (it != ids_.end()) return it->second;
   const KeywordId id = static_cast<KeywordId>(spellings_.size());
   spellings_.emplace_back(keyword);
@@ -15,7 +17,7 @@ KeywordId KeywordDictionary::Intern(std::string_view keyword) {
 }
 
 bool KeywordDictionary::Lookup(std::string_view keyword, KeywordId* id) const {
-  auto it = ids_.find(std::string(keyword));
+  auto it = ids_.find(keyword);
   if (it == ids_.end()) return false;
   *id = it->second;
   return true;

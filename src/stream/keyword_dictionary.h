@@ -49,7 +49,17 @@ class KeywordDictionary {
   double Frequency(KeywordId id) const;
 
  private:
-  std::unordered_map<std::string, KeywordId> ids_;
+  /// Transparent hash so the map probes directly with string_view keys:
+  /// Intern/Lookup never materialize a temporary std::string.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, KeywordId, StringHash, std::equal_to<>>
+      ids_;
   std::vector<std::string> spellings_;
   std::vector<uint64_t> counts_;
   uint64_t total_occurrences_ = 0;

@@ -7,6 +7,7 @@
 #ifndef LATEST_STREAM_OBJECT_H_
 #define LATEST_STREAM_OBJECT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -39,6 +40,13 @@ struct GeoTextObject {
 /// Sorts and deduplicates a keyword set in place (canonical form used by
 /// GeoTextObject and queries).
 void CanonicalizeKeywords(std::vector<KeywordId>* keywords);
+
+/// True iff two sorted keyword sets share at least one id. Merge-walks
+/// similar-sized sets; when one side is much larger, gallops (exponential
+/// probe + binary search) through it instead, so short query keyword sets
+/// test long arena spans in O(short * log(long)).
+bool KeywordSetsIntersect(const KeywordId* a, size_t a_len, const KeywordId* b,
+                          size_t b_len);
 
 }  // namespace latest::stream
 

@@ -29,4 +29,14 @@ bool Query::Matches(const GeoTextObject& obj) const {
   return true;
 }
 
+bool Query::Matches(const geo::Point& loc, const KeywordId* kw,
+                    size_t kw_len) const {
+  if (HasRange() && !range->Contains(loc)) return false;
+  if (HasKeywords() &&
+      !KeywordSetsIntersect(kw, kw_len, keywords.data(), keywords.size())) {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace latest::stream

@@ -51,6 +51,11 @@ struct Query {
   /// Predicate evaluation against one object (window membership is the
   /// caller's concern). Implements conditions (1) and (2) of RC-DVQ.
   bool Matches(const GeoTextObject& obj) const;
+
+  /// Same predicate over columnar storage: a location plus a keyword span
+  /// (sorted ascending) as stored in the window store's arena.
+  bool Matches(const geo::Point& loc, const KeywordId* kw,
+               size_t kw_len) const;
 };
 
 }  // namespace latest::stream

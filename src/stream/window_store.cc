@@ -1,0 +1,121 @@
+#include "stream/window_store.h"
+
+#include <algorithm>
+
+namespace latest::stream {
+
+WindowStore::WindowStore(Timestamp slice_duration_ms)
+    : slice_duration_ms_(std::max<Timestamp>(1, slice_duration_ms)) {}
+
+void WindowStore::Slice::Reset(Row new_base, Timestamp new_seal_ts) {
+  base = new_base;
+  seal_ts = new_seal_ts;
+  max_ts = std::numeric_limits<Timestamp>::min();
+  timestamps.clear();
+  locs.clear();
+  oids.clear();
+  spans.clear();
+  arena.Clear();
+}
+
+uint64_t WindowStore::Slice::CapacityBytes() const {
+  return timestamps.capacity() * sizeof(Timestamp) +
+         locs.capacity() * sizeof(geo::Point) +
+         oids.capacity() * sizeof(ObjectId) +
+         spans.capacity() * sizeof(KeywordSpan) + arena.capacity_bytes();
+}
+
+void WindowStore::OpenSlice(Timestamp first_ts) {
+  // Slice boundaries are aligned to multiples of the slice duration, like
+  // SliceClock's absolute slice indexes.
+  const Timestamp aligned_start =
+      (first_ts / slice_duration_ms_) * slice_duration_ms_;
+  const Timestamp seal_ts = aligned_start + slice_duration_ms_;
+  if (!free_slices_.empty()) {
+    slices_.push_back(std::move(free_slices_.back()));
+    free_slices_.pop_back();
+    slices_.back().Reset(next_row_, seal_ts);
+  } else {
+    slices_.emplace_back();
+    slices_.back().base = next_row_;
+    slices_.back().seal_ts = seal_ts;
+  }
+}
+
+WindowStore::Row WindowStore::Append(const GeoTextObject& obj) {
+  if (slices_.empty() || obj.timestamp >= slices_.back().seal_ts) {
+    OpenSlice(obj.timestamp);
+  }
+  Slice& slice = slices_.back();
+  const Row row = next_row_++;
+  assert(row - slice.base == slice.rows());
+  slice.timestamps.push_back(obj.timestamp);
+  slice.locs.push_back(obj.loc);
+  slice.oids.push_back(obj.oid);
+  slice.spans.push_back(
+      slice.arena.Append(obj.keywords.data(), obj.keywords.size()));
+  slice.max_ts = std::max(slice.max_ts, obj.timestamp);
+  arena_bytes_ += obj.keywords.size() * sizeof(KeywordId);
+  return row;
+}
+
+void WindowStore::DropBefore(Timestamp cutoff) {
+  // The open (newest) slice is never dropped: appends target it and its
+  // few rows expire lazily in the consumers until the slice seals.
+  while (slices_.size() > 1 && slices_.front().max_ts < cutoff) {
+    Slice& slice = slices_.front();
+    arena_bytes_ -= slice.arena.bytes();
+    free_slices_.push_back(std::move(slice));
+    slices_.pop_front();
+  }
+}
+
+uint64_t WindowStore::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const Slice& s : slices_) bytes += s.CapacityBytes();
+  for (const Slice& s : free_slices_) bytes += s.CapacityBytes();
+  return bytes;
+}
+
+void WindowStore::Clear() {
+  for (Slice& slice : slices_) {
+    free_slices_.push_back(std::move(slice));
+  }
+  slices_.clear();
+  arena_bytes_ = 0;
+}
+
+const WindowStore::Slice& WindowStore::Reader::SliceFor(Row row) const {
+  const auto& slices = store_.slices_;
+  assert(!slices.empty());
+  assert(row >= store_.first_live_row() && row < store_.end_row());
+  if (cached_slice_ < slices.size()) {
+    const Slice& cached = slices[cached_slice_];
+    if (row >= cached.base && row - cached.base < cached.rows()) {
+      return cached;
+    }
+    // Scans walk rows in ascending order, so a miss almost always lands
+    // in the next slice; probe it before the binary search.
+    const size_t next = cached_slice_ + 1;
+    if (next < slices.size() && row >= slices[next].base &&
+        row - slices[next].base < slices[next].rows()) {
+      cached_slice_ = next;
+      return slices[next];
+    }
+  }
+  // Binary search the (ascending) slice bases for the last base <= row.
+  size_t lo = 0;
+  size_t hi = slices.size();
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (slices[mid].base <= row) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  cached_slice_ = lo;
+  return slices[lo];
+}
+
+}  // namespace latest::stream

@@ -22,11 +22,9 @@ ThreadPool::~ThreadPool() {
   // empty, so nothing submitted is ever dropped.
 }
 
-void ThreadPool::RunTask(std::function<void()>& task) {
-  const Stopwatch watch;
-  task();
+void ThreadPool::NotifyTaskDone(double latency_ms) {
   if (observer_ != nullptr) {
-    observer_->OnTaskDone(watch.ElapsedMillis(), QueueDepth());
+    observer_->OnTaskDone(latency_ms, QueueDepth());
   }
 }
 
@@ -41,7 +39,11 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    RunTask(task);
+    // The task itself notifies the observer (see Submit / ParallelFor):
+    // the notification must land before the task's completion becomes
+    // observable to waiters, or a waiter could tear the observer down
+    // while this thread is still inside the callback.
+    task();
   }
 }
 
@@ -51,11 +53,24 @@ size_t ThreadPool::QueueDepth() const {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
-  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  // The observer notification runs inside the packaged task, so it lands
+  // before the future becomes ready: once a waiter's get() returns, no
+  // worker is still inside the observer callback for that task.
+  auto task = std::make_shared<std::packaged_task<void()>>(
+      [this, fn = std::move(fn)] {
+        const Stopwatch watch;
+        try {
+          fn();
+        } catch (...) {
+          NotifyTaskDone(watch.ElapsedMillis());
+          throw;  // Captured by the packaged_task into the future.
+        }
+        NotifyTaskDone(watch.ElapsedMillis());
+      });
   std::future<void> future = task->get_future();
   std::function<void()> wrapped = [task] { (*task)(); };
   if (num_threads_ == 0) {
-    RunTask(wrapped);
+    wrapped();
     return future;
   }
   size_t depth;
@@ -90,12 +105,17 @@ void ThreadPool::ParallelFor(size_t n,
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < n; ++i) {
-      queue_.push_back([state, &fn, i] {
+      queue_.push_back([this, state, &fn, i] {
+        const Stopwatch watch;
         try {
           fn(i);
         } catch (...) {
           state->errors[i] = std::current_exception();
         }
+        // Notify before decrementing `remaining`: ParallelFor must not
+        // return (and let the caller release the observer) while a worker
+        // is still inside the callback.
+        NotifyTaskDone(watch.ElapsedMillis());
         {
           std::lock_guard<std::mutex> inner(state->mu);
           --state->remaining;

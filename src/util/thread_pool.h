@@ -84,7 +84,10 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
-  void RunTask(std::function<void()>& task);
+  /// Fires Observer::OnTaskDone; called from inside each task so the
+  /// notification completes before the task's completion is observable
+  /// (future ready / ParallelFor returned).
+  void NotifyTaskDone(double latency_ms);
 
   const uint32_t num_threads_;
   Observer* observer_ = nullptr;

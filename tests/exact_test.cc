@@ -1,6 +1,7 @@
 // Tests for src/exact: grid index, quadtree index, inverted index, and the
 // exact evaluator, cross-validated against a brute-force scan.
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "exact/grid_index.h"
 #include "exact/inverted_index.h"
 #include "exact/quadtree_index.h"
+#include "stream/window_store.h"
 #include "tests/test_stream.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -21,6 +23,7 @@ using stream::GeoTextObject;
 using stream::KeywordId;
 using stream::Query;
 using stream::Timestamp;
+using stream::WindowStore;
 
 using testing_support::BruteForceCount;
 using testing_support::kTestBounds;
@@ -31,18 +34,30 @@ using testing_support::MakeUniformObjects;
 
 constexpr geo::Rect kBounds = kTestBounds;
 
+/// Slice duration for test stores; the 10s default streams span 10 slices.
+constexpr Timestamp kSliceMs = 1000;
+
+/// Appends every object to the store and indexes the resulting row.
+template <typename Index>
+void FeedStore(WindowStore* store, Index* index,
+               const std::vector<GeoTextObject>& objects) {
+  for (const auto& obj : objects) index->Insert(store->Append(obj));
+}
+
 // --------------------------------------------------------------------
 // GridIndex
 
 TEST(GridIndexTest, EmptyIndexCountsZero) {
-  GridIndex index(kBounds, 8, 8);
+  WindowStore store(kSliceMs);
+  GridIndex index(&store, kBounds, 8, 8);
   EXPECT_EQ(index.CountMatches(MakeSpatialQuery({0, 0, 50, 50}), 0), 0u);
 }
 
 TEST(GridIndexTest, CountsMatchBruteForce) {
   const auto objects = MakeUniformObjects(2000, 1);
-  GridIndex index(kBounds, 8, 8);
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  GridIndex index(&store, kBounds, 8, 8);
+  FeedStore(&store, &index, objects);
 
   util::Rng rng(2);
   for (int iter = 0; iter < 50; ++iter) {
@@ -55,24 +70,27 @@ TEST(GridIndexTest, CountsMatchBruteForce) {
 
 TEST(GridIndexTest, HybridPredicateExact) {
   const auto objects = MakeUniformObjects(1000, 3);
-  GridIndex index(kBounds, 8, 8);
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  GridIndex index(&store, kBounds, 8, 8);
+  FeedStore(&store, &index, objects);
   const Query q = MakeHybridQuery({20, 20, 70, 70}, {1, 5});
   EXPECT_EQ(index.CountMatches(q, 0), BruteForceCount(objects, q, 0));
 }
 
 TEST(GridIndexTest, WindowCutoffExcludesExpired) {
   const auto objects = MakeUniformObjects(1000, 4);
-  GridIndex index(kBounds, 8, 8);
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  GridIndex index(&store, kBounds, 8, 8);
+  FeedStore(&store, &index, objects);
   const Query q = MakeSpatialQuery({0, 0, 100, 100});
   EXPECT_EQ(index.CountMatches(q, 5000), BruteForceCount(objects, q, 5000));
 }
 
 TEST(GridIndexTest, LazyEvictionShrinksSize) {
   const auto objects = MakeUniformObjects(1000, 5);
-  GridIndex index(kBounds, 8, 8);
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  GridIndex index(&store, kBounds, 8, 8);
+  FeedStore(&store, &index, objects);
   EXPECT_EQ(index.size(), 1000u);
   index.EvictBefore(5000);
   EXPECT_EQ(index.size(), BruteForceCount(objects, MakeSpatialQuery(kBounds), 5000));
@@ -80,17 +98,20 @@ TEST(GridIndexTest, LazyEvictionShrinksSize) {
 
 TEST(GridIndexTest, ClearEmpties) {
   const auto objects = MakeUniformObjects(100, 6);
-  GridIndex index(kBounds, 8, 8);
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  GridIndex index(&store, kBounds, 8, 8);
+  FeedStore(&store, &index, objects);
   index.Clear();
+  store.Clear();
   EXPECT_EQ(index.size(), 0u);
   EXPECT_EQ(index.CountMatches(MakeSpatialQuery(kBounds), 0), 0u);
 }
 
 TEST(GridIndexTest, FullDomainQueryCountsEverything) {
   const auto objects = MakeUniformObjects(500, 7);
-  GridIndex index(kBounds, 8, 8);
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  GridIndex index(&store, kBounds, 8, 8);
+  FeedStore(&store, &index, objects);
   EXPECT_EQ(index.CountMatches(MakeSpatialQuery({-10, -10, 110, 110}), 0), 500u);
 }
 
@@ -100,12 +121,14 @@ TEST(GridIndexTest, ShardedCountsMatchSerialBitForBit) {
   // every query, including cutoffs that trigger concurrent eviction.
   const auto objects = MakeUniformObjects(3000, 30);
   util::ThreadPool pool(4);
-  GridIndex serial(kBounds, 8, 8);
-  GridIndex sharded(kBounds, 8, 8);
+  WindowStore store(kSliceMs);
+  GridIndex serial(&store, kBounds, 8, 8);
+  GridIndex sharded(&store, kBounds, 8, 8);
   sharded.set_thread_pool(&pool);
   for (const auto& obj : objects) {
-    serial.Insert(obj);
-    sharded.Insert(obj);
+    const WindowStore::Row row = store.Append(obj);
+    serial.Insert(row);
+    sharded.Insert(row);
   }
   util::Rng rng(31);
   for (int iter = 0; iter < 60; ++iter) {
@@ -123,8 +146,9 @@ TEST(GridIndexTest, ShardedCountsMatchSerialBitForBit) {
 
 TEST(QuadTreeIndexTest, CountsMatchBruteForce) {
   const auto objects = MakeUniformObjects(2000, 8);
-  QuadTreeIndex index(kBounds, 32, 10);
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  QuadTreeIndex index(&store, kBounds, 32, 10);
+  FeedStore(&store, &index, objects);
 
   util::Rng rng(9);
   for (int iter = 0; iter < 50; ++iter) {
@@ -137,24 +161,27 @@ TEST(QuadTreeIndexTest, CountsMatchBruteForce) {
 
 TEST(QuadTreeIndexTest, SplitsUnderLoad) {
   const auto objects = MakeUniformObjects(2000, 10);
-  QuadTreeIndex index(kBounds, 32, 10);
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  QuadTreeIndex index(&store, kBounds, 32, 10);
+  FeedStore(&store, &index, objects);
   EXPECT_GT(index.num_nodes(), 1u);
   EXPECT_EQ(index.size(), 2000u);
 }
 
 TEST(QuadTreeIndexTest, WindowCutoffMatchesBruteForce) {
   const auto objects = MakeUniformObjects(2000, 11);
-  QuadTreeIndex index(kBounds, 32, 10);
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  QuadTreeIndex index(&store, kBounds, 32, 10);
+  FeedStore(&store, &index, objects);
   const Query q = MakeSpatialQuery({10, 10, 60, 60});
   EXPECT_EQ(index.CountMatches(q, 7000), BruteForceCount(objects, q, 7000));
 }
 
 TEST(QuadTreeIndexTest, EvictionCollapsesEmptySubtrees) {
   const auto objects = MakeUniformObjects(2000, 12);
-  QuadTreeIndex index(kBounds, 32, 10);
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  QuadTreeIndex index(&store, kBounds, 32, 10);
+  FeedStore(&store, &index, objects);
   const uint64_t nodes_full = index.num_nodes();
   index.EvictBefore(20000);  // Everything expires.
   EXPECT_EQ(index.size(), 0u);
@@ -164,21 +191,23 @@ TEST(QuadTreeIndexTest, EvictionCollapsesEmptySubtrees) {
 
 TEST(QuadTreeIndexTest, HybridPredicate) {
   const auto objects = MakeUniformObjects(1000, 13);
-  QuadTreeIndex index(kBounds, 16, 10);
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  QuadTreeIndex index(&store, kBounds, 16, 10);
+  FeedStore(&store, &index, objects);
   const Query q = MakeHybridQuery({0, 0, 50, 100}, {2, 3, 4});
   EXPECT_EQ(index.CountMatches(q, 0), BruteForceCount(objects, q, 0));
 }
 
 TEST(QuadTreeIndexTest, DegenerateAllSamePoint) {
   // All objects at one location: depth cap must prevent infinite splits.
-  QuadTreeIndex index(kBounds, 4, 6);
+  WindowStore store(kSliceMs);
+  QuadTreeIndex index(&store, kBounds, 4, 6);
   for (int i = 0; i < 1000; ++i) {
     GeoTextObject obj;
     obj.oid = static_cast<stream::ObjectId>(i);
     obj.loc = {50, 50};
     obj.timestamp = i;
-    index.Insert(obj);
+    index.Insert(store.Append(obj));
   }
   EXPECT_EQ(index.size(), 1000u);
   EXPECT_EQ(index.CountMatches(MakeSpatialQuery({49, 49, 51, 51}), 0), 1000u);
@@ -189,8 +218,9 @@ TEST(QuadTreeIndexTest, DegenerateAllSamePoint) {
 
 TEST(InvertedIndexTest, KeywordCountsMatchBruteForce) {
   const auto objects = MakeUniformObjects(2000, 14);
-  InvertedIndex index;
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  InvertedIndex index(&store);
+  FeedStore(&store, &index, objects);
   for (KeywordId kw = 0; kw < 30; kw += 3) {
     const Query q = MakeKeywordQuery({kw});
     EXPECT_EQ(index.CountMatches(q, 0), BruteForceCount(objects, q, 0));
@@ -199,36 +229,40 @@ TEST(InvertedIndexTest, KeywordCountsMatchBruteForce) {
 
 TEST(InvertedIndexTest, MultiKeywordDeduplicatesObjects) {
   // An object carrying both query keywords must count once.
-  InvertedIndex index;
+  WindowStore store(kSliceMs);
+  InvertedIndex index(&store);
   GeoTextObject obj;
   obj.oid = 1;
   obj.loc = {1, 1};
   obj.keywords = {3, 7};
   obj.timestamp = 0;
-  index.Insert(obj);
+  index.Insert(store.Append(obj));
   EXPECT_EQ(index.CountMatches(MakeKeywordQuery({3, 7}), 0), 1u);
 }
 
 TEST(InvertedIndexTest, MultiKeywordMatchesBruteForce) {
   const auto objects = MakeUniformObjects(2000, 15);
-  InvertedIndex index;
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  InvertedIndex index(&store);
+  FeedStore(&store, &index, objects);
   const Query q = MakeKeywordQuery({1, 4, 9, 16, 25});
   EXPECT_EQ(index.CountMatches(q, 0), BruteForceCount(objects, q, 0));
 }
 
 TEST(InvertedIndexTest, HybridFiltersByRange) {
   const auto objects = MakeUniformObjects(2000, 16);
-  InvertedIndex index;
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  InvertedIndex index(&store);
+  FeedStore(&store, &index, objects);
   const Query q = MakeHybridQuery({25, 25, 75, 75}, {0, 1, 2});
   EXPECT_EQ(index.CountMatches(q, 0), BruteForceCount(objects, q, 0));
 }
 
 TEST(InvertedIndexTest, CutoffExpiresPostings) {
   const auto objects = MakeUniformObjects(2000, 17);
-  InvertedIndex index;
-  for (const auto& obj : objects) index.Insert(obj);
+  WindowStore store(kSliceMs);
+  InvertedIndex index(&store);
+  FeedStore(&store, &index, objects);
   const Query q = MakeKeywordQuery({2});
   EXPECT_EQ(index.CountMatches(q, 6000), BruteForceCount(objects, q, 6000));
   index.EvictBefore(6000);
@@ -236,8 +270,98 @@ TEST(InvertedIndexTest, CutoffExpiresPostings) {
 }
 
 TEST(InvertedIndexTest, UnknownKeywordCountsZero) {
-  InvertedIndex index;
+  WindowStore store(kSliceMs);
+  InvertedIndex index(&store);
   EXPECT_EQ(index.CountMatches(MakeKeywordQuery({999}), 0), 0u);
+}
+
+// --------------------------------------------------------------------
+// Window boundary semantics: an object stamped exactly at the cutoff is
+// inside the window (eviction is strictly timestamp < cutoff), and every
+// backend — grid, quadtree, inverted, serial or sharded — must agree.
+
+/// Objects straddling a boundary: ts in {cutoff - 1, cutoff, cutoff + 1},
+/// all carrying keyword 5, spread over distinct locations.
+std::vector<GeoTextObject> MakeBoundaryObjects(Timestamp cutoff) {
+  std::vector<GeoTextObject> objects;
+  const Timestamp stamps[3] = {cutoff - 1, cutoff, cutoff + 1};
+  stream::ObjectId oid = 0;
+  for (const Timestamp ts : stamps) {
+    for (int i = 0; i < 4; ++i) {
+      GeoTextObject obj;
+      obj.oid = oid;
+      obj.loc = {5.0 + 7.0 * static_cast<double>(oid), 50.0};
+      obj.keywords = {5};
+      obj.timestamp = ts;
+      objects.push_back(obj);
+      ++oid;
+    }
+  }
+  return objects;
+}
+
+TEST(WindowBoundaryTest, CutoffTimestampRetainedByAllBackends) {
+  constexpr Timestamp kCutoff = 5000;
+  const auto objects = MakeBoundaryObjects(kCutoff);
+  const uint64_t expected = 8;  // ts == cutoff and ts == cutoff + 1.
+
+  WindowStore store(kSliceMs);
+  GridIndex grid(&store, kBounds, 8, 8);
+  QuadTreeIndex quadtree(&store, kBounds, 4, 8);
+  InvertedIndex inverted(&store);
+  for (const auto& obj : objects) {
+    const WindowStore::Row row = store.Append(obj);
+    grid.Insert(row);
+    quadtree.Insert(row);
+    inverted.Insert(row);
+  }
+
+  const Query spatial = MakeSpatialQuery(kBounds);
+  const Query keyword = MakeKeywordQuery({5});
+  EXPECT_EQ(grid.CountMatches(spatial, kCutoff), expected);
+  EXPECT_EQ(quadtree.CountMatches(spatial, kCutoff), expected);
+  EXPECT_EQ(inverted.CountMatches(keyword, kCutoff), expected);
+  EXPECT_EQ(BruteForceCount(objects, spatial, kCutoff), expected);
+
+  // Eager eviction at the same cutoff keeps the ts == cutoff objects too.
+  grid.EvictBefore(kCutoff);
+  quadtree.EvictBefore(kCutoff);
+  inverted.EvictBefore(kCutoff);
+  EXPECT_EQ(grid.size(), expected);
+  EXPECT_EQ(quadtree.size(), expected);
+  EXPECT_EQ(inverted.num_postings(), expected);
+  EXPECT_EQ(grid.CountMatches(spatial, kCutoff), expected);
+  EXPECT_EQ(quadtree.CountMatches(spatial, kCutoff), expected);
+  EXPECT_EQ(inverted.CountMatches(keyword, kCutoff), expected);
+}
+
+TEST(WindowBoundaryTest, ShardedCountMatchesSerialAtBoundary) {
+  // A cutoff equal to many objects' timestamp: the sharded scan's lazy
+  // eviction must agree with the serial one on both count and size.
+  constexpr Timestamp kCutoff = 5000;
+  const auto boundary = MakeBoundaryObjects(kCutoff);
+  auto objects = MakeUniformObjects(2000, 19);
+  objects.insert(objects.end(), boundary.begin(), boundary.end());
+  std::sort(objects.begin(), objects.end(),
+            [](const GeoTextObject& a, const GeoTextObject& b) {
+              return a.timestamp < b.timestamp;
+            });
+
+  util::ThreadPool pool(4);
+  WindowStore store(kSliceMs);
+  GridIndex serial(&store, kBounds, 8, 8);
+  GridIndex sharded(&store, kBounds, 8, 8);
+  sharded.set_thread_pool(&pool);
+  for (const auto& obj : objects) {
+    const WindowStore::Row row = store.Append(obj);
+    serial.Insert(row);
+    sharded.Insert(row);
+  }
+  const Query q = MakeSpatialQuery(kBounds);
+  EXPECT_EQ(sharded.CountMatches(q, kCutoff), serial.CountMatches(q, kCutoff));
+  EXPECT_EQ(sharded.size(), serial.size());
+  EXPECT_EQ(serial.CountMatches(q, kCutoff),
+            BruteForceCount(objects, q, kCutoff));
 }
 
 // --------------------------------------------------------------------
@@ -302,6 +426,14 @@ TEST_F(ExactEvaluatorTest, EvictExpiredKeepsAnswersCorrect) {
   evaluator_->EvictExpired(9000);
   Query q = MakeSpatialQuery({0, 0, 100, 100}, 9000);
   EXPECT_EQ(evaluator_->TrueSelectivity(q), Truth(q));
+}
+
+TEST_F(ExactEvaluatorTest, StoreDropsRetiredSlices) {
+  // After eviction well past the stream end, the store retires every
+  // sealed slice; only the open one may remain resident.
+  evaluator_->EvictExpired(30000);
+  EXPECT_LE(evaluator_->store().slices_resident(), 1u);
+  EXPECT_EQ(evaluator_->TrueSelectivity(MakeSpatialQuery(kBounds, 30000)), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,157 @@
+// Unit tests for the slice-partitioned columnar window store.
+
+#include "stream/window_store.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/object.h"
+
+namespace latest::stream {
+namespace {
+
+GeoTextObject MakeObject(ObjectId oid, Timestamp ts, double x, double y,
+                         std::vector<KeywordId> kws = {}) {
+  GeoTextObject obj;
+  obj.oid = oid;
+  obj.timestamp = ts;
+  obj.loc = {x, y};
+  obj.keywords = std::move(kws);
+  return obj;
+}
+
+TEST(WindowStoreTest, AppendAssignsMonotoneRowsAndStoresColumns) {
+  WindowStore store(1000);
+  const WindowStore::Row r0 = store.Append(MakeObject(7, 10, 1.0, 2.0, {3}));
+  const WindowStore::Row r1 = store.Append(MakeObject(8, 20, 4.0, 5.0));
+  EXPECT_EQ(r0, 0u);
+  EXPECT_EQ(r1, 1u);
+  EXPECT_EQ(store.end_row(), 2u);
+  EXPECT_EQ(store.resident_rows(), 2u);
+
+  const WindowStore::Reader reader(store);
+  EXPECT_EQ(reader.timestamp(r0), 10);
+  EXPECT_EQ(reader.oid(r0), 7u);
+  EXPECT_EQ(reader.loc(r1).x, 4.0);
+  EXPECT_EQ(reader.loc(r1).y, 5.0);
+  const auto [kw0, len0] = reader.keywords(r0);
+  ASSERT_EQ(len0, 1u);
+  EXPECT_EQ(kw0[0], 3u);
+  const auto [kw1, len1] = reader.keywords(r1);
+  (void)kw1;
+  EXPECT_EQ(len1, 0u);
+}
+
+TEST(WindowStoreTest, SlicesSealAtAlignedBoundaries) {
+  WindowStore store(1000);
+  store.Append(MakeObject(0, 250, 1, 1));
+  store.Append(MakeObject(1, 999, 1, 1));
+  EXPECT_EQ(store.slices_resident(), 1u);
+  // 1000 is the aligned boundary of the first slice: a new slice opens.
+  store.Append(MakeObject(2, 1000, 1, 1));
+  EXPECT_EQ(store.slices_resident(), 2u);
+  store.Append(MakeObject(3, 2500, 1, 1));
+  EXPECT_EQ(store.slices_resident(), 3u);
+}
+
+TEST(WindowStoreTest, DropBeforeRetiresSealedSlicesOnly) {
+  WindowStore store(1000);
+  for (int i = 0; i < 4; ++i) {
+    store.Append(MakeObject(i, i * 1000, 1, 1, {static_cast<KeywordId>(i)}));
+  }
+  ASSERT_EQ(store.slices_resident(), 4u);
+  EXPECT_EQ(store.first_live_row(), 0u);
+
+  // Cutoff 2000 retires the slices whose newest timestamp is < 2000.
+  store.DropBefore(2000);
+  EXPECT_EQ(store.slices_resident(), 2u);
+  EXPECT_EQ(store.first_live_row(), 2u);
+  EXPECT_EQ(store.resident_rows(), 2u);
+
+  // The open (newest) slice survives even a cutoff beyond its contents.
+  store.DropBefore(100000);
+  EXPECT_EQ(store.slices_resident(), 1u);
+  EXPECT_EQ(store.first_live_row(), 3u);
+
+  // Remaining rows still resolve.
+  const WindowStore::Reader reader(store);
+  EXPECT_EQ(reader.timestamp(3), 3000);
+}
+
+TEST(WindowStoreTest, ArenaBytesTracksLiveKeywordPayload) {
+  WindowStore store(1000);
+  store.Append(MakeObject(0, 0, 1, 1, {1, 2, 3}));
+  store.Append(MakeObject(1, 1000, 1, 1, {4}));
+  EXPECT_EQ(store.arena_bytes(), 4 * sizeof(KeywordId));
+  store.DropBefore(1000);  // Drops the first slice (3 keywords).
+  EXPECT_EQ(store.arena_bytes(), sizeof(KeywordId));
+}
+
+TEST(WindowStoreTest, DroppedSlicesAreRecycledWithCapacity) {
+  WindowStore store(1000);
+  for (int i = 0; i < 100; ++i) store.Append(MakeObject(i, 0, 1, 1, {1, 2}));
+  store.Append(MakeObject(100, 1000, 1, 1));
+  const uint64_t bytes_before = store.MemoryBytes();
+  store.DropBefore(1000);
+  // The retired slice keeps its buffers on the free list...
+  EXPECT_EQ(store.MemoryBytes(), bytes_before);
+  // ...and the next slice reuses them instead of allocating.
+  for (int i = 0; i < 100; ++i) {
+    store.Append(MakeObject(200 + i, 2000, 1, 1, {1, 2}));
+  }
+  EXPECT_EQ(store.MemoryBytes(), bytes_before);
+}
+
+TEST(WindowStoreTest, ReaderResolvesRowsAcrossManySlices) {
+  WindowStore store(10);
+  constexpr int kRows = 200;
+  for (int i = 0; i < kRows; ++i) {
+    store.Append(MakeObject(i, i * 5, i * 0.25, 1,
+                            {static_cast<KeywordId>(i % 7)}));
+  }
+  EXPECT_GT(store.slices_resident(), 50u);
+  const WindowStore::Reader reader(store);
+  // Ascending (cache-friendly) and descending (cache-hostile) passes.
+  for (int i = 0; i < kRows; ++i) {
+    EXPECT_EQ(reader.timestamp(i), i * 5) << i;
+  }
+  for (int i = kRows - 1; i >= 0; --i) {
+    EXPECT_EQ(reader.loc(i).x, i * 0.25) << i;
+    const auto [kw, len] = reader.keywords(i);
+    ASSERT_EQ(len, 1u);
+    EXPECT_EQ(kw[0], static_cast<KeywordId>(i % 7)) << i;
+  }
+}
+
+TEST(WindowStoreTest, ColumnSlabExposesWholeSliceRange) {
+  WindowStore store(1000);
+  for (int i = 0; i < 5; ++i) store.Append(MakeObject(i, 100, 2.0 * i, 1));
+  store.Append(MakeObject(5, 1000, 9, 9));
+  const WindowStore::Reader reader(store);
+  const WindowStore::ColumnSlab slab = reader.slab(2);
+  EXPECT_EQ(slab.base, 0u);
+  EXPECT_EQ(slab.end, 5u);
+  EXPECT_TRUE(slab.contains(0));
+  EXPECT_TRUE(slab.contains(4));
+  EXPECT_FALSE(slab.contains(5));
+  for (WindowStore::Row r = slab.base; r < slab.end; ++r) {
+    EXPECT_EQ(slab.locs[r - slab.base].x, 2.0 * r);
+    EXPECT_EQ(slab.timestamps[r - slab.base], 100);
+  }
+}
+
+TEST(WindowStoreTest, ClearKeepsRowIdsMonotone) {
+  WindowStore store(1000);
+  store.Append(MakeObject(0, 0, 1, 1));
+  store.Append(MakeObject(1, 1, 1, 1));
+  store.Clear();
+  EXPECT_EQ(store.resident_rows(), 0u);
+  EXPECT_EQ(store.arena_bytes(), 0u);
+  const WindowStore::Row r = store.Append(MakeObject(2, 2, 1, 1));
+  EXPECT_EQ(r, 2u);
+  EXPECT_EQ(store.first_live_row(), 2u);
+}
+
+}  // namespace
+}  // namespace latest::stream
