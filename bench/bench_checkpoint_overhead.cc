@@ -1,0 +1,221 @@
+// Durability overhead: what checkpointing and write-ahead logging cost a
+// streaming LATEST deployment.
+//
+// Three measurements over the same clustered stream:
+//   1. snapshot latency + size: time and bytes to serialize the complete
+//      lifecycle (module snapshot) at end-of-stream, mean over repeats;
+//   2. ingest throughput without durability (baseline objects/s);
+//   3. ingest throughput with the WAL + periodic snapshots enabled, for
+//      the default group commit and for fsync-per-record (the worst
+//      case), giving the WAL append overhead as a ratio.
+//
+// Honours LATEST_BENCH_SCALE; emits one RESULT_JSON line.
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "persist/checkpoint_manager.h"
+#include "stream/object.h"
+#include "stream/query.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace latest;
+
+core::LatestConfig BenchConfig() {
+  core::LatestConfig config;
+  config.bounds = {0, 0, 100, 100};
+  config.window.window_length_ms = 1000;
+  config.window.num_slices = 10;
+  config.pretrain_queries = 40;
+  config.monitor_window = 16;
+  config.min_queries_between_switches = 16;
+  config.estimator.reservoir_capacity = 500;
+  config.default_estimator = estimators::EstimatorKind::kH4096;
+  config.maintain_shadow_estimators = true;
+  config.alpha = 0.0;
+  config.seed = 5;
+  return config;
+}
+
+std::vector<stream::GeoTextObject> MakeStream(uint64_t n) {
+  util::Rng rng(13);
+  std::vector<stream::GeoTextObject> objects;
+  objects.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    stream::GeoTextObject obj;
+    obj.oid = i;
+    if (rng.NextBool(0.7)) {
+      obj.loc = {rng.NextDouble(20, 40), rng.NextDouble(20, 40)};
+    } else {
+      obj.loc = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    }
+    const int num_kw = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int k = 0; k < num_kw; ++k) {
+      const double u = rng.NextDouble();
+      obj.keywords.push_back(static_cast<stream::KeywordId>(u * u * 50));
+    }
+    stream::CanonicalizeKeywords(&obj.keywords);
+    obj.timestamp = static_cast<int64_t>(4000 * i / n);
+    objects.push_back(std::move(obj));
+  }
+  return objects;
+}
+
+struct IngestResult {
+  double objects_per_sec = 0.0;
+  uint64_t snapshots = 0;
+  uint64_t wal_bytes = 0;
+};
+
+// Streams all objects (plus the usual 1-in-10 query mix) into a fresh
+// module, optionally through a CheckpointManager.
+IngestResult RunIngest(const std::vector<stream::GeoTextObject>& objects,
+                       const persist::DurabilityConfig* durability) {
+  auto created = core::LatestModule::Create(BenchConfig());
+  if (!created.ok()) {
+    std::fprintf(stderr, "module: %s\n", created.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::unique_ptr<core::LatestModule> module = std::move(created).value();
+  std::unique_ptr<persist::CheckpointManager> manager;
+  if (durability != nullptr) {
+    auto attached = persist::CheckpointManager::Attach(*durability,
+                                                       module.get());
+    if (!attached.ok()) {
+      std::fprintf(stderr, "attach: %s\n",
+                   attached.status().ToString().c_str());
+      std::exit(1);
+    }
+    manager = std::move(attached).value();
+  }
+
+  util::Rng query_rng(99);
+  const util::Stopwatch watch;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    if (manager != nullptr) {
+      (void)manager->OnObject(objects[i]);
+    } else {
+      module->OnObject(objects[i]);
+    }
+    if (objects[i].timestamp < 1000 || i % 10 != 0) continue;
+    stream::Query q;
+    q.keywords = {
+        static_cast<stream::KeywordId>(query_rng.NextBounded(50))};
+    q.timestamp = objects[i].timestamp;
+    if (manager != nullptr) {
+      (void)manager->OnQuery(q);
+    } else {
+      module->OnQuery(q);
+    }
+  }
+  if (manager != nullptr) (void)manager->Sync();
+  const double seconds = watch.ElapsedMillis() / 1000.0;
+
+  IngestResult result;
+  result.objects_per_sec =
+      seconds > 0.0 ? static_cast<double>(objects.size()) / seconds : 0.0;
+  if (manager != nullptr) {
+    result.snapshots = manager->snapshots_taken();
+  }
+  if (durability != nullptr) {
+    for (const auto& entry :
+         std::filesystem::directory_iterator(durability->dir)) {
+      if (entry.path().extension() == ".log") {
+        result.wal_bytes += entry.file_size();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::BenchScale();
+  const uint64_t num_objects =
+      static_cast<uint64_t>(20000 * scale) < 2000
+          ? 2000
+          : static_cast<uint64_t>(20000 * scale);
+  bench::PrintHeader("checkpoint_overhead",
+                     "durability cost: snapshot latency/size + WAL ingest "
+                     "overhead (" +
+                         std::to_string(num_objects) + " objects)");
+  const auto objects = MakeStream(num_objects);
+
+  // --- Snapshot latency and size at end-of-stream state. -------------
+  auto created = core::LatestModule::Create(BenchConfig());
+  if (!created.ok()) return 1;
+  std::unique_ptr<core::LatestModule> module = std::move(created).value();
+  util::Rng query_rng(99);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    module->OnObject(objects[i]);
+    if (objects[i].timestamp < 1000 || i % 10 != 0) continue;
+    stream::Query q;
+    q.keywords = {
+        static_cast<stream::KeywordId>(query_rng.NextBounded(50))};
+    q.timestamp = objects[i].timestamp;
+    module->OnQuery(q);
+  }
+  constexpr int kSnapshotRepeats = 10;
+  uint64_t snapshot_bytes = 0;
+  double snapshot_ms_total = 0.0;
+  for (int r = 0; r < kSnapshotRepeats; ++r) {
+    const util::Stopwatch watch;
+    util::BinaryWriter writer;
+    module->SaveState(&writer);
+    snapshot_ms_total += watch.ElapsedMillis();
+    snapshot_bytes = writer.buffer().size();
+  }
+  const double snapshot_ms = snapshot_ms_total / kSnapshotRepeats;
+  std::printf("snapshot: %.3f ms, %" PRIu64 " bytes (%.1f KiB)\n",
+              snapshot_ms, snapshot_bytes,
+              static_cast<double>(snapshot_bytes) / 1024.0);
+
+  // --- Ingest throughput: WAL off vs on. -----------------------------
+  const IngestResult off = RunIngest(objects, nullptr);
+  std::printf("ingest, durability off:           %10.0f objects/s\n",
+              off.objects_per_sec);
+
+  const auto run_durable = [&](uint32_t group_commit, const char* label) {
+    std::string dir =
+        (std::filesystem::temp_directory_path() / "latest_bench_ckpt_XXXXXX")
+            .string();
+    if (mkdtemp(dir.data()) == nullptr) std::exit(1);
+    persist::DurabilityConfig durability;
+    durability.dir = dir;
+    durability.checkpoint_every = num_objects / 4;
+    durability.wal_group_commit = group_commit;
+    const IngestResult on = RunIngest(objects, &durability);
+    std::printf("ingest, WAL %-20s %10.0f objects/s (%.1f%% of baseline, "
+                "%" PRIu64 " snapshots, %" PRIu64 " WAL bytes)\n",
+                label, on.objects_per_sec,
+                off.objects_per_sec > 0.0
+                    ? 100.0 * on.objects_per_sec / off.objects_per_sec
+                    : 0.0,
+                on.snapshots, on.wal_bytes);
+    std::filesystem::remove_all(dir);
+    return on;
+  };
+  const IngestResult group = run_durable(64, "(group commit 64):");
+  const IngestResult every = run_durable(1, "(fsync per record):");
+
+  std::printf(
+      "RESULT_JSON {\"experiment\":\"checkpoint_overhead\","
+      "\"objects\":%" PRIu64 ",\"snapshot_ms\":%.4f,\"snapshot_bytes\":%" PRIu64
+      ",\"ingest_base_ops\":%.0f,\"ingest_wal_group_ops\":%.0f,"
+      "\"ingest_wal_fsync_ops\":%.0f,\"wal_overhead_pct\":%.2f}\n",
+      num_objects, snapshot_ms, snapshot_bytes, off.objects_per_sec,
+      group.objects_per_sec, every.objects_per_sec,
+      off.objects_per_sec > 0.0
+          ? 100.0 * (1.0 - group.objects_per_sec / off.objects_per_sec)
+          : 0.0);
+  return 0;
+}

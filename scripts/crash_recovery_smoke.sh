@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test: SIGKILL a checkpointed streaming run mid-phase,
+# resume it from the last snapshot + WAL, and require the final module state
+# to be byte-identical (same state_crc in RESULT_JSON) to an uninterrupted
+# baseline run of the same stream.
+#
+# Usage: scripts/crash_recovery_smoke.sh <build-dir>
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RUN_BIN="$BUILD_DIR/tools/latest_stream_run"
+CKPT_BIN="$BUILD_DIR/tools/latest_ckpt"
+
+if [[ ! -x "$RUN_BIN" ]]; then
+  echo "error: $RUN_BIN not built (cmake --build $BUILD_DIR --target latest_stream_run)" >&2
+  exit 1
+fi
+
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+OBJECTS=8000
+DURATION=4000
+SEED=5
+# Checkpoint often enough that the kill lands several snapshots in; kill
+# mid-incremental phase (the stream produces ~8000 objects + ~630 queries,
+# pretraining completes around event ~2040).
+CHECKPOINT_EVERY=500
+# Deliberately off the checkpoint interval so the crash leaves a WAL tail
+# behind the last snapshot and recovery must replay it.
+KILL_AFTER=5250
+
+json_field() {  # json_field <file> <key>
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+line = [l for l in open(sys.argv[1]) if l.startswith("RESULT_JSON ")][-1]
+print(json.loads(line[len("RESULT_JSON "):])[sys.argv[2]])
+EOF
+}
+
+echo "== baseline: uninterrupted run (no durability) =="
+"$RUN_BIN" --objects "$OBJECTS" --duration "$DURATION" --seed "$SEED" \
+  | tee "$WORK_DIR/baseline.log"
+
+echo "== durable run, SIGKILL after $KILL_AFTER events =="
+mkdir -p "$WORK_DIR/ckpt"
+rc=0
+"$RUN_BIN" --objects "$OBJECTS" --duration "$DURATION" --seed "$SEED" \
+  --checkpoint-dir "$WORK_DIR/ckpt" --checkpoint-every "$CHECKPOINT_EVERY" \
+  --kill-after "$KILL_AFTER" >"$WORK_DIR/killed.log" 2>&1 || rc=$?
+if [[ "$rc" -eq 0 ]]; then
+  echo "error: run with --kill-after $KILL_AFTER exited cleanly" >&2
+  exit 1
+fi
+echo "killed as expected (exit $rc)"
+
+echo "== snapshot health after the crash =="
+if [[ -x "$CKPT_BIN" ]]; then
+  "$CKPT_BIN" "$WORK_DIR/ckpt"
+fi
+
+echo "== resume from snapshot + WAL and run to completion =="
+"$RUN_BIN" --objects "$OBJECTS" --duration "$DURATION" --seed "$SEED" \
+  --checkpoint-dir "$WORK_DIR/ckpt" --checkpoint-every "$CHECKPOINT_EVERY" \
+  --resume | tee "$WORK_DIR/resumed.log"
+
+baseline_crc="$(json_field "$WORK_DIR/baseline.log" state_crc)"
+resumed_crc="$(json_field "$WORK_DIR/resumed.log" state_crc)"
+resumed_flag="$(json_field "$WORK_DIR/resumed.log" resumed)"
+replayed="$(json_field "$WORK_DIR/resumed.log" replayed)"
+
+if [[ "$resumed_flag" != "1" ]]; then
+  echo "error: resumed run did not recover from a snapshot" >&2
+  exit 1
+fi
+if [[ "$replayed" == "0" ]]; then
+  echo "error: recovery replayed no WAL records; the kill point should" \
+       "land between checkpoints" >&2
+  exit 1
+fi
+if [[ "$baseline_crc" != "$resumed_crc" ]]; then
+  echo "error: state diverged: baseline state_crc=$baseline_crc," \
+       "resumed state_crc=$resumed_crc" >&2
+  exit 1
+fi
+echo "OK: crash-resumed run is bit-identical to baseline" \
+     "(state_crc=$baseline_crc)"

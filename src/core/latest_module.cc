@@ -398,6 +398,277 @@ util::Status LatestModule::RestoreLearnedState(std::string_view snapshot) {
   return util::Status::Ok();
 }
 
+namespace {
+
+/// Bumped whenever the full-lifecycle layout below changes.
+constexpr uint32_t kLifecycleVersion = 1;
+
+}  // namespace
+
+void LatestModule::SaveState(util::BinaryWriter* writer) const {
+  SaveStateImpl(writer, /*include_wall_clock=*/true);
+}
+
+void LatestModule::SaveDeterministicState(util::BinaryWriter* writer) const {
+  SaveStateImpl(writer, /*include_wall_clock=*/false);
+}
+
+void LatestModule::SaveStateImpl(util::BinaryWriter* writer,
+                                 bool include_wall_clock) const {
+  writer->WriteU32(kLifecycleVersion);
+  // Configuration fingerprint: every knob that shapes the serialized
+  // layout or the post-restore decision sequence. num_threads is
+  // deliberately absent — the lifecycle is thread-count invariant.
+  writer->WriteDouble(config_.alpha);
+  writer->WriteDouble(config_.tau);
+  writer->WriteDouble(config_.beta);
+  writer->WriteDouble(config_.regret_margin);
+  writer->WriteU32(config_.pretrain_queries);
+  writer->WriteU32(config_.monitor_window);
+  writer->WriteU32(config_.min_queries_between_switches);
+  writer->WriteU32(static_cast<uint32_t>(config_.default_estimator));
+  for (const bool enabled : config_.enabled_estimators) {
+    writer->WriteBool(enabled);
+  }
+  writer->WriteI64(config_.window.window_length_ms);
+  writer->WriteU32(config_.window.num_slices);
+  writer->WriteU64(config_.seed);
+  writer->WriteBool(config_.maintain_shadow_estimators);
+  writer->WriteDouble(config_.auto_retrain_error_threshold);
+  writer->WriteU32(config_.min_queries_between_retrains);
+
+  // Phase machine and stream clock.
+  writer->WriteU32(static_cast<uint32_t>(phase_));
+  clock_.Save(writer);
+  window_population_.Save(writer);
+
+  // Ground-truth window contents (indexes are rebuilt on load).
+  system_log_.Save(writer);
+
+  // Estimator portfolio: presence flag per kind, then the instance state.
+  for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+    const estimators::Estimator* est = instances_[k].get();
+    writer->WriteBool(est != nullptr);
+    if (est != nullptr) est->SaveState(writer);
+  }
+  writer->WriteU32(static_cast<uint32_t>(active_kind_));
+  writer->WriteBool(candidate_kind_.has_value());
+  writer->WriteU32(candidate_kind_.has_value()
+                       ? static_cast<uint32_t>(*candidate_kind_)
+                       : 0);
+
+  // Learned state. The scoreboard's latency side is wall clock — the
+  // one piece of lifecycle state two identical runs legitimately differ
+  // on — so the deterministic digest omits it.
+  model_->Serialize(writer);
+  scoreboard_.Serialize(writer, /*include_latency=*/include_wall_clock);
+
+  // Monitors and workload-mix trackers.
+  accuracy_monitor_.Save(writer);
+  recent_spatial_ratio_.Save(writer);
+  recent_keyword_ratio_.Save(writer);
+  recent_hybrid_ratio_.Save(writer);
+
+  // Keyword statistics feeding the model features.
+  keyword_stats_.Save(writer);
+  writer->WriteDouble(keyword_objects_);
+
+  // Phase bookkeeping.
+  writer->WriteU64(pretrain_seen_);
+  writer->WriteU64(incremental_queries_);
+  writer->WriteU64(last_switch_query_);
+  writer->WriteU64(switch_log_.size());
+  for (const SwitchEvent& e : switch_log_) {
+    writer->WriteU64(e.query_index);
+    writer->WriteI64(e.timestamp);
+    writer->WriteU32(static_cast<uint32_t>(e.from));
+    writer->WriteU32(static_cast<uint32_t>(e.to));
+  }
+  writer->WriteDouble(error_since_retrain_);
+  writer->WriteU64(queries_since_retrain_);
+  writer->WriteBool(monitor_below_prefill_);
+  writer->WriteBool(monitor_below_tau_);
+
+  // Lifetime counters: the query ordinal drives trace sampling and the
+  // object count feeds ModuleStats, so both must survive a restart.
+  writer->WriteU64(objects_counter_->value());
+  writer->WriteU64(queries_counter_->value());
+  writer->WriteU64(switches_counter_->value());
+  writer->WriteU64(prefills_started_counter_->value());
+  writer->WriteU64(prefills_aborted_counter_->value());
+  writer->WriteU64(retrains_counter_->value());
+}
+
+util::Status LatestModule::LoadState(util::BinaryReader* reader) {
+  const auto corrupt = [](const char* what) {
+    return util::Status::DataLoss(std::string("lifecycle snapshot: ") +
+                                  what);
+  };
+  uint32_t version;
+  if (!reader->ReadU32(&version) || version != kLifecycleVersion) {
+    return corrupt("bad version");
+  }
+  double alpha;
+  double tau;
+  double beta;
+  double regret_margin;
+  uint32_t pretrain_queries;
+  uint32_t monitor_window;
+  uint32_t min_switch;
+  uint32_t default_kind;
+  if (!reader->ReadDouble(&alpha) || !reader->ReadDouble(&tau) ||
+      !reader->ReadDouble(&beta) || !reader->ReadDouble(&regret_margin) ||
+      !reader->ReadU32(&pretrain_queries) ||
+      !reader->ReadU32(&monitor_window) || !reader->ReadU32(&min_switch) ||
+      !reader->ReadU32(&default_kind)) {
+    return corrupt("truncated fingerprint");
+  }
+  std::array<bool, estimators::kNumEstimatorKinds> enabled;
+  for (auto& e : enabled) {
+    if (!reader->ReadBool(&e)) return corrupt("truncated fingerprint");
+  }
+  int64_t window_length_ms;
+  uint32_t num_slices;
+  uint64_t seed;
+  bool shadow;
+  double retrain_threshold;
+  uint32_t min_retrains;
+  if (!reader->ReadI64(&window_length_ms) || !reader->ReadU32(&num_slices) ||
+      !reader->ReadU64(&seed) || !reader->ReadBool(&shadow) ||
+      !reader->ReadDouble(&retrain_threshold) ||
+      !reader->ReadU32(&min_retrains)) {
+    return corrupt("truncated fingerprint");
+  }
+  if (alpha != config_.alpha || tau != config_.tau || beta != config_.beta ||
+      regret_margin != config_.regret_margin ||
+      pretrain_queries != config_.pretrain_queries ||
+      monitor_window != config_.monitor_window ||
+      min_switch != config_.min_queries_between_switches ||
+      default_kind != static_cast<uint32_t>(config_.default_estimator) ||
+      enabled != config_.enabled_estimators ||
+      window_length_ms != config_.window.window_length_ms ||
+      num_slices != config_.window.num_slices || seed != config_.seed ||
+      shadow != config_.maintain_shadow_estimators ||
+      retrain_threshold != config_.auto_retrain_error_threshold ||
+      min_retrains != config_.min_queries_between_retrains) {
+    return util::Status::FailedPrecondition(
+        "lifecycle snapshot was taken under a different configuration");
+  }
+
+  uint32_t phase;
+  if (!reader->ReadU32(&phase) || phase > 2) return corrupt("bad phase");
+  phase_ = static_cast<Phase>(phase);
+  if (!clock_.Load(reader)) return corrupt("bad clock");
+  if (!window_population_.Load(reader)) {
+    return corrupt("bad window population");
+  }
+  if (!system_log_.Load(reader)) return corrupt("bad system log");
+
+  for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+    const auto kind = static_cast<estimators::EstimatorKind>(k);
+    bool present;
+    if (!reader->ReadBool(&present)) return corrupt("truncated portfolio");
+    if (!present) {
+      DestroyInstance(kind);
+      continue;
+    }
+    if (!IsEnabled(kind)) return corrupt("disabled estimator present");
+    if (!EnsureInstance(kind)->LoadState(reader)) {
+      return corrupt("bad estimator state");
+    }
+  }
+  uint32_t active;
+  bool has_candidate;
+  uint32_t candidate;
+  if (!reader->ReadU32(&active) ||
+      active >= estimators::kNumEstimatorKinds ||
+      !reader->ReadBool(&has_candidate) || !reader->ReadU32(&candidate) ||
+      candidate >= estimators::kNumEstimatorKinds) {
+    return corrupt("bad active/candidate kinds");
+  }
+  active_kind_ = static_cast<estimators::EstimatorKind>(active);
+  candidate_kind_ =
+      has_candidate
+          ? std::optional<estimators::EstimatorKind>(
+                static_cast<estimators::EstimatorKind>(candidate))
+          : std::nullopt;
+
+  LATEST_RETURN_IF_ERROR(model_->Restore(reader));
+  LATEST_RETURN_IF_ERROR(scoreboard_.Restore(reader));
+
+  if (!accuracy_monitor_.Load(reader) ||
+      !recent_spatial_ratio_.Load(reader) ||
+      !recent_keyword_ratio_.Load(reader) ||
+      !recent_hybrid_ratio_.Load(reader)) {
+    return corrupt("bad monitors");
+  }
+  if (!keyword_stats_.Load(reader) ||
+      !reader->ReadDouble(&keyword_objects_)) {
+    return corrupt("bad keyword stats");
+  }
+
+  uint64_t num_switches;
+  if (!reader->ReadU64(&pretrain_seen_) ||
+      !reader->ReadU64(&incremental_queries_) ||
+      !reader->ReadU64(&last_switch_query_) ||
+      !reader->ReadU64(&num_switches) ||
+      num_switches > reader->remaining()) {
+    return corrupt("bad phase bookkeeping");
+  }
+  switch_log_.clear();
+  switch_log_.reserve(num_switches);
+  for (uint64_t i = 0; i < num_switches; ++i) {
+    SwitchEvent e;
+    uint32_t from;
+    uint32_t to;
+    if (!reader->ReadU64(&e.query_index) || !reader->ReadI64(&e.timestamp) ||
+        !reader->ReadU32(&from) || from >= estimators::kNumEstimatorKinds ||
+        !reader->ReadU32(&to) || to >= estimators::kNumEstimatorKinds) {
+      return corrupt("bad switch log");
+    }
+    e.from = static_cast<estimators::EstimatorKind>(from);
+    e.to = static_cast<estimators::EstimatorKind>(to);
+    switch_log_.push_back(e);
+  }
+  if (!reader->ReadDouble(&error_since_retrain_) ||
+      !reader->ReadU64(&queries_since_retrain_) ||
+      !reader->ReadBool(&monitor_below_prefill_) ||
+      !reader->ReadBool(&monitor_below_tau_)) {
+    return corrupt("bad retrain/monitor flags");
+  }
+
+  const std::array<obs::Counter*, 6> counters = {
+      objects_counter_,          queries_counter_,
+      switches_counter_,         prefills_started_counter_,
+      prefills_aborted_counter_, retrains_counter_};
+  for (obs::Counter* counter : counters) {
+    uint64_t value;
+    if (!reader->ReadU64(&value) || value < counter->value()) {
+      return corrupt("bad lifetime counters");
+    }
+    counter->Increment(value - counter->value());
+  }
+
+  // Re-publish decision-state gauges (scoreboard gauges refresh on the
+  // next Record).
+  phase_gauge_->Set(static_cast<double>(phase_));
+  active_gauge_->Set(static_cast<double>(active_kind_));
+  candidate_gauge_->Set(candidate_kind_.has_value()
+                            ? static_cast<double>(*candidate_kind_)
+                            : -1.0);
+  monitor_accuracy_gauge_->Set(accuracy_monitor_.Mean());
+  window_population_gauge_->Set(
+      static_cast<double>(window_population_.total()));
+  const stream::WindowStore& store = system_log_.store();
+  store_live_rows_gauge_->Set(static_cast<double>(store.resident_rows()));
+  store_arena_bytes_gauge_->Set(static_cast<double>(store.arena_bytes()));
+  store_slices_gauge_->Set(static_cast<double>(store.slices_resident()));
+  model_records_gauge_->Set(static_cast<double>(model_->num_trained()));
+  model_leaves_gauge_->Set(static_cast<double>(model_->num_leaves()));
+  model_depth_gauge_->Set(static_cast<double>(model_->depth()));
+  return util::Status::Ok();
+}
+
 void LatestModule::ResetModel() {
   model_->Reset();
   error_since_retrain_ = 0.0;

@@ -257,6 +257,27 @@ class LatestModule {
   /// Point-in-time introspection snapshot (see core/module_stats.h).
   ModuleStats GetStats() const;
 
+  /// Persists the COMPLETE lifecycle — phase machine, clock, window
+  /// contents, every live estimator, model, scoreboard, monitors, and
+  /// lifetime counters — so a crashed process resumes bit-identically
+  /// after WAL replay (src/persist/). The buffer carries a configuration
+  /// fingerprint; LoadState refuses snapshots from an incompatible
+  /// configuration.
+  void SaveState(util::BinaryWriter* writer) const;
+
+  /// Restores a snapshot written by SaveState into a freshly created
+  /// module with the same configuration. On failure the module is in an
+  /// unspecified (but not unsafe) state and must be discarded.
+  util::Status LoadState(util::BinaryReader* reader);
+
+  /// Same layout as SaveState minus the wall-clock statistics (the
+  /// scoreboard's latency side) — the only lifecycle state two runs over
+  /// the same event stream legitimately differ on. Two alpha = 0 runs
+  /// fed identical streams produce bitwise-identical digests, which is
+  /// what the recovery tests and the crash smoke compare. NOT loadable
+  /// by LoadState.
+  void SaveDeterministicState(util::BinaryWriter* writer) const;
+
   /// Persists the learned state — the Hoeffding tree and the scoreboard —
   /// so a restarted deployment resumes its recommendations without a new
   /// pre-training phase. (Window contents are NOT persisted: stream data
@@ -313,6 +334,10 @@ class LatestModule {
 
   /// Registers the module's metric handles against telemetry_.
   void RegisterMetrics();
+
+  /// Shared body of SaveState/SaveDeterministicState.
+  void SaveStateImpl(util::BinaryWriter* writer,
+                     bool include_wall_clock) const;
 
   /// Base lifecycle event stamped with clock, query count, phase, and
   /// monitor accuracy.

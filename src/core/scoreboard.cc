@@ -142,21 +142,26 @@ void Scoreboard::Reset() {
 }
 
 
-void Scoreboard::Serialize(util::BinaryWriter* writer) const {
+void Scoreboard::Serialize(util::BinaryWriter* writer,
+                           bool include_latency) const {
   writer->WriteU32(kNumTypes);
   writer->WriteU32(estimators::kNumEstimatorKinds);
   for (const auto& row : cells_) {
     for (const Cell& cell : row) {
       writer->WriteBool(!cell.accuracy.empty());
       writer->WriteDouble(cell.accuracy.Value());
-      writer->WriteBool(!cell.latency_ms.empty());
-      writer->WriteDouble(cell.latency_ms.Value());
+      if (include_latency) {
+        writer->WriteBool(!cell.latency_ms.empty());
+        writer->WriteDouble(cell.latency_ms.Value());
+      }
       writer->WriteU64(cell.count);
     }
   }
-  writer->WriteU64(latency_scaler_.count());
-  writer->WriteDouble(latency_scaler_.min());
-  writer->WriteDouble(latency_scaler_.max());
+  if (include_latency) {
+    writer->WriteU64(latency_scaler_.count());
+    writer->WriteDouble(latency_scaler_.min());
+    writer->WriteDouble(latency_scaler_.max());
+  }
 }
 
 util::Status Scoreboard::Restore(util::BinaryReader* reader) {

@@ -97,11 +97,16 @@ class Scoreboard {
 
   void Reset();
 
-  /// Persists every cell and the latency scaler.
-  void Serialize(util::BinaryWriter* writer) const;
+  /// Persists every cell and the latency scaler. With
+  /// `include_latency = false` the wall-clock side (per-cell latency
+  /// averages and the latency scaler) is omitted: that layout is for
+  /// deterministic state digests — two runs over the same event stream
+  /// agree on it bitwise — and is NOT loadable by Restore.
+  void Serialize(util::BinaryWriter* writer,
+                 bool include_latency = true) const;
 
-  /// Restores a snapshot written by Serialize; on failure the scoreboard
-  /// is reset and an error is returned.
+  /// Restores a snapshot written by Serialize(writer, true); on failure
+  /// the scoreboard is reset and an error is returned.
   util::Status Restore(util::BinaryReader* reader);
 
  private:

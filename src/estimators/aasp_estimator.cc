@@ -347,6 +347,88 @@ size_t AaspEstimator::MemoryBytes() const {
   return bytes;
 }
 
+void AaspEstimator::SaveNode(const Node& node,
+                             util::BinaryWriter* writer) const {
+  writer->WriteBool(node.is_leaf);
+  for (uint64_t count : node.slice_counts) writer->WriteU64(count);
+  writer->WriteU64(node.live_count);
+  writer->WriteDouble(node.decayed_count);
+  node.keywords.Save(writer);
+  if (!node.is_leaf) {
+    for (const auto& child : node.children) SaveNode(*child, writer);
+  }
+}
+
+bool AaspEstimator::LoadNode(Partition* partition, Node* node,
+                             util::BinaryReader* reader) {
+  if (!reader->ReadBool(&node->is_leaf)) return false;
+  for (auto& count : node->slice_counts) {
+    if (!reader->ReadU64(&count)) return false;
+  }
+  if (!reader->ReadU64(&node->live_count) ||
+      !reader->ReadDouble(&node->decayed_count) ||
+      !node->keywords.Load(reader)) {
+    return false;
+  }
+  if (!node->is_leaf) {
+    if (node->depth >= max_depth_) return false;  // Bounds recursion.
+    const geo::Point c = node->cell.Center();
+    const geo::Rect& b = node->cell;
+    const geo::Rect quads[4] = {
+        {b.min_x, b.min_y, c.x, c.y},
+        {c.x, b.min_y, b.max_x, c.y},
+        {b.min_x, c.y, c.x, b.max_y},
+        {c.x, c.y, b.max_x, b.max_y},
+    };
+    for (int i = 0; i < 4; ++i) {
+      node->children[i] = std::make_unique<Node>(
+          quads[i], node->depth + 1, num_slices_, node_keyword_capacity_);
+    }
+    partition->num_nodes += 4;
+    for (auto& child : node->children) {
+      if (!LoadNode(partition, child.get(), reader)) return false;
+    }
+  }
+  return true;
+}
+
+void AaspEstimator::SaveStateImpl(util::BinaryWriter* writer) const {
+  writer->WriteU32(head_slice_);
+  writer->WriteU64(partitions_.size());
+  for (const auto& partition : partitions_) {
+    SaveNode(*partition.root, writer);
+  }
+  global_keywords_.Save(writer);
+  writer->WriteDouble(global_keyword_objects_);
+  for (const auto& kmv : slice_kmv_) kmv.Save(writer);
+  writer->WriteU64(inserts_since_cache_);
+}
+
+bool AaspEstimator::LoadStateImpl(util::BinaryReader* reader) {
+  ResetImpl();
+  uint32_t head_slice;
+  uint64_t num_partitions;
+  if (!reader->ReadU32(&head_slice) || head_slice >= num_slices_ ||
+      !reader->ReadU64(&num_partitions) ||
+      num_partitions != partitions_.size()) {
+    return false;
+  }
+  head_slice_ = head_slice;
+  for (auto& partition : partitions_) {
+    if (!LoadNode(&partition, partition.root.get(), reader)) return false;
+  }
+  if (!global_keywords_.Load(reader) ||
+      !reader->ReadDouble(&global_keyword_objects_)) {
+    return false;
+  }
+  for (auto& kmv : slice_kmv_) {
+    if (!kmv.Load(reader)) return false;
+  }
+  if (!reader->ReadU64(&inserts_since_cache_)) return false;
+  untracked_cache_valid_ = false;
+  return true;
+}
+
 void AaspEstimator::ResetImpl() {
   for (auto& partition : partitions_) {
     partition.root = MakeRoot();

@@ -64,6 +64,8 @@ class AaspEstimator : public WindowedEstimatorBase {
   void InsertImpl(const stream::GeoTextObject& obj) override;
   void RotateImpl() override;
   void ResetImpl() override;
+  void SaveStateImpl(util::BinaryWriter* writer) const override;
+  bool LoadStateImpl(util::BinaryReader* reader) override;
 
  private:
   struct Node;
@@ -100,6 +102,11 @@ class AaspEstimator : public WindowedEstimatorBase {
   double UntrackedKeywordCount() const;
   size_t NodeMemoryBytes(const Node& node) const;
   std::unique_ptr<Node> MakeRoot() const;
+  /// Recursive node persistence. Cells are not serialized: LoadNode
+  /// re-derives each child cell from its parent with the same quadrant
+  /// arithmetic SplitLeaf uses, so the geometry is bit-identical.
+  void SaveNode(const Node& node, util::BinaryWriter* writer) const;
+  bool LoadNode(Partition* partition, Node* node, util::BinaryReader* reader);
 
   geo::Rect bounds_;
   uint32_t num_slices_;

@@ -53,6 +53,25 @@ void CountMinSketch::Clear() {
   std::fill(counters_.begin(), counters_.end(), 0.0);
 }
 
+void CountMinSketch::Save(util::BinaryWriter* writer) const {
+  writer->WriteU32(depth_);
+  writer->WriteU32(width_);
+  writer->WriteU64(seed_);
+  writer->WriteBytes(counters_.data(), counters_.size() * sizeof(double));
+}
+
+bool CountMinSketch::Load(util::BinaryReader* reader) {
+  uint32_t depth, width;
+  uint64_t seed;
+  if (!reader->ReadU32(&depth) || !reader->ReadU32(&width) ||
+      !reader->ReadU64(&seed)) {
+    return false;
+  }
+  if (depth != depth_ || width != width_ || seed != seed_) return false;
+  return reader->ReadBytes(counters_.data(),
+                           counters_.size() * sizeof(double));
+}
+
 CmSketchEstimator::CmSketchEstimator(const EstimatorConfig& config)
     : WindowedEstimatorBase(config.window.num_slices),
       grid_(config.bounds, GridSide(config.cms_grid_cells),
@@ -159,6 +178,26 @@ void CmSketchEstimator::ResetImpl() {
   decayed_population_ = 0.0;
   keyword_sketch_.Clear();
   pair_sketch_.Clear();
+}
+
+void CmSketchEstimator::SaveStateImpl(util::BinaryWriter* writer) const {
+  writer->WriteU64(cell_counts_.size());
+  writer->WriteBytes(cell_counts_.data(),
+                     cell_counts_.size() * sizeof(double));
+  writer->WriteDouble(decayed_population_);
+  keyword_sketch_.Save(writer);
+  pair_sketch_.Save(writer);
+}
+
+bool CmSketchEstimator::LoadStateImpl(util::BinaryReader* reader) {
+  uint64_t num_cells;
+  if (!reader->ReadU64(&num_cells) || num_cells != cell_counts_.size()) {
+    return false;
+  }
+  return reader->ReadBytes(cell_counts_.data(),
+                           cell_counts_.size() * sizeof(double)) &&
+         reader->ReadDouble(&decayed_population_) &&
+         keyword_sketch_.Load(reader) && pair_sketch_.Load(reader);
 }
 
 }  // namespace latest::estimators

@@ -47,6 +47,14 @@ class CountMinSketch {
 
   size_t MemoryBytes() const { return counters_.size() * sizeof(double); }
 
+  /// Persists the counter matrix (depth/width/seed written for
+  /// validation).
+  void Save(util::BinaryWriter* writer) const;
+
+  /// Restores a state persisted by Save; shape and seed must match. False
+  /// on mismatch or truncation.
+  bool Load(util::BinaryReader* reader);
+
  private:
   size_t Index(uint32_t row, uint64_t key) const;
 
@@ -71,6 +79,8 @@ class CmSketchEstimator : public WindowedEstimatorBase {
   void InsertImpl(const stream::GeoTextObject& obj) override;
   void RotateImpl() override;
   void ResetImpl() override;
+  void SaveStateImpl(util::BinaryWriter* writer) const override;
+  bool LoadStateImpl(util::BinaryReader* reader) override;
 
  private:
   /// P(object carries at least one query keyword), via sketch counts

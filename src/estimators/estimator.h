@@ -18,6 +18,7 @@
 #include "stream/object.h"
 #include "stream/query.h"
 #include "stream/sliding_window.h"
+#include "util/serialization.h"
 #include "util/status.h"
 
 namespace latest::estimators {
@@ -147,6 +148,15 @@ class Estimator {
   /// Wipes all window state (the paper wipes inactive estimators to keep a
   /// single active structure).
   virtual void Reset() = 0;
+
+  /// Persists the complete window state (synopses, samples, weights, RNG
+  /// streams) so a restored instance continues bit-identically.
+  virtual void SaveState(util::BinaryWriter* writer) const = 0;
+
+  /// Restores a state persisted by SaveState on an identically configured
+  /// instance. False on shape mismatch or truncation; the estimator is
+  /// left reset in that case.
+  virtual bool LoadState(util::BinaryReader* reader) = 0;
 };
 
 /// Creates an estimator of the given kind. Returns InvalidArgument if the

@@ -172,6 +172,59 @@ size_t FfnEstimator::MemoryBytes() const {
   return bytes;
 }
 
+void FfnEstimator::SaveStateImpl(util::BinaryWriter* writer) const {
+  network_.Save(writer);
+  writer->WriteU64(keyword_buckets_.size());
+  writer->WriteBytes(keyword_buckets_.data(),
+                     keyword_buckets_.size() * sizeof(double));
+  writer->WriteDouble(keyword_objects_);
+  writer->WriteBytes(prior_counts_.data(),
+                     prior_counts_.size() * sizeof(double));
+  writer->WriteU64(replay_.size());
+  for (const ReplayRecord& record : replay_) {
+    for (double f : record.features) writer->WriteDouble(f);
+    writer->WriteDouble(record.target);
+  }
+  writer->WriteU64(replay_head_);
+  writer->WriteU64(num_feedback_);
+}
+
+bool FfnEstimator::LoadStateImpl(util::BinaryReader* reader) {
+  uint64_t num_buckets;
+  if (!network_.Load(reader) || !reader->ReadU64(&num_buckets) ||
+      num_buckets != keyword_buckets_.size()) {
+    return false;
+  }
+  if (!reader->ReadBytes(keyword_buckets_.data(),
+                         keyword_buckets_.size() * sizeof(double)) ||
+      !reader->ReadDouble(&keyword_objects_) ||
+      !reader->ReadBytes(prior_counts_.data(),
+                         prior_counts_.size() * sizeof(double))) {
+    return false;
+  }
+  uint64_t replay_size;
+  if (!reader->ReadU64(&replay_size) || replay_size > replay_capacity_) {
+    return false;
+  }
+  replay_.clear();
+  replay_.reserve(replay_size);
+  for (uint64_t i = 0; i < replay_size; ++i) {
+    ReplayRecord record;
+    record.features.resize(kNumFeatures);
+    for (auto& f : record.features) {
+      if (!reader->ReadDouble(&f)) return false;
+    }
+    if (!reader->ReadDouble(&record.target)) return false;
+    replay_.push_back(std::move(record));
+  }
+  uint64_t replay_head;
+  if (!reader->ReadU64(&replay_head) || replay_head >= replay_capacity_) {
+    return false;
+  }
+  replay_head_ = replay_head;
+  return reader->ReadU64(&num_feedback_);
+}
+
 void FfnEstimator::ResetImpl() {
   // The learned model is the estimator's value; wiping window state resets
   // only the stream statistics. (LATEST wipes inactive estimators' window

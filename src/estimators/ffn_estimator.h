@@ -45,6 +45,8 @@ class FfnEstimator : public WindowedEstimatorBase {
   void InsertImpl(const stream::GeoTextObject& obj) override;
   void RotateImpl() override;
   void ResetImpl() override;
+  void SaveStateImpl(util::BinaryWriter* writer) const override;
+  bool LoadStateImpl(util::BinaryReader* reader) override;
 
  private:
   /// Number of network inputs produced by Featurize.

@@ -82,4 +82,25 @@ void Histogram2dEstimator::ResetImpl() {
   head_slice_ = 0;
 }
 
+void Histogram2dEstimator::SaveStateImpl(util::BinaryWriter* writer) const {
+  writer->WriteU64(slice_counts_.size());
+  writer->WriteBytes(slice_counts_.data(),
+                     slice_counts_.size() * sizeof(uint64_t));
+  writer->WriteBytes(live_counts_.data(),
+                     live_counts_.size() * sizeof(uint64_t));
+  writer->WriteU32(head_slice_);
+}
+
+bool Histogram2dEstimator::LoadStateImpl(util::BinaryReader* reader) {
+  uint64_t num_counts;
+  if (!reader->ReadU64(&num_counts) || num_counts != slice_counts_.size()) {
+    return false;
+  }
+  return reader->ReadBytes(slice_counts_.data(),
+                           slice_counts_.size() * sizeof(uint64_t)) &&
+         reader->ReadBytes(live_counts_.data(),
+                           live_counts_.size() * sizeof(uint64_t)) &&
+         reader->ReadU32(&head_slice_) && head_slice_ < num_slices_;
+}
+
 }  // namespace latest::estimators

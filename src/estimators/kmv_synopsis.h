@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serialization.h"
+
 namespace latest::estimators {
 
 /// Distinct-count synopsis of a multiset of 64-bit elements.
@@ -37,6 +39,36 @@ class KmvSynopsis {
   uint64_t hash_seed() const { return hash_seed_; }
 
   void Clear() { values_.clear(); }
+
+  /// Persists the retained hash values (k and seed are construction-time
+  /// state and only written for validation).
+  void Save(util::BinaryWriter* writer) const {
+    writer->WriteU32(k_);
+    writer->WriteU64(hash_seed_);
+    writer->WriteU64(values_.size());
+    for (double v : values_) writer->WriteDouble(v);
+  }
+
+  /// Restores a state persisted by Save; k and seed must match. False on
+  /// mismatch or truncation (the synopsis is left cleared).
+  bool Load(util::BinaryReader* reader) {
+    Clear();
+    uint32_t k;
+    uint64_t hash_seed, size;
+    if (!reader->ReadU32(&k) || !reader->ReadU64(&hash_seed) ||
+        !reader->ReadU64(&size)) {
+      return false;
+    }
+    if (k != k_ || hash_seed != hash_seed_ || size > k_) return false;
+    values_.resize(size);
+    for (auto& v : values_) {
+      if (!reader->ReadDouble(&v)) {
+        Clear();
+        return false;
+      }
+    }
+    return true;
+  }
 
  private:
   void InsertHash(double h);

@@ -153,4 +153,42 @@ size_t ReservoirHashEstimator::MemoryBytes() const {
 
 void ReservoirHashEstimator::ResetImpl() { slices_.Clear(); }
 
+void ReservoirHashEstimator::SaveStateImpl(util::BinaryWriter* writer) const {
+  // by_cell is rebuilt from sample_cells on load: match counting per cell
+  // is order-independent, so the rebuilt map estimates identically.
+  slices_.Save(writer, [](const Slice& slice, util::BinaryWriter* w) {
+    slice.sample.Save(w);
+    w->WriteU64(slice.sample_cells.size());
+    w->WriteBytes(slice.sample_cells.data(),
+                  slice.sample_cells.size() * sizeof(uint32_t));
+    w->WriteU64(slice.seen);
+  });
+  rng_.Save(writer);
+}
+
+bool ReservoirHashEstimator::LoadStateImpl(util::BinaryReader* reader) {
+  const bool ok =
+      slices_.Load(reader, [this](Slice* slice, util::BinaryReader* r) {
+        if (!slice->sample.Load(r)) return false;
+        uint64_t num_cells;
+        if (!r->ReadU64(&num_cells) || num_cells != slice->sample.size() ||
+            r->remaining() < num_cells * sizeof(uint32_t)) {
+          return false;
+        }
+        slice->sample_cells.resize(num_cells);
+        if (!r->ReadBytes(slice->sample_cells.data(),
+                          num_cells * sizeof(uint32_t)) ||
+            !r->ReadU64(&slice->seen)) {
+          return false;
+        }
+        slice->by_cell.clear();
+        slice->by_cell.reserve(capacity_per_slice_);
+        for (uint32_t i = 0; i < slice->sample_cells.size(); ++i) {
+          MapInsert(slice, slice->sample_cells[i], i);
+        }
+        return true;
+      });
+  return ok && rng_.Load(reader);
+}
+
 }  // namespace latest::estimators

@@ -38,6 +38,8 @@ class ReservoirHashEstimator : public WindowedEstimatorBase {
   void InsertImpl(const stream::GeoTextObject& obj) override;
   void RotateImpl() override;
   void ResetImpl() override;
+  void SaveStateImpl(util::BinaryWriter* writer) const override;
+  bool LoadStateImpl(util::BinaryReader* reader) override;
 
  private:
   /// One slice: a columnar reservoir plus a cell -> sample-index map.

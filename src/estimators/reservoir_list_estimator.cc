@@ -63,4 +63,23 @@ size_t ReservoirListEstimator::MemoryBytes() const {
 
 void ReservoirListEstimator::ResetImpl() { slices_.Clear(); }
 
+void ReservoirListEstimator::SaveStateImpl(util::BinaryWriter* writer) const {
+  slices_.Save(writer,
+               [](const SliceReservoir& slice, util::BinaryWriter* w) {
+                 slice.sample.Save(w);
+                 w->WriteU64(slice.seen);
+               });
+  rng_.Save(writer);
+}
+
+bool ReservoirListEstimator::LoadStateImpl(util::BinaryReader* reader) {
+  if (!slices_.Load(reader,
+                    [](SliceReservoir* slice, util::BinaryReader* r) {
+                      return slice->sample.Load(r) && r->ReadU64(&slice->seen);
+                    })) {
+    return false;
+  }
+  return rng_.Load(reader);
+}
+
 }  // namespace latest::estimators

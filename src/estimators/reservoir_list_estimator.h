@@ -47,6 +47,8 @@ class ReservoirListEstimator : public WindowedEstimatorBase {
   void InsertImpl(const stream::GeoTextObject& obj) override;
   void RotateImpl() override;
   void ResetImpl() override;
+  void SaveStateImpl(util::BinaryWriter* writer) const override;
+  bool LoadStateImpl(util::BinaryReader* reader) override;
 
  private:
   uint32_t capacity_per_slice_;

@@ -24,6 +24,7 @@
 #include "stream/keyword_arena.h"
 #include "stream/object.h"
 #include "stream/query.h"
+#include "util/serialization.h"
 
 namespace latest::estimators {
 
@@ -84,6 +85,41 @@ class SampleColumns {
     return locs_.capacity() * sizeof(geo::Point) +
            spans_.capacity() * sizeof(stream::KeywordSpan) +
            arena_.capacity_bytes();
+  }
+
+  /// Persists all columns plus the arena (including any uncompacted
+  /// garbage, so compaction timing stays identical after restore).
+  void Save(util::BinaryWriter* writer) const {
+    writer->WriteU64(locs_.size());
+    writer->WriteBytes(locs_.data(), locs_.size() * sizeof(geo::Point));
+    writer->WriteBytes(spans_.data(),
+                       spans_.size() * sizeof(stream::KeywordSpan));
+    arena_.Save(writer);
+    writer->WriteU64(live_keywords_);
+  }
+
+  /// Restores a state persisted by Save; false on truncation (the sample
+  /// is left cleared).
+  bool Load(util::BinaryReader* reader) {
+    Clear();
+    uint64_t size;
+    if (!reader->ReadU64(&size) ||
+        reader->remaining() <
+            size * (sizeof(geo::Point) + sizeof(stream::KeywordSpan))) {
+      return false;
+    }
+    locs_.resize(size);
+    spans_.resize(size);
+    uint64_t live_keywords;
+    if (!reader->ReadBytes(locs_.data(), size * sizeof(geo::Point)) ||
+        !reader->ReadBytes(spans_.data(),
+                           size * sizeof(stream::KeywordSpan)) ||
+        !arena_.Load(reader) || !reader->ReadU64(&live_keywords)) {
+      Clear();
+      return false;
+    }
+    live_keywords_ = live_keywords;
+    return true;
   }
 
  private:

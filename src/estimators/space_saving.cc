@@ -1,7 +1,9 @@
 #include "estimators/space_saving.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
+#include <utility>
 
 namespace latest::estimators {
 
@@ -12,10 +14,13 @@ SpaceSavingCounter::SpaceSavingCounter(uint32_t capacity)
 }
 
 uint32_t SpaceSavingCounter::MinKey() const {
+  // Tie-break equal counts by the smaller key: eviction then depends only
+  // on the counter *contents*, not on the hash table's iteration order, so
+  // a counter rebuilt from a snapshot evicts identically to the original.
   double min_count = std::numeric_limits<double>::infinity();
-  uint32_t min_key = 0;
+  uint32_t min_key = std::numeric_limits<uint32_t>::max();
   for (const auto& [key, count] : entries_) {
-    if (count < min_count) {
+    if (count < min_count || (count == min_count && key < min_key)) {
       min_count = count;
       min_key = key;
     }
@@ -51,8 +56,14 @@ bool SpaceSavingCounter::IsTracked(uint32_t key) const {
 }
 
 double SpaceSavingCounter::TrackedTotal() const {
+  // Sum in sorted-key order: floating-point addition is not associative,
+  // so iteration-order summation would make the total depend on the hash
+  // table's history rather than its contents.
+  std::vector<std::pair<uint32_t, double>> sorted(entries_.begin(),
+                                                  entries_.end());
+  std::sort(sorted.begin(), sorted.end());
   double total = 0.0;
-  for (const auto& [key, count] : entries_) {
+  for (const auto& [key, count] : sorted) {
     (void)key;
     total += count;
   }
@@ -77,6 +88,42 @@ void SpaceSavingCounter::Clear() {
   // reset never rehashes.
   entries_.reserve(capacity_);
   total_weight_ = 0.0;
+}
+
+void SpaceSavingCounter::Save(util::BinaryWriter* writer) const {
+  writer->WriteU32(capacity_);
+  writer->WriteDouble(total_weight_);
+  std::vector<std::pair<uint32_t, double>> sorted(entries_.begin(),
+                                                  entries_.end());
+  std::sort(sorted.begin(), sorted.end());
+  writer->WriteU64(sorted.size());
+  for (const auto& [key, count] : sorted) {
+    writer->WriteU32(key);
+    writer->WriteDouble(count);
+  }
+}
+
+bool SpaceSavingCounter::Load(util::BinaryReader* reader) {
+  uint32_t capacity;
+  double total_weight;
+  uint64_t num_entries;
+  if (!reader->ReadU32(&capacity) || !reader->ReadDouble(&total_weight) ||
+      !reader->ReadU64(&num_entries)) {
+    return false;
+  }
+  if (capacity != capacity_ || num_entries > capacity_) return false;
+  Clear();
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    uint32_t key;
+    double count;
+    if (!reader->ReadU32(&key) || !reader->ReadDouble(&count)) {
+      Clear();
+      return false;
+    }
+    entries_.emplace(key, count);
+  }
+  total_weight_ = total_weight;
+  return true;
 }
 
 }  // namespace latest::estimators

@@ -14,6 +14,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/serialization.h"
+
 namespace latest::estimators {
 
 /// Fixed-capacity approximate frequency counter over 32-bit keys.
@@ -55,8 +57,16 @@ class SpaceSavingCounter {
 
   void Clear();
 
+  /// Persists the counters in sorted-key order plus the running total.
+  void Save(util::BinaryWriter* writer) const;
+
+  /// Restores a state persisted by Save; the capacity must match. False
+  /// on mismatch or truncation (the counter is left cleared).
+  bool Load(util::BinaryReader* reader);
+
  private:
-  /// Key of the minimum counter (linear scan; capacity is small).
+  /// Key of the minimum counter (linear scan; capacity is small),
+  /// tie-broken by the smaller key so eviction is content-deterministic.
   uint32_t MinKey() const;
 
   uint32_t capacity_;

@@ -204,6 +204,68 @@ size_t SpnEstimator::MemoryBytes() const {
   return bytes;
 }
 
+void SpnEstimator::SaveStateImpl(util::BinaryWriter* writer) const {
+  writer->WriteU64(clusters_.size());
+  for (const Cluster& cluster : clusters_) {
+    writer->WriteDouble(cluster.center.x);
+    writer->WriteDouble(cluster.center.y);
+    writer->WriteDouble(cluster.weight);
+    for (double b : cluster.x_bins) writer->WriteDouble(b);
+    for (double b : cluster.y_bins) writer->WriteDouble(b);
+    for (double b : cluster.keyword_buckets) writer->WriteDouble(b);
+  }
+  writer->WriteDouble(total_weight_);
+  // Raw slot order: RefitCenters gathers points via ForEach in this order
+  // and k-means accumulation is order-sensitive in floating point.
+  samples_.Save(writer, [](const SliceSample& slice, util::BinaryWriter* w) {
+    w->WriteU64(slice.points.size());
+    w->WriteBytes(slice.points.data(),
+                  slice.points.size() * sizeof(geo::Point));
+    w->WriteU64(slice.seen);
+  });
+  rng_.Save(writer);
+}
+
+bool SpnEstimator::LoadStateImpl(util::BinaryReader* reader) {
+  uint64_t num_clusters;
+  if (!reader->ReadU64(&num_clusters) || num_clusters != clusters_.size()) {
+    return false;
+  }
+  for (Cluster& cluster : clusters_) {
+    if (!reader->ReadDouble(&cluster.center.x) ||
+        !reader->ReadDouble(&cluster.center.y) ||
+        !reader->ReadDouble(&cluster.weight)) {
+      return false;
+    }
+    for (auto& b : cluster.x_bins) {
+      if (!reader->ReadDouble(&b)) return false;
+    }
+    for (auto& b : cluster.y_bins) {
+      if (!reader->ReadDouble(&b)) return false;
+    }
+    for (auto& b : cluster.keyword_buckets) {
+      if (!reader->ReadDouble(&b)) return false;
+    }
+  }
+  if (!reader->ReadDouble(&total_weight_)) return false;
+  if (!samples_.Load(
+          reader, [this](SliceSample* slice, util::BinaryReader* r) {
+            uint64_t num_points;
+            if (!r->ReadU64(&num_points) ||
+                num_points > sample_capacity_per_slice_ ||
+                r->remaining() < num_points * sizeof(geo::Point)) {
+              return false;
+            }
+            slice->points.resize(num_points);
+            return r->ReadBytes(slice->points.data(),
+                                num_points * sizeof(geo::Point)) &&
+                   r->ReadU64(&slice->seen);
+          })) {
+    return false;
+  }
+  return rng_.Load(reader);
+}
+
 void SpnEstimator::ResetImpl() {
   for (auto& cluster : clusters_) {
     cluster.weight = 0.0;

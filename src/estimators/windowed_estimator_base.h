@@ -29,6 +29,19 @@ class WindowedEstimatorBase : public Estimator {
     population_.Clear();
   }
 
+  void SaveState(util::BinaryWriter* writer) const final {
+    population_.Save(writer);
+    SaveStateImpl(writer);
+  }
+
+  bool LoadState(util::BinaryReader* reader) final {
+    if (!population_.Load(reader) || !LoadStateImpl(reader)) {
+      Reset();
+      return false;
+    }
+    return true;
+  }
+
  protected:
   explicit WindowedEstimatorBase(uint32_t num_slices)
       : population_(num_slices) {}
@@ -41,6 +54,13 @@ class WindowedEstimatorBase : public Estimator {
 
   /// Wipes subclass state.
   virtual void ResetImpl() = 0;
+
+  /// Persists subclass state (the shared population is already written).
+  virtual void SaveStateImpl(util::BinaryWriter* writer) const = 0;
+
+  /// Restores subclass state; false on mismatch or truncation (the caller
+  /// resets the estimator).
+  virtual bool LoadStateImpl(util::BinaryReader* reader) = 0;
 
   const stream::WindowPopulation& population() const { return population_; }
 

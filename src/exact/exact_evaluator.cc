@@ -47,4 +47,29 @@ void ExactEvaluator::Clear() {
   store_.Clear();
 }
 
+void ExactEvaluator::Save(util::BinaryWriter* writer) const {
+  store_.Save(writer);
+}
+
+bool ExactEvaluator::Load(util::BinaryReader* reader) {
+  grid_.Clear();
+  inverted_.Clear();
+  if (!store_.Load(reader)) {
+    Clear();
+    return false;
+  }
+  // Rebuild the row-reference indexes from the restored columns. The
+  // original indexes may have lazily evicted some resident rows already;
+  // re-inserting them is harmless — they are re-evicted on the next scan
+  // past the cutoff, and match counts never include them.
+  const stream::WindowStore::Reader rows(store_);
+  for (stream::WindowStore::Row row = store_.first_live_row();
+       row < store_.end_row(); ++row) {
+    grid_.Insert(row, rows.loc(row));
+    const auto [keywords, len] = rows.keywords(row);
+    if (len > 0) inverted_.Insert(row, keywords, len);
+  }
+  return true;
+}
+
 }  // namespace latest::exact

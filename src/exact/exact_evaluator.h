@@ -18,6 +18,7 @@
 #include "stream/object.h"
 #include "stream/query.h"
 #include "stream/window_store.h"
+#include "util/serialization.h"
 
 namespace latest::exact {
 
@@ -44,6 +45,16 @@ class ExactEvaluator {
   const stream::WindowStore& store() const { return store_; }
 
   void Clear();
+
+  /// Persists the columnar store only: the grid and inverted indexes are
+  /// derived data (row references) and are rebuilt on Load.
+  void Save(util::BinaryWriter* writer) const;
+
+  /// Restores a store persisted by Save and rebuilds both indexes by
+  /// re-inserting every resident row. Exact counting is insertion-order
+  /// independent, so the rebuilt evaluator answers bit-identically. False
+  /// on malformed input (the evaluator is left cleared).
+  bool Load(util::BinaryReader* reader);
 
   /// Shards spatial ground-truth scans across `pool` (see
   /// GridIndex::set_thread_pool); null restores serial evaluation. The

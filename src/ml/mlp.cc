@@ -57,6 +57,53 @@ double Mlp::Forward(const std::vector<double>& inputs) const {
   return ForwardInternal(inputs, &hidden);
 }
 
+namespace {
+
+void SaveVector(const std::vector<double>& v, util::BinaryWriter* writer) {
+  writer->WriteU64(v.size());
+  for (double x : v) writer->WriteDouble(x);
+}
+
+bool LoadVector(std::vector<double>* v, size_t expected_size,
+                util::BinaryReader* reader) {
+  uint64_t size;
+  if (!reader->ReadU64(&size) || size != expected_size) return false;
+  v->resize(size);
+  for (auto& x : *v) {
+    if (!reader->ReadDouble(&x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Mlp::Save(util::BinaryWriter* writer) const {
+  writer->WriteU32(config_.num_inputs);
+  writer->WriteU32(config_.num_hidden);
+  rng_.Save(writer);
+  SaveVector(w1_, writer);
+  SaveVector(w2_, writer);
+  SaveVector(w1_velocity_, writer);
+  SaveVector(w2_velocity_, writer);
+  writer->WriteU64(num_steps_);
+}
+
+bool Mlp::Load(util::BinaryReader* reader) {
+  uint32_t num_inputs, num_hidden;
+  if (!reader->ReadU32(&num_inputs) || !reader->ReadU32(&num_hidden)) {
+    return false;
+  }
+  if (num_inputs != config_.num_inputs || num_hidden != config_.num_hidden) {
+    return false;
+  }
+  const size_t n1 =
+      static_cast<size_t>(config_.num_hidden) * (config_.num_inputs + 1);
+  const size_t n2 = config_.num_hidden + 1;
+  return rng_.Load(reader) && LoadVector(&w1_, n1, reader) &&
+         LoadVector(&w2_, n2, reader) && LoadVector(&w1_velocity_, n1, reader) &&
+         LoadVector(&w2_velocity_, n2, reader) && reader->ReadU64(&num_steps_);
+}
+
 double Mlp::TrainStep(const std::vector<double>& inputs, double target) {
   std::vector<double> hidden;
   const double out = ForwardInternal(inputs, &hidden);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/serialization.h"
 
 namespace latest::ml {
 
@@ -41,6 +42,14 @@ class Mlp {
 
   /// Re-initializes all weights.
   void Reset();
+
+  /// Persists weights, velocities, step count, and the RNG state (the RNG
+  /// drives Reset(), so a restored network re-initializes identically).
+  void Save(util::BinaryWriter* writer) const;
+
+  /// Restores a state persisted by Save; the layer shape must match.
+  /// False on mismatch or truncation.
+  bool Load(util::BinaryReader* reader);
 
  private:
   /// Computes hidden activations into `hidden` and returns the output.

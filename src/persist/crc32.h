@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for checkpoint
+// section and WAL record integrity.
+//
+// Durability needs corruption *detection*, not cryptographic strength: a
+// torn write, a flipped bit, or a truncated tail must be recognized so
+// recovery can fall back to the previous good state instead of loading
+// garbage. CRC-32 is the standard tool for this job (filesystems, WALs of
+// SQLite/RocksDB/Postgres all use a 32-bit CRC per page or record).
+
+#ifndef LATEST_PERSIST_CRC32_H_
+#define LATEST_PERSIST_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace latest::persist {
+
+/// CRC-32 of a byte range. `seed` chains partial computations:
+/// Crc32(ab) == Crc32(b, len_b, Crc32(a, len_a)).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace latest::persist
+
+#endif  // LATEST_PERSIST_CRC32_H_

@@ -1,0 +1,34 @@
+// POSIX file helpers for the durability subsystem.
+//
+// Checkpoint files are committed atomically: the image is written to a
+// temporary sibling, fsync'd, renamed over the final name, and the parent
+// directory is fsync'd so the rename itself is durable. A crash at any
+// point leaves either the previous file or the new one — never a torn
+// mix.
+
+#ifndef LATEST_PERSIST_FILE_IO_H_
+#define LATEST_PERSIST_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace latest::persist {
+
+/// Reads an entire file into `out`. NotFound when it does not exist.
+util::Status ReadFile(const std::string& path, std::string* out);
+
+/// Atomically replaces `path` with `bytes` (temp file + fsync + rename +
+/// directory fsync).
+util::Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+/// fsync on the directory itself, making renames/creates in it durable.
+util::Status SyncDir(const std::string& dir);
+
+/// The directory component of a path ("." when none).
+std::string DirName(const std::string& path);
+
+}  // namespace latest::persist
+
+#endif  // LATEST_PERSIST_FILE_IO_H_

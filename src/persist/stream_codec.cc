@@ -1,0 +1,67 @@
+#include "persist/stream_codec.h"
+
+namespace latest::persist {
+
+namespace {
+
+void EncodeKeywords(const std::vector<stream::KeywordId>& keywords,
+                    util::BinaryWriter* writer) {
+  writer->WriteU64(keywords.size());
+  writer->WriteBytes(keywords.data(),
+                     keywords.size() * sizeof(stream::KeywordId));
+}
+
+bool DecodeKeywords(util::BinaryReader* reader,
+                    std::vector<stream::KeywordId>* keywords) {
+  uint64_t count;
+  if (!reader->ReadU64(&count) ||
+      reader->remaining() < count * sizeof(stream::KeywordId)) {
+    return false;
+  }
+  keywords->resize(count);
+  return reader->ReadBytes(keywords->data(),
+                           count * sizeof(stream::KeywordId));
+}
+
+}  // namespace
+
+void EncodeObject(const stream::GeoTextObject& obj,
+                  util::BinaryWriter* writer) {
+  writer->WriteU64(obj.oid);
+  writer->WriteDouble(obj.loc.x);
+  writer->WriteDouble(obj.loc.y);
+  writer->WriteI64(obj.timestamp);
+  EncodeKeywords(obj.keywords, writer);
+}
+
+bool DecodeObject(util::BinaryReader* reader, stream::GeoTextObject* obj) {
+  return reader->ReadU64(&obj->oid) && reader->ReadDouble(&obj->loc.x) &&
+         reader->ReadDouble(&obj->loc.y) &&
+         reader->ReadI64(&obj->timestamp) &&
+         DecodeKeywords(reader, &obj->keywords);
+}
+
+void EncodeQuery(const stream::Query& q, util::BinaryWriter* writer) {
+  writer->WriteBool(q.range.has_value());
+  const geo::Rect rect = q.range.value_or(geo::Rect{});
+  writer->WriteDouble(rect.min_x);
+  writer->WriteDouble(rect.min_y);
+  writer->WriteDouble(rect.max_x);
+  writer->WriteDouble(rect.max_y);
+  writer->WriteI64(q.timestamp);
+  EncodeKeywords(q.keywords, writer);
+}
+
+bool DecodeQuery(util::BinaryReader* reader, stream::Query* q) {
+  bool has_range;
+  geo::Rect rect;
+  if (!reader->ReadBool(&has_range) || !reader->ReadDouble(&rect.min_x) ||
+      !reader->ReadDouble(&rect.min_y) || !reader->ReadDouble(&rect.max_x) ||
+      !reader->ReadDouble(&rect.max_y) || !reader->ReadI64(&q->timestamp)) {
+    return false;
+  }
+  q->range = has_range ? std::optional<geo::Rect>(rect) : std::nullopt;
+  return DecodeKeywords(reader, &q->keywords);
+}
+
+}  // namespace latest::persist

@@ -1,0 +1,27 @@
+// Wire encoding of stream events (objects and queries) for WAL records.
+//
+// Layouts (little-endian, util::BinaryWriter):
+//   object: u64 oid, double x, double y, i64 timestamp,
+//           u64 num_keywords, raw u32 keyword ids
+//   query:  u32 has_range, 4 doubles (min_x min_y max_x max_y, zero when
+//           absent), i64 timestamp, u64 num_keywords, raw u32 keyword ids
+
+#ifndef LATEST_PERSIST_STREAM_CODEC_H_
+#define LATEST_PERSIST_STREAM_CODEC_H_
+
+#include "stream/object.h"
+#include "stream/query.h"
+#include "util/serialization.h"
+
+namespace latest::persist {
+
+void EncodeObject(const stream::GeoTextObject& obj,
+                  util::BinaryWriter* writer);
+bool DecodeObject(util::BinaryReader* reader, stream::GeoTextObject* obj);
+
+void EncodeQuery(const stream::Query& q, util::BinaryWriter* writer);
+bool DecodeQuery(util::BinaryReader* reader, stream::Query* q);
+
+}  // namespace latest::persist
+
+#endif  // LATEST_PERSIST_STREAM_CODEC_H_

@@ -1,0 +1,117 @@
+// Write-ahead log of stream events arriving after the last snapshot.
+//
+// File layout:
+//   u32 magic "LWAL", u32 version, u64 start_seq
+//   records, each framed as
+//     u32 length   (of the record body)
+//     u32 crc      (CRC-32 of the record body)
+//     body: u32 type (1=object, 2=query), u64 seq, payload (stream_codec)
+//
+// Appends are buffered and flushed+fsync'd every `group_commit_every`
+// records (group commit), so a crash loses at most the last unsynced
+// group. The reader stops at the first frame whose length runs past the
+// file or whose CRC mismatches — the torn tail a crash mid-append leaves
+// behind — and reports how many bytes were valid so recovery can
+// truncate.
+
+#ifndef LATEST_PERSIST_WAL_H_
+#define LATEST_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/stream_codec.h"
+#include "util/status.h"
+
+namespace latest::persist {
+
+inline constexpr uint32_t kWalMagic = 0x4C41574Cu;  // "LWAL".
+inline constexpr uint32_t kWalVersion = 1;
+
+enum class WalRecordType : uint32_t {
+  kObject = 1,
+  kQuery = 2,
+};
+
+/// Appends stream events to a WAL file with group-commit fsync.
+class WalWriter {
+ public:
+  /// Creates (truncates) `path` and writes the header. Sequence numbers
+  /// continue from `start_seq` (the covering snapshot's sequence):
+  /// the first record carries start_seq + 1.
+  static util::Result<std::unique_ptr<WalWriter>> Create(
+      const std::string& path, uint64_t start_seq,
+      uint32_t group_commit_every = 64);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  util::Status AppendObject(const stream::GeoTextObject& obj);
+  util::Status AppendQuery(const stream::Query& q);
+
+  /// Flushes buffered records and fsyncs. Idempotent.
+  util::Status Sync();
+
+  /// Records appended since Create.
+  uint64_t appended() const { return next_seq_ - start_seq_ - 1; }
+  uint64_t next_seq() const { return next_seq_; }
+  /// fsync calls issued (group commits + explicit Syncs with dirty data).
+  uint64_t syncs() const { return syncs_; }
+  /// Bytes written to the file, including buffered-but-unsynced bytes.
+  uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, int fd, uint64_t start_seq,
+            uint32_t group_commit_every);
+
+  util::Status Append(WalRecordType type, const std::string& payload);
+  util::Status Flush();
+
+  std::string path_;
+  int fd_;
+  uint64_t start_seq_;
+  uint64_t next_seq_;
+  uint32_t group_commit_every_;
+  uint32_t pending_ = 0;  // Records buffered since the last fsync.
+  uint64_t syncs_ = 0;
+  uint64_t bytes_written_ = 0;
+  std::string buffer_;
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kObject;
+  uint64_t seq = 0;
+  stream::GeoTextObject object;  // Valid when type == kObject.
+  stream::Query query;           // Valid when type == kQuery.
+};
+
+/// Reads a WAL file, stopping cleanly at a torn tail.
+class WalReader {
+ public:
+  /// Parses the header and every intact record. A torn or corrupt tail is
+  /// NOT an error: reading stops there, torn_tail() turns true, and
+  /// valid_bytes() marks the truncation point. Only a missing file or a
+  /// bad header fails.
+  util::Status Open(const std::string& path);
+
+  uint64_t start_seq() const { return start_seq_; }
+  const std::vector<WalRecord>& records() const { return records_; }
+  bool torn_tail() const { return torn_tail_; }
+  /// File prefix (bytes) covered by the header and intact records.
+  uint64_t valid_bytes() const { return valid_bytes_; }
+
+ private:
+  uint64_t start_seq_ = 0;
+  std::vector<WalRecord> records_;
+  bool torn_tail_ = false;
+  uint64_t valid_bytes_ = 0;
+};
+
+}  // namespace latest::persist
+
+#endif  // LATEST_PERSIST_WAL_H_

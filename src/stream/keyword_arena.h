@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "stream/object.h"
+#include "util/serialization.h"
 
 namespace latest::stream {
 
@@ -57,6 +58,22 @@ class KeywordArena {
   void Clear() { data_.clear(); }
 
   void Reserve(size_t n) { data_.reserve(n); }
+
+  /// Persists the whole id buffer (spans stay valid because offsets are
+  /// relative to the buffer start).
+  void Save(util::BinaryWriter* writer) const {
+    writer->WriteU64(data_.size());
+    writer->WriteBytes(data_.data(), data_.size() * sizeof(KeywordId));
+  }
+
+  /// Restores a buffer persisted by Save; false on truncation.
+  bool Load(util::BinaryReader* reader) {
+    uint64_t size;
+    if (!reader->ReadU64(&size)) return false;
+    if (reader->remaining() < size * sizeof(KeywordId)) return false;
+    data_.resize(size);
+    return reader->ReadBytes(data_.data(), size * sizeof(KeywordId));
+  }
 
  private:
   std::vector<KeywordId> data_;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "stream/object.h"
+#include "util/serialization.h"
 
 namespace latest::stream {
 
@@ -47,6 +48,14 @@ class KeywordDictionary {
 
   /// Fraction of all occurrences carried by `id` (0 when nothing counted).
   double Frequency(KeywordId id) const;
+
+  /// Persists spellings and counts in id order (ids are dense, so the
+  /// string-to-id map is rebuilt by re-interning on load).
+  void Save(util::BinaryWriter* writer) const;
+
+  /// Restores a dictionary persisted by Save, replacing the current
+  /// contents; false on truncation (the dictionary is left empty).
+  bool Load(util::BinaryReader* reader);
 
  private:
   /// Transparent hash so the map probes directly with string_view keys:

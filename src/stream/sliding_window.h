@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "stream/object.h"
+#include "util/serialization.h"
 #include "util/status.h"
 
 namespace latest::stream {
@@ -61,6 +62,17 @@ class SliceClock {
   Timestamp now() const { return now_; }
 
   const WindowConfig& config() const { return config_; }
+
+  /// Persists the clock position (the config is construction-time state).
+  void Save(util::BinaryWriter* writer) const {
+    writer->WriteI64(now_);
+    writer->WriteI64(current_slice_);
+  }
+
+  /// Restores a position persisted by Save; false on truncation.
+  bool Load(util::BinaryReader* reader) {
+    return reader->ReadI64(&now_) && reader->ReadI64(&current_slice_);
+  }
 
  private:
   WindowConfig config_;
@@ -113,6 +125,30 @@ class SliceRing {
     head_ = 0;
   }
 
+  /// Persists the ring: head cursor plus every slot in raw index order
+  /// (the same order ForEach visits), each slot written by `save_slice`.
+  template <typename SaveFn>
+  void Save(util::BinaryWriter* writer, SaveFn&& save_slice) const {
+    writer->WriteU64(slices_.size());
+    writer->WriteU64(head_);
+    for (const auto& s : slices_) save_slice(s, writer);
+  }
+
+  /// Restores a ring persisted by Save; `load_slice(T*, reader)` must
+  /// return false on malformed input. The slice count must match the one
+  /// this ring was constructed with.
+  template <typename LoadFn>
+  bool Load(util::BinaryReader* reader, LoadFn&& load_slice) {
+    uint64_t num_slices, head;
+    if (!reader->ReadU64(&num_slices) || !reader->ReadU64(&head)) return false;
+    if (num_slices != slices_.size() || head >= slices_.size()) return false;
+    for (auto& s : slices_) {
+      if (!load_slice(&s, reader)) return false;
+    }
+    head_ = head;
+    return true;
+  }
+
  private:
   std::vector<T> slices_;
   size_t head_;
@@ -148,6 +184,25 @@ class WindowPopulation {
   void Clear() {
     counts_.Clear();
     total_ = 0;
+  }
+
+  /// Persists the per-slice counts and running total.
+  void Save(util::BinaryWriter* writer) const {
+    counts_.Save(writer, [](uint64_t count, util::BinaryWriter* w) {
+      w->WriteU64(count);
+    });
+    writer->WriteU64(total_);
+  }
+
+  /// Restores a state persisted by Save; false on shape mismatch or
+  /// truncation.
+  bool Load(util::BinaryReader* reader) {
+    if (!counts_.Load(reader, [](uint64_t* count, util::BinaryReader* r) {
+          return r->ReadU64(count);
+        })) {
+      return false;
+    }
+    return reader->ReadU64(&total_);
   }
 
  private:

@@ -85,6 +85,72 @@ void WindowStore::Clear() {
   arena_bytes_ = 0;
 }
 
+void WindowStore::Save(util::BinaryWriter* writer) const {
+  writer->WriteI64(slice_duration_ms_);
+  writer->WriteU32(next_row_);
+  writer->WriteU64(arena_bytes_);
+  writer->WriteU64(slices_.size());
+  for (const Slice& slice : slices_) {
+    writer->WriteU32(slice.base);
+    writer->WriteI64(slice.seal_ts);
+    writer->WriteI64(slice.max_ts);
+    writer->WriteU64(slice.rows());
+    writer->WriteBytes(slice.timestamps.data(),
+                       slice.rows() * sizeof(Timestamp));
+    writer->WriteBytes(slice.locs.data(), slice.rows() * sizeof(geo::Point));
+    writer->WriteBytes(slice.oids.data(), slice.rows() * sizeof(ObjectId));
+    writer->WriteBytes(slice.spans.data(), slice.rows() * sizeof(KeywordSpan));
+    slice.arena.Save(writer);
+  }
+}
+
+bool WindowStore::Load(util::BinaryReader* reader) {
+  Clear();
+  int64_t slice_duration;
+  uint32_t next_row;
+  uint64_t arena_bytes, num_slices;
+  if (!reader->ReadI64(&slice_duration) || !reader->ReadU32(&next_row) ||
+      !reader->ReadU64(&arena_bytes) || !reader->ReadU64(&num_slices)) {
+    return false;
+  }
+  if (slice_duration != slice_duration_ms_) return false;
+  for (uint64_t i = 0; i < num_slices; ++i) {
+    // Recycle free-list capacity exactly like OpenSlice does.
+    if (!free_slices_.empty()) {
+      slices_.push_back(std::move(free_slices_.back()));
+      free_slices_.pop_back();
+      slices_.back().Reset(0, 0);
+    } else {
+      slices_.emplace_back();
+    }
+    Slice& slice = slices_.back();
+    uint64_t rows;
+    if (!reader->ReadU32(&slice.base) || !reader->ReadI64(&slice.seal_ts) ||
+        !reader->ReadI64(&slice.max_ts) || !reader->ReadU64(&rows) ||
+        reader->remaining() < rows * (sizeof(Timestamp) + sizeof(geo::Point) +
+                                      sizeof(ObjectId) + sizeof(KeywordSpan))) {
+      Clear();
+      return false;
+    }
+    slice.timestamps.resize(rows);
+    slice.locs.resize(rows);
+    slice.oids.resize(rows);
+    slice.spans.resize(rows);
+    if (!reader->ReadBytes(slice.timestamps.data(),
+                           rows * sizeof(Timestamp)) ||
+        !reader->ReadBytes(slice.locs.data(), rows * sizeof(geo::Point)) ||
+        !reader->ReadBytes(slice.oids.data(), rows * sizeof(ObjectId)) ||
+        !reader->ReadBytes(slice.spans.data(), rows * sizeof(KeywordSpan)) ||
+        !slice.arena.Load(reader)) {
+      Clear();
+      return false;
+    }
+  }
+  next_row_ = next_row;
+  arena_bytes_ = arena_bytes;
+  return true;
+}
+
 const WindowStore::Slice& WindowStore::Reader::SliceFor(Row row) const {
   const auto& slices = store_.slices_;
   assert(!slices.empty());

@@ -33,6 +33,7 @@
 #include "geo/point.h"
 #include "stream/keyword_arena.h"
 #include "stream/object.h"
+#include "util/serialization.h"
 
 namespace latest::stream {
 
@@ -81,6 +82,15 @@ class WindowStore {
 
   /// Drops all slices and rows; row ids keep counting monotonically.
   void Clear();
+
+  /// Persists every resident slice (columns + arenas) and the row
+  /// counter. The free list is transient capacity and is not persisted.
+  void Save(util::BinaryWriter* writer) const;
+
+  /// Restores a store persisted by Save, replacing the current contents;
+  /// false on malformed input (the store is left cleared). The slice
+  /// duration must match the one this store was constructed with.
+  bool Load(util::BinaryReader* reader);
 
  private:
   struct Slice;

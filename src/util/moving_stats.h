@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/serialization.h"
+
 namespace latest::util {
 
 /// Mean over a fixed-capacity sliding window of the most recent samples.
@@ -30,6 +32,38 @@ class MovingAverage {
 
   /// Drops all samples.
   void Reset();
+
+  /// Persists window contents and cursor position.
+  void Save(BinaryWriter* writer) const {
+    writer->WriteU64(buffer_.size());
+    writer->WriteU64(head_);
+    writer->WriteU64(size_);
+    writer->WriteDouble(sum_);
+    for (double v : buffer_) writer->WriteDouble(v);
+  }
+
+  /// Restores a state persisted by Save; the capacity must match the one
+  /// this instance was constructed with. False on mismatch or truncation.
+  bool Load(BinaryReader* reader) {
+    uint64_t capacity, head, size;
+    double sum;
+    if (!reader->ReadU64(&capacity) || !reader->ReadU64(&head) ||
+        !reader->ReadU64(&size) || !reader->ReadDouble(&sum)) {
+      return false;
+    }
+    if (capacity != buffer_.size() || head > capacity || size > capacity) {
+      return false;
+    }
+    std::vector<double> values(capacity);
+    for (auto& v : values) {
+      if (!reader->ReadDouble(&v)) return false;
+    }
+    buffer_ = std::move(values);
+    head_ = head;
+    size_ = size;
+    sum_ = sum;
+    return true;
+  }
 
  private:
   std::vector<double> buffer_;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/serialization.h"
+
 namespace latest::util {
 
 namespace {
@@ -76,5 +78,19 @@ double Rng::NextGaussian(double mean, double stddev) {
 bool Rng::NextBool(double p) { return NextDouble() < p; }
 
 Rng Rng::Fork() { return Rng(Next()); }
+
+void Rng::Save(BinaryWriter* writer) const {
+  for (uint64_t s : s_) writer->WriteU64(s);
+  writer->WriteBool(has_cached_gaussian_);
+  writer->WriteDouble(cached_gaussian_);
+}
+
+bool Rng::Load(BinaryReader* reader) {
+  for (auto& s : s_) {
+    if (!reader->ReadU64(&s)) return false;
+  }
+  return reader->ReadBool(&has_cached_gaussian_) &&
+         reader->ReadDouble(&cached_gaussian_);
+}
 
 }  // namespace latest::util

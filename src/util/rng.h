@@ -12,6 +12,9 @@
 
 namespace latest::util {
 
+class BinaryReader;
+class BinaryWriter;
+
 /// SplitMix64 step; also usable as a standalone 64-bit mixer.
 uint64_t SplitMix64(uint64_t* state);
 
@@ -46,6 +49,13 @@ class Rng {
 
   /// Derives an independent child generator (for per-component streams).
   Rng Fork();
+
+  /// Persists the generator state so a restored process continues the
+  /// exact same sequence.
+  void Save(BinaryWriter* writer) const;
+
+  /// Restores a state persisted by Save; false on truncation.
+  bool Load(BinaryReader* reader);
 
  private:
   uint64_t s_[4];

@@ -25,12 +25,23 @@ class BinaryWriter {
   void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
   void WriteBool(bool v) { WriteU32(v ? 1 : 0); }
 
+  /// Length-unprefixed raw bytes; the reader must know the size.
+  void WriteBytes(const void* data, size_t size) { WriteRaw(data, size); }
+
+  /// Length-prefixed byte string (u64 size + payload).
+  void WriteString(std::string_view s) {
+    WriteU64(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+
   const std::string& buffer() const { return buffer_; }
   std::string&& TakeBuffer() { return std::move(buffer_); }
 
  private:
   void WriteRaw(const void* data, size_t size) {
-    buffer_.append(static_cast<const char*>(data), size);
+    // Zero-size appends are no-ops (and `data` may then legally be null,
+    // e.g. an empty vector's data()).
+    if (size != 0) buffer_.append(static_cast<const char*>(data), size);
   }
 
   std::string buffer_;
@@ -52,6 +63,25 @@ class BinaryReader {
     return true;
   }
 
+  /// Raw bytes of a known size (counterpart of WriteBytes).
+  bool ReadBytes(void* out, size_t size) { return ReadRaw(out, size); }
+
+  /// Length-prefixed byte string (counterpart of WriteString).
+  bool ReadString(std::string* s) {
+    uint64_t size;
+    if (!ReadU64(&size) || remaining() < size) return false;
+    s->assign(data_.data() + offset_, size);
+    offset_ += size;
+    return true;
+  }
+
+  /// Advances past `size` bytes without copying them.
+  bool Skip(size_t size) {
+    if (remaining() < size) return false;
+    offset_ += size;
+    return true;
+  }
+
   /// Bytes not yet consumed.
   size_t remaining() const { return data_.size() - offset_; }
   bool exhausted() const { return remaining() == 0; }
@@ -59,7 +89,9 @@ class BinaryReader {
  private:
   bool ReadRaw(void* out, size_t size) {
     if (remaining() < size) return false;
-    std::memcpy(out, data_.data() + offset_, size);
+    // memcpy with a null destination is UB even for zero bytes, and an
+    // empty vector's data() is legitimately null.
+    if (size != 0) std::memcpy(out, data_.data() + offset_, size);
     offset_ += size;
     return true;
   }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kNotFound,
   kResourceExhausted,
   kInternal,
+  kDataLoss,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -58,6 +59,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -92,7 +92,8 @@ util::Status ParseCsvLine(std::string_view line,
 }
 
 util::Result<CsvStream> ParseCsvStream(std::string_view content,
-                                       stream::KeywordDictionary* dictionary) {
+                                       stream::KeywordDictionary* dictionary,
+                                       const CsvLoadOptions& options) {
   CsvStream result;
   size_t line_number = 0;
   size_t start = 0;
@@ -109,31 +110,49 @@ util::Result<CsvStream> ParseCsvStream(std::string_view content,
     }
     stream::GeoTextObject obj;
     obj.oid = result.objects.size();
-    const util::Status status = ParseCsvLine(line, dictionary, &obj);
-    if (!status.ok()) {
-      return util::Status::InvalidArgument(
-          "line " + std::to_string(line_number) + ": " + status.message());
+    util::Status status = ParseCsvLine(line, dictionary, &obj);
+    if (status.ok() && obj.timestamp < previous) {
+      status = util::Status::InvalidArgument(
+          "timestamps must be non-decreasing");
     }
-    if (obj.timestamp < previous) {
-      return util::Status::InvalidArgument(
-          "line " + std::to_string(line_number) +
-          ": timestamps must be non-decreasing");
+    if (!status.ok()) {
+      const util::Status annotated = util::Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": " + status.message());
+      if (!options.skip_malformed_rows) return annotated;
+      ++result.rows_malformed;
+      if (result.first_error.ok()) result.first_error = annotated;
+      continue;
     }
     previous = obj.timestamp;
     result.objects.push_back(std::move(obj));
+  }
+  if (options.telemetry != nullptr) {
+    options.telemetry
+        ->GetCounter("workload_csv_rows_loaded_total",
+                     "CSV rows parsed into stream objects")
+        ->Increment(result.objects.size());
+    options.telemetry
+        ->GetCounter("workload_csv_lines_skipped_total",
+                     "CSV comment/blank lines skipped")
+        ->Increment(result.lines_skipped);
+    options.telemetry
+        ->GetCounter("workload_csv_rows_malformed_total",
+                     "Malformed CSV rows dropped (tolerant mode)")
+        ->Increment(result.rows_malformed);
   }
   return result;
 }
 
 util::Result<CsvStream> LoadCsvStream(const std::string& path,
-                                      stream::KeywordDictionary* dictionary) {
+                                      stream::KeywordDictionary* dictionary,
+                                      const CsvLoadOptions& options) {
   std::ifstream file(path);
   if (!file.is_open()) {
     return util::Status::NotFound("cannot open '" + path + "'");
   }
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return ParseCsvStream(buffer.str(), dictionary);
+  return ParseCsvStream(buffer.str(), dictionary, options);
 }
 
 }  // namespace latest::workload

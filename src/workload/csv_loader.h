@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "stream/keyword_dictionary.h"
 #include "stream/object.h"
 #include "util/status.h"
@@ -28,6 +29,27 @@ namespace latest::workload {
 struct CsvStream {
   std::vector<stream::GeoTextObject> objects;  // Timestamp-sorted.
   uint64_t lines_skipped = 0;                  // Comments and blanks.
+  /// Malformed rows dropped (only in skip_malformed_rows mode; the strict
+  /// default fails on the first one instead).
+  uint64_t rows_malformed = 0;
+  /// The first malformed row's error, kept for diagnostics even when the
+  /// row was skipped. OK when every row parsed.
+  util::Status first_error;
+};
+
+/// Loader behavior knobs.
+struct CsvLoadOptions {
+  /// When true, a malformed row (short field count, bad lon/lat/timestamp,
+  /// regressed timestamp) is counted in rows_malformed and dropped instead
+  /// of failing the whole load. Real-world exports are rarely pristine;
+  /// strict mode (the default) is for curated experiment inputs.
+  bool skip_malformed_rows = false;
+
+  /// When set, loading mirrors progress into counters on this registry:
+  /// `workload_csv_rows_loaded_total`, `workload_csv_lines_skipped_total`
+  /// (comments/blanks), and `workload_csv_rows_malformed_total`. The
+  /// registry must outlive the call.
+  obs::MetricsRegistry* telemetry = nullptr;
 };
 
 /// Parses one CSV line into an object (oid assigned by the caller).
@@ -36,15 +58,18 @@ util::Status ParseCsvLine(std::string_view line,
                           stream::KeywordDictionary* dictionary,
                           stream::GeoTextObject* out);
 
-/// Loads a whole CSV file. Fails on the first malformed row (the message
-/// names the line number) or if timestamps regress.
+/// Loads a whole CSV file. By default fails on the first malformed row
+/// (the message names the line number) or if timestamps regress; see
+/// CsvLoadOptions for the tolerant mode.
 util::Result<CsvStream> LoadCsvStream(const std::string& path,
-                                      stream::KeywordDictionary* dictionary);
+                                      stream::KeywordDictionary* dictionary,
+                                      const CsvLoadOptions& options = {});
 
 /// Parses CSV content from memory (same format/validation as the file
 /// loader; useful for tests and embedded data).
 util::Result<CsvStream> ParseCsvStream(std::string_view content,
-                                       stream::KeywordDictionary* dictionary);
+                                       stream::KeywordDictionary* dictionary,
+                                       const CsvLoadOptions& options = {});
 
 }  // namespace latest::workload
 

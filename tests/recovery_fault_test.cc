@@ -1,0 +1,299 @@
+// Recovery must degrade, never misbehave: a flipped byte anywhere in a
+// snapshot is caught by a section or table CRC and recovery falls back to
+// the previous snapshot; a truncated or corrupted WAL tail stops replay
+// at the last intact record. No input may crash, hang, or silently load
+// wrong state — the sanitizer CI jobs run this same binary under
+// ASan/UBSan.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/latest_module.h"
+#include "persist/checkpoint_format.h"
+#include "persist/checkpoint_manager.h"
+#include "persist/file_io.h"
+#include "persist/wal.h"
+#include "tests/test_stream.h"
+#include "util/serialization.h"
+
+namespace latest::persist {
+namespace {
+
+using core::LatestConfig;
+using core::LatestModule;
+
+LatestConfig FaultConfig() {
+  LatestConfig config;
+  config.bounds = testing_support::kTestBounds;
+  config.window.window_length_ms = 1000;
+  config.window.num_slices = 10;
+  config.pretrain_queries = 40;
+  config.monitor_window = 16;
+  config.min_queries_between_switches = 16;
+  config.estimator.reservoir_capacity = 500;
+  config.default_estimator = estimators::EstimatorKind::kH4096;
+  config.maintain_shadow_estimators = true;
+  config.alpha = 0.0;
+  config.seed = 5;
+  return config;
+}
+
+std::string MakeTempDir() {
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / "latest_fault_XXXXXX")
+          .string();
+  const char* dir = mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+void FlipByteAt(const std::string& path, size_t offset) {
+  std::string bytes;
+  ASSERT_TRUE(ReadFile(path, &bytes).ok());
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] ^= 0x5a;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+void CopyFileBytes(const std::string& from, const std::string& to) {
+  std::filesystem::copy_file(
+      from, to, std::filesystem::copy_options::overwrite_existing);
+}
+
+// A checkpoint directory with two snapshot/WAL pairs plus a synced WAL
+// tail, and the state the stream actually reached.
+struct Fixture {
+  std::string dir;
+  uint64_t newest_seq = 0;
+  uint64_t oldest_seq = 0;
+  uint64_t final_objects = 0;
+  uint64_t final_queries = 0;
+  std::string final_state;  // Deterministic digest, not raw SaveState.
+};
+
+Fixture BuildCheckpointDir() {
+  Fixture fx;
+  fx.dir = MakeTempDir();
+  if (fx.dir.empty()) return fx;
+
+  auto created = LatestModule::Create(FaultConfig());
+  EXPECT_TRUE(created.ok());
+  std::unique_ptr<LatestModule> module = std::move(created).value();
+
+  DurabilityConfig durability;
+  durability.dir = fx.dir;
+  durability.checkpoint_every = 900;
+  auto attached = CheckpointManager::Attach(durability, module.get());
+  EXPECT_TRUE(attached.ok()) << attached.status().ToString();
+  std::unique_ptr<CheckpointManager> manager = std::move(attached).value();
+
+  const auto objects = testing_support::MakeClusteredObjects(
+      2500, /*seed=*/13, /*duration=*/1500);
+  util::Rng query_rng(99);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    EXPECT_TRUE(manager->OnObject(objects[i]).ok());
+    if (objects[i].timestamp < 1000 || i % 10 != 0) continue;
+    stream::Query q = testing_support::MakeKeywordQuery(
+        {static_cast<stream::KeywordId>(query_rng.NextBounded(50))});
+    q.timestamp = objects[i].timestamp;
+    EXPECT_TRUE(manager->OnQuery(q).ok());
+  }
+  EXPECT_TRUE(manager->Sync().ok());
+
+  const auto seqs = CheckpointManager::ListSnapshots(fx.dir);
+  EXPECT_GE(seqs.size(), 2u);
+  fx.newest_seq = seqs.empty() ? 0 : seqs.front();
+  fx.oldest_seq = seqs.empty() ? 0 : seqs.back();
+  fx.final_objects = module->objects_ingested();
+  fx.final_queries = module->queries_answered();
+  util::BinaryWriter state;
+  module->SaveDeterministicState(&state);
+  fx.final_state = state.buffer();
+  return fx;
+}
+
+class RecoveryFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fx_ = BuildCheckpointDir();
+    ASSERT_FALSE(fx_.dir.empty());
+  }
+  void TearDown() override {
+    if (!fx_.dir.empty()) std::filesystem::remove_all(fx_.dir);
+  }
+
+  // Recovery must succeed and reproduce the exact pre-crash state
+  // whenever the newest WAL tail is intact.
+  void ExpectFullRecovery(const CheckpointManager::Recovered& recovered) {
+    EXPECT_EQ(recovered.module->objects_ingested(), fx_.final_objects);
+    EXPECT_EQ(recovered.module->queries_answered(), fx_.final_queries);
+    util::BinaryWriter state;
+    recovered.module->SaveDeterministicState(&state);
+    EXPECT_EQ(state.buffer(), fx_.final_state);
+  }
+
+  Fixture fx_;
+};
+
+TEST(RecoveryEmptyDirTest, RecoverFromEmptyDirIsNotFound) {
+  const std::string dir = MakeTempDir();
+  ASSERT_FALSE(dir.empty());
+  const auto recovered = CheckpointManager::Recover(dir, FaultConfig());
+  EXPECT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), util::StatusCode::kNotFound);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(RecoveryFaultTest, IntactDirRecoversExactly) {
+  const auto recovered = CheckpointManager::Recover(fx_.dir, FaultConfig());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().snapshot_seq, fx_.newest_seq);
+  EXPECT_EQ(recovered.value().snapshots_skipped, 0u);
+  EXPECT_FALSE(recovered.value().torn_wal_tail);
+  ExpectFullRecovery(recovered.value());
+}
+
+TEST_F(RecoveryFaultTest, TruncatedWalTailStopsAtLastIntactRecord) {
+  const std::string wal = WalPath(fx_.dir, fx_.newest_seq);
+  const auto size = std::filesystem::file_size(wal);
+  ASSERT_GT(size, 40u);
+  // Chop mid-record: replay must stop cleanly at the last whole record.
+  std::filesystem::resize_file(wal, size - 7);
+
+  const auto recovered = CheckpointManager::Recover(fx_.dir, FaultConfig());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().snapshot_seq, fx_.newest_seq);
+  EXPECT_TRUE(recovered.value().torn_wal_tail);
+  const uint64_t events = recovered.value().module->objects_ingested() +
+                          recovered.value().module->queries_answered();
+  EXPECT_GE(events, fx_.newest_seq);
+  EXPECT_LT(events, fx_.final_objects + fx_.final_queries);
+}
+
+TEST_F(RecoveryFaultTest, FlippedByteInWalBodyStopsReplay) {
+  const std::string wal = WalPath(fx_.dir, fx_.newest_seq);
+  const auto size = std::filesystem::file_size(wal);
+  ASSERT_GT(size, 60u);
+  FlipByteAt(wal, static_cast<size_t>(size / 2));
+
+  const auto recovered = CheckpointManager::Recover(fx_.dir, FaultConfig());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered.value().torn_wal_tail);
+  const uint64_t events = recovered.value().module->objects_ingested() +
+                          recovered.value().module->queries_answered();
+  EXPECT_GE(events, fx_.newest_seq);
+  EXPECT_LT(events, fx_.final_objects + fx_.final_queries);
+}
+
+TEST_F(RecoveryFaultTest, CorruptWalHeaderRecoversSnapshotOnly) {
+  FlipByteAt(WalPath(fx_.dir, fx_.newest_seq), 0);  // Magic.
+  const auto recovered = CheckpointManager::Recover(fx_.dir, FaultConfig());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().snapshot_seq, fx_.newest_seq);
+  EXPECT_TRUE(recovered.value().torn_wal_tail);
+  EXPECT_EQ(recovered.value().replayed_objects +
+                recovered.value().replayed_queries,
+            0u);
+  EXPECT_EQ(recovered.value().module->objects_ingested() +
+                recovered.value().module->queries_answered(),
+            fx_.newest_seq);
+}
+
+TEST_F(RecoveryFaultTest, FlippedByteInEverySectionFallsBackCleanly) {
+  const std::string snapshot = SnapshotPath(fx_.dir, fx_.newest_seq);
+  const std::string pristine = snapshot + ".pristine";
+  CopyFileBytes(snapshot, pristine);
+
+  CheckpointReader pristine_reader;
+  ASSERT_TRUE(pristine_reader.Open(pristine).ok());
+  ASSERT_GE(pristine_reader.sections().size(), 2u);
+
+  for (const auto& section : pristine_reader.sections()) {
+    SCOPED_TRACE("section " + section.name);
+    CopyFileBytes(pristine, snapshot);
+    FlipByteAt(snapshot,
+               static_cast<size_t>(section.offset + section.size / 2));
+
+    // The format layer pinpoints the corrupt section.
+    CheckpointReader corrupt;
+    ASSERT_TRUE(corrupt.Open(snapshot).ok());
+    EXPECT_FALSE(corrupt.Verify().ok());
+
+    // Recovery skips the corrupt snapshot and degrades to the previous
+    // pair; that pair's complete WAL brings it back to the newer
+    // snapshot's sequence at minimum.
+    const auto recovered =
+        CheckpointManager::Recover(fx_.dir, FaultConfig());
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(recovered.value().snapshot_seq, fx_.oldest_seq);
+    EXPECT_GE(recovered.value().snapshots_skipped, 1u);
+    EXPECT_GE(recovered.value().module->objects_ingested() +
+                  recovered.value().module->queries_answered(),
+              fx_.newest_seq);
+  }
+  CopyFileBytes(pristine, snapshot);
+  std::filesystem::remove(pristine);
+}
+
+TEST_F(RecoveryFaultTest, CorruptSnapshotHeaderFallsBack) {
+  FlipByteAt(SnapshotPath(fx_.dir, fx_.newest_seq), 0);  // Magic.
+  const auto recovered = CheckpointManager::Recover(fx_.dir, FaultConfig());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().snapshot_seq, fx_.oldest_seq);
+  EXPECT_GE(recovered.value().snapshots_skipped, 1u);
+}
+
+TEST_F(RecoveryFaultTest, TruncatedSnapshotFallsBack) {
+  const std::string snapshot = SnapshotPath(fx_.dir, fx_.newest_seq);
+  std::filesystem::resize_file(snapshot,
+                               std::filesystem::file_size(snapshot) / 2);
+  const auto recovered = CheckpointManager::Recover(fx_.dir, FaultConfig());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().snapshot_seq, fx_.oldest_seq);
+  EXPECT_GE(recovered.value().snapshots_skipped, 1u);
+}
+
+TEST_F(RecoveryFaultTest, AllSnapshotsCorruptIsNotFoundNeverUb) {
+  for (const uint64_t seq : CheckpointManager::ListSnapshots(fx_.dir)) {
+    FlipByteAt(SnapshotPath(fx_.dir, seq), 12);  // Inside the header.
+  }
+  const auto recovered = CheckpointManager::Recover(fx_.dir, FaultConfig());
+  EXPECT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(RecoveryFaultTest, EveryHeaderAndTableByteFlipIsCaught) {
+  // Exhaustive sweep over the fixed header + section table: every
+  // single-byte flip must be rejected at Open or Verify — never load.
+  const std::string snapshot = SnapshotPath(fx_.dir, fx_.newest_seq);
+  const std::string pristine = snapshot + ".pristine";
+  CopyFileBytes(snapshot, pristine);
+  CheckpointReader pristine_reader;
+  ASSERT_TRUE(pristine_reader.Open(pristine).ok());
+  const size_t table_end =
+      static_cast<size_t>(pristine_reader.sections().front().offset);
+  for (size_t offset = 0; offset < table_end; ++offset) {
+    CopyFileBytes(pristine, snapshot);
+    FlipByteAt(snapshot, offset);
+    CheckpointReader corrupt;
+    const util::Status open = corrupt.Open(snapshot);
+    if (open.ok()) {
+      EXPECT_FALSE(corrupt.Verify().ok()) << "flip at offset " << offset;
+    }
+  }
+  CopyFileBytes(pristine, snapshot);
+  std::filesystem::remove(pristine);
+}
+
+}  // namespace
+}  // namespace latest::persist

@@ -1,0 +1,213 @@
+// Randomized churn property test for WindowStore slice recycling: a long
+// interleaving of bursty appends, window expiry (DropBefore) and the
+// occasional Clear across many window lengths, checked after every
+// mutation against a naive reference model (a flat vector of everything
+// ever appended). The store's row accounting, per-row column contents,
+// and free-list recycling must never drift:
+//   - every row the store claims live reads back exactly the appended
+//     object (timestamp, location, oid, keyword set);
+//   - no row whose timestamp is >= the last expiry cutoff is ever
+//     dropped;
+//   - resident slice count and memory stay bounded in steady state
+//     (dropped slices recycle their buffers through the free list
+//     instead of re-allocating).
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/object.h"
+#include "stream/window_store.h"
+#include "util/rng.h"
+#include "util/serialization.h"
+
+namespace latest::stream {
+namespace {
+
+// The reference model: everything ever appended, indexed by row id.
+struct RefRow {
+  Timestamp timestamp = 0;
+  geo::Point loc;
+  ObjectId oid = 0;
+  std::vector<KeywordId> keywords;
+};
+
+class ChurnHarness {
+ public:
+  explicit ChurnHarness(Timestamp slice_duration_ms)
+      : slice_duration_ms_(slice_duration_ms), store_(slice_duration_ms) {}
+
+  void Append(const GeoTextObject& obj) {
+    const WindowStore::Row row = store_.Append(obj);
+    ASSERT_EQ(row, rows_.size());
+    rows_.push_back(RefRow{obj.timestamp, obj.loc, obj.oid, obj.keywords});
+    CheckInvariants();
+  }
+
+  void DropBefore(Timestamp cutoff) {
+    store_.DropBefore(cutoff);
+    cutoff_ = std::max(cutoff_, cutoff);
+    CheckInvariants();
+  }
+
+  void Clear() {
+    store_.Clear();
+    cleared_below_ = rows_.size();
+    cutoff_ = 0;
+    CheckInvariants();
+  }
+
+  const WindowStore& store() const { return store_; }
+
+  // Save/Load through a fresh store must preserve every live row and the
+  // row counter (the free list is capacity, not state).
+  void CheckRoundtrip() {
+    util::BinaryWriter writer;
+    store_.Save(&writer);
+    WindowStore restored(slice_duration_ms_);
+    util::BinaryReader reader(writer.buffer());
+    ASSERT_TRUE(restored.Load(&reader));
+    ASSERT_EQ(restored.first_live_row(), store_.first_live_row());
+    ASSERT_EQ(restored.end_row(), store_.end_row());
+    ASSERT_EQ(restored.arena_bytes(), store_.arena_bytes());
+    const WindowStore::Reader a(store_);
+    const WindowStore::Reader b(restored);
+    for (WindowStore::Row row = store_.first_live_row();
+         row < store_.end_row(); ++row) {
+      ASSERT_EQ(a.timestamp(row), b.timestamp(row));
+      ASSERT_EQ(a.oid(row), b.oid(row));
+    }
+  }
+
+ private:
+  void CheckInvariants() {
+    ASSERT_EQ(store_.end_row(), rows_.size());
+    const WindowStore::Row first = store_.first_live_row();
+    ASSERT_LE(first, store_.end_row());
+    ASSERT_EQ(store_.resident_rows(), store_.end_row() - first);
+    // Rows appended before the last Clear must be gone.
+    ASSERT_GE(static_cast<size_t>(first), cleared_below_);
+    // Expiry retires only slices strictly older than the cutoff: a
+    // dropped row must have carried a pre-cutoff timestamp.
+    for (size_t row = cleared_below_; row < first; ++row) {
+      ASSERT_LT(rows_[row].timestamp, cutoff_)
+          << "row " << row << " dropped although not expired";
+    }
+    // Every live row reads back exactly what was appended.
+    const WindowStore::Reader reader(store_);
+    uint64_t live_keyword_bytes = 0;
+    for (WindowStore::Row row = first; row < store_.end_row(); ++row) {
+      const RefRow& ref = rows_[row];
+      ASSERT_EQ(reader.timestamp(row), ref.timestamp) << "row " << row;
+      ASSERT_EQ(reader.loc(row).x, ref.loc.x) << "row " << row;
+      ASSERT_EQ(reader.loc(row).y, ref.loc.y) << "row " << row;
+      ASSERT_EQ(reader.oid(row), ref.oid) << "row " << row;
+      const auto [keywords, count] = reader.keywords(row);
+      ASSERT_EQ(count, ref.keywords.size()) << "row " << row;
+      for (uint32_t k = 0; k < count; ++k) {
+        ASSERT_EQ(keywords[k], ref.keywords[k]) << "row " << row;
+      }
+      live_keyword_bytes += ref.keywords.size() * sizeof(KeywordId);
+    }
+    // Arena accounting equals the keyword payload of resident rows.
+    ASSERT_EQ(store_.arena_bytes(), live_keyword_bytes);
+  }
+
+  Timestamp slice_duration_ms_;
+  WindowStore store_;
+  std::vector<RefRow> rows_;
+  size_t cleared_below_ = 0;  // Rows below this died to Clear().
+  Timestamp cutoff_ = 0;      // Largest DropBefore cutoff so far.
+};
+
+GeoTextObject MakeObject(ObjectId oid, Timestamp ts, util::Rng* rng) {
+  GeoTextObject obj;
+  obj.oid = oid;
+  obj.timestamp = ts;
+  obj.loc = {rng->NextDouble(0, 100), rng->NextDouble(0, 100)};
+  const uint32_t num_kw = static_cast<uint32_t>(rng->NextBounded(5));
+  for (uint32_t k = 0; k < num_kw; ++k) {
+    obj.keywords.push_back(
+        static_cast<KeywordId>(rng->NextBounded(64)));
+  }
+  CanonicalizeKeywords(&obj.keywords);
+  return obj;
+}
+
+TEST(WindowStoreChurnTest, RandomizedChurnNeverDriftsFromReference) {
+  constexpr Timestamp kSliceMs = 100;
+  constexpr Timestamp kWindowMs = 1000;  // 10 slices per window.
+  ChurnHarness harness(kSliceMs);
+  util::Rng rng(2024);
+
+  Timestamp now = 0;
+  ObjectId next_oid = 0;
+  // ~60 windows of churn: bursty appends, frequent expiry, rare clears.
+  for (int step = 0; step < 3000; ++step) {
+    const double op = rng.NextDouble();
+    if (op < 0.78) {
+      // A burst of appends at the current time (same-timestamp runs are
+      // common in real streams and stress the open slice).
+      const uint32_t burst = 1 + static_cast<uint32_t>(rng.NextBounded(8));
+      for (uint32_t b = 0; b < burst; ++b) {
+        harness.Append(MakeObject(next_oid++, now, &rng));
+      }
+    } else if (op < 0.9) {
+      // Advance time by up to ~half a window; later appends land in new
+      // slices, sealing the previous ones.
+      now += 1 + static_cast<Timestamp>(rng.NextBounded(kWindowMs / 2));
+    } else if (op < 0.985) {
+      harness.DropBefore(now - kWindowMs);
+    } else {
+      harness.Clear();
+    }
+  }
+  harness.CheckRoundtrip();
+}
+
+TEST(WindowStoreChurnTest, SteadyStateChurnRecyclesInsteadOfGrowing) {
+  constexpr Timestamp kSliceMs = 100;
+  constexpr Timestamp kWindowMs = 1000;
+  ChurnHarness harness(kSliceMs);
+  util::Rng rng(7);
+
+  Timestamp now = 0;
+  ObjectId next_oid = 0;
+  uint64_t peak_first_half = 0;
+  uint64_t peak_second_half = 0;
+  uint32_t peak_slices = 0;
+  constexpr int kWindows = 40;
+  for (int w = 0; w < kWindows; ++w) {
+    // One window of steady ingest: same object rate every window, expiry
+    // every slice, as the module's rotation cadence does.
+    for (int s = 0; s < 10; ++s) {
+      const uint32_t burst = 12 + static_cast<uint32_t>(rng.NextBounded(4));
+      for (uint32_t b = 0; b < burst; ++b) {
+        harness.Append(MakeObject(next_oid++, now, &rng));
+      }
+      now += kSliceMs;
+      harness.DropBefore(now - kWindowMs);
+    }
+    const uint64_t bytes = harness.store().MemoryBytes();
+    if (w < kWindows / 2) {
+      peak_first_half = std::max(peak_first_half, bytes);
+    } else {
+      peak_second_half = std::max(peak_second_half, bytes);
+    }
+    peak_slices = std::max(peak_slices, harness.store().slices_resident());
+  }
+  // Steady state: the second half of the run must not keep allocating —
+  // retired slices come back from the free list with capacity intact.
+  EXPECT_LE(peak_second_half, peak_first_half + peak_first_half / 4)
+      << "memory kept growing across identical windows: free-list "
+         "recycling is not engaging";
+  // A 10-slice window holds at most the 10 live slices + the open one +
+  // one not-yet-retired boundary slice.
+  EXPECT_LE(peak_slices, 12u);
+}
+
+}  // namespace
+}  // namespace latest::stream

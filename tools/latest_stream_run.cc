@@ -1,0 +1,272 @@
+// latest_stream_run: deterministic streaming run with optional durability
+// and crash/resume, for the crash-recovery smoke test.
+//
+// The stream (clustered objects; 70/15/15 keyword/spatial/hybrid queries
+// every 10th object once the window filled) is a pure function of
+// --seed/--objects/--duration, so two processes fed the same flags see
+// identical events. With --checkpoint-dir every event is write-ahead
+// logged and the module snapshots every --checkpoint-every events;
+// --kill-after N raises SIGKILL (no cleanup, a real crash) after N events
+// reach the module; --resume recovers from the newest snapshot + WAL and
+// fast-forwards the generators to the recovered position before
+// continuing.
+//
+// The final RESULT_JSON line carries the CRC-32 of the module's
+// deterministic lifecycle digest (SaveDeterministicState): a killed-and-resumed run must print the
+// same state_crc as an uninterrupted one — that is the bit-identical
+// recovery contract, asserted by scripts/crash_recovery_smoke.sh.
+//
+// Usage:
+//   latest_stream_run [--objects N] [--duration MS] [--seed S]
+//                     [--threads N] [--checkpoint-dir DIR]
+//                     [--checkpoint-every N] [--kill-after N] [--resume]
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/latest_module.h"
+#include "persist/checkpoint_manager.h"
+#include "persist/crc32.h"
+#include "stream/object.h"
+#include "stream/query.h"
+#include "util/rng.h"
+
+namespace {
+
+using latest::core::LatestConfig;
+using latest::core::LatestModule;
+using latest::persist::CheckpointManager;
+using latest::persist::DurabilityConfig;
+
+struct Options {
+  uint64_t objects = 8000;
+  int64_t duration_ms = 4000;
+  uint64_t seed = 5;
+  uint32_t threads = 0;
+  std::string checkpoint_dir;
+  uint64_t checkpoint_every = 1000;
+  uint64_t kill_after = 0;  // 0 = run to completion.
+  bool resume = false;
+};
+
+constexpr latest::geo::Rect kBounds{0, 0, 100, 100};
+
+// Mirrors the parallel-determinism harness: alpha = 0 keeps wall-clock
+// latency out of every decision, making runs (and recoveries) exactly
+// reproducible.
+LatestConfig MakeConfig(const Options& options) {
+  LatestConfig config;
+  config.bounds = kBounds;
+  config.window.window_length_ms = 1000;
+  config.window.num_slices = 10;
+  config.pretrain_queries = 40;
+  config.monitor_window = 16;
+  config.min_queries_between_switches = 16;
+  config.estimator.reservoir_capacity = 500;
+  config.default_estimator = latest::estimators::EstimatorKind::kH4096;
+  config.maintain_shadow_estimators = true;
+  config.alpha = 0.0;
+  config.seed = options.seed;
+  config.num_threads = options.threads;
+  return config;
+}
+
+latest::stream::GeoTextObject MakeObject(uint64_t i, latest::util::Rng* rng,
+                                         const Options& options) {
+  latest::stream::GeoTextObject obj;
+  obj.oid = i;
+  if (rng->NextBool(0.7)) {
+    obj.loc = {rng->NextDouble(20, 40), rng->NextDouble(20, 40)};
+  } else {
+    obj.loc = {rng->NextDouble(0, 100), rng->NextDouble(0, 100)};
+  }
+  const int num_kw = 1 + static_cast<int>(rng->NextBounded(3));
+  for (int k = 0; k < num_kw; ++k) {
+    const double u = rng->NextDouble();
+    obj.keywords.push_back(static_cast<latest::stream::KeywordId>(u * u * 50));
+  }
+  latest::stream::CanonicalizeKeywords(&obj.keywords);
+  obj.timestamp = options.duration_ms * static_cast<int64_t>(i) /
+                  static_cast<int64_t>(options.objects);
+  return obj;
+}
+
+latest::stream::Query MakeQuery(latest::util::Rng* rng) {
+  latest::stream::Query q;
+  const double u = rng->NextDouble();
+  if (u < 0.70) {
+    q.keywords = {static_cast<latest::stream::KeywordId>(rng->NextBounded(50))};
+    return q;
+  }
+  const latest::geo::Point c{rng->NextDouble(10, 90), rng->NextDouble(10, 90)};
+  q.range = latest::geo::Rect::FromCenter(c, rng->NextDouble(5, 30),
+                                          rng->NextDouble(5, 30));
+  if (u >= 0.85) {
+    q.keywords = {static_cast<latest::stream::KeywordId>(rng->NextBounded(50))};
+  }
+  return q;
+}
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "latest_stream_run: %s\n", message.c_str());
+  std::exit(1);
+}
+
+Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) Die("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--objects") {
+      options.objects = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--duration") {
+      options.duration_ms = std::strtoll(value().c_str(), nullptr, 10);
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--threads") {
+      options.threads =
+          static_cast<uint32_t>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (arg == "--checkpoint-dir") {
+      options.checkpoint_dir = value();
+    } else if (arg == "--checkpoint-every") {
+      options.checkpoint_every = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--kill-after") {
+      options.kill_after = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else {
+      Die("unknown flag: " + arg);
+    }
+  }
+  if (options.objects == 0) Die("--objects must be > 0");
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = ParseArgs(argc, argv);
+  const LatestConfig config = MakeConfig(options);
+
+  std::unique_ptr<LatestModule> module;
+  uint64_t recovered_objects = 0;
+  uint64_t recovered_queries = 0;
+  uint64_t replayed = 0;
+  if (options.resume) {
+    if (options.checkpoint_dir.empty()) {
+      Die("--resume requires --checkpoint-dir");
+    }
+    auto recovered =
+        CheckpointManager::Recover(options.checkpoint_dir, config);
+    if (!recovered.ok()) Die(recovered.status().ToString());
+    module = std::move(recovered.value().module);
+    recovered_objects = module->objects_ingested();
+    recovered_queries = module->queries_answered();
+    replayed = recovered.value().replayed_objects +
+               recovered.value().replayed_queries;
+    std::fprintf(stderr,
+                 "resumed from snapshot %" PRIu64 " (+%" PRIu64
+                 " WAL events): %" PRIu64 " objects, %" PRIu64
+                 " queries already consumed\n",
+                 recovered.value().snapshot_seq, replayed, recovered_objects,
+                 recovered_queries);
+  } else {
+    auto created = LatestModule::Create(config);
+    if (!created.ok()) Die(created.status().ToString());
+    module = std::move(created).value();
+  }
+
+  std::unique_ptr<CheckpointManager> manager;
+  if (!options.checkpoint_dir.empty()) {
+    DurabilityConfig durability;
+    durability.dir = options.checkpoint_dir;
+    durability.checkpoint_every = options.checkpoint_every;
+    auto attached = CheckpointManager::Attach(durability, module.get());
+    if (!attached.ok()) Die(attached.status().ToString());
+    manager = std::move(attached).value();
+  }
+
+  const auto feed_object = [&](const latest::stream::GeoTextObject& obj) {
+    if (manager != nullptr) {
+      const latest::util::Status status = manager->OnObject(obj);
+      if (!status.ok()) Die(status.ToString());
+    } else {
+      module->OnObject(obj);
+    }
+  };
+  const auto feed_query = [&](const latest::stream::Query& q) {
+    if (manager != nullptr) {
+      const auto outcome = manager->OnQuery(q);
+      if (!outcome.ok()) Die(outcome.status().ToString());
+    } else {
+      module->OnQuery(q);
+    }
+  };
+
+  // The generators are replayed from index 0 on every run; events the
+  // recovered module already consumed are generated (to advance the RNG
+  // streams identically) but not fed again.
+  latest::util::Rng object_rng(13);
+  latest::util::Rng query_rng(99);
+  uint64_t queries_generated = 0;
+  for (uint64_t i = 0; i < options.objects; ++i) {
+    const latest::stream::GeoTextObject obj =
+        MakeObject(i, &object_rng, options);
+    if (i >= recovered_objects) {
+      feed_object(obj);
+      if (options.kill_after != 0 &&
+          module->objects_ingested() + module->queries_answered() >=
+              options.kill_after) {
+        ::kill(::getpid(), SIGKILL);  // A real crash: no destructors run.
+      }
+    }
+    if (obj.timestamp < 1000 || i % 10 != 0) continue;
+    latest::stream::Query q = MakeQuery(&query_rng);
+    q.timestamp = obj.timestamp;
+    ++queries_generated;
+    if (queries_generated > recovered_queries) {
+      feed_query(q);
+      if (options.kill_after != 0 &&
+          module->objects_ingested() + module->queries_answered() >=
+              options.kill_after) {
+        ::kill(::getpid(), SIGKILL);
+      }
+    }
+  }
+  if (manager != nullptr) {
+    const latest::util::Status status = manager->Sync();
+    if (!status.ok()) Die(status.ToString());
+  }
+
+  // Digest of the serialized lifecycle (minus wall-clock latency stats,
+  // which are re-measured on replay): identical streams must end in
+  // byte-identical state, crash or no crash.
+  latest::util::BinaryWriter state;
+  module->SaveDeterministicState(&state);
+  const uint32_t state_crc = latest::persist::Crc32(state.buffer());
+
+  std::printf(
+      "RESULT_JSON {\"experiment\":\"stream_run\",\"objects\":%" PRIu64
+      ",\"queries\":%" PRIu64 ",\"switches\":%zu,\"final_phase\":\"%s\","
+      "\"active\":\"%s\",\"model_leaves\":%" PRIu64
+      ",\"resumed\":%d,\"replayed\":%" PRIu64
+      ",\"snapshots\":%" PRIu64 ",\"state_crc\":\"%08x\"}\n",
+      module->objects_ingested(), module->queries_answered(),
+      module->switch_log().size(),
+      latest::core::PhaseName(module->phase()),
+      latest::estimators::EstimatorKindName(module->active_kind()),
+      static_cast<uint64_t>(module->model().num_leaves()),
+      options.resume ? 1 : 0, replayed,
+      manager != nullptr ? manager->snapshots_taken() : 0, state_crc);
+  return 0;
+}
