@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/span.h"
 #include "util/stopwatch.h"
 
 namespace latest::core {
@@ -86,7 +87,22 @@ util::Result<std::unique_ptr<LatestModule>> LatestModule::Create(
   effective.estimator.bounds = config.bounds;
   effective.estimator.window = config.window;
   LATEST_RETURN_IF_ERROR(effective.estimator.Validate());
-  return std::unique_ptr<LatestModule>(new LatestModule(effective));
+  auto module = std::unique_ptr<LatestModule>(new LatestModule(effective));
+  if (effective.enable_introspection) {
+    obs::IntrospectionSources sources;
+    sources.registry = &module->telemetry_->registry();
+    sources.events = &module->telemetry_->events();
+    sources.traces = &module->telemetry_->traces();
+    sources.slo = module->slo_monitor_.get();
+    obs::IntrospectionInfo info;
+    info.tau = effective.tau;
+    info.prefill_threshold = effective.PrefillThreshold();
+    module->introspection_ = std::make_unique<obs::IntrospectionServer>(
+        sources, std::move(info));
+    LATEST_RETURN_IF_ERROR(module->introspection_->Start(
+        effective.introspection_port, effective.slo_tick_ms));
+  }
+  return module;
 }
 
 LatestModule::LatestModule(const LatestConfig& config)
@@ -108,6 +124,15 @@ LatestModule::LatestModule(const LatestConfig& config)
           std::max(1u, config.window.num_slices)),
       telemetry_(std::make_unique<obs::Telemetry>(config.telemetry)) {
   RegisterMetrics();
+  slo_monitor_ = std::make_unique<obs::SloMonitor>(&telemetry_->registry(),
+                                                   &telemetry_->events());
+  {
+    std::vector<obs::SloRule> rules = config_.slo_rules;
+    if (rules.empty() && config_.enable_introspection) {
+      rules = obs::DefaultLatestSloRules(config_.tau);
+    }
+    for (const obs::SloRule& rule : rules) slo_monitor_->AddRule(rule);
+  }
   scoreboard_.AttachTelemetry(&telemetry_->registry());
   obs::ThreadPoolMetrics::Attach(pool_.get(), &telemetry_->registry(),
                                  "estimation", &pool_metrics_);
@@ -228,25 +253,36 @@ void LatestModule::DestroyInstance(estimators::EstimatorKind kind) {
 void LatestModule::AdvanceClock(stream::Timestamp t) {
   const uint32_t rotations = clock_.Advance(t);
   if (rotations == 0) return;
-  for (uint32_t r = 0; r < rotations; ++r) {
-    window_population_.Rotate();
-    for (auto& instance : instances_) {
-      if (instance != nullptr) instance->OnSliceRotate();
+  {
+    LATEST_SPAN("slice_seal");
+    for (uint32_t r = 0; r < rotations; ++r) {
+      window_population_.Rotate();
+      for (auto& instance : instances_) {
+        if (instance != nullptr) instance->OnSliceRotate();
+      }
+      keyword_stats_.Decay(keyword_decay_);
+      keyword_objects_ *= keyword_decay_;
     }
-    keyword_stats_.Decay(keyword_decay_);
-    keyword_objects_ *= keyword_decay_;
   }
+  LATEST_SPAN("evict");
   system_log_.EvictExpired(clock_.now());
 }
 
 void LatestModule::OnObject(const stream::GeoTextObject& obj) {
+  LATEST_SPAN("ingest");
   AdvanceClock(obj.timestamp);
-  system_log_.Insert(obj);
+  {
+    LATEST_SPAN("store_insert");
+    system_log_.Insert(obj);
+  }
   window_population_.Add();
   for (const stream::KeywordId kw : obj.keywords) keyword_stats_.Add(kw);
   keyword_objects_ += 1.0;
-  for (auto& instance : instances_) {
-    if (instance != nullptr) instance->Insert(obj);
+  {
+    LATEST_SPAN("estimator_insert");
+    for (auto& instance : instances_) {
+      if (instance != nullptr) instance->Insert(obj);
+    }
   }
   objects_counter_->Increment();
   window_population_gauge_->Set(
@@ -750,6 +786,7 @@ bool LatestModule::MaybeSwitch(const stream::Query& q, uint64_t query_index) {
   // The learning model's recommendation, forced away from the active
   // estimator (used once switch pressure exists).
   auto recommend_non_active = [&]() {
+    LATEST_SPAN("tree_infer");
     const std::vector<double> dist =
         model_->PredictDistribution(BuildFeatures(q));
     estimators::EstimatorKind best = active_kind_;
@@ -806,6 +843,7 @@ bool LatestModule::MaybeSwitch(const stream::Query& q, uint64_t query_index) {
         candidate_kind_.value_or(recommend_non_active());
     const estimators::EstimatorKind to = recommendation;
     if (to != active_kind_) {
+      LATEST_SPAN("switch");
       EnsureInstance(to);
       if (!config_.maintain_shadow_estimators) {
         DestroyInstance(active_kind_);
@@ -835,6 +873,7 @@ bool LatestModule::MaybeSwitch(const stream::Query& q, uint64_t query_index) {
   if (prefill_pressure) {
     // Anticipate the switch: start pre-filling the recommended structure.
     if (!candidate_kind_.has_value()) {
+      LATEST_SPAN("prefill");
       const estimators::EstimatorKind rec = recommend_non_active();
       if (rec != active_kind_) {
         candidate_kind_ = rec;
@@ -868,6 +907,7 @@ bool LatestModule::MaybeSwitch(const stream::Query& q, uint64_t query_index) {
 QueryOutcome LatestModule::OnQuery(const stream::Query& q,
                                    double tokenize_ms) {
   const util::Stopwatch total_watch;
+  LATEST_SPAN("query");
   AdvanceClock(q.timestamp);
   if (phase_ == Phase::kWarmup &&
       clock_.now() >= config_.window.window_length_ms) {
@@ -879,7 +919,11 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q,
   queries_counter_->Increment();
 
   const util::Stopwatch truth_watch;
-  const uint64_t actual = system_log_.TrueSelectivity(q);
+  uint64_t actual = 0;
+  {
+    LATEST_SPAN("ground_truth");
+    actual = system_log_.TrueSelectivity(q);
+  }
   const double ground_truth_ms = truth_watch.ElapsedMillis();
   const stream::QueryType type = q.Type();
   recent_spatial_ratio_.Add(type == stream::QueryType::kSpatial ? 1.0 : 0.0);
@@ -896,8 +940,11 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q,
       // The paper's warm-up receives no queries; answer with the default
       // estimator without any training.
       const util::Stopwatch estimate_watch;
-      const EstimatorMeasurement m =
-          Measure(EnsureInstance(active_kind_), q, actual);
+      EstimatorMeasurement m;
+      {
+        LATEST_SPAN("estimate");
+        m = Measure(EnsureInstance(active_kind_), q, actual);
+      }
       const double estimate_ms = estimate_watch.ElapsedMillis();
       outcome.estimate = m.estimate;
       outcome.accuracy = m.accuracy;
@@ -927,7 +974,10 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q,
       }
       std::array<EstimatorMeasurement, estimators::kNumEstimatorKinds>
           slots;
-      MeasurePortfolio(kinds, q, actual, &slots);
+      {
+        LATEST_SPAN("estimate");
+        MeasurePortfolio(kinds, q, actual, &slots);
+      }
       for (const uint32_t k : kinds) {
         const auto kind = static_cast<estimators::EstimatorKind>(k);
         const EstimatorMeasurement& m = slots[k];
@@ -950,7 +1000,10 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q,
           best = static_cast<uint32_t>(m.kind);
         }
       }
-      model_->Train(ml::TrainingExample{BuildFeatures(q), best});
+      {
+        LATEST_SPAN("tree_train");
+        model_->Train(ml::TrainingExample{BuildFeatures(q), best});
+      }
 
       outcome.estimate = active_m.estimate;
       outcome.accuracy = active_m.accuracy;
@@ -991,7 +1044,10 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q,
       }
       std::array<EstimatorMeasurement, estimators::kNumEstimatorKinds>
           slots;
-      MeasurePortfolio(kinds, q, actual, &slots);
+      {
+        LATEST_SPAN("estimate");
+        MeasurePortfolio(kinds, q, actual, &slots);
+      }
       for (const uint32_t k : kinds) {
         const auto kind = static_cast<estimators::EstimatorKind>(k);
         const EstimatorMeasurement& m = slots[k];
@@ -1011,7 +1067,10 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q,
       const util::Stopwatch model_watch;
       const auto label = static_cast<uint32_t>(
           scoreboard_.BestFor(type, config_.alpha));
-      model_->Train(ml::TrainingExample{BuildFeatures(q), label});
+      {
+        LATEST_SPAN("tree_train");
+        model_->Train(ml::TrainingExample{BuildFeatures(q), label});
+      }
 
       outcome.estimate = active_m.estimate;
       outcome.accuracy = active_m.accuracy;
@@ -1076,6 +1135,13 @@ void LatestModule::FinishQuery(const stream::Query& /*q*/,
         model_ms;
     trace.total_ms = total_watch.ElapsedMillis() + tokenize_ms;
     telemetry_->traces().Record(trace);
+  }
+
+  // Query-driven SLO evaluation: stamps breach events with stream event
+  // time (the server's ticker thread stamps 0).
+  if (config_.slo_eval_every_queries > 0 &&
+      (ordinal + 1) % config_.slo_eval_every_queries == 0) {
+    slo_monitor_->EvaluateAll(static_cast<int64_t>(clock_.now()));
   }
 }
 

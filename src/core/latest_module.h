@@ -39,6 +39,8 @@
 #include "exact/exact_evaluator.h"
 #include "ml/hoeffding_tree.h"
 #include "obs/pool_metrics.h"
+#include "obs/slo_monitor.h"
+#include "obs/statusz.h"
 #include "obs/telemetry.h"
 #include "stream/object.h"
 #include "stream/query.h"
@@ -160,6 +162,31 @@ struct LatestConfig {
   /// the stream.
   uint32_t num_threads = 0;
 
+  /// Live introspection plane (obs/statusz.h). When enabled, Create()
+  /// starts an embedded HTTP server on 127.0.0.1:`introspection_port`
+  /// serving /metrics, /vars, /healthz, /statusz, and /tracez; a port of
+  /// 0 binds an ephemeral one (read it back via introspection()->port()).
+  /// All introspection fields are deliberately EXCLUDED from the
+  /// SaveState configuration fingerprint — the exposition plane never
+  /// affects lifecycle state, so snapshots stay interchangeable between
+  /// instrumented and dark deployments.
+  bool enable_introspection = false;
+  uint16_t introspection_port = 0;
+
+  /// Cadence (ms) of the introspection server's SLO ticker thread; 0
+  /// leaves SLO evaluation purely query-driven.
+  uint32_t slo_tick_ms = 1000;
+
+  /// Declarative SLO rules (obs/slo_monitor.h) evaluated against the
+  /// module's metrics registry. Empty with introspection enabled
+  /// installs obs::DefaultLatestSloRules(tau).
+  std::vector<obs::SloRule> slo_rules;
+
+  /// Additionally evaluate the SLO rules every N answered queries on the
+  /// stream thread (0 = ticker only). Query-driven evaluation stamps
+  /// breach events with stream event time instead of 0.
+  uint32_t slo_eval_every_queries = 0;
+
   /// Seed for all randomized components.
   uint64_t seed = 42;
 
@@ -253,6 +280,18 @@ class LatestModule {
   /// Metrics registry, lifecycle event log, and sampled query traces.
   obs::Telemetry& telemetry() { return *telemetry_; }
   const obs::Telemetry& telemetry() const { return *telemetry_; }
+
+  /// Declarative SLO monitor over the module's registry (always present;
+  /// rules come from LatestConfig::slo_rules or the defaults).
+  obs::SloMonitor& slo_monitor() { return *slo_monitor_; }
+  const obs::SloMonitor& slo_monitor() const { return *slo_monitor_; }
+
+  /// The embedded introspection server, or null when
+  /// LatestConfig::enable_introspection is false.
+  obs::IntrospectionServer* introspection() { return introspection_.get(); }
+  const obs::IntrospectionServer* introspection() const {
+    return introspection_.get();
+  }
 
   /// Point-in-time introspection snapshot (see core/module_stats.h).
   ModuleStats GetStats() const;
@@ -407,6 +446,8 @@ class LatestModule {
   /// Telemetry: the registry is the source of truth for lifetime
   /// counters; ModuleStats is a view over it (core/module_stats.h).
   std::unique_ptr<obs::Telemetry> telemetry_;
+  std::unique_ptr<obs::SloMonitor> slo_monitor_;
+  std::unique_ptr<obs::IntrospectionServer> introspection_;
   obs::Counter* objects_counter_ = nullptr;
   obs::Counter* queries_counter_ = nullptr;
   obs::Counter* switches_counter_ = nullptr;

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "estimators/estimator.h"
+#include "obs/metrics_registry.h"
 
 namespace latest::obs {
 
@@ -27,6 +28,10 @@ const char* EventTypeName(EventType type) {
       return "model_retrained";
     case EventType::kModelReset:
       return "model_reset";
+    case EventType::kSloBreached:
+      return "slo_breached";
+    case EventType::kSloRecovered:
+      return "slo_recovered";
   }
   return "unknown";
 }
@@ -35,13 +40,25 @@ EventLog::EventLog(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
   ring_.reserve(capacity_);
 }
 
+void EventLog::AttachMetrics(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  appended_counter_ = registry->GetCounter(
+      "latest_events_appended_total",
+      "Lifecycle events appended to the bounded event log");
+  dropped_counter_ = registry->GetCounter(
+      "latest_events_dropped_total",
+      "Lifecycle events overwritten by ring wraparound (lost to export)");
+}
+
 void EventLog::Append(const Event& event) {
   std::lock_guard<std::mutex> lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
   } else {
     ring_[next_] = event;
+    if (dropped_counter_ != nullptr) dropped_counter_->Increment();
   }
+  if (appended_counter_ != nullptr) appended_counter_->Increment();
   next_ = (next_ + 1) % capacity_;
   ++total_;
 }
@@ -54,6 +71,11 @@ size_t EventLog::size() const {
 uint64_t EventLog::total_appended() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_;
+}
+
+uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
 }
 
 std::vector<Event> EventLog::Snapshot() const {
@@ -161,6 +183,15 @@ std::string FormatEvent(const Event& event) {
                     static_cast<long long>(event.timestamp),
                     static_cast<unsigned long long>(event.query_count),
                     EventTypeName(event.type), event.detail);
+      break;
+    case EventType::kSloBreached:
+    case EventType::kSloRecovered:
+      std::snprintf(line, sizeof(line),
+                    "[t=%lld q=%llu] %s rule=%s value=%.4f",
+                    static_cast<long long>(event.timestamp),
+                    static_cast<unsigned long long>(event.query_count),
+                    EventTypeName(event.type), event.note.c_str(),
+                    event.detail);
       break;
   }
   return line;

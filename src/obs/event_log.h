@@ -19,6 +19,9 @@
 
 namespace latest::obs {
 
+class Counter;          // obs/metrics_registry.h
+class MetricsRegistry;  // obs/metrics_registry.h
+
 /// Lifecycle event kinds, ordered roughly by when they appear in a
 /// stream's life.
 enum class EventType : uint32_t {
@@ -40,6 +43,10 @@ enum class EventType : uint32_t {
   kModelRetrained = 7,
   /// The model was reset manually (ResetModel / failed restore).
   kModelReset = 8,
+  /// A declarative SLO rule started breaching (obs/slo_monitor.h).
+  kSloBreached = 9,
+  /// A breached SLO rule returned inside its threshold.
+  kSloRecovered = 10,
 };
 
 /// Stable display name ("phase_changed", "prefill_started", ...).
@@ -66,8 +73,11 @@ struct Event {
   /// Moving-average accuracy of the monitor at emission.
   double monitor_accuracy = 0.0;
   /// Event-specific payload: the crossed threshold for threshold events,
-  /// the previous phase for kPhaseChanged, mean error for retrains.
+  /// the previous phase for kPhaseChanged, mean error for retrains, the
+  /// observed series value for SLO events.
   double detail = 0.0;
+  /// Free-form tag: the rule name for SLO events, empty otherwise.
+  std::string note;
 };
 
 /// Bounded ring of lifecycle events; appends overwrite the oldest entry
@@ -75,6 +85,11 @@ struct Event {
 class EventLog {
  public:
   explicit EventLog(size_t capacity = 1024);
+
+  /// Mirrors append/drop volumes into `latest_events_appended_total` and
+  /// `latest_events_dropped_total` so bounded-ring loss is visible on
+  /// /metrics instead of silent. The registry must outlive the log.
+  void AttachMetrics(MetricsRegistry* registry);
 
   void Append(const Event& event);
 
@@ -85,6 +100,9 @@ class EventLog {
 
   /// Events appended over the log's lifetime, including overwritten ones.
   uint64_t total_appended() const;
+
+  /// Events overwritten by ring wraparound (lost to Snapshot).
+  uint64_t dropped() const;
 
   /// Retained events, oldest first.
   std::vector<Event> Snapshot() const;
@@ -100,6 +118,8 @@ class EventLog {
   size_t capacity_;
   size_t next_ = 0;     // Ring write position.
   uint64_t total_ = 0;  // Lifetime appends.
+  Counter* appended_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
 };
 
 /// One-line human-readable rendering of an event.

@@ -1,0 +1,268 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace latest::obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 16 * 1024;
+constexpr int kIoTimeoutMs = 2000;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+/// Sends the whole buffer; false on error/timeout.
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// `include_body` false (HEAD) still advertises the entity length.
+void WriteResponse(int fd, const HttpResponse& response,
+                   bool include_body = true) {
+  char header[256];
+  const int header_len = std::snprintf(
+      header, sizeof(header),
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      response.status, StatusText(response.status),
+      response.content_type.c_str(), response.body.size());
+  if (header_len <= 0) return;
+  if (!SendAll(fd, header, static_cast<size_t>(header_len))) return;
+  if (include_body) {
+    SendAll(fd, response.body.data(), response.body.size());
+  }
+}
+
+/// Reads until the end of the header block, a size cap, or a timeout.
+/// Returns false on socket error / oversized request.
+bool ReadRequestHead(int fd, std::string* out) {
+  char buffer[4096];
+  while (out->find("\r\n\r\n") == std::string::npos &&
+         out->find("\n\n") == std::string::npos) {
+    if (out->size() > kMaxRequestBytes) return false;
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    out->append(buffer, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+/// Parses "GET /path?query HTTP/1.1"; false on malformed input.
+bool ParseRequestLine(const std::string& head, HttpRequest* request) {
+  const size_t line_end = head.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t first_space = line.find(' ');
+  if (first_space == std::string::npos || first_space == 0) return false;
+  const size_t second_space = line.find(' ', first_space + 1);
+  if (second_space == std::string::npos ||
+      second_space == first_space + 1) {
+    return false;
+  }
+  if (line.compare(second_space + 1, 5, "HTTP/") != 0) return false;
+  request->method = line.substr(0, first_space);
+  std::string target =
+      line.substr(first_space + 1, second_space - first_space - 1);
+  const size_t question = target.find('?');
+  if (question == std::string::npos) {
+    request->path = std::move(target);
+  } else {
+    request->path = target.substr(0, question);
+    request->query = target.substr(question + 1);
+  }
+  return !request->path.empty() && request->path[0] == '/';
+}
+
+}  // namespace
+
+bool HttpRequest::HasQueryParam(std::string_view key) const {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    std::string_view param(query.data() + pos, end - pos);
+    const size_t eq = param.find('=');
+    const std::string_view name =
+        eq == std::string_view::npos ? param : param.substr(0, eq);
+    if (name == key) return true;
+    if (end == query.size()) break;
+    pos = end + 1;
+  }
+  return false;
+}
+
+HttpServer::HttpServer() = default;
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+std::vector<std::string> HttpServer::paths() const {
+  std::vector<std::string> out;
+  out.reserve(handlers_.size());
+  for (const auto& [path, handler] : handlers_) out.push_back(path);
+  return out;
+}
+
+util::Status HttpServer::Start(uint16_t port) {
+  if (running()) {
+    return util::Status::FailedPrecondition("server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::Status::Internal("socket() failed: " +
+                                  std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::Internal("bind() failed: " + err);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::Internal("listen() failed: " + err);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::Internal("pipe() failed");
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return util::Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  // Wake the poll so the accept loop observes the stop flag.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, /*timeout_ms=*/500);
+    if (ready <= 0) continue;  // Timeout or EINTR: re-check the flag.
+    if (fds[1].revents != 0) break;  // Woken by Stop().
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    timeval timeout{};
+    timeout.tv_sec = kIoTimeoutMs / 1000;
+    timeout.tv_usec = (kIoTimeoutMs % 1000) * 1000;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                 sizeof(timeout));
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &timeout,
+                 sizeof(timeout));
+    ServeConnection(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string head;
+  if (!ReadRequestHead(fd, &head)) {
+    // Oversized or torn request: answer 400 if the peer still listens.
+    WriteResponse(fd, HttpResponse{400, "text/plain; charset=utf-8",
+                                   "bad request\n"});
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  HttpRequest request;
+  HttpResponse response;
+  if (!ParseRequestLine(head, &request)) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    response = {405, "text/plain; charset=utf-8",
+                "only GET is supported\n"};
+  } else {
+    const auto it = handlers_.find(request.path);
+    if (it == handlers_.end()) {
+      std::string body = "not found; registered endpoints:\n";
+      for (const auto& [path, handler] : handlers_) {
+        body += "  " + path + "\n";
+      }
+      response = {404, "text/plain; charset=utf-8", std::move(body)};
+    } else {
+      response = it->second(request);
+    }
+  }
+  WriteResponse(fd, response, /*include_body=*/request.method != "HEAD");
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace latest::obs

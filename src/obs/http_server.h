@@ -1,0 +1,102 @@
+// Minimal dependency-free HTTP/1.1 exposition server.
+//
+// One dedicated thread accepts loopback connections and serves registered
+// GET handlers — enough protocol for `curl`, Prometheus scrapes, and a
+// browser, and nothing more: requests are parsed permissively (request
+// line + headers, bodies ignored), every response carries Content-Length
+// and `Connection: close`, and malformed input yields a 400 instead of
+// tearing the connection down. Connections are handled serially on the
+// server thread; concurrent scrapers queue in the listen backlog, which
+// bounds the server's resource cost at one socket regardless of client
+// count. Receive/send timeouts keep a stalled client from wedging the
+// exposition plane.
+//
+// Handlers run on the server thread, concurrently with the instrumented
+// workload — everything they touch must be thread-safe (the metrics
+// registry, event log, trace collectors, and SLO monitor all are).
+
+#ifndef LATEST_OBS_HTTP_SERVER_H_
+#define LATEST_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace latest::obs {
+
+/// A parsed request: method, path, and the raw query string (text after
+/// '?', not decoded).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;
+
+  /// True when the query string contains `key` as a bare flag or k=v pair.
+  bool HasQueryParam(std::string_view key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Blocking accept-loop HTTP server on a dedicated thread.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+  ~HttpServer();
+
+  /// Registers a handler for an exact path ("/metrics"). Must be called
+  /// before Start.
+  void Handle(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
+  /// starts the accept thread. Fails when the port is taken or the
+  /// server is already running.
+  util::Status Start(uint16_t port);
+
+  /// Stops the accept thread and closes the listen socket. Idempotent;
+  /// also called by the destructor. In-flight requests finish first.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolved after Start when 0 was requested).
+  uint16_t port() const { return port_; }
+
+  /// Requests answered (any status) over the server lifetime.
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  /// Registered paths, sorted (for the index page).
+  std::vector<std::string> paths() const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // Self-pipe unblocking the accept poll.
+};
+
+}  // namespace latest::obs
+
+#endif  // LATEST_OBS_HTTP_SERVER_H_

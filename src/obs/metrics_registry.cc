@@ -94,6 +94,71 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrNull(MetricType type,
   return nullptr;
 }
 
+const MetricsRegistry::Entry* MetricsRegistry::FindAnyOrNull(
+    std::string_view name, const LabelSet& labels) const {
+  for (const auto& entry : entries_) {
+    if (entry->name == name && entry->labels == labels) return entry.get();
+  }
+  return nullptr;
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name,
+                                            const LabelSet& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* entry = FindAnyOrNull(name, labels);
+  return entry != nullptr ? entry->counter.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name,
+                                        const LabelSet& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* entry = FindAnyOrNull(name, labels);
+  return entry != nullptr ? entry->gauge.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    std::string_view name, const LabelSet& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* entry = FindAnyOrNull(name, labels);
+  return entry != nullptr ? entry->histogram.get() : nullptr;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Samples(
+    std::string_view name_prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  for (const auto& entry : entries_) {
+    if (entry->name.compare(0, name_prefix.size(), name_prefix) != 0) {
+      continue;
+    }
+    Sample sample;
+    sample.name = entry->name;
+    sample.labels = entry->labels;
+    switch (entry->type) {
+      case MetricType::kCounter:
+        sample.kind = Sample::Kind::kCounter;
+        sample.value = static_cast<double>(entry->counter->value());
+        break;
+      case MetricType::kGauge:
+        sample.kind = Sample::Kind::kGauge;
+        sample.value = entry->gauge->value();
+        break;
+      case MetricType::kHistogram:
+        sample.kind = Sample::Kind::kHistogram;
+        sample.value = static_cast<double>(entry->histogram->count());
+        sample.histogram = entry->histogram.get();
+        break;
+    }
+    out.push_back(std::move(sample));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Sample& a, const Sample& b) {
+                     if (a.name != b.name) return a.name < b.name;
+                     return a.labels < b.labels;
+                   });
+  return out;
+}
+
 Counter* MetricsRegistry::GetCounter(std::string_view name,
                                      std::string_view help, LabelSet labels) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -172,6 +237,23 @@ void AppendEscaped(std::string_view raw, std::string* out) {
   }
 }
 
+/// HELP text escaping per the exposition format: only backslash and line
+/// feed (double quotes stay literal in help lines).
+void AppendHelpEscaped(std::string_view raw, std::string* out) {
+  for (const char c : raw) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
 /// Renders `{k1="v1",k2="v2"}`; `extra` appends one more pair (used for
 /// the `le` bound of histogram buckets). Empty label sets render nothing.
 std::string RenderLabels(const LabelSet& labels,
@@ -213,16 +295,22 @@ std::string MetricsRegistry::PrometheusText() const {
   std::vector<const Entry*> sorted;
   sorted.reserve(entries_.size());
   for (const auto& entry : entries_) sorted.push_back(entry.get());
+  // Stable-sort by (family, label set): families group so # HELP/# TYPE
+  // appear exactly once each, and instances within a family expose in a
+  // registration-order-independent sequence.
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const Entry* a, const Entry* b) {
-                     return a->name < b->name;
+                     if (a->name != b->name) return a->name < b->name;
+                     return a->labels < b->labels;
                    });
 
   std::string out;
   const std::string* previous_family = nullptr;
   for (const Entry* entry : sorted) {
     if (previous_family == nullptr || *previous_family != entry->name) {
-      out += "# HELP " + entry->name + " " + entry->help + "\n";
+      out += "# HELP " + entry->name + " ";
+      AppendHelpEscaped(entry->help, &out);
+      out += "\n";
       out += "# TYPE " + entry->name + " ";
       switch (entry->type) {
         case MetricType::kCounter:

@@ -130,12 +130,36 @@ class MetricsRegistry {
                           std::vector<double> upper_bounds,
                           LabelSet labels = {});
 
+  /// Read-only lookup: the instance registered under (name, labels), or
+  /// null when absent. Unlike Get*, never creates. The returned pointer
+  /// stays valid for the registry's lifetime.
+  const Counter* FindCounter(std::string_view name,
+                             const LabelSet& labels = {}) const;
+  const Gauge* FindGauge(std::string_view name,
+                         const LabelSet& labels = {}) const;
+  const Histogram* FindHistogram(std::string_view name,
+                                 const LabelSet& labels = {}) const;
+
+  /// Flat read of one instance per registered metric, sorted like the
+  /// exposition (by name, then labels). For histograms `value` is the
+  /// sample count. `name_prefix` filters by family-name prefix.
+  struct Sample {
+    std::string name;
+    LabelSet labels;
+    enum class Kind { kCounter, kGauge, kHistogram } kind;
+    double value = 0.0;
+    const Histogram* histogram = nullptr;  // Set for histogram samples.
+  };
+  std::vector<Sample> Samples(std::string_view name_prefix = "") const;
+
   /// Number of registered metric instances.
   size_t size() const;
 
   /// Prometheus text exposition format (version 0.0.4): families sorted
-  /// by name with # HELP / # TYPE headers, histograms as cumulative
-  /// `_bucket` series plus `_sum` / `_count`.
+  /// by name with exactly one # HELP / # TYPE header each, label sets
+  /// stable-sorted within a family, label values and help text escaped
+  /// per the format spec, histograms as cumulative `_bucket` series plus
+  /// `_sum` / `_count`.
   std::string PrometheusText() const;
 
   /// JSON exposition: {"metrics": [...]} with per-histogram p50/p95/p99.
@@ -156,6 +180,8 @@ class MetricsRegistry {
 
   Entry* FindOrNull(MetricType type, std::string_view name,
                     const LabelSet& labels);
+  const Entry* FindAnyOrNull(std::string_view name,
+                             const LabelSet& labels) const;
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_;

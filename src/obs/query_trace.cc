@@ -35,6 +35,15 @@ TraceCollector::TraceCollector(uint32_t sample_every, size_t capacity,
         "latest_query_total_latency_ms",
         "End-to-end wall clock of sampled queries (ms)",
         Histogram::LatencyBucketsMs());
+    recorded_counter_ = registry->GetCounter(
+        "latest_traces_recorded_total",
+        "Query traces recorded by the sampled stage timer");
+    dropped_counter_ = registry->GetCounter(
+        "latest_traces_dropped_total",
+        "Query traces overwritten by ring wraparound (lost to export)");
+    skipped_counter_ = registry->GetCounter(
+        "latest_traces_skipped_total",
+        "Queries that bypassed stage tracing because of sampling");
   }
 }
 
@@ -45,11 +54,13 @@ void TraceCollector::Record(const QueryTrace& trace) {
     }
   }
   if (total_histogram_ != nullptr) total_histogram_->Observe(trace.total_ms);
+  if (recorded_counter_ != nullptr) recorded_counter_->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(trace);
   } else {
     ring_[next_] = trace;
+    if (dropped_counter_ != nullptr) dropped_counter_->Increment();
   }
   next_ = (next_ + 1) % capacity_;
   ++total_;
@@ -58,6 +69,11 @@ void TraceCollector::Record(const QueryTrace& trace) {
 uint64_t TraceCollector::recorded() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_;
+}
+
+uint64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
 }
 
 std::vector<QueryTrace> TraceCollector::Snapshot() const {

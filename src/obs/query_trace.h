@@ -65,14 +65,23 @@ class TraceCollector {
                  MetricsRegistry* registry);
 
   /// Whether the query with this module-lifetime ordinal should be traced.
+  /// Skips are counted into `latest_traces_skipped_total` so the sampling
+  /// rate is auditable from /metrics.
   bool ShouldSample(uint64_t ordinal) const {
-    return sample_every_ != 0 && ordinal % sample_every_ == 0;
+    const bool sample = sample_every_ != 0 && ordinal % sample_every_ == 0;
+    if (!sample && skipped_counter_ != nullptr) {
+      skipped_counter_->Increment();
+    }
+    return sample;
   }
 
   void Record(const QueryTrace& trace);
 
   /// Traces recorded over the collector's lifetime.
   uint64_t recorded() const;
+
+  /// Traces overwritten by ring wraparound (lost to Snapshot).
+  uint64_t dropped() const;
 
   /// Retained traces, oldest first.
   std::vector<QueryTrace> Snapshot() const;
@@ -89,6 +98,9 @@ class TraceCollector {
   uint64_t total_ = 0;
   std::array<Histogram*, kNumTraceStages> stage_histograms_{};
   Histogram* total_histogram_ = nullptr;
+  Counter* recorded_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+  Counter* skipped_counter_ = nullptr;
 };
 
 /// One-line human-readable rendering of a trace.

@@ -1,0 +1,422 @@
+#include "obs/statusz.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "estimators/estimator.h"
+#include "obs/event_log.h"
+#include "obs/metrics_registry.h"
+#include "obs/query_trace.h"
+#include "obs/slo_monitor.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
+
+namespace latest::obs {
+
+namespace {
+
+constexpr std::string_view kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+const char* PhaseName(int32_t phase) {
+  switch (phase) {
+    case 0:
+      return "warmup";
+    case 1:
+      return "pretraining";
+    case 2:
+      return "incremental";
+  }
+  return "unknown";
+}
+
+const char* EstimatorName(int32_t kind) {
+  if (kind < 0 ||
+      kind >= static_cast<int32_t>(estimators::kNumEstimatorKinds)) {
+    return "-";
+  }
+  return estimators::EstimatorKindName(
+      static_cast<estimators::EstimatorKind>(kind));
+}
+
+double GaugeOr(const MetricsRegistry* registry, std::string_view name,
+               double fallback, const LabelSet& labels = {}) {
+  const Gauge* gauge = registry->FindGauge(name, labels);
+  return gauge != nullptr ? gauge->value() : fallback;
+}
+
+double CounterOr(const MetricsRegistry* registry, std::string_view name,
+                 double fallback, const LabelSet& labels = {}) {
+  const Counter* counter = registry->FindCounter(name, labels);
+  return counter != nullptr ? static_cast<double>(counter->value()) : fallback;
+}
+
+void AppendF(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  *out += buffer;
+}
+
+void AppendJsonEscaped(std::string* out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          AppendF(out, "\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendHtmlEscaped(std::string* out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '<':
+        *out += "&lt;";
+        break;
+      case '>':
+        *out += "&gt;";
+        break;
+      case '&':
+        *out += "&amp;";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+}  // namespace
+
+IntrospectionServer::IntrospectionServer(IntrospectionSources sources,
+                                         IntrospectionInfo info)
+    : sources_(sources), info_(std::move(info)) {
+  server_.Handle("/", [this](const HttpRequest& request) {
+    return HandleIndex(request);
+  });
+  server_.Handle("/metrics", [this](const HttpRequest& request) {
+    return HandleMetrics(request);
+  });
+  server_.Handle("/vars", [this](const HttpRequest& request) {
+    return HandleVars(request);
+  });
+  server_.Handle("/healthz", [this](const HttpRequest& request) {
+    return HandleHealthz(request);
+  });
+  server_.Handle("/statusz", [this](const HttpRequest& request) {
+    return HandleStatusz(request);
+  });
+  server_.Handle("/tracez", [this](const HttpRequest& request) {
+    return HandleTracez(request);
+  });
+}
+
+IntrospectionServer::~IntrospectionServer() { Stop(); }
+
+util::Status IntrospectionServer::Start(uint16_t port, uint32_t slo_tick_ms) {
+  if (sources_.registry == nullptr) {
+    return util::Status::InvalidArgument(
+        "IntrospectionServer requires a metrics registry");
+  }
+  util::Status status = server_.Start(port);
+  if (!status.ok()) return status;
+  if (slo_tick_ms > 0 && sources_.slo != nullptr) {
+    ticker_running_.store(true, std::memory_order_release);
+    ticker_ = std::thread([this, slo_tick_ms] { SloTickerLoop(slo_tick_ms); });
+  }
+  return util::Status::Ok();
+}
+
+void IntrospectionServer::Stop() {
+  if (ticker_running_.exchange(false, std::memory_order_acq_rel)) {
+    if (ticker_.joinable()) ticker_.join();
+  }
+  server_.Stop();
+}
+
+void IntrospectionServer::SloTickerLoop(uint32_t tick_ms) {
+  // Sleep in short slices so Stop() never waits a full tick.
+  constexpr uint32_t kSliceMs = 20;
+  uint32_t elapsed = tick_ms;  // Evaluate immediately on startup.
+  while (ticker_running_.load(std::memory_order_acquire)) {
+    if (elapsed >= tick_ms) {
+      elapsed = 0;
+      sources_.slo->EvaluateAll();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(kSliceMs));
+    elapsed += kSliceMs;
+  }
+}
+
+bool IntrospectionServer::degraded() const {
+  return sources_.slo != nullptr && sources_.slo->degraded();
+}
+
+HttpResponse IntrospectionServer::HandleMetrics(const HttpRequest&) const {
+  HttpResponse response;
+  response.content_type = std::string(kPrometheusContentType);
+  response.body = sources_.registry->PrometheusText();
+  return response;
+}
+
+HttpResponse IntrospectionServer::HandleVars(const HttpRequest&) const {
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = sources_.registry->Json();
+  return response;
+}
+
+HttpResponse IntrospectionServer::HandleHealthz(const HttpRequest&) const {
+  const MetricsRegistry* registry = sources_.registry;
+  const bool is_degraded = degraded();
+  const int32_t phase =
+      static_cast<int32_t>(GaugeOr(registry, "latest_phase", -1.0));
+  const double wal_lag = GaugeOr(registry, "persist_wal_lag_records", -1.0);
+
+  std::string body = "{\"status\":\"";
+  body += is_degraded ? "degraded" : "ok";
+  body += "\",\"phase\":\"";
+  body += phase >= 0 ? PhaseName(phase) : "unknown";
+  body += "\"";
+  if (wal_lag >= 0.0) {
+    AppendF(&body, ",\"wal_lag_records\":%.0f", wal_lag);
+  }
+  body += ",\"breached_rules\":[";
+  if (sources_.slo != nullptr) {
+    bool first = true;
+    for (const std::string& rule : sources_.slo->BreachedRules()) {
+      if (!first) body += ",";
+      first = false;
+      body += "\"";
+      AppendJsonEscaped(&body, rule);
+      body += "\"";
+    }
+  }
+  body += "]}\n";
+
+  HttpResponse response;
+  response.status = is_degraded ? 503 : 200;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse IntrospectionServer::HandleStatusz(const HttpRequest&) const {
+  const MetricsRegistry* registry = sources_.registry;
+  std::string page =
+      "<!DOCTYPE html><html><head><title>latest statusz</title></head>"
+      "<body><pre>\n";
+  AppendF(&page, "=== LATEST introspection: %s ===\n\n",
+          info_.instance.c_str());
+
+  // Lifecycle.
+  const int32_t phase =
+      static_cast<int32_t>(GaugeOr(registry, "latest_phase", -1.0));
+  const int32_t active =
+      static_cast<int32_t>(GaugeOr(registry, "latest_active_estimator", -1.0));
+  const int32_t candidate = static_cast<int32_t>(
+      GaugeOr(registry, "latest_candidate_estimator", -1.0));
+  const double accuracy = GaugeOr(registry, "latest_monitor_accuracy", 0.0);
+  page += "-- lifecycle --\n";
+  AppendF(&page, "phase:              %s\n",
+          phase >= 0 ? PhaseName(phase) : "unknown");
+  AppendF(&page, "active estimator:   %s\n", EstimatorName(active));
+  AppendF(&page, "candidate:          %s\n", EstimatorName(candidate));
+  AppendF(&page, "monitor accuracy:   %.4f", accuracy);
+  if (info_.tau > 0.0 && info_.prefill_threshold > 0.0) {
+    const char* verdict = accuracy < info_.tau              ? "BELOW TAU"
+                          : accuracy < info_.prefill_threshold ? "below prefill"
+                                                               : "healthy";
+    AppendF(&page, "  (switch tau=%.3f, prefill=%.3f: %s)", info_.tau,
+            info_.prefill_threshold, verdict);
+  }
+  page += "\n";
+  AppendF(&page, "queries answered:   %.0f\n",
+          CounterOr(registry, "latest_queries_total", 0.0));
+  AppendF(&page, "switches:           %.0f\n",
+          CounterOr(registry, "latest_switches_total", 0.0));
+
+  // Window / store occupancy.
+  page += "\n-- window store --\n";
+  AppendF(&page, "window population:  %.0f\n",
+          GaugeOr(registry, "latest_window_population", 0.0));
+  AppendF(&page, "live rows:          %.0f\n",
+          GaugeOr(registry, "latest_store_live_rows", 0.0));
+  AppendF(&page, "resident slices:    %.0f\n",
+          GaugeOr(registry, "latest_store_slices_resident", 0.0));
+  AppendF(&page, "arena bytes:        %.0f\n",
+          GaugeOr(registry, "latest_store_arena_bytes", 0.0));
+
+  // Threads / persistence.
+  page += "\n-- runtime --\n";
+  AppendF(&page, "pool queue depth:   %.0f\n",
+          GaugeOr(registry, "latest_pool_queue_depth", 0.0,
+                  {{"pool", "estimation"}}));
+  AppendF(&page, "wal lag (records):  %.0f\n",
+          GaugeOr(registry, "persist_wal_lag_records", 0.0));
+  AppendF(&page, "wal bytes:          %.0f\n",
+          GaugeOr(registry, "persist_wal_bytes", 0.0));
+  AppendF(&page, "snapshots taken:    %.0f\n",
+          CounterOr(registry, "persist_snapshots_total", 0.0));
+
+  // Scoreboard: moving-average accuracy per (query type, estimator).
+  const std::vector<MetricsRegistry::Sample> scoreboard =
+      registry->Samples("latest_scoreboard_accuracy");
+  if (!scoreboard.empty()) {
+    page += "\n-- scoreboard (moving accuracy) --\n";
+    for (const MetricsRegistry::Sample& sample : scoreboard) {
+      std::string labels;
+      for (const auto& [key, value] : sample.labels) {
+        if (!labels.empty()) labels += " ";
+        labels += key + "=" + value;
+      }
+      AppendF(&page, "  %-40s %.4f", labels.c_str(), sample.value);
+      if (info_.tau > 0.0) {
+        page += sample.value < info_.tau ? "  [below tau]" : "";
+      }
+      page += "\n";
+    }
+  }
+
+  // Stage latency percentiles.
+  bool stage_header = false;
+  for (uint32_t s = 0; s < kNumTraceStages; ++s) {
+    const char* stage = TraceStageName(static_cast<TraceStage>(s));
+    const Histogram* histogram = registry->FindHistogram(
+        "latest_stage_latency_ms", {{"stage", stage}});
+    if (histogram == nullptr || histogram->count() == 0) continue;
+    if (!stage_header) {
+      page += "\n-- stage latency (ms, sampled) --\n";
+      stage_header = true;
+    }
+    AppendF(&page, "  %-12s p50=%.4f p95=%.4f p99=%.4f n=%" PRIu64 "\n",
+            stage, histogram->Quantile(0.5), histogram->Quantile(0.95),
+            histogram->Quantile(0.99), histogram->count());
+  }
+
+  // SLO rules.
+  if (sources_.slo != nullptr) {
+    page += "\n-- slo rules --\n";
+    for (const SloRuleState& state : sources_.slo->States()) {
+      const char* verdict = state.breached    ? "BREACHED"
+                            : !state.has_value ? "no data"
+                                               : "ok";
+      AppendF(&page, "  %-24s %-8s value=%.4f threshold=%s%.4f",
+              state.rule.name.c_str(), verdict, state.last_value,
+              state.rule.op == SloRule::Op::kBelow ? "<" : ">",
+              state.rule.threshold);
+      if (!state.rule.description.empty()) {
+        page += "  (";
+        AppendHtmlEscaped(&page, state.rule.description);
+        page += ")";
+      }
+      page += "\n";
+    }
+  }
+
+  // Recent lifecycle events (newest last).
+  if (sources_.events != nullptr) {
+    std::vector<Event> events = sources_.events->Snapshot();
+    page += "\n-- recent events --\n";
+    constexpr size_t kMaxShown = 20;
+    const size_t start =
+        events.size() > kMaxShown ? events.size() - kMaxShown : 0;
+    for (size_t i = start; i < events.size(); ++i) {
+      page += "  ";
+      AppendHtmlEscaped(&page, FormatEvent(events[i]));
+      page += "\n";
+    }
+    if (events.empty()) page += "  (none)\n";
+  }
+
+  AppendF(&page, "\nrequests served: %" PRIu64 "\n",
+          server_.requests_served());
+  page += "</pre></body></html>\n";
+
+  HttpResponse response;
+  response.content_type = "text/html; charset=utf-8";
+  response.body = std::move(page);
+  return response;
+}
+
+HttpResponse IntrospectionServer::HandleTracez(
+    const HttpRequest& request) const {
+  HttpResponse response;
+  SpanCollector* spans = GetSpanCollector();
+  if (request.HasQueryParam("dump")) {
+    if (spans == nullptr) {
+      response.status = 404;
+      response.body = "span tracing is not enabled (no collector installed)\n";
+      return response;
+    }
+    response.content_type = "application/json";
+    response.body = TraceEventJson(*spans, info_.instance);
+    return response;
+  }
+
+  std::string body = "tracez\n\n";
+  if (spans == nullptr) {
+    body += "span collector: not installed\n";
+  } else {
+    AppendF(&body,
+            "span collector: capacity=%zu sample_every=%u\n"
+            "roots seen:     %" PRIu64 "\n"
+            "recorded:       %" PRIu64 "\n"
+            "dropped:        %" PRIu64 "\n",
+            spans->capacity(), spans->sample_every(), spans->roots_seen(),
+            spans->recorded(), spans->dropped());
+    body += "\nGET /tracez?dump for Chrome trace-event JSON "
+            "(load in Perfetto / chrome://tracing)\n";
+  }
+  if (sources_.traces != nullptr) {
+    AppendF(&body,
+            "\nquery traces:   sample_every=%u capacity=%zu\n"
+            "recorded:       %" PRIu64 "\n"
+            "dropped:        %" PRIu64 "\n",
+            sources_.traces->sample_every(), sources_.traces->capacity(),
+            sources_.traces->recorded(), sources_.traces->dropped());
+    std::vector<QueryTrace> recent = sources_.traces->Snapshot();
+    constexpr size_t kMaxShown = 10;
+    const size_t start =
+        recent.size() > kMaxShown ? recent.size() - kMaxShown : 0;
+    for (size_t i = start; i < recent.size(); ++i) {
+      body += "  " + FormatTrace(recent[i]) + "\n";
+    }
+  }
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse IntrospectionServer::HandleIndex(const HttpRequest&) const {
+  std::string body = "latest introspection endpoints:\n";
+  for (const std::string& path : server_.paths()) {
+    body += "  " + path + "\n";
+  }
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace latest::obs

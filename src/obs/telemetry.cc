@@ -4,6 +4,8 @@ namespace latest::obs {
 
 Telemetry::Telemetry(const TelemetryConfig& config)
     : events_(config.event_log_capacity),
-      traces_(config.trace_sample_every, config.trace_capacity, &registry_) {}
+      traces_(config.trace_sample_every, config.trace_capacity, &registry_) {
+  events_.AttachMetrics(&registry_);
+}
 
 }  // namespace latest::obs

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "obs/span.h"
 #include "persist/checkpoint_format.h"
 #include "persist/file_io.h"
 #include "util/stopwatch.h"
@@ -97,6 +98,7 @@ util::Result<std::unique_ptr<CheckpointManager>> CheckpointManager::Attach(
 }
 
 util::Status CheckpointManager::Checkpoint() {
+  LATEST_SPAN("snapshot");
   const util::Stopwatch watch;
   const uint64_t seq = sequence();
   CheckpointWriter writer;
@@ -152,7 +154,10 @@ util::Status CheckpointManager::MaybeCheckpoint() {
 
 util::Status CheckpointManager::OnObject(const stream::GeoTextObject& obj) {
   const uint64_t syncs_before = wal_->syncs();
-  LATEST_RETURN_IF_ERROR(wal_->AppendObject(obj));
+  {
+    LATEST_SPAN("wal_append");
+    LATEST_RETURN_IF_ERROR(wal_->AppendObject(obj));
+  }
   wal_records_counter_->Increment();
   wal_fsyncs_counter_->Increment(wal_->syncs() - syncs_before);
   module_->OnObject(obj);
@@ -162,7 +167,10 @@ util::Status CheckpointManager::OnObject(const stream::GeoTextObject& obj) {
 util::Result<core::QueryOutcome> CheckpointManager::OnQuery(
     const stream::Query& q) {
   const uint64_t syncs_before = wal_->syncs();
-  LATEST_RETURN_IF_ERROR(wal_->AppendQuery(q));
+  {
+    LATEST_SPAN("wal_append");
+    LATEST_RETURN_IF_ERROR(wal_->AppendQuery(q));
+  }
   wal_records_counter_->Increment();
   wal_fsyncs_counter_->Increment(wal_->syncs() - syncs_before);
   core::QueryOutcome outcome = module_->OnQuery(q);

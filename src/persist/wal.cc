@@ -7,6 +7,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/span.h"
 #include "persist/crc32.h"
 #include "persist/file_io.h"
 
@@ -109,6 +110,7 @@ util::Status WalWriter::Flush() {
 
 util::Status WalWriter::Sync() {
   if (pending_ == 0 && buffer_.empty()) return util::Status::Ok();
+  LATEST_SPAN("wal_fsync");
   LATEST_RETURN_IF_ERROR(Flush());
   if (::fsync(fd_) != 0) return Errno("fsync", path_);
   pending_ = 0;

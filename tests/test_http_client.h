@@ -1,0 +1,85 @@
+// Shared test helper: a tiny blocking HTTP client for exercising the
+// embedded introspection server over loopback. Sends one request, reads
+// until the server closes the connection (the server always answers with
+// `Connection: close`), and splits the status line / headers / body.
+
+#ifndef LATEST_TESTS_TEST_HTTP_CLIENT_H_
+#define LATEST_TESTS_TEST_HTTP_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace latest::testing_support {
+
+struct HttpGetResult {
+  int status = 0;        // 0 when the request failed at the socket level.
+  std::string headers;   // Status line + headers, verbatim.
+  std::string body;
+};
+
+/// Sends `raw_request` verbatim to 127.0.0.1:`port` and reads the full
+/// response. Use for malformed-request tests; HttpGet below builds a
+/// well-formed GET.
+inline HttpGetResult HttpRequestRaw(uint16_t port,
+                                    const std::string& raw_request) {
+  HttpGetResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+  struct timeval timeout;
+  timeout.tv_sec = 5;
+  timeout.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return result;
+  }
+  size_t sent = 0;
+  while (sent < raw_request.size()) {
+    const ssize_t n = ::send(fd, raw_request.data() + sent,
+                             raw_request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return result;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return result;
+  result.headers = response.substr(0, header_end);
+  result.body = response.substr(header_end + 4);
+  // "HTTP/1.1 200 OK" -> 200.
+  if (result.headers.size() > 9) {
+    result.status = std::atoi(result.headers.c_str() + 9);
+  }
+  return result;
+}
+
+inline HttpGetResult HttpGet(uint16_t port, const std::string& path,
+                             const std::string& method = "GET") {
+  return HttpRequestRaw(port, method + " " + path +
+                                  " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                                  "Connection: close\r\n\r\n");
+}
+
+}  // namespace latest::testing_support
+
+#endif  // LATEST_TESTS_TEST_HTTP_CLIENT_H_

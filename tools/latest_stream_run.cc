@@ -16,10 +16,20 @@
 // same state_crc as an uninterrupted one — that is the bit-identical
 // recovery contract, asserted by scripts/crash_recovery_smoke.sh.
 //
+// Live introspection: --metrics-port P starts the embedded HTTP server
+// (0 binds an ephemeral port; the bound port is printed to stderr) with
+// /metrics, /vars, /healthz, /statusz, and /tracez. --trace-out FILE
+// enables span tracing (sampling every Nth root with --span-sample) and
+// writes Chrome trace-event JSON loadable in Perfetto at exit.
+// --pace-us D sleeps D microseconds per event so a human (or a CI curl
+// loop) can scrape the endpoints mid-run.
+//
 // Usage:
 //   latest_stream_run [--objects N] [--duration MS] [--seed S]
 //                     [--threads N] [--checkpoint-dir DIR]
 //                     [--checkpoint-every N] [--kill-after N] [--resume]
+//                     [--metrics-port P] [--trace-out FILE]
+//                     [--span-sample N] [--pace-us D]
 
 #include <signal.h>
 #include <unistd.h>
@@ -32,6 +42,8 @@
 #include <vector>
 
 #include "core/latest_module.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
 #include "persist/checkpoint_manager.h"
 #include "persist/crc32.h"
 #include "stream/object.h"
@@ -54,6 +66,10 @@ struct Options {
   uint64_t checkpoint_every = 1000;
   uint64_t kill_after = 0;  // 0 = run to completion.
   bool resume = false;
+  int metrics_port = -1;  // -1 = no server; 0 = ephemeral port.
+  std::string trace_out;
+  uint32_t span_sample = 1;
+  uint64_t pace_us = 0;  // Sleep per event (for live scraping).
 };
 
 constexpr latest::geo::Rect kBounds{0, 0, 100, 100};
@@ -75,6 +91,11 @@ LatestConfig MakeConfig(const Options& options) {
   config.alpha = 0.0;
   config.seed = options.seed;
   config.num_threads = options.threads;
+  if (options.metrics_port >= 0) {
+    config.enable_introspection = true;
+    config.introspection_port = static_cast<uint16_t>(options.metrics_port);
+    config.slo_tick_ms = 250;  // Keep /healthz fresh for short CI runs.
+  }
   return config;
 }
 
@@ -144,6 +165,16 @@ Options ParseArgs(int argc, char** argv) {
       options.kill_after = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--resume") {
       options.resume = true;
+    } else if (arg == "--metrics-port") {
+      options.metrics_port =
+          static_cast<int>(std::strtol(value().c_str(), nullptr, 10));
+    } else if (arg == "--trace-out") {
+      options.trace_out = value();
+    } else if (arg == "--span-sample") {
+      options.span_sample =
+          static_cast<uint32_t>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (arg == "--pace-us") {
+      options.pace_us = std::strtoull(value().c_str(), nullptr, 10);
     } else {
       Die("unknown flag: " + arg);
     }
@@ -157,6 +188,15 @@ Options ParseArgs(int argc, char** argv) {
 int main(int argc, char** argv) {
   const Options options = ParseArgs(argc, argv);
   const LatestConfig config = MakeConfig(options);
+
+  // Span tracing: install the process-global collector before the first
+  // event so ingest/query roots are captured from the start.
+  std::unique_ptr<latest::obs::SpanCollector> spans;
+  if (!options.trace_out.empty()) {
+    spans = std::make_unique<latest::obs::SpanCollector>(
+        /*capacity=*/1 << 18, options.span_sample);
+    latest::obs::SetSpanCollector(spans.get());
+  }
 
   std::unique_ptr<LatestModule> module;
   uint64_t recovered_objects = 0;
@@ -184,6 +224,10 @@ int main(int argc, char** argv) {
     auto created = LatestModule::Create(config);
     if (!created.ok()) Die(created.status().ToString());
     module = std::move(created).value();
+  }
+  if (module->introspection() != nullptr) {
+    std::fprintf(stderr, "introspection server on http://127.0.0.1:%u\n",
+                 module->introspection()->port());
   }
 
   std::unique_ptr<CheckpointManager> manager;
@@ -230,6 +274,7 @@ int main(int argc, char** argv) {
         ::kill(::getpid(), SIGKILL);  // A real crash: no destructors run.
       }
     }
+    if (options.pace_us != 0) ::usleep(options.pace_us);
     if (obj.timestamp < 1000 || i % 10 != 0) continue;
     latest::stream::Query q = MakeQuery(&query_rng);
     q.timestamp = obj.timestamp;
@@ -246,6 +291,18 @@ int main(int argc, char** argv) {
   if (manager != nullptr) {
     const latest::util::Status status = manager->Sync();
     if (!status.ok()) Die(status.ToString());
+  }
+
+  if (spans != nullptr) {
+    latest::obs::SetSpanCollector(nullptr);
+    const latest::util::Status status =
+        latest::obs::WriteTraceEventFile(*spans, options.trace_out);
+    if (!status.ok()) Die(status.ToString());
+    std::fprintf(stderr,
+                 "wrote %" PRIu64 " spans (%" PRIu64
+                 " dropped) to %s — load in ui.perfetto.dev\n",
+                 spans->recorded(), spans->dropped(),
+                 options.trace_out.c_str());
   }
 
   // Digest of the serialized lifecycle (minus wall-clock latency stats,
