@@ -78,6 +78,7 @@ TimelineResult RunTimeline(const workload::DatasetSpec& dataset_spec,
   driver.AttachTelemetry(&module.telemetry().registry());
   obs::Histogram active_latency(obs::Histogram::LatencyBucketsMs());
   uint64_t incremental_index = 0;
+  uint64_t tau_hits = 0;
   driver.Run(
       [&](const stream::GeoTextObject& obj) { module.OnObject(obj); },
       [&](const stream::Query& q, uint32_t /*index*/) {
@@ -97,6 +98,7 @@ TimelineResult RunTimeline(const workload::DatasetSpec& dataset_spec,
         stats.active = outcome.active;
         result.mean_active_accuracy += outcome.accuracy;
         result.mean_active_latency_ms += outcome.latency_ms;
+        if (outcome.accuracy >= config.tau) ++tau_hits;
         active_latency.Observe(outcome.latency_ms);
         ++incremental_index;
       });
@@ -105,6 +107,8 @@ TimelineResult RunTimeline(const workload::DatasetSpec& dataset_spec,
   if (incremental_index > 0) {
     result.mean_active_accuracy /= static_cast<double>(incremental_index);
     result.mean_active_latency_ms /= static_cast<double>(incremental_index);
+    result.tau_hit_rate =
+        static_cast<double>(tau_hits) / static_cast<double>(incremental_index);
     result.p50_latency_ms = active_latency.Percentile(50.0);
     result.p95_latency_ms = active_latency.Percentile(95.0);
     result.p99_latency_ms = active_latency.Percentile(99.0);
@@ -173,9 +177,10 @@ void PrintTimelineFigure(const std::string& title,
                 estimators::EstimatorKindName(sw.to));
   }
   std::printf(
-      "\nmean active-estimator accuracy %.3f, latency %.4f ms over %llu "
-      "incremental queries; final estimator %s\n",
-      result.mean_active_accuracy, result.mean_active_latency_ms,
+      "\nmean active-estimator accuracy %.3f (tau hit rate %.3f), latency "
+      "%.4f ms over %llu incremental queries; final estimator %s\n",
+      result.mean_active_accuracy, result.tau_hit_rate,
+      result.mean_active_latency_ms,
       static_cast<unsigned long long>(result.incremental_queries),
       estimators::EstimatorKindName(result.final_active));
   std::printf(
@@ -186,12 +191,13 @@ void PrintTimelineFigure(const std::string& title,
   // tracking.
   std::printf(
       "RESULT_JSON {\"experiment\":\"%s\",\"incremental_queries\":%llu,"
-      "\"mean_accuracy\":%.6f,\"mean_latency_ms\":%.6f,"
+      "\"mean_accuracy\":%.6f,\"tau_hit_rate\":%.6f,\"mean_latency_ms\":%.6f,"
       "\"p50_latency_ms\":%.6f,\"p95_latency_ms\":%.6f,"
       "\"p99_latency_ms\":%.6f,\"switches\":%zu,\"final_active\":\"%s\"}\n\n",
       title.c_str(),
       static_cast<unsigned long long>(result.incremental_queries),
-      result.mean_active_accuracy, result.mean_active_latency_ms,
+      result.mean_active_accuracy, result.tau_hit_rate,
+      result.mean_active_latency_ms,
       result.p50_latency_ms, result.p95_latency_ms, result.p99_latency_ms,
       result.switches.size(),
       estimators::EstimatorKindName(result.final_active));

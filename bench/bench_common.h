@@ -71,6 +71,11 @@ struct TimelineResult {
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
+  /// Fraction of incremental queries whose active-estimator accuracy met
+  /// the switching threshold tau — the paper's quality target, and the
+  /// accuracy metric bench_regress.py gates on (it is deterministic for
+  /// a fixed workload seed, unlike latency).
+  double tau_hit_rate = 0.0;
   uint64_t incremental_queries = 0;
   estimators::EstimatorKind final_active = estimators::EstimatorKind::kRsh;
 };

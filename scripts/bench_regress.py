@@ -49,11 +49,21 @@ METRIC_SPECS = {
     "ns_per_op": ("lower", 0.50),
     "ingest_base_ops": ("higher", 0.35),
     "ingest_wal_group_ops": ("higher", 0.40),
+    # Estimation-quality gates from the switching benches. Unlike the
+    # rate metrics above, accuracy is deterministic for a fixed workload
+    # seed, so the bands are tight: they catch an estimator or switching
+    # regression, not machine noise.
+    "mean_accuracy": ("higher", 0.05),
+    "tau_hit_rate": ("higher", 0.10),
 }
 
 # Context fields that define the workload shape: when these differ from
 # the baseline the scales differ and rate comparisons are meaningless.
-CONTEXT_FIELDS = ("objects", "threads", "pretrain_queries")
+# incremental_queries plays that role for the timeline (switching)
+# benches: a different LATEST_BENCH_SCALE changes the query volume and
+# with it the accuracy trajectory.
+CONTEXT_FIELDS = ("objects", "threads", "pretrain_queries",
+                  "incremental_queries")
 
 
 def parse_result_lines(path):

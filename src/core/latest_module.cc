@@ -94,6 +94,10 @@ util::Result<std::unique_ptr<LatestModule>> LatestModule::Create(
     sources.events = &module->telemetry_->events();
     sources.traces = &module->telemetry_->traces();
     sources.slo = module->slo_monitor_.get();
+    sources.errors = module->error_accountant_.get();
+    sources.drift = module->drift_monitor_.get();
+    sources.audit = module->audit_trail_.get();
+    sources.flight = module->flight_recorder_.get();
     obs::IntrospectionInfo info;
     info.tau = effective.tau;
     info.prefill_threshold = effective.PrefillThreshold();
@@ -132,6 +136,27 @@ LatestModule::LatestModule(const LatestConfig& config)
       rules = obs::DefaultLatestSloRules(config_.tau);
     }
     for (const obs::SloRule& rule : rules) slo_monitor_->AddRule(rule);
+  }
+  if (config_.quality.enabled) {
+    error_accountant_ = std::make_unique<obs::ErrorAccountant>(config_.tau);
+    error_accountant_->AttachMetrics(&telemetry_->registry());
+    drift_monitor_ = std::make_unique<obs::DriftMonitor>();
+    drift_monitor_->AttachMetrics(&telemetry_->registry());
+    drift_monitor_->AttachEventLog(&telemetry_->events());
+    drift_monitor_->AddSeries("ingest_vocab_churn");
+    drift_monitor_->AddSeries("ingest_centroid");
+    audit_trail_ = std::make_unique<obs::SwitchAuditTrail>(
+        config_.quality.audit_capacity,
+        config_.quality.audit_resolution_window);
+    audit_trail_->AttachMetrics(&telemetry_->registry());
+    obs::FlightRecorder::Options flight_options;
+    flight_options.capacity = config_.quality.flight_frames;
+    flight_recorder_ =
+        std::make_unique<obs::FlightRecorder>(std::move(flight_options));
+    flight_recorder_->AttachMetrics(&telemetry_->registry());
+    flight_recorder_->AttachEventLog(&telemetry_->events());
+    flight_recorder_->AttachAuditTrail(audit_trail_.get());
+    flight_recorder_->AttachSpans(obs::GetSpanCollector());
   }
   scoreboard_.AttachTelemetry(&telemetry_->registry());
   obs::ThreadPoolMetrics::Attach(pool_.get(), &telemetry_->registry(),
@@ -262,6 +287,59 @@ void LatestModule::AdvanceClock(stream::Timestamp t) {
       }
       keyword_stats_.Decay(keyword_decay_);
       keyword_objects_ *= keyword_decay_;
+
+      // Ingest-feature drift: fold the sealed slice's vocabulary churn
+      // and centroid displacement into the drift monitor. Observational
+      // only — nothing downstream of the lifecycle reads these.
+      if (drift_monitor_ != nullptr && slice_objects_ > 0) {
+        const double churn =
+            slice_distinct_keywords_ > 0
+                ? static_cast<double>(slice_new_keywords_) /
+                      static_cast<double>(slice_distinct_keywords_)
+                : 0.0;
+        drift_monitor_->Observe("ingest_vocab_churn", churn,
+                                static_cast<int64_t>(clock_.now()),
+                                queries_counter_->value());
+        const double cx =
+            slice_sum_x_ / static_cast<double>(slice_objects_);
+        const double cy =
+            slice_sum_y_ / static_cast<double>(slice_objects_);
+        if (!centroid_initialized_) {
+          centroid_x_ = cx;
+          centroid_y_ = cy;
+          centroid_initialized_ = true;
+        }
+        const double dx = (cx - centroid_x_) / std::max(
+            1e-9, config_.bounds.max_x - config_.bounds.min_x);
+        const double dy = (cy - centroid_y_) / std::max(
+            1e-9, config_.bounds.max_y - config_.bounds.min_y);
+        const double displacement = std::sqrt(dx * dx + dy * dy);
+        drift_monitor_->Observe("ingest_centroid", displacement,
+                                static_cast<int64_t>(clock_.now()),
+                                queries_counter_->value());
+        // Long-term centroid follows slowly so a persistent hotspot move
+        // shows up as a sustained displacement, not a one-slice blip.
+        centroid_x_ += 0.2 * (cx - centroid_x_);
+        centroid_y_ += 0.2 * (cy - centroid_y_);
+      }
+      slice_distinct_keywords_ = 0;
+      slice_new_keywords_ = 0;
+      slice_sum_x_ = 0.0;
+      slice_sum_y_ = 0.0;
+      slice_objects_ = 0;
+      ++ingest_slice_index_;
+      // Bound the vocabulary map: drop entries stale for > 4 windows.
+      if (vocab_last_slice_.size() > (1u << 16)) {
+        const uint64_t horizon = 4ull * config_.window.num_slices;
+        for (auto it = vocab_last_slice_.begin();
+             it != vocab_last_slice_.end();) {
+          if (it->second + horizon < ingest_slice_index_) {
+            it = vocab_last_slice_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
     }
   }
   LATEST_SPAN("evict");
@@ -278,6 +356,28 @@ void LatestModule::OnObject(const stream::GeoTextObject& obj) {
   window_population_.Add();
   for (const stream::KeywordId kw : obj.keywords) keyword_stats_.Add(kw);
   keyword_objects_ += 1.0;
+  if (drift_monitor_ != nullptr) {
+    // Per-slice ingest-feature accumulators (folded at slice rotation).
+    for (const stream::KeywordId kw : obj.keywords) {
+      auto [it, inserted] = vocab_last_slice_.try_emplace(
+          kw, ingest_slice_index_);
+      if (inserted) {
+        ++slice_distinct_keywords_;
+        ++slice_new_keywords_;
+      } else if (it->second != ingest_slice_index_) {
+        ++slice_distinct_keywords_;
+        // "New" = absent from the whole preceding window, not merely
+        // from the last slice — that is vocabulary churn, not mixing.
+        if (it->second + config_.window.num_slices < ingest_slice_index_) {
+          ++slice_new_keywords_;
+        }
+        it->second = ingest_slice_index_;
+      }
+    }
+    slice_sum_x_ += obj.loc.x;
+    slice_sum_y_ += obj.loc.y;
+    ++slice_objects_;
+  }
   {
     LATEST_SPAN("estimator_insert");
     for (auto& instance : instances_) {
@@ -855,6 +955,9 @@ bool LatestModule::MaybeSwitch(const stream::Query& q, uint64_t query_index) {
       event.recommended = static_cast<int32_t>(recommendation);
       telemetry_->events().Append(event);
       switches_counter_->Increment();
+      RecordSwitchAudit(q, weights, to, recommendation,
+                        /*had_prefilled_candidate=*/
+                        candidate_kind_.has_value());
       active_kind_ = to;
       candidate_kind_.reset();
       last_switch_query_ = query_index;
@@ -1119,6 +1222,39 @@ void LatestModule::FinishQuery(const stream::Query& /*q*/,
     if (histogram != nullptr) histogram->Observe(outcome.latency_ms);
   }
 
+  // Quality observability: fold every ground-truth measurement into the
+  // per-estimator error accountant, subscribe the active estimator's
+  // smoothed error to drift detection, and advance pending switch-audit
+  // resolution windows by this query. Strictly observational — none of
+  // this feeds back into the lifecycle.
+  if (error_accountant_ != nullptr) {
+    const double actual = static_cast<double>(outcome.actual);
+    std::vector<std::pair<int32_t, double>> measured;
+    measured.reserve(outcome.measurements.size() + 1);
+    for (const auto& m : outcome.measurements) {
+      error_accountant_->Record(m.kind, m.estimate, actual);
+      measured.emplace_back(static_cast<int32_t>(m.kind), m.accuracy);
+    }
+    if (!active_measured) {
+      error_accountant_->Record(outcome.active, outcome.estimate, actual);
+      measured.emplace_back(static_cast<int32_t>(outcome.active),
+                            outcome.accuracy);
+    }
+    if (drift_monitor_ != nullptr) {
+      drift_monitor_->Observe(
+          std::string("error_") +
+              estimators::EstimatorKindName(outcome.active),
+          error_accountant_->EwmaRelativeError(outcome.active),
+          static_cast<int64_t>(clock_.now()), ordinal + 1);
+    }
+    if (audit_trail_ != nullptr) audit_trail_->ResolveQuery(measured);
+  }
+  if (flight_recorder_ != nullptr &&
+      config_.quality.flight_tick_every_queries > 0 &&
+      (ordinal + 1) % config_.quality.flight_tick_every_queries == 0) {
+    flight_recorder_->Tick(static_cast<int64_t>(clock_.now()), ordinal + 1);
+  }
+
   if (traced) {
     obs::QueryTrace trace;
     trace.query_ordinal = ordinal;
@@ -1143,6 +1279,79 @@ void LatestModule::FinishQuery(const stream::Query& /*q*/,
       (ordinal + 1) % config_.slo_eval_every_queries == 0) {
     slo_monitor_->EvaluateAll(static_cast<int64_t>(clock_.now()));
   }
+
+  // Postmortem on the healthy -> degraded edge (one bundle per episode,
+  // not per breached tick). Requires a configured directory.
+  const bool degraded_now = slo_monitor_->degraded();
+  if (degraded_now && !was_degraded_ && flight_recorder_ != nullptr &&
+      !config_.quality.postmortem_dir.empty()) {
+    (void)DumpPostmortem("slo_breach");
+  }
+  was_degraded_ = degraded_now;
+}
+
+void LatestModule::RecordSwitchAudit(const stream::Query& q,
+                                     const std::array<double, 3>& weights,
+                                     estimators::EstimatorKind to,
+                                     estimators::EstimatorKind recommended,
+                                     bool had_prefilled_candidate) {
+  if (audit_trail_ == nullptr) return;
+  obs::SwitchAuditEntry entry;
+  entry.timestamp = static_cast<int64_t>(clock_.now());
+  entry.query_count = queries_counter_->value();
+  entry.trigger = had_prefilled_candidate ? "prefill" : "tree_infer";
+  const ml::FeatureVector features = BuildFeatures(q);
+  entry.features.reserve(features.categorical.size() +
+                         features.numeric.size());
+  for (const int categorical : features.categorical) {
+    entry.features.push_back(static_cast<double>(categorical));
+  }
+  entry.features.insert(entry.features.end(), features.numeric.begin(),
+                        features.numeric.end());
+  entry.scores.assign(estimators::kNumEstimatorKinds, 0.0);
+  for (uint32_t k = 0; k < estimators::kNumEstimatorKinds; ++k) {
+    const auto kind = static_cast<estimators::EstimatorKind>(k);
+    if (!IsEnabled(kind)) continue;
+    entry.scores[k] =
+        scoreboard_.WeightedScore(kind, weights, config_.alpha).value_or(0.0);
+  }
+  entry.from_estimator = static_cast<int32_t>(active_kind_);
+  entry.chosen_estimator = static_cast<int32_t>(to);
+  entry.recommended_estimator = static_cast<int32_t>(recommended);
+  entry.monitor_accuracy = accuracy_monitor_.Mean();
+  audit_trail_->Record(std::move(entry), estimators::kNumEstimatorKinds);
+}
+
+util::Result<std::string> LatestModule::DumpPostmortem(
+    const std::string& reason, std::string dir) {
+  if (flight_recorder_ == nullptr) {
+    return util::Status::InvalidArgument(
+        "quality observability is disabled (config.quality.enabled)");
+  }
+  if (dir.empty()) dir = config_.quality.postmortem_dir;
+  if (dir.empty()) {
+    return util::Status::InvalidArgument(
+        "no postmortem directory configured");
+  }
+  // Capture a final frame so the bundle always includes the state at the
+  // moment of the trigger, not just the last periodic tick.
+  flight_recorder_->Tick(static_cast<int64_t>(clock_.now()),
+                         queries_counter_->value());
+  std::vector<std::string> annotations;
+  annotations.push_back(std::string("phase=") + PhaseName(phase_));
+  annotations.push_back(std::string("active_estimator=") +
+                        estimators::EstimatorKindName(active_kind_));
+  for (const std::string& rule : slo_monitor_->BreachedRules()) {
+    annotations.push_back("breached_rule=" + rule);
+  }
+  util::Result<std::string> written =
+      flight_recorder_->WriteBundle(dir, reason, annotations);
+  if (written.ok()) {
+    obs::Event event = MakeEvent(obs::EventType::kPostmortemDumped);
+    event.note = reason;
+    telemetry_->events().Append(event);
+  }
+  return written;
 }
 
 uint64_t LatestModule::objects_ingested() const {

@@ -31,6 +31,7 @@
 #include <string>
 #include <string_view>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/scoreboard.h"
@@ -38,6 +39,10 @@
 #include "estimators/space_saving.h"
 #include "exact/exact_evaluator.h"
 #include "ml/hoeffding_tree.h"
+#include "obs/audit_trail.h"
+#include "obs/drift_detector.h"
+#include "obs/error_accounting.h"
+#include "obs/flight_recorder.h"
 #include "obs/pool_metrics.h"
 #include "obs/slo_monitor.h"
 #include "obs/statusz.h"
@@ -187,6 +192,27 @@ struct LatestConfig {
   /// breach events with stream event time instead of 0.
   uint32_t slo_eval_every_queries = 0;
 
+  /// Estimation-quality observability (obs/error_accounting.h,
+  /// obs/drift_detector.h, obs/audit_trail.h, obs/flight_recorder.h).
+  /// Strictly observational — none of it feeds lifecycle decisions or
+  /// snapshots — so, like the introspection fields above, every member
+  /// is EXCLUDED from the SaveState configuration fingerprint.
+  struct QualityObs {
+    /// Master switch for the whole quality plane (error accounting,
+    /// drift detectors, audit trail, flight recorder).
+    bool enabled = true;
+    /// Switch-audit ring capacity and counterfactual window (queries).
+    uint32_t audit_capacity = 256;
+    uint32_t audit_resolution_window = 32;
+    /// Flight-recorder frames retained, and the frame cadence in
+    /// answered queries (0 disables frame capture).
+    uint32_t flight_frames = 120;
+    uint32_t flight_tick_every_queries = 64;
+    /// When non-empty, an SLO-degradation edge automatically dumps a
+    /// postmortem bundle into this directory.
+    std::string postmortem_dir;
+  } quality;
+
   /// Seed for all randomized components.
   uint64_t seed = 42;
 
@@ -292,6 +318,31 @@ class LatestModule {
   const obs::IntrospectionServer* introspection() const {
     return introspection_.get();
   }
+
+  /// Estimation-quality observability components; null when
+  /// LatestConfig::quality.enabled is false.
+  obs::ErrorAccountant* error_accountant() { return error_accountant_.get(); }
+  const obs::ErrorAccountant* error_accountant() const {
+    return error_accountant_.get();
+  }
+  obs::DriftMonitor* drift_monitor() { return drift_monitor_.get(); }
+  const obs::DriftMonitor* drift_monitor() const {
+    return drift_monitor_.get();
+  }
+  obs::SwitchAuditTrail* audit_trail() { return audit_trail_.get(); }
+  const obs::SwitchAuditTrail* audit_trail() const {
+    return audit_trail_.get();
+  }
+  obs::FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
+  const obs::FlightRecorder* flight_recorder() const {
+    return flight_recorder_.get();
+  }
+
+  /// Dumps a flight-recorder postmortem bundle into `dir` (defaults to
+  /// config().quality.postmortem_dir). Returns the bundle path. Fails
+  /// when the quality plane is disabled or the directory is unusable.
+  util::Result<std::string> DumpPostmortem(const std::string& reason,
+                                           std::string dir = "");
 
   /// Point-in-time introspection snapshot (see core/module_stats.h).
   ModuleStats GetStats() const;
@@ -448,6 +499,38 @@ class LatestModule {
   std::unique_ptr<obs::Telemetry> telemetry_;
   std::unique_ptr<obs::SloMonitor> slo_monitor_;
   std::unique_ptr<obs::IntrospectionServer> introspection_;
+
+  /// Estimation-quality plane (null when config_.quality.enabled is
+  /// false). Strictly observational: fed from the query/ingest paths,
+  /// never read back by lifecycle decisions, never persisted.
+  std::unique_ptr<obs::ErrorAccountant> error_accountant_;
+  std::unique_ptr<obs::DriftMonitor> drift_monitor_;
+  std::unique_ptr<obs::SwitchAuditTrail> audit_trail_;
+  std::unique_ptr<obs::FlightRecorder> flight_recorder_;
+
+  /// Records the decision context of a switch into the audit trail.
+  void RecordSwitchAudit(const stream::Query& q,
+                         const std::array<double, 3>& weights,
+                         estimators::EstimatorKind to,
+                         estimators::EstimatorKind recommended,
+                         bool had_prefilled_candidate);
+
+  /// Ingest-feature drift state: per-slice keyword vocabulary and
+  /// spatial centroid accumulators, folded into the drift monitor at
+  /// slice rotation. Not part of any persisted or fingerprinted state.
+  std::unordered_map<stream::KeywordId, uint64_t> vocab_last_slice_;
+  uint64_t ingest_slice_index_ = 0;
+  uint64_t slice_distinct_keywords_ = 0;
+  uint64_t slice_new_keywords_ = 0;
+  double slice_sum_x_ = 0.0;
+  double slice_sum_y_ = 0.0;
+  uint64_t slice_objects_ = 0;
+  bool centroid_initialized_ = false;
+  double centroid_x_ = 0.0;
+  double centroid_y_ = 0.0;
+
+  /// SLO-degradation edge for automatic postmortem dumps.
+  bool was_degraded_ = false;
   obs::Counter* objects_counter_ = nullptr;
   obs::Counter* queries_counter_ = nullptr;
   obs::Counter* switches_counter_ = nullptr;

@@ -1,0 +1,153 @@
+#include "obs/audit_trail.h"
+
+#include <algorithm>
+
+#include "obs/metrics_registry.h"
+
+namespace latest::obs {
+
+SwitchAuditTrail::SwitchAuditTrail(size_t capacity,
+                                   uint32_t resolution_window)
+    : capacity_(std::max<size_t>(1, capacity)),
+      resolution_window_(std::max<uint32_t>(1, resolution_window)) {
+  ring_.reserve(capacity_);
+}
+
+void SwitchAuditTrail::AttachMetrics(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_counter_ = registry->GetCounter(
+      "latest_audit_entries_total",
+      "Switch decisions recorded in the audit trail");
+  resolved_counter_ = registry->GetCounter(
+      "latest_audit_resolved_total",
+      "Audit entries whose counterfactual window completed");
+  cumulative_regret_gauge_ = registry->GetGauge(
+      "latest_audit_cumulative_regret",
+      "Sum of (counterfactual best - chosen) mean accuracy over resolved "
+      "switch decisions");
+  last_regret_gauge_ = registry->GetGauge(
+      "latest_audit_last_regret",
+      "Regret of the most recently resolved switch decision");
+}
+
+uint64_t SwitchAuditTrail::Record(SwitchAuditEntry entry, size_t num_kinds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.id = next_id_++;
+  entry.scores.resize(num_kinds, 0.0);
+  entry.posthoc_accuracy.assign(num_kinds, -1.0);
+
+  Pending pending;
+  pending.id = entry.id;
+  pending.sum.assign(num_kinds, 0.0);
+  pending.count.assign(num_kinds, 0);
+  pending_.push_back(std::move(pending));
+
+  const uint64_t id = entry.id;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[next_] = std::move(entry);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++summary_.total_recorded;
+  if (entries_counter_ != nullptr) entries_counter_->Increment();
+  return id;
+}
+
+SwitchAuditEntry* SwitchAuditTrail::FindLocked(uint64_t id) {
+  for (SwitchAuditEntry& entry : ring_) {
+    if (entry.id == id) return &entry;
+  }
+  return nullptr;
+}
+
+void SwitchAuditTrail::FinalizeLocked(const Pending& pending) {
+  SwitchAuditEntry* entry = FindLocked(pending.id);
+  if (entry == nullptr) return;  // Overwritten by ring wraparound.
+  entry->resolved = true;
+  entry->resolution_samples = pending.ticks;
+  int32_t best = -1;
+  double best_mean = -1.0;
+  for (size_t k = 0; k < pending.sum.size(); ++k) {
+    if (pending.count[k] == 0) continue;
+    const double mean =
+        pending.sum[k] / static_cast<double>(pending.count[k]);
+    entry->posthoc_accuracy[k] = mean;
+    if (mean > best_mean) {
+      best_mean = mean;
+      best = static_cast<int32_t>(k);
+    }
+  }
+  entry->counterfactual_best = best;
+  double chosen_mean = -1.0;
+  if (entry->chosen_estimator >= 0 &&
+      entry->chosen_estimator <
+          static_cast<int32_t>(entry->posthoc_accuracy.size())) {
+    chosen_mean = entry->posthoc_accuracy[entry->chosen_estimator];
+  }
+  // Regret is only meaningful when the chosen kind was itself measured
+  // in the window (shadow estimators make this the common case).
+  entry->regret = (best >= 0 && chosen_mean >= 0.0)
+                      ? std::max(0.0, best_mean - chosen_mean)
+                      : 0.0;
+
+  ++summary_.total_resolved;
+  summary_.cumulative_regret += entry->regret;
+  if (entry->counterfactual_best == entry->chosen_estimator ||
+      entry->regret == 0.0) {
+    ++summary_.optimal_choices;
+  }
+  if (resolved_counter_ != nullptr) resolved_counter_->Increment();
+  if (cumulative_regret_gauge_ != nullptr) {
+    cumulative_regret_gauge_->Set(summary_.cumulative_regret);
+  }
+  if (last_regret_gauge_ != nullptr) last_regret_gauge_->Set(entry->regret);
+}
+
+void SwitchAuditTrail::ResolveQuery(
+    const std::vector<std::pair<int32_t, double>>& measurements) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.empty()) return;
+  for (Pending& pending : pending_) {
+    for (const auto& [kind, accuracy] : measurements) {
+      if (kind >= 0 && kind < static_cast<int32_t>(pending.sum.size())) {
+        pending.sum[kind] += accuracy;
+        ++pending.count[kind];
+      }
+    }
+    ++pending.ticks;
+  }
+  // Finalize completed windows (usually at most the oldest).
+  std::vector<Pending> still_pending;
+  still_pending.reserve(pending_.size());
+  for (Pending& pending : pending_) {
+    if (pending.ticks >= resolution_window_) {
+      FinalizeLocked(pending);
+    } else {
+      still_pending.push_back(std::move(pending));
+    }
+  }
+  pending_.swap(still_pending);
+}
+
+std::vector<SwitchAuditEntry> SwitchAuditTrail::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SwitchAuditEntry> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+SwitchAuditTrail::Summary SwitchAuditTrail::GetSummary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return summary_;
+}
+
+}  // namespace latest::obs

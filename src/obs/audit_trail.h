@@ -1,0 +1,139 @@
+// Switch-decision audit trail with post-hoc counterfactuals.
+//
+// Every estimator switch (and every Hoeffding-tree inference that
+// recommended one) becomes an audit entry recording what the decision
+// saw: the feature vector handed to the tree, the scoreboard score of
+// every estimator, the active/chosen/recommended kinds, and the monitor
+// accuracy that tripped the threshold. Once ground truth lands for the
+// following queries, the entry is *resolved*: the mean measured
+// accuracy per estimator over the post-decision window names the
+// counterfactual best, and `regret = best_mean - chosen_mean` says what
+// the decision cost. The ring is served at /switchz with a cumulative
+// regret summary.
+//
+// Entries use plain ints for estimator kinds (like obs/event_log.h) so
+// the trail stays below core in the dependency order. Strictly
+// observational; never persisted.
+
+#ifndef LATEST_OBS_AUDIT_TRAIL_H_
+#define LATEST_OBS_AUDIT_TRAIL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace latest::obs {
+
+class Counter;          // obs/metrics_registry.h
+class Gauge;            // obs/metrics_registry.h
+class MetricsRegistry;  // obs/metrics_registry.h
+
+/// One audited switch decision.
+struct SwitchAuditEntry {
+  /// Monotone id (1-based over the trail's lifetime).
+  uint64_t id = 0;
+  /// Stream event time (ms) and lifetime query count at decision time.
+  int64_t timestamp = 0;
+  uint64_t query_count = 0;
+  /// What fired the decision: "tree_infer" (model recommendation taken)
+  /// or "fallback" (threshold switch without a usable recommendation).
+  std::string trigger;
+  /// Feature vector handed to the Hoeffding tree.
+  std::vector<double> features;
+  /// Scoreboard weighted score per estimator kind (indexed by kind;
+  /// NaN-free: unmeasured kinds report 0).
+  std::vector<double> scores;
+  /// Estimator kinds as ints (-1 = none).
+  int32_t from_estimator = -1;
+  int32_t chosen_estimator = -1;
+  int32_t recommended_estimator = -1;
+  /// Monitor moving accuracy when the decision fired.
+  double monitor_accuracy = 0.0;
+
+  // ---- Post-hoc resolution (valid once `resolved`) ----
+  bool resolved = false;
+  /// Ground-truth queries folded into the resolution window.
+  uint32_t resolution_samples = 0;
+  /// Mean measured accuracy per kind over the window (kinds without
+  /// measurements report -1).
+  std::vector<double> posthoc_accuracy;
+  /// Kind with the best post-hoc mean (-1 when nothing measured).
+  int32_t counterfactual_best = -1;
+  /// best_mean - chosen_mean (0 when the choice was optimal).
+  double regret = 0.0;
+};
+
+/// Bounded ring of audit entries. Thread-safe. The producer records
+/// decisions as they fire and streams post-decision measurements into
+/// ResolveTick until each entry's window fills.
+class SwitchAuditTrail {
+ public:
+  /// `capacity` bounds retained entries; `resolution_window` is the
+  /// number of post-decision ground-truth queries a counterfactual
+  /// averages over.
+  explicit SwitchAuditTrail(size_t capacity = 256,
+                            uint32_t resolution_window = 32);
+
+  /// Exports:
+  ///   latest_audit_entries_total, latest_audit_resolved_total,
+  ///   latest_audit_cumulative_regret, latest_audit_last_regret
+  /// The registry must outlive the trail.
+  void AttachMetrics(MetricsRegistry* registry);
+
+  /// Records a decision; returns its id. `num_kinds` sizes the
+  /// post-hoc accumulator (scores/posthoc vectors are normalised to it).
+  uint64_t Record(SwitchAuditEntry entry, size_t num_kinds);
+
+  /// Streams one post-decision ground-truth query: `measurements` holds
+  /// the measured (kind, accuracy) pairs of that query (the active
+  /// estimator plus any shadows). Every entry still inside its
+  /// resolution window folds them in and advances by one tick.
+  void ResolveQuery(
+      const std::vector<std::pair<int32_t, double>>& measurements);
+
+  /// Retained entries, oldest first.
+  std::vector<SwitchAuditEntry> Snapshot() const;
+
+  struct Summary {
+    uint64_t total_recorded = 0;
+    uint64_t total_resolved = 0;
+    /// Sum of regret over resolved entries (lifetime, not just ring).
+    double cumulative_regret = 0.0;
+    /// Resolved entries whose chosen kind was the counterfactual best.
+    uint64_t optimal_choices = 0;
+  };
+  Summary GetSummary() const;
+
+  size_t capacity() const { return capacity_; }
+  uint32_t resolution_window() const { return resolution_window_; }
+
+ private:
+  struct Pending {
+    uint64_t id = 0;
+    /// Per-kind accuracy sums and counts over the window.
+    std::vector<double> sum;
+    std::vector<uint32_t> count;
+    uint32_t ticks = 0;
+  };
+
+  void FinalizeLocked(const Pending& pending);
+  SwitchAuditEntry* FindLocked(uint64_t id);
+
+  const size_t capacity_;
+  const uint32_t resolution_window_;
+  mutable std::mutex mu_;
+  std::vector<SwitchAuditEntry> ring_;
+  size_t next_ = 0;
+  uint64_t next_id_ = 1;
+  std::vector<Pending> pending_;
+  Summary summary_;
+  Counter* entries_counter_ = nullptr;
+  Counter* resolved_counter_ = nullptr;
+  Gauge* cumulative_regret_gauge_ = nullptr;
+  Gauge* last_regret_gauge_ = nullptr;
+};
+
+}  // namespace latest::obs
+
+#endif  // LATEST_OBS_AUDIT_TRAIL_H_

@@ -32,8 +32,57 @@ const char* EventTypeName(EventType type) {
       return "slo_breached";
     case EventType::kSloRecovered:
       return "slo_recovered";
+    case EventType::kDriftDetected:
+      return "drift_detected";
+    case EventType::kPostmortemDumped:
+      return "postmortem_dumped";
   }
   return "unknown";
+}
+
+EventSeverity SeverityOf(EventType type) {
+  switch (type) {
+    case EventType::kPhaseChanged:
+    case EventType::kAccuracyRecovered:
+    case EventType::kPrefillStarted:
+    case EventType::kPrefillAborted:
+    case EventType::kSwitched:
+    case EventType::kModelRetrained:
+    case EventType::kSloRecovered:
+      return EventSeverity::kInfo;
+    case EventType::kAccuracyBelowPrefillThreshold:
+    case EventType::kAccuracyBelowSwitchThreshold:
+    case EventType::kDriftDetected:
+      return EventSeverity::kWarning;
+    case EventType::kModelReset:
+    case EventType::kSloBreached:
+    case EventType::kPostmortemDumped:
+      return EventSeverity::kError;
+  }
+  return EventSeverity::kInfo;
+}
+
+const char* SeverityName(EventSeverity severity) {
+  switch (severity) {
+    case EventSeverity::kInfo:
+      return "info";
+    case EventSeverity::kWarning:
+      return "warning";
+    case EventSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+bool ParseSeverity(const std::string& text, EventSeverity* out) {
+  for (size_t i = 0; i < kNumEventSeverities; ++i) {
+    const EventSeverity severity = static_cast<EventSeverity>(i);
+    if (text == SeverityName(severity)) {
+      *out = severity;
+      return true;
+    }
+  }
+  return false;
 }
 
 EventLog::EventLog(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
@@ -55,6 +104,8 @@ void EventLog::Append(const Event& event) {
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
   } else {
+    const size_t lost = static_cast<size_t>(SeverityOf(ring_[next_].type));
+    ++dropped_by_severity_[lost];
     ring_[next_] = event;
     if (dropped_counter_ != nullptr) dropped_counter_->Increment();
   }
@@ -78,6 +129,11 @@ uint64_t EventLog::dropped() const {
   return total_ > ring_.size() ? total_ - ring_.size() : 0;
 }
 
+uint64_t EventLog::dropped_by_severity(EventSeverity severity) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_by_severity_[static_cast<size_t>(severity)];
+}
+
 std::vector<Event> EventLog::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Event> out;
@@ -99,6 +155,15 @@ std::vector<Event> EventLog::SnapshotOfType(EventType type) const {
   std::vector<Event> out;
   for (const Event& event : all) {
     if (event.type == type) out.push_back(event);
+  }
+  return out;
+}
+
+std::vector<Event> EventLog::SnapshotOfSeverity(EventSeverity severity) const {
+  std::vector<Event> all = Snapshot();
+  std::vector<Event> out;
+  for (const Event& event : all) {
+    if (SeverityOf(event.type) == severity) out.push_back(event);
   }
   return out;
 }
@@ -192,6 +257,20 @@ std::string FormatEvent(const Event& event) {
                     static_cast<unsigned long long>(event.query_count),
                     EventTypeName(event.type), event.note.c_str(),
                     event.detail);
+      break;
+    case EventType::kDriftDetected:
+      std::snprintf(line, sizeof(line),
+                    "[t=%lld q=%llu] drift_detected series=%s value=%.4f",
+                    static_cast<long long>(event.timestamp),
+                    static_cast<unsigned long long>(event.query_count),
+                    event.note.c_str(), event.detail);
+      break;
+    case EventType::kPostmortemDumped:
+      std::snprintf(line, sizeof(line),
+                    "[t=%lld q=%llu] postmortem_dumped reason=%s",
+                    static_cast<long long>(event.timestamp),
+                    static_cast<unsigned long long>(event.query_count),
+                    event.note.c_str());
       break;
   }
   return line;

@@ -47,10 +47,37 @@ enum class EventType : uint32_t {
   kSloBreached = 9,
   /// A breached SLO rule returned inside its threshold.
   kSloRecovered = 10,
+  /// A drift detector fired over an error or ingest-feature series
+  /// (obs/drift_detector.h). `note` names the series.
+  kDriftDetected = 11,
+  /// The flight recorder wrote a postmortem bundle; `note` holds the
+  /// trigger reason ("slo_breach", "signal", "shutdown", ...).
+  kPostmortemDumped = 12,
 };
 
 /// Stable display name ("phase_changed", "prefill_started", ...).
 const char* EventTypeName(EventType type);
+
+/// Coarse severity classes for filtering the event stream. Each
+/// EventType maps to exactly one severity (SeverityOf), so severity is
+/// derived, never stored.
+enum class EventSeverity : uint32_t {
+  kInfo = 0,     // Routine lifecycle progress (phase change, recovery).
+  kWarning = 1,  // Degradation signals (threshold crossings, drift).
+  kError = 2,    // Breaches and forced resets (SLO breach, model reset).
+};
+
+constexpr size_t kNumEventSeverities = 3;
+
+/// The fixed severity class of an event type.
+EventSeverity SeverityOf(EventType type);
+
+/// Stable display name ("info", "warning", "error").
+const char* SeverityName(EventSeverity severity);
+
+/// Parses a severity name (as produced by SeverityName); returns false
+/// on unknown input. Used by the /statusz ?severity= query filter.
+bool ParseSeverity(const std::string& text, EventSeverity* out);
 
 /// One lifecycle event. Estimator fields hold EstimatorKind indices, or
 /// -1 when not applicable, so the log stays a plain-data type without a
@@ -104,11 +131,18 @@ class EventLog {
   /// Events overwritten by ring wraparound (lost to Snapshot).
   uint64_t dropped() const;
 
+  /// Events of one severity overwritten by ring wraparound. Lets the
+  /// /statusz severity filter report what its view is missing.
+  uint64_t dropped_by_severity(EventSeverity severity) const;
+
   /// Retained events, oldest first.
   std::vector<Event> Snapshot() const;
 
   /// Retained events of one type, oldest first.
   std::vector<Event> SnapshotOfType(EventType type) const;
+
+  /// Retained events of one severity, oldest first.
+  std::vector<Event> SnapshotOfSeverity(EventSeverity severity) const;
 
   void Clear();
 
@@ -118,6 +152,7 @@ class EventLog {
   size_t capacity_;
   size_t next_ = 0;     // Ring write position.
   uint64_t total_ = 0;  // Lifetime appends.
+  uint64_t dropped_by_severity_[kNumEventSeverities] = {0, 0, 0};
   Counter* appended_counter_ = nullptr;
   Counter* dropped_counter_ = nullptr;
 };

@@ -1,0 +1,360 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include <sys/stat.h>
+
+#include "estimators/estimator.h"
+#include "obs/audit_trail.h"
+#include "obs/event_log.h"
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
+#include "persist/file_io.h"
+#include "util/json.h"
+
+namespace latest::obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buffer, std::min<size_t>(n, sizeof(buffer) - 1));
+}
+
+/// JSON number rendering that survives round-trip: integers print
+/// without exponent, everything else with enough digits.
+void AppendNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    AppendF(out, "%.0f", value);
+  } else {
+    AppendF(out, "%.17g", value);
+  }
+}
+
+std::string RenderLabels(const LabelSet& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out += ",";
+    out += key;
+    out += "=";
+    out += value;
+  }
+  return out;
+}
+
+const char* KindLabel(int32_t kind) {
+  if (kind < 0 ||
+      kind >= static_cast<int32_t>(estimators::kNumEstimatorKinds)) {
+    return "-";
+  }
+  return estimators::EstimatorKindName(
+      static_cast<estimators::EstimatorKind>(kind));
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Options()) {}
+
+FlightRecorder::FlightRecorder(Options options)
+    : options_(std::move(options)) {
+  ring_.reserve(std::max<size_t>(1, options_.capacity));
+}
+
+void FlightRecorder::AttachMetrics(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_ = registry;
+  dumps_counter_ = registry->GetCounter(
+      "latest_postmortem_dumps_total",
+      "Flight-recorder postmortem bundles written");
+}
+
+void FlightRecorder::AttachEventLog(const EventLog* event_log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event_log_ = event_log;
+}
+
+void FlightRecorder::AttachAuditTrail(const SwitchAuditTrail* audit_trail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  audit_trail_ = audit_trail;
+}
+
+void FlightRecorder::AttachSpans(const SpanCollector* spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_ = spans;
+}
+
+size_t FlightRecorder::frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t FlightRecorder::bundles_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bundles_written_;
+}
+
+void FlightRecorder::Tick(int64_t timestamp, uint64_t query_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry_ == nullptr) return;
+
+  Frame frame;
+  frame.timestamp = timestamp;
+  frame.query_count = query_count;
+  std::vector<std::pair<std::string, double>> counter_values;
+
+  for (const std::string& prefix : options_.sample_prefixes) {
+    for (const MetricsRegistry::Sample& sample : registry_->Samples(prefix)) {
+      FrameSample out;
+      out.name = sample.name;
+      out.labels = RenderLabels(sample.labels);
+      out.is_counter =
+          sample.kind == MetricsRegistry::Sample::Kind::kCounter;
+      if (out.is_counter) {
+        // Counters become deltas against the previous frame so a bundle
+        // reads as rates; the first frame reports the lifetime value.
+        const std::string key = out.name + "{" + out.labels + "}";
+        counter_values.emplace_back(key, sample.value);
+        double previous = 0.0;
+        for (const auto& [k, v] : last_counter_values_) {
+          if (k == key) {
+            previous = v;
+            break;
+          }
+        }
+        out.value = sample.value - previous;
+      } else {
+        out.value = sample.value;
+      }
+      frame.samples.push_back(std::move(out));
+    }
+  }
+  last_counter_values_ = std::move(counter_values);
+
+  const size_t capacity = std::max<size_t>(1, options_.capacity);
+  if (ring_.size() < capacity) {
+    ring_.push_back(std::move(frame));
+  } else {
+    ring_[next_] = std::move(frame);
+    next_ = (next_ + 1) % capacity;
+  }
+}
+
+std::string FlightRecorder::DumpJsonLocked(
+    const std::string& reason,
+    const std::vector<std::string>& annotations) const {
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"bundle\":\"latest_postmortem\",\"version\":";
+  AppendF(&out, "%d", kPostmortemBundleVersion);
+  out += ",\"reason\":\"";
+  out += util::JsonEscape(reason);
+  out += "\",\"annotations\":[";
+  for (size_t i = 0; i < annotations.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    out += util::JsonEscape(annotations[i]);
+    out += "\"";
+  }
+  out += "]";
+
+  // ---- Frames, oldest first ----
+  out += ",\"frames\":[";
+  const size_t n = ring_.size();
+  const size_t capacity = std::max<size_t>(1, options_.capacity);
+  const size_t start = n < capacity ? 0 : next_;
+  for (size_t i = 0; i < n; ++i) {
+    const Frame& frame = ring_[(start + i) % n];
+    if (i > 0) out += ",";
+    AppendF(&out, "{\"t\":%" PRId64 ",\"q\":%" PRIu64 ",\"samples\":{",
+            frame.timestamp, frame.query_count);
+    for (size_t s = 0; s < frame.samples.size(); ++s) {
+      const FrameSample& sample = frame.samples[s];
+      if (s > 0) out += ",";
+      out += "\"";
+      out += util::JsonEscape(sample.name);
+      if (!sample.labels.empty()) {
+        out += "{";
+        out += util::JsonEscape(sample.labels);
+        out += "}";
+      }
+      if (sample.is_counter) out += "#delta";
+      out += "\":";
+      AppendNumber(&out, sample.value);
+    }
+    out += "}}";
+  }
+  out += "]";
+
+  // ---- Recent events ----
+  out += ",\"events\":[";
+  if (event_log_ != nullptr) {
+    std::vector<Event> events = event_log_->Snapshot();
+    const size_t skip = events.size() > options_.max_events
+                            ? events.size() - options_.max_events
+                            : 0;
+    bool first = true;
+    for (size_t i = skip; i < events.size(); ++i) {
+      const Event& event = events[i];
+      if (!first) out += ",";
+      first = false;
+      AppendF(&out,
+              "{\"t\":%" PRId64 ",\"q\":%" PRIu64
+              ",\"type\":\"%s\",\"severity\":\"%s\"",
+              event.timestamp, event.query_count, EventTypeName(event.type),
+              SeverityName(SeverityOf(event.type)));
+      AppendF(&out, ",\"phase\":%d,\"from\":\"%s\",\"to\":\"%s\"",
+              event.phase, KindLabel(event.from_estimator),
+              KindLabel(event.to_estimator));
+      out += ",\"monitor_accuracy\":";
+      AppendNumber(&out, event.monitor_accuracy);
+      out += ",\"detail\":";
+      AppendNumber(&out, event.detail);
+      out += ",\"note\":\"";
+      out += util::JsonEscape(event.note);
+      out += "\"}";
+    }
+  }
+  out += "]";
+
+  // ---- Recent audit entries ----
+  out += ",\"audit\":[";
+  if (audit_trail_ != nullptr) {
+    std::vector<SwitchAuditEntry> entries = audit_trail_->Snapshot();
+    const size_t skip = entries.size() > options_.max_audit_entries
+                            ? entries.size() - options_.max_audit_entries
+                            : 0;
+    bool first = true;
+    for (size_t i = skip; i < entries.size(); ++i) {
+      const SwitchAuditEntry& entry = entries[i];
+      if (!first) out += ",";
+      first = false;
+      AppendF(&out,
+              "{\"id\":%" PRIu64 ",\"t\":%" PRId64 ",\"q\":%" PRIu64
+              ",\"trigger\":\"%s\"",
+              entry.id, entry.timestamp, entry.query_count,
+              entry.trigger.c_str());
+      AppendF(&out, ",\"from\":\"%s\",\"chosen\":\"%s\",\"recommended\":\"%s\"",
+              KindLabel(entry.from_estimator),
+              KindLabel(entry.chosen_estimator),
+              KindLabel(entry.recommended_estimator));
+      out += ",\"monitor_accuracy\":";
+      AppendNumber(&out, entry.monitor_accuracy);
+      out += ",\"features\":[";
+      for (size_t f = 0; f < entry.features.size(); ++f) {
+        if (f > 0) out += ",";
+        AppendNumber(&out, entry.features[f]);
+      }
+      out += "],\"scores\":{";
+      bool first_score = true;
+      for (size_t k = 0; k < entry.scores.size(); ++k) {
+        if (entry.scores[k] == 0.0) continue;
+        if (!first_score) out += ",";
+        first_score = false;
+        out += "\"";
+        out += KindLabel(static_cast<int32_t>(k));
+        out += "\":";
+        AppendNumber(&out, entry.scores[k]);
+      }
+      out += "}";
+      AppendF(&out, ",\"resolved\":%s", entry.resolved ? "true" : "false");
+      if (entry.resolved) {
+        AppendF(&out, ",\"counterfactual_best\":\"%s\",\"regret\":",
+                KindLabel(entry.counterfactual_best));
+        AppendNumber(&out, entry.regret);
+        out += ",\"posthoc_accuracy\":{";
+        bool first_acc = true;
+        for (size_t k = 0; k < entry.posthoc_accuracy.size(); ++k) {
+          if (entry.posthoc_accuracy[k] < 0.0) continue;
+          if (!first_acc) out += ",";
+          first_acc = false;
+          out += "\"";
+          out += KindLabel(static_cast<int32_t>(k));
+          out += "\":";
+          AppendNumber(&out, entry.posthoc_accuracy[k]);
+        }
+        out += "}";
+      }
+      out += "}";
+    }
+  }
+  out += "]";
+
+  // ---- Regret summary ----
+  if (audit_trail_ != nullptr) {
+    const SwitchAuditTrail::Summary summary = audit_trail_->GetSummary();
+    AppendF(&out,
+            ",\"audit_summary\":{\"recorded\":%" PRIu64
+            ",\"resolved\":%" PRIu64 ",\"optimal\":%" PRIu64
+            ",\"cumulative_regret\":",
+            summary.total_recorded, summary.total_resolved,
+            summary.optimal_choices);
+    AppendNumber(&out, summary.cumulative_regret);
+    out += "}";
+  }
+
+  // ---- Span summaries (newest, name + duration only) ----
+  out += ",\"spans\":[";
+  if (spans_ != nullptr) {
+    std::vector<SpanRecord> records = spans_->Snapshot();
+    const size_t skip = records.size() > options_.max_spans
+                            ? records.size() - options_.max_spans
+                            : 0;
+    bool first = true;
+    for (size_t i = skip; i < records.size(); ++i) {
+      const SpanRecord& record = records[i];
+      if (!first) out += ",";
+      first = false;
+      AppendF(&out,
+              "{\"name\":\"%s\",\"start_ns\":%" PRId64
+              ",\"duration_ns\":%" PRId64 ",\"tid\":%u}",
+              record.name != nullptr ? record.name : "", record.start_ns,
+              record.duration_ns, record.tid);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FlightRecorder::DumpJson(
+    const std::string& reason,
+    const std::vector<std::string>& annotations) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DumpJsonLocked(reason, annotations);
+}
+
+util::Result<std::string> FlightRecorder::WriteBundle(
+    const std::string& dir, const std::string& reason,
+    const std::vector<std::string>& annotations) {
+  std::string body;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body = DumpJsonLocked(reason, annotations);
+    seq = ++bundles_written_;
+  }
+  // Best-effort create; AtomicWriteFile reports the real failure if the
+  // directory is still unusable.
+  ::mkdir(dir.c_str(), 0755);
+  char name[128];
+  std::snprintf(name, sizeof(name), "postmortem-%s-%" PRIu64 ".json",
+                reason.c_str(), seq);
+  const std::string path = dir + "/" + name;
+  const util::Status status = persist::AtomicWriteFile(path, body);
+  if (!status.ok()) return status;
+  if (dumps_counter_ != nullptr) dumps_counter_->Increment();
+  return path;
+}
+
+}  // namespace latest::obs

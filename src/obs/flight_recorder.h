@@ -1,0 +1,122 @@
+// Black-box flight recorder and postmortem bundles.
+//
+// Aircraft-style black box for the estimation plane: a bounded ring of
+// periodic *frames* — each a timestamped capture of selected metric
+// families (counters rendered as deltas against the previous frame so a
+// bundle shows rates, not lifetime totals). On a trigger — SLO breach,
+// fatal signal, operator request — the recorder serialises the retained
+// frames together with the recent event log, switch-audit entries, and
+// span summaries into one self-describing JSON bundle, written with the
+// persist layer's atomic-file helper so a crash mid-dump never leaves a
+// torn file. `tools/latest_postmortem` pretty-prints a bundle; tests
+// parse it back with util/json.h.
+//
+// Strictly observational; the recorder never influences the lifecycle
+// and its state is never persisted.
+
+#ifndef LATEST_OBS_FLIGHT_RECORDER_H_
+#define LATEST_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace latest::obs {
+
+class Counter;          // obs/metrics_registry.h
+class MetricsRegistry;  // obs/metrics_registry.h
+class EventLog;         // obs/event_log.h
+class SwitchAuditTrail;  // obs/audit_trail.h
+class SpanCollector;     // obs/span.h
+
+/// Bundle format version; bump on incompatible layout changes. The
+/// version is embedded in every bundle so inspectors can refuse or
+/// adapt instead of mis-reading.
+inline constexpr int kPostmortemBundleVersion = 1;
+
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Frames retained (ring).
+    size_t capacity = 120;
+    /// Metric family-name prefixes captured per frame. Empty prefix
+    /// captures everything (bundle size scales with registry size).
+    std::vector<std::string> sample_prefixes = {"latest_"};
+    /// Events / audit entries / spans included in a bundle (newest).
+    size_t max_events = 256;
+    size_t max_audit_entries = 64;
+    size_t max_spans = 128;
+  };
+
+  FlightRecorder();
+  explicit FlightRecorder(Options options);
+
+  /// Data sources; all optional, all must outlive the recorder.
+  void AttachMetrics(MetricsRegistry* registry);
+  void AttachEventLog(const EventLog* event_log);
+  void AttachAuditTrail(const SwitchAuditTrail* audit_trail);
+  void AttachSpans(const SpanCollector* spans);
+
+  /// Captures one frame: the current values of the selected metric
+  /// families, stamped with stream time and query count. Counters are
+  /// stored as deltas against the previous frame.
+  void Tick(int64_t timestamp, uint64_t query_count);
+
+  /// Frames currently retained.
+  size_t frames() const;
+
+  /// Serialises the retained frames plus recent events, audit entries,
+  /// and span summaries into one self-describing JSON document.
+  /// `reason` tags the trigger ("slo_breach", "signal", "shutdown",
+  /// "manual"); `annotations` (optional "key=value" strings) travel
+  /// verbatim in the bundle header.
+  std::string DumpJson(const std::string& reason,
+                       const std::vector<std::string>& annotations = {}) const;
+
+  /// DumpJson + atomic write to `<dir>/postmortem-<reason>-<seq>.json`.
+  /// Returns the written path. Creates `dir` when missing.
+  util::Result<std::string> WriteBundle(
+      const std::string& dir, const std::string& reason,
+      const std::vector<std::string>& annotations = {});
+
+  /// Bundles written over the recorder's lifetime.
+  uint64_t bundles_written() const;
+
+ private:
+  struct FrameSample {
+    std::string name;
+    std::string labels;  // Rendered "k=v,k=v" (empty when unlabelled).
+    double value = 0.0;
+    bool is_counter = false;
+  };
+  struct Frame {
+    int64_t timestamp = 0;
+    uint64_t query_count = 0;
+    std::vector<FrameSample> samples;
+  };
+
+  std::string DumpJsonLocked(const std::string& reason,
+                             const std::vector<std::string>& annotations)
+      const;
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::vector<Frame> ring_;
+  size_t next_ = 0;
+  /// Raw (non-delta) counter values of the latest frame, keyed by
+  /// name + labels, for delta computation.
+  std::vector<std::pair<std::string, double>> last_counter_values_;
+  uint64_t bundles_written_ = 0;
+  MetricsRegistry* registry_ = nullptr;
+  const EventLog* event_log_ = nullptr;
+  const SwitchAuditTrail* audit_trail_ = nullptr;
+  const SpanCollector* spans_ = nullptr;
+  Counter* dumps_counter_ = nullptr;
+};
+
+}  // namespace latest::obs
+
+#endif  // LATEST_OBS_FLIGHT_RECORDER_H_

@@ -131,6 +131,22 @@ bool HttpRequest::HasQueryParam(std::string_view key) const {
   return false;
 }
 
+std::string HttpRequest::QueryParam(std::string_view key) const {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    std::string_view param(query.data() + pos, end - pos);
+    const size_t eq = param.find('=');
+    if (eq != std::string_view::npos && param.substr(0, eq) == key) {
+      return std::string(param.substr(eq + 1));
+    }
+    if (end == query.size()) break;
+    pos = end + 1;
+  }
+  return "";
+}
+
 HttpServer::HttpServer() = default;
 
 HttpServer::~HttpServer() { Stop(); }

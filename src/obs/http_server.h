@@ -40,6 +40,10 @@ struct HttpRequest {
 
   /// True when the query string contains `key` as a bare flag or k=v pair.
   bool HasQueryParam(std::string_view key) const;
+
+  /// The value of `key` in the query string, or "" when absent or a bare
+  /// flag. No percent-decoding (exposition params are plain tokens).
+  std::string QueryParam(std::string_view key) const;
 };
 
 struct HttpResponse {

@@ -127,7 +127,8 @@ size_t SloMonitor::num_rules() const {
 
 std::vector<SloRule> DefaultLatestSloRules(double tau, double p99_latency_ms,
                                            double max_wal_lag_records,
-                                           double max_resident_slices) {
+                                           double max_resident_slices,
+                                           double max_active_drift) {
   std::vector<SloRule> rules;
   if (tau > 0.0) {
     SloRule accuracy;
@@ -189,6 +190,22 @@ std::vector<SloRule> DefaultLatestSloRules(double tau, double p99_latency_ms,
                   max_resident_slices);
     slices.description = desc;
     rules.push_back(std::move(slices));
+  }
+  if (max_active_drift >= 0.0) {
+    SloRule drift;
+    drift.name = "drift_active";
+    drift.metric = "latest_drift_active_series";
+    drift.source = SloRule::Source::kGauge;
+    drift.op = SloRule::Op::kAbove;
+    drift.threshold = max_active_drift;
+    drift.for_ticks = 1;
+    char desc[128];
+    std::snprintf(desc, sizeof(desc),
+                  "more than %.0f monitored series in active drift "
+                  "(error or ingest distribution shifted)",
+                  max_active_drift);
+    drift.description = desc;
+    rules.push_back(std::move(drift));
   }
   return rules;
 }

@@ -128,12 +128,17 @@ class SloMonitor {
 
 /// The default rule set for a LATEST deployment: the paper's accuracy
 /// monitor (moving accuracy below the switch threshold tau), estimate
-/// p99 latency, WAL replay lag, and resident-slice growth. Callers tune
-/// or replace per deployment; thresholds <= 0 skip that rule.
+/// p99 latency, WAL replay lag, resident-slice growth, and drift
+/// (monitored series inside their post-detection cooldown, from
+/// obs/drift_detector.h — self-recovering because the gauge decays once
+/// the series is stable again). Callers tune or replace per deployment;
+/// thresholds <= 0 skip that rule (max_active_drift < 0 skips drift; 0
+/// means "any active drift breaches").
 std::vector<SloRule> DefaultLatestSloRules(double tau,
                                            double p99_latency_ms = 50.0,
                                            double max_wal_lag_records = 1e6,
-                                           double max_resident_slices = 0.0);
+                                           double max_resident_slices = 0.0,
+                                           double max_active_drift = 0.0);
 
 }  // namespace latest::obs
 

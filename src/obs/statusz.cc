@@ -9,7 +9,11 @@
 #include <vector>
 
 #include "estimators/estimator.h"
+#include "obs/audit_trail.h"
+#include "obs/drift_detector.h"
+#include "obs/error_accounting.h"
 #include "obs/event_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/query_trace.h"
 #include "obs/slo_monitor.h"
@@ -131,6 +135,9 @@ IntrospectionServer::IntrospectionServer(IntrospectionSources sources,
   server_.Handle("/tracez", [this](const HttpRequest& request) {
     return HandleTracez(request);
   });
+  server_.Handle("/switchz", [this](const HttpRequest& request) {
+    return HandleSwitchz(request);
+  });
 }
 
 IntrospectionServer::~IntrospectionServer() { Stop(); }
@@ -223,7 +230,8 @@ HttpResponse IntrospectionServer::HandleHealthz(const HttpRequest&) const {
   return response;
 }
 
-HttpResponse IntrospectionServer::HandleStatusz(const HttpRequest&) const {
+HttpResponse IntrospectionServer::HandleStatusz(
+    const HttpRequest& request) const {
   const MetricsRegistry* registry = sources_.registry;
   std::string page =
       "<!DOCTYPE html><html><head><title>latest statusz</title></head>"
@@ -336,15 +344,64 @@ HttpResponse IntrospectionServer::HandleStatusz(const HttpRequest&) const {
     }
   }
 
-  // Recent lifecycle events (newest last).
+  // Per-estimator error accounting.
+  if (sources_.errors != nullptr) {
+    const std::vector<EstimatorErrorStats> stats = sources_.errors->AllStats();
+    if (!stats.empty()) {
+      page += "\n-- estimator error accounting --\n";
+      page +=
+          "  estimator   samples  ewma_rel  ewma_acc  tau_viol  "
+          "qerr_p50  qerr_p95  qerr_p99\n";
+      for (const EstimatorErrorStats& stat : stats) {
+        AppendF(&page,
+                "  %-10s %8" PRIu64
+                "  %8.4f  %8.4f  %7.1f%%  %8.2f  %8.2f  %8.2f\n",
+                estimators::EstimatorKindName(stat.kind), stat.samples,
+                stat.ewma_relative_error, stat.ewma_accuracy,
+                100.0 * stat.tau_violation_rate, stat.qerror_p50,
+                stat.qerror_p95, stat.qerror_p99);
+      }
+    }
+  }
+
+  // Drift detectors.
+  if (sources_.drift != nullptr) {
+    AppendF(&page, "\n-- drift --\nactive series:      %" PRIu64 "\n",
+            sources_.drift->active_series());
+  }
+
+  // Recent lifecycle events (newest last). `?severity=info|warning|error`
+  // filters; drop counts per severity show what the bounded ring lost.
   if (sources_.events != nullptr) {
-    std::vector<Event> events = sources_.events->Snapshot();
-    page += "\n-- recent events --\n";
+    const std::string severity_param = request.QueryParam("severity");
+    EventSeverity filter = EventSeverity::kInfo;
+    const bool filtered =
+        !severity_param.empty() && ParseSeverity(severity_param, &filter);
+    std::vector<Event> events = filtered
+                                    ? sources_.events->SnapshotOfSeverity(filter)
+                                    : sources_.events->Snapshot();
+    if (filtered) {
+      AppendF(&page, "\n-- recent events (severity=%s) --\n",
+              SeverityName(filter));
+    } else if (!severity_param.empty()) {
+      AppendF(&page,
+              "\n-- recent events (unknown severity \"%s\"; showing all) --\n",
+              severity_param.c_str());
+    } else {
+      page += "\n-- recent events --\n";
+    }
+    AppendF(&page, "  dropped: info=%" PRIu64 " warning=%" PRIu64
+                   " error=%" PRIu64 "\n",
+            sources_.events->dropped_by_severity(EventSeverity::kInfo),
+            sources_.events->dropped_by_severity(EventSeverity::kWarning),
+            sources_.events->dropped_by_severity(EventSeverity::kError));
     constexpr size_t kMaxShown = 20;
     const size_t start =
         events.size() > kMaxShown ? events.size() - kMaxShown : 0;
     for (size_t i = start; i < events.size(); ++i) {
-      page += "  ";
+      page += "  [";
+      page += SeverityName(SeverityOf(events[i].type));
+      page += "] ";
       AppendHtmlEscaped(&page, FormatEvent(events[i]));
       page += "\n";
     }
@@ -406,6 +463,125 @@ HttpResponse IntrospectionServer::HandleTracez(
     }
   }
   response.body = std::move(body);
+  return response;
+}
+
+HttpResponse IntrospectionServer::HandleSwitchz(
+    const HttpRequest& request) const {
+  HttpResponse response;
+  if (sources_.audit == nullptr) {
+    response.status = 404;
+    response.body = "switch audit trail is not enabled\n";
+    return response;
+  }
+  const SwitchAuditTrail::Summary summary = sources_.audit->GetSummary();
+  const std::vector<SwitchAuditEntry> entries = sources_.audit->Snapshot();
+
+  if (request.HasQueryParam("json")) {
+    std::string body;
+    AppendF(&body,
+            "{\"recorded\":%" PRIu64 ",\"resolved\":%" PRIu64
+            ",\"optimal\":%" PRIu64 ",\"cumulative_regret\":%.6f",
+            summary.total_recorded, summary.total_resolved,
+            summary.optimal_choices, summary.cumulative_regret);
+    body += ",\"entries\":[";
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const SwitchAuditEntry& entry = entries[i];
+      if (i > 0) body += ",";
+      AppendF(&body,
+              "{\"id\":%" PRIu64 ",\"t\":%" PRId64 ",\"q\":%" PRIu64
+              ",\"trigger\":\"",
+              entry.id, entry.timestamp, entry.query_count);
+      AppendJsonEscaped(&body, entry.trigger);
+      AppendF(&body,
+              "\",\"from\":\"%s\",\"chosen\":\"%s\",\"recommended\":\"%s\""
+              ",\"monitor_accuracy\":%.6f,\"resolved\":%s",
+              EstimatorName(entry.from_estimator),
+              EstimatorName(entry.chosen_estimator),
+              EstimatorName(entry.recommended_estimator),
+              entry.monitor_accuracy, entry.resolved ? "true" : "false");
+      body += ",\"features\":[";
+      for (size_t f = 0; f < entry.features.size(); ++f) {
+        if (f > 0) body += ",";
+        AppendF(&body, "%.6f", entry.features[f]);
+      }
+      body += "]";
+      if (entry.resolved) {
+        AppendF(&body, ",\"counterfactual_best\":\"%s\",\"regret\":%.6f",
+                EstimatorName(entry.counterfactual_best), entry.regret);
+      }
+      body += "}";
+    }
+    body += "]}\n";
+    response.content_type = "application/json";
+    response.body = std::move(body);
+    return response;
+  }
+
+  std::string page =
+      "<!DOCTYPE html><html><head><title>latest switchz</title></head>"
+      "<body><pre>\n";
+  AppendF(&page, "=== switch-decision audit trail: %s ===\n\n",
+          info_.instance.c_str());
+  AppendF(&page,
+          "recorded:          %" PRIu64 "\nresolved:          %" PRIu64
+          "\noptimal choices:   %" PRIu64 "\ncumulative regret: %.4f\n",
+          summary.total_recorded, summary.total_resolved,
+          summary.optimal_choices, summary.cumulative_regret);
+  if (summary.total_resolved > 0) {
+    AppendF(&page, "mean regret:       %.4f\n",
+            summary.cumulative_regret /
+                static_cast<double>(summary.total_resolved));
+  }
+  page += "\n-- entries (oldest first) --\n";
+  for (const SwitchAuditEntry& entry : entries) {
+    AppendF(&page,
+            "#%" PRIu64 " [t=%" PRId64 " q=%" PRIu64 "] %s %s -> %s "
+            "(recommended=%s, monitor_accuracy=%.4f)\n",
+            entry.id, entry.timestamp, entry.query_count,
+            entry.trigger.c_str(), EstimatorName(entry.from_estimator),
+            EstimatorName(entry.chosen_estimator),
+            EstimatorName(entry.recommended_estimator),
+            entry.monitor_accuracy);
+    page += "   features: [";
+    for (size_t f = 0; f < entry.features.size(); ++f) {
+      if (f > 0) page += ", ";
+      AppendF(&page, "%.4f", entry.features[f]);
+    }
+    page += "]\n   scores:   ";
+    bool first_score = true;
+    for (size_t k = 0; k < entry.scores.size(); ++k) {
+      if (entry.scores[k] == 0.0) continue;
+      if (!first_score) page += ", ";
+      first_score = false;
+      AppendF(&page, "%s=%.4f", EstimatorName(static_cast<int32_t>(k)),
+              entry.scores[k]);
+    }
+    if (first_score) page += "(none)";
+    page += "\n";
+    if (entry.resolved) {
+      AppendF(&page,
+              "   post-hoc: best=%s regret=%.4f over %u queries (",
+              EstimatorName(entry.counterfactual_best), entry.regret,
+              entry.resolution_samples);
+      bool first_acc = true;
+      for (size_t k = 0; k < entry.posthoc_accuracy.size(); ++k) {
+        if (entry.posthoc_accuracy[k] < 0.0) continue;
+        if (!first_acc) page += ", ";
+        first_acc = false;
+        AppendF(&page, "%s=%.4f", EstimatorName(static_cast<int32_t>(k)),
+                entry.posthoc_accuracy[k]);
+      }
+      page += ")\n";
+    } else {
+      page += "   post-hoc: (unresolved)\n";
+    }
+  }
+  if (entries.empty()) page += "  (no switch decisions recorded)\n";
+  page += "\nGET /switchz?json for the machine-readable form\n";
+  page += "</pre></body></html>\n";
+  response.content_type = "text/html; charset=utf-8";
+  response.body = std::move(page);
   return response;
 }
 

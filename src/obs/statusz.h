@@ -34,9 +34,13 @@
 
 namespace latest::obs {
 
+class DriftMonitor;
+class ErrorAccountant;
 class EventLog;
+class FlightRecorder;
 class MetricsRegistry;
 class SloMonitor;
+class SwitchAuditTrail;
 class TraceCollector;
 
 /// Borrowed data sources; all must outlive the server. Only `registry`
@@ -46,6 +50,11 @@ struct IntrospectionSources {
   EventLog* events = nullptr;
   TraceCollector* traces = nullptr;
   SloMonitor* slo = nullptr;
+  /// Estimation-quality plane (obs/error_accounting.h & friends).
+  ErrorAccountant* errors = nullptr;
+  DriftMonitor* drift = nullptr;
+  SwitchAuditTrail* audit = nullptr;
+  FlightRecorder* flight = nullptr;
   // Spans are read through the process-global collector (obs/span.h) at
   // request time, so /tracez sees whatever tracing setup is installed.
 };
@@ -89,6 +98,9 @@ class IntrospectionServer {
   HttpResponse HandleHealthz(const HttpRequest& request) const;
   HttpResponse HandleStatusz(const HttpRequest& request) const;
   HttpResponse HandleTracez(const HttpRequest& request) const;
+  /// Switch-decision audit trail with regret summary; ?json for the
+  /// machine-readable form.
+  HttpResponse HandleSwitchz(const HttpRequest& request) const;
   HttpResponse HandleIndex(const HttpRequest& request) const;
 
  private:

@@ -1,0 +1,352 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace latest::util {
+
+namespace {
+
+const JsonValue& SharedNull() {
+  static const JsonValue null_value;
+  return null_value;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::Get(std::string_view key) const {
+  const JsonValue* found = Find(key);
+  return found != nullptr ? *found : SharedNull();
+}
+
+const JsonValue& JsonValue::At(size_t index) const {
+  if (!is_array() || index >= items_.size()) return SharedNull();
+  return items_[index];
+}
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue out;
+  out.type_ = Type::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeNumber(double v) {
+  JsonValue out;
+  out.type_ = Type::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue out;
+  out.type_ = Type::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.type_ = Type::kArray;
+  out.items_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::MakeObject(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue out;
+  out.type_ = Type::kObject;
+  out.members_ = std::move(members);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view; tracks a byte offset for
+/// error messages and bounds recursion depth (hostile inputs reach us
+/// through operator-supplied bundle files).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    Status status = ParseValue(&value, 0);
+    if (!status.ok()) return status;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), " at byte %zu", pos_);
+    return Status::InvalidArgument("json: " + what + buffer);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        Status status = ParseString(&s);
+        if (!status.ok()) return status;
+        *out = JsonValue::MakeString(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("bad literal");
+        *out = JsonValue::MakeBool(true);
+        return Status::Ok();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("bad literal");
+        *out = JsonValue::MakeBool(false);
+        return Status::Ok();
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("bad literal");
+        *out = JsonValue::MakeNull();
+        return Status::Ok();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = JsonValue::MakeObject(std::move(members));
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      Status status = ParseString(&key);
+      if (!status.ok()) return status;
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      JsonValue value;
+      status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in object");
+    }
+    *out = JsonValue::MakeObject(std::move(members));
+    return Status::Ok();
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = JsonValue::MakeArray(std::move(items));
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue value;
+      Status status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in array");
+    }
+    *out = JsonValue::MakeArray(std::move(items));
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs decode as
+          // two replacement-free units; the exposition formats only emit
+          // \u for control characters, so this stays simple).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+      // Sign consumed; digits follow.
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(value)) {
+      pos_ = start;
+      return Error("bad number");
+    }
+    *out = JsonValue::MakeNumber(value);
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string JsonEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace latest::util

@@ -1,0 +1,253 @@
+// Drift detectors: Page-Hinkley and AdwinLite must flag abrupt steps and
+// slow ramps within a bounded number of samples, stay silent on
+// stationary series (zero false positives over long runs), and the
+// DriftMonitor multiplexer must coalesce detections inside the cooldown,
+// emit kDriftDetected events, and decay its active gauges once the
+// series is stable again.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/drift_detector.h"
+#include "obs/event_log.h"
+#include "obs/metrics_registry.h"
+#include "util/rng.h"
+
+namespace latest::obs {
+namespace {
+
+/// Deterministic noisy sample around `center` (uniform +/- `amplitude`).
+double Noisy(util::Rng* rng, double center, double amplitude = 0.05) {
+  return center + rng->NextDouble(-amplitude, amplitude);
+}
+
+// ---------------------------------------------------------------------
+// Page-Hinkley
+// ---------------------------------------------------------------------
+
+TEST(PageHinkleyTest, DetectsStepWithinBoundedSamples) {
+  PageHinkley ph;
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_FALSE(ph.Update(Noisy(&rng, 0.2))) << "false positive at " << i;
+  }
+  // Mean steps 0.2 -> 0.6; the cumulative deviation must cross lambda
+  // within a bounded number of post-step samples.
+  int detected_after = -1;
+  for (int i = 0; i < 50; ++i) {
+    if (ph.Update(Noisy(&rng, 0.6))) {
+      detected_after = i;
+      break;
+    }
+  }
+  ASSERT_GE(detected_after, 0) << "step never detected";
+  EXPECT_LE(detected_after, 10);
+}
+
+TEST(PageHinkleyTest, StationarySeriesNeverFires) {
+  PageHinkley ph;
+  util::Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_FALSE(ph.Update(Noisy(&rng, 0.5))) << "false positive at " << i;
+  }
+}
+
+TEST(PageHinkleyTest, HoldsFireBeforeMinSamples) {
+  PageHinkley ph(/*delta=*/0.005, /*lambda=*/0.25, /*min_samples=*/30);
+  // A huge step immediately: nothing may fire until the detector has
+  // seen min_samples values.
+  for (int i = 0; i < 29; ++i) {
+    EXPECT_FALSE(ph.Update(i < 5 ? 0.0 : 10.0));
+  }
+}
+
+TEST(PageHinkleyTest, ResetRearms) {
+  PageHinkley ph;
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) ph.Update(Noisy(&rng, 0.1));
+  bool fired = false;
+  for (int i = 0; i < 50 && !fired; ++i) fired = ph.Update(Noisy(&rng, 0.7));
+  ASSERT_TRUE(fired);
+  ph.Reset();
+  EXPECT_EQ(ph.samples(), 0u);
+  // Post-reset the new level is the baseline; staying there is clean.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_FALSE(ph.Update(Noisy(&rng, 0.7)));
+  }
+}
+
+// ---------------------------------------------------------------------
+// AdwinLite
+// ---------------------------------------------------------------------
+
+TEST(AdwinLiteTest, DetectsStepWithinBoundedSamples) {
+  AdwinLite adwin;
+  util::Rng rng(19);
+  for (int i = 0; i < 240; ++i) {
+    ASSERT_FALSE(adwin.Update(Noisy(&rng, 0.2))) << "false positive at " << i;
+  }
+  int detected_after = -1;
+  for (int i = 0; i < 64; ++i) {
+    if (adwin.Update(Noisy(&rng, 0.8))) {
+      detected_after = i;
+      break;
+    }
+  }
+  ASSERT_GE(detected_after, 0) << "step never detected";
+  EXPECT_LE(detected_after, 32);
+}
+
+TEST(AdwinLiteTest, DetectsSlowRamp) {
+  AdwinLite adwin;
+  util::Rng rng(23);
+  for (int i = 0; i < 200; ++i) ASSERT_FALSE(adwin.Update(Noisy(&rng, 0.2)));
+  // 0.2 -> 0.8 over 300 samples: no single step exceeds the noise, but
+  // the window halves diverge beyond the Hoeffding bound mid-ramp; the
+  // detector must fire before the ramp completes. (A shallower slope
+  // keeps the half-window mean gap under eps for every cut and is
+  // legitimately undetectable by an ADWIN of this window size.)
+  bool fired = false;
+  for (int i = 0; i < 300 && !fired; ++i) {
+    const double level = 0.2 + 0.6 * static_cast<double>(i) / 300.0;
+    fired = adwin.Update(Noisy(&rng, level));
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(AdwinLiteTest, StationarySeriesNeverFires) {
+  AdwinLite adwin;
+  util::Rng rng(29);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_FALSE(adwin.Update(Noisy(&rng, 0.4))) << "false positive at " << i;
+  }
+}
+
+TEST(AdwinLiteTest, WindowStaysBounded) {
+  AdwinLite adwin(/*confidence=*/0.002, /*max_window=*/64);
+  util::Rng rng(31);
+  for (int i = 0; i < 1000; ++i) adwin.Update(Noisy(&rng, 0.5));
+  EXPECT_LE(adwin.window_size(), 64u);
+}
+
+// ---------------------------------------------------------------------
+// DriftMonitor
+// ---------------------------------------------------------------------
+
+TEST(DriftMonitorTest, StepEmitsEventAndMetrics) {
+  MetricsRegistry registry;
+  EventLog events(64);
+  DriftMonitor monitor;
+  monitor.AttachMetrics(&registry);
+  monitor.AttachEventLog(&events);
+
+  util::Rng rng(41);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_FALSE(monitor.Observe("err", Noisy(&rng, 0.1), /*timestamp=*/i));
+  }
+  bool fired = false;
+  int64_t now = 200;
+  for (int i = 0; i < 64 && !fired; ++i, ++now) {
+    fired = monitor.Observe("err", Noisy(&rng, 0.7), now, /*query_count=*/
+                            static_cast<uint64_t>(now));
+  }
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(monitor.detections("err"), 1u);
+  EXPECT_EQ(monitor.active_series(), 1u);
+
+  const std::vector<Event> drift =
+      events.SnapshotOfType(EventType::kDriftDetected);
+  ASSERT_EQ(drift.size(), 1u);
+  // The note carries "series/detector" so the event log alone tells you
+  // which test fired.
+  EXPECT_EQ(drift[0].note.rfind("err/", 0), 0u) << drift[0].note;
+
+  const Counter* detections = registry.FindCounter(
+      "latest_drift_detections_total", {{"series", "err"}});
+  ASSERT_NE(detections, nullptr);
+  EXPECT_EQ(detections->value(), 1u);
+  const Gauge* active =
+      registry.FindGauge("latest_drift_active", {{"series", "err"}});
+  ASSERT_NE(active, nullptr);
+  EXPECT_DOUBLE_EQ(active->value(), 1.0);
+
+  const std::vector<DriftDetection> drained = monitor.Drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].series, "err");
+  EXPECT_TRUE(drained[0].detector == "page_hinkley" ||
+              drained[0].detector == "adwin");
+  EXPECT_TRUE(monitor.Drain().empty());
+}
+
+TEST(DriftMonitorTest, CooldownCoalescesAndDecays) {
+  MetricsRegistry registry;
+  EventLog events(64);
+  DriftMonitor::Options options;
+  options.cooldown_samples = 32;
+  DriftMonitor monitor(options);
+  monitor.AttachMetrics(&registry);
+  monitor.AttachEventLog(&events);
+
+  util::Rng rng(43);
+  for (int i = 0; i < 200; ++i) monitor.Observe("s", Noisy(&rng, 0.1));
+  bool fired = false;
+  for (int i = 0; i < 64 && !fired; ++i) {
+    fired = monitor.Observe("s", Noisy(&rng, 0.8));
+  }
+  ASSERT_TRUE(fired);
+  // The shift persists: further samples at the new level are coalesced
+  // into the same episode, not new detections.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(monitor.Observe("s", Noisy(&rng, 0.8)));
+  }
+  EXPECT_EQ(monitor.detections("s"), 1u);
+  EXPECT_EQ(events.SnapshotOfType(EventType::kDriftDetected).size(), 1u);
+  EXPECT_EQ(monitor.active_series(), 1u);
+
+  // Once the detectors stop firing, the cooldown drains and the series
+  // re-arms: the active gauge self-recovers without manual reset.
+  for (int i = 0; i < 200 && monitor.active_series() != 0; ++i) {
+    monitor.Observe("s", Noisy(&rng, 0.8));
+  }
+  EXPECT_EQ(monitor.active_series(), 0u);
+  const Gauge* active_total = registry.FindGauge("latest_drift_active_series");
+  ASSERT_NE(active_total, nullptr);
+  EXPECT_DOUBLE_EQ(active_total->value(), 0.0);
+}
+
+TEST(DriftMonitorTest, SeriesAreIndependent) {
+  DriftMonitor monitor;
+  util::Rng rng(47);
+  for (int i = 0; i < 200; ++i) {
+    monitor.Observe("stable", Noisy(&rng, 0.5));
+    monitor.Observe("shifting", Noisy(&rng, 0.1));
+  }
+  bool fired = false;
+  for (int i = 0; i < 64 && !fired; ++i) {
+    monitor.Observe("stable", Noisy(&rng, 0.5));
+    fired = monitor.Observe("shifting", Noisy(&rng, 0.9));
+  }
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(monitor.detections("shifting"), 1u);
+  EXPECT_EQ(monitor.detections("stable"), 0u);
+}
+
+TEST(DriftMonitorTest, StationaryNeverFiresAcrossSeries) {
+  MetricsRegistry registry;
+  DriftMonitor monitor;
+  monitor.AttachMetrics(&registry);
+  monitor.AddSeries("a");
+  monitor.AddSeries("b");
+  util::Rng rng(53);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_FALSE(monitor.Observe("a", Noisy(&rng, 0.3)));
+    ASSERT_FALSE(monitor.Observe("b", Noisy(&rng, 0.6, 0.02)));
+  }
+  EXPECT_EQ(monitor.detections("a"), 0u);
+  EXPECT_EQ(monitor.detections("b"), 0u);
+  EXPECT_EQ(monitor.active_series(), 0u);
+}
+
+}  // namespace
+}  // namespace latest::obs

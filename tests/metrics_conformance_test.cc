@@ -6,7 +6,10 @@
 //   - exactly one # HELP / # TYPE header per family even when instances
 //     of the family are registered interleaved with other families,
 //   - stable (name, labels) sort independent of registration order,
-//   - cumulative histogram buckets with `le` labels, +Inf, _sum, _count.
+//   - cumulative histogram buckets with `le` labels, +Inf, _sum, _count,
+//   - the estimation-quality families (latest_estimator_error_*,
+//     latest_drift_*) exactly as the real ErrorAccountant/DriftMonitor
+//     export them, so a rename or re-labelling shows up as a diff here.
 //
 // Regenerate after an intentional format change with:
 //   LATEST_UPDATE_GOLDEN=1 ./metrics_conformance_test
@@ -17,6 +20,9 @@
 
 #include <gtest/gtest.h>
 
+#include "estimators/estimator.h"
+#include "obs/drift_detector.h"
+#include "obs/error_accounting.h"
 #include "obs/metrics_registry.h"
 
 namespace latest::obs {
@@ -37,6 +43,24 @@ std::string ReadFileOrEmpty(const std::string& path) {
   }
   std::fclose(f);
   return out;
+}
+
+/// Attaches the real quality-observability components so the golden pins
+/// their exposition verbatim: every estimator kind's error slots plus
+/// one drift series. The components are locals — the registry owns the
+/// metric instances, so the recorded values survive their destruction.
+void PopulateQualityFamilies(MetricsRegistry* registry) {
+  ErrorAccountant accountant(/*tau=*/0.62);
+  accountant.AttachMetrics(registry);
+  // RSH: one clean measurement, one tau violation (accuracy 0.1 < tau).
+  accountant.Record(estimators::EstimatorKind::kRsh, 90.0, 100.0);
+  accountant.Record(estimators::EstimatorKind::kRsh, 10.0, 100.0);
+  // H4096: a perfect estimate only.
+  accountant.Record(estimators::EstimatorKind::kH4096, 100.0, 100.0);
+
+  DriftMonitor monitor;
+  monitor.AddSeries("error_RSH");
+  monitor.AttachMetrics(registry);
 }
 
 /// Builds the registry whose exposition the golden file pins. Instances
@@ -70,6 +94,7 @@ void PopulateConformanceRegistry(MetricsRegistry* registry) {
   latency->Observe(0.5);
   latency->Observe(1.5);
   latency->Observe(10.0);
+  PopulateQualityFamilies(registry);
 }
 
 TEST(MetricsConformanceTest, PrometheusTextMatchesGolden) {
@@ -96,6 +121,7 @@ TEST(MetricsConformanceTest, ExpositionIsRegistrationOrderIndependent) {
   PopulateConformanceRegistry(&forward);
 
   MetricsRegistry reverse;
+  PopulateQualityFamilies(&reverse);  // Last in forward, first here.
   Histogram* latency = reverse.GetHistogram("small_latency_ms", "Tiny ladder",
                                             {1.0, 2.0, 5.0});
   latency->Observe(0.5);
@@ -131,7 +157,10 @@ TEST(MetricsConformanceTest, EachFamilyHasExactlyOneHelpAndType) {
   const std::string text = registry.PrometheusText();
   for (const char* family :
        {"awkward_label_values", "help_escapes_total",
-        "latest_queries_by_kind_total", "small_latency_ms", "zebra_gauge"}) {
+        "latest_queries_by_kind_total", "small_latency_ms", "zebra_gauge",
+        "latest_estimator_error_samples_total",
+        "latest_estimator_error_qerror", "latest_drift_detections_total",
+        "latest_drift_active", "latest_drift_active_series"}) {
     for (const char* directive : {"# HELP ", "# TYPE "}) {
       const std::string needle = std::string(directive) + family + " ";
       size_t count = 0;

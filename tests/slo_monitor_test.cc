@@ -166,10 +166,12 @@ TEST(SloMonitorTest, GaugesMirrorRuleState) {
 TEST(SloMonitorTest, DefaultRulesSkipNonPositiveThresholds) {
   const std::vector<SloRule> all = DefaultLatestSloRules(
       /*tau=*/0.62, /*p99_latency_ms=*/50.0, /*max_wal_lag_records=*/1e6,
-      /*max_resident_slices=*/32.0);
-  EXPECT_EQ(all.size(), 4u);
+      /*max_resident_slices=*/32.0, /*max_active_drift=*/0.0);
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_EQ(all.back().metric, "latest_drift_active_series");
   const std::vector<SloRule> no_latency = DefaultLatestSloRules(
-      0.62, /*p99_latency_ms=*/0.0, 1e6, /*max_resident_slices=*/0.0);
+      0.62, /*p99_latency_ms=*/0.0, 1e6, /*max_resident_slices=*/0.0,
+      /*max_active_drift=*/-1.0);
   EXPECT_EQ(no_latency.size(), 2u);
   // The accuracy rule watches the module's monitor gauge below tau.
   EXPECT_EQ(no_latency[0].metric, "latest_monitor_accuracy");

@@ -1,14 +1,16 @@
 // Unit and property tests for src/util: Status/Result, RNG, Zipf sampler,
-// hashing, min-max scaler, and moving statistics.
+// hashing, min-max scaler, moving statistics, and the JSON parser.
 
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "util/hashing.h"
+#include "util/json.h"
 #include "util/minmax_scaler.h"
 #include "util/moving_stats.h"
 #include "util/rng.h"
@@ -439,6 +441,85 @@ TEST(RunningMomentsTest, EmptyIsZero) {
   RunningMoments m;
   EXPECT_DOUBLE_EQ(m.Mean(), 0.0);
   EXPECT_DOUBLE_EQ(m.Variance(), 0.0);
+}
+
+// --------------------------------------------------------------------
+// JSON parser
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null").value().is_null());
+  EXPECT_TRUE(ParseJson("true").value().AsBool());
+  EXPECT_FALSE(ParseJson("false").value().AsBool(true));
+  EXPECT_DOUBLE_EQ(ParseJson("3.25").value().AsDouble(), 3.25);
+  EXPECT_EQ(ParseJson("-17").value().AsInt(), -17);
+  EXPECT_DOUBLE_EQ(ParseJson("1e3").value().AsDouble(), 1000.0);
+  EXPECT_EQ(ParseJson("\"hi\"").value().AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedDocumentAndPreservesOrder) {
+  const auto parsed = ParseJson(
+      R"({"b": [1, 2, {"x": true}], "a": {"nested": "v"}, "n": null})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = parsed.value();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.size(), 3u);
+  // Members keep document order.
+  EXPECT_EQ(doc.members()[0].first, "b");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.Get("b").size(), 3u);
+  EXPECT_EQ(doc.Get("b").At(1).AsInt(), 2);
+  EXPECT_TRUE(doc.Get("b").At(2).Get("x").AsBool());
+  EXPECT_EQ(doc.Get("a").Get("nested").AsString(), "v");
+  EXPECT_TRUE(doc.Get("n").is_null());
+  // Chained lookups through missing keys land on the shared null.
+  EXPECT_TRUE(doc.Get("missing").Get("deeper").At(9).is_null());
+  EXPECT_EQ(doc.Get("missing").AsInt(7), 7);
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, DecodesEscapesAndUnicode) {
+  const auto parsed = ParseJson(R"("a\"b\\c\ndAé")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsString(), "a\"b\\c\ndA\xc3\xa9");
+}
+
+TEST(JsonTest, ErrorsCarryByteOffsets) {
+  const auto truncated = ParseJson(R"({"a": [1, 2)");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().ToString().find("byte"), std::string::npos);
+
+  const auto garbage = ParseJson("{} trailing");
+  ASSERT_FALSE(garbage.ok());
+
+  const auto bare = ParseJson("{a: 1}");
+  EXPECT_FALSE(bare.ok());
+
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+TEST(JsonTest, RejectsPathologicalDepth) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonTest, WrongTypeReadsFallBack) {
+  const JsonValue number = ParseJson("5").value();
+  EXPECT_EQ(number.AsString(), "");
+  EXPECT_FALSE(number.AsBool());
+  EXPECT_EQ(number.size(), 0u);
+  EXPECT_TRUE(number.Get("k").is_null());
+  EXPECT_TRUE(number.At(0).is_null());
+}
+
+TEST(JsonTest, EscapeRoundTripsThroughParser) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t ctrl\x01";
+  std::string doc = "\"";
+  doc += JsonEscape(nasty);
+  doc += "\"";
+  const auto parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().AsString(), nasty);
 }
 
 }  // namespace

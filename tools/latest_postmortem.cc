@@ -1,0 +1,239 @@
+// latest_postmortem: inspector for flight-recorder postmortem bundles.
+//
+// Reads one bundle written by obs::FlightRecorder::WriteBundle (see
+// obs/flight_recorder.h for the format) and renders a human-readable
+// incident report: the trigger and annotations, the frame timeline of
+// selected metric series, the recent lifecycle events by severity, the
+// switch-audit entries with their post-hoc regret, and the slowest
+// spans. The parse is strict (util/json.h); a torn or truncated file is
+// an error, which is the point — bundles are written atomically, so a
+// parse failure means something other than the recorder produced it.
+//
+// Usage:
+//   latest_postmortem BUNDLE.json                  # full report
+//   latest_postmortem BUNDLE.json --section events # one section
+//   latest_postmortem BUNDLE.json --series NAME    # one frame series
+//
+// Sections: header, frames, events, audit, spans (default: all).
+// Exit codes: 0 ok, 1 usage/IO error, 3 parse/validation failure.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "persist/file_io.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace {
+
+using latest::util::JsonValue;
+
+struct Options {
+  std::string path;
+  std::string section;  // Empty = all.
+  std::string series;   // Frame-series filter.
+};
+
+[[noreturn]] void Die(int code, const std::string& message) {
+  std::fprintf(stderr, "latest_postmortem: %s\n", message.c_str());
+  std::exit(code);
+}
+
+Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) Die(1, "missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--section") {
+      options.section = value();
+    } else if (arg == "--series") {
+      options.series = value();
+    } else if (!arg.empty() && arg[0] == '-') {
+      Die(1, "unknown flag: " + arg);
+    } else if (options.path.empty()) {
+      options.path = arg;
+    } else {
+      Die(1, "multiple bundle paths given");
+    }
+  }
+  if (options.path.empty()) {
+    Die(1, "usage: latest_postmortem BUNDLE.json [--section NAME] "
+           "[--series METRIC]");
+  }
+  return options;
+}
+
+bool Wants(const Options& options, const char* section) {
+  return options.section.empty() || options.section == section;
+}
+
+void PrintHeader(const JsonValue& doc) {
+  std::printf("bundle:  %s v%" PRId64 "\n",
+              doc.Get("bundle").AsString().c_str(),
+              doc.Get("version").AsInt());
+  std::printf("reason:  %s\n", doc.Get("reason").AsString().c_str());
+  for (const JsonValue& annotation : doc.Get("annotations").items()) {
+    std::printf("         %s\n", annotation.AsString().c_str());
+  }
+  const JsonValue& frames = doc.Get("frames");
+  if (frames.size() > 0) {
+    std::printf("frames:  %zu spanning t=[%" PRId64 ", %" PRId64
+                "] q=[%" PRId64 ", %" PRId64 "]\n",
+                frames.size(), frames.At(0).Get("t").AsInt(),
+                frames.At(frames.size() - 1).Get("t").AsInt(),
+                frames.At(0).Get("q").AsInt(),
+                frames.At(frames.size() - 1).Get("q").AsInt());
+  } else {
+    std::printf("frames:  0\n");
+  }
+  std::printf("events:  %zu   audit: %zu   spans: %zu\n",
+              doc.Get("events").size(), doc.Get("audit").size(),
+              doc.Get("spans").size());
+}
+
+void PrintFrames(const JsonValue& doc, const std::string& series_filter) {
+  const JsonValue& frames = doc.Get("frames");
+  if (frames.size() == 0) return;
+  std::printf("\n-- frames (counters are deltas vs previous frame) --\n");
+  if (!series_filter.empty()) {
+    // One series as a timeline: "t q value" per frame.
+    for (const JsonValue& frame : frames.items()) {
+      for (const auto& [key, value] : frame.Get("samples").members()) {
+        // Match the family name with or without labels/#delta suffix.
+        if (key.compare(0, series_filter.size(), series_filter) != 0) {
+          continue;
+        }
+        std::printf("t=%-10" PRId64 " q=%-8" PRId64 " %s = %.6g\n",
+                    frame.Get("t").AsInt(), frame.Get("q").AsInt(),
+                    key.c_str(), value.AsDouble());
+      }
+    }
+    return;
+  }
+  // No filter: the final frame in full (the state at the trigger).
+  const JsonValue& last = frames.At(frames.size() - 1);
+  std::printf("final frame t=%" PRId64 " q=%" PRId64 ":\n",
+              last.Get("t").AsInt(), last.Get("q").AsInt());
+  for (const auto& [key, value] : last.Get("samples").members()) {
+    std::printf("  %-56s %.6g\n", key.c_str(), value.AsDouble());
+  }
+}
+
+void PrintEvents(const JsonValue& doc) {
+  const JsonValue& events = doc.Get("events");
+  if (events.size() == 0) return;
+  std::printf("\n-- events --\n");
+  for (const JsonValue& event : events.items()) {
+    std::printf("t=%-10" PRId64 " q=%-8" PRId64 " [%-7s] %s",
+                event.Get("t").AsInt(), event.Get("q").AsInt(),
+                event.Get("severity").AsString().c_str(),
+                event.Get("type").AsString().c_str());
+    const std::string& note = event.Get("note").AsString();
+    if (!note.empty()) std::printf(" (%s)", note.c_str());
+    const std::string& to = event.Get("to").AsString();
+    if (to != "-") {
+      std::printf(" %s -> %s", event.Get("from").AsString().c_str(),
+                  to.c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintAudit(const JsonValue& doc) {
+  const JsonValue& audit = doc.Get("audit");
+  const JsonValue& summary = doc.Get("audit_summary");
+  if (audit.size() == 0 && summary.is_null()) return;
+  std::printf("\n-- switch audit --\n");
+  if (!summary.is_null()) {
+    std::printf("recorded=%" PRId64 " resolved=%" PRId64 " optimal=%" PRId64
+                " cumulative_regret=%.4f\n",
+                summary.Get("recorded").AsInt(),
+                summary.Get("resolved").AsInt(),
+                summary.Get("optimal").AsInt(),
+                summary.Get("cumulative_regret").AsDouble());
+  }
+  for (const JsonValue& entry : audit.items()) {
+    std::printf("#%-4" PRId64 " t=%-10" PRId64 " %-10s %s -> %s",
+                entry.Get("id").AsInt(), entry.Get("t").AsInt(),
+                entry.Get("trigger").AsString().c_str(),
+                entry.Get("from").AsString().c_str(),
+                entry.Get("chosen").AsString().c_str());
+    if (entry.Get("resolved").AsBool()) {
+      std::printf("  best=%s regret=%.4f",
+                  entry.Get("counterfactual_best").AsString().c_str(),
+                  entry.Get("regret").AsDouble());
+    } else {
+      std::printf("  (unresolved)");
+    }
+    std::printf("\n");
+    const JsonValue& scores = entry.Get("scores");
+    if (scores.size() > 0) {
+      std::printf("      scores:");
+      for (const auto& [kind, score] : scores.members()) {
+        std::printf(" %s=%.4f", kind.c_str(), score.AsDouble());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+void PrintSpans(const JsonValue& doc) {
+  const JsonValue& spans = doc.Get("spans");
+  if (spans.size() == 0) return;
+  // Slowest first; the bundle already holds only the newest few.
+  std::vector<const JsonValue*> sorted;
+  sorted.reserve(spans.size());
+  for (const JsonValue& span : spans.items()) sorted.push_back(&span);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const JsonValue* a, const JsonValue* b) {
+              return a->Get("duration_ns").AsInt() >
+                     b->Get("duration_ns").AsInt();
+            });
+  std::printf("\n-- slowest spans --\n");
+  const size_t limit = std::min<size_t>(sorted.size(), 16);
+  for (size_t i = 0; i < limit; ++i) {
+    std::printf("%-14s %10.3fus\n",
+                sorted[i]->Get("name").AsString().c_str(),
+                static_cast<double>(sorted[i]->Get("duration_ns").AsInt()) /
+                    1000.0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = ParseArgs(argc, argv);
+
+  std::string contents;
+  const latest::util::Status read_status =
+      latest::persist::ReadFile(options.path, &contents);
+  if (!read_status.ok()) Die(1, read_status.ToString());
+
+  const latest::util::Result<JsonValue> parsed =
+      latest::util::ParseJson(contents);
+  if (!parsed.ok()) Die(3, "parse failed: " + parsed.status().ToString());
+  const JsonValue& doc = parsed.value();
+
+  if (doc.Get("bundle").AsString() != "latest_postmortem") {
+    Die(3, "not a postmortem bundle (missing bundle tag)");
+  }
+  const int64_t version = doc.Get("version").AsInt();
+  if (version != latest::obs::kPostmortemBundleVersion) {
+    Die(3, "unsupported bundle version " + std::to_string(version));
+  }
+
+  if (Wants(options, "header")) PrintHeader(doc);
+  if (Wants(options, "frames")) PrintFrames(doc, options.series);
+  if (Wants(options, "events")) PrintEvents(doc);
+  if (Wants(options, "audit")) PrintAudit(doc);
+  if (Wants(options, "spans")) PrintSpans(doc);
+  return 0;
+}

@@ -24,12 +24,23 @@
 // --pace-us D sleeps D microseconds per event so a human (or a CI curl
 // loop) can scrape the endpoints mid-run.
 //
+// Postmortems: --postmortem-dir DIR arms the flight recorder — a bundle
+// is dumped there on a fatal signal (SIGSEGV/SIGABRT/SIGBUS/SIGFPE), on
+// an SLO breach mid-run (the module dumps on the healthy -> degraded
+// edge), and at shutdown ("shutdown" reason) so every run leaves a
+// parseable trace. When the module is still degraded at shutdown the
+// process exits 2 (distinguishable from flag errors, which exit 1).
+// --flip-workload-at N abruptly moves the object cluster and keyword
+// vocabulary after N objects — an injected drift scenario that the
+// detectors must flag (kDriftDetected) and the switch audit must explain.
+//
 // Usage:
 //   latest_stream_run [--objects N] [--duration MS] [--seed S]
 //                     [--threads N] [--checkpoint-dir DIR]
 //                     [--checkpoint-every N] [--kill-after N] [--resume]
 //                     [--metrics-port P] [--trace-out FILE]
 //                     [--span-sample N] [--pace-us D]
+//                     [--postmortem-dir DIR] [--flip-workload-at N]
 
 #include <signal.h>
 #include <unistd.h>
@@ -70,6 +81,8 @@ struct Options {
   std::string trace_out;
   uint32_t span_sample = 1;
   uint64_t pace_us = 0;  // Sleep per event (for live scraping).
+  std::string postmortem_dir;
+  uint64_t flip_workload_at = 0;  // 0 = stationary workload.
 };
 
 constexpr latest::geo::Rect kBounds{0, 0, 100, 100};
@@ -96,22 +109,36 @@ LatestConfig MakeConfig(const Options& options) {
     config.introspection_port = static_cast<uint16_t>(options.metrics_port);
     config.slo_tick_ms = 250;  // Keep /healthz fresh for short CI runs.
   }
+  if (!options.postmortem_dir.empty()) {
+    config.quality.postmortem_dir = options.postmortem_dir;
+  }
   return config;
 }
 
+// `flipped` switches to the post-drift regime: the dense cluster jumps
+// to the opposite corner and a disjoint keyword vocabulary (ids 50-99
+// instead of 0-49) takes over — an abrupt distribution change both
+// ingest drift series (vocab churn, centroid displacement) must flag.
 latest::stream::GeoTextObject MakeObject(uint64_t i, latest::util::Rng* rng,
-                                         const Options& options) {
+                                         const Options& options,
+                                         bool flipped) {
   latest::stream::GeoTextObject obj;
   obj.oid = i;
   if (rng->NextBool(0.7)) {
-    obj.loc = {rng->NextDouble(20, 40), rng->NextDouble(20, 40)};
+    obj.loc = flipped
+                  ? latest::geo::Point{rng->NextDouble(60, 80),
+                                       rng->NextDouble(60, 80)}
+                  : latest::geo::Point{rng->NextDouble(20, 40),
+                                       rng->NextDouble(20, 40)};
   } else {
     obj.loc = {rng->NextDouble(0, 100), rng->NextDouble(0, 100)};
   }
   const int num_kw = 1 + static_cast<int>(rng->NextBounded(3));
+  const latest::stream::KeywordId base = flipped ? 50 : 0;
   for (int k = 0; k < num_kw; ++k) {
     const double u = rng->NextDouble();
-    obj.keywords.push_back(static_cast<latest::stream::KeywordId>(u * u * 50));
+    obj.keywords.push_back(
+        base + static_cast<latest::stream::KeywordId>(u * u * 50));
   }
   latest::stream::CanonicalizeKeywords(&obj.keywords);
   obj.timestamp = options.duration_ms * static_cast<int64_t>(i) /
@@ -119,20 +146,47 @@ latest::stream::GeoTextObject MakeObject(uint64_t i, latest::util::Rng* rng,
   return obj;
 }
 
-latest::stream::Query MakeQuery(latest::util::Rng* rng) {
+latest::stream::Query MakeQuery(latest::util::Rng* rng, bool flipped) {
   latest::stream::Query q;
+  const latest::stream::KeywordId base = flipped ? 50 : 0;
   const double u = rng->NextDouble();
   if (u < 0.70) {
-    q.keywords = {static_cast<latest::stream::KeywordId>(rng->NextBounded(50))};
+    q.keywords = {
+        base + static_cast<latest::stream::KeywordId>(rng->NextBounded(50))};
     return q;
   }
   const latest::geo::Point c{rng->NextDouble(10, 90), rng->NextDouble(10, 90)};
   q.range = latest::geo::Rect::FromCenter(c, rng->NextDouble(5, 30),
                                           rng->NextDouble(5, 30));
   if (u >= 0.85) {
-    q.keywords = {static_cast<latest::stream::KeywordId>(rng->NextBounded(50))};
+    q.keywords = {
+        base + static_cast<latest::stream::KeywordId>(rng->NextBounded(50))};
   }
   return q;
+}
+
+// Fatal-signal postmortem: dump a bundle before dying so a crash leaves
+// the same evidence an SLO breach would. Best-effort — the handler runs
+// on the crashed thread and re-raises with default disposition after.
+LatestModule* g_signal_module = nullptr;
+volatile sig_atomic_t g_in_signal_handler = 0;
+
+void FatalSignalHandler(int signo) {
+  if (g_in_signal_handler == 0) {
+    g_in_signal_handler = 1;
+    if (g_signal_module != nullptr) {
+      (void)g_signal_module->DumpPostmortem("signal");
+    }
+  }
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+void InstallFatalSignalHandlers(LatestModule* module) {
+  g_signal_module = module;
+  for (const int signo : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
+    ::signal(signo, FatalSignalHandler);
+  }
 }
 
 [[noreturn]] void Die(const std::string& message) {
@@ -175,6 +229,10 @@ Options ParseArgs(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(value().c_str(), nullptr, 10));
     } else if (arg == "--pace-us") {
       options.pace_us = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--postmortem-dir") {
+      options.postmortem_dir = value();
+    } else if (arg == "--flip-workload-at") {
+      options.flip_workload_at = std::strtoull(value().c_str(), nullptr, 10);
     } else {
       Die("unknown flag: " + arg);
     }
@@ -229,6 +287,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "introspection server on http://127.0.0.1:%u\n",
                  module->introspection()->port());
   }
+  if (!options.postmortem_dir.empty()) {
+    InstallFatalSignalHandlers(module.get());
+  }
 
   std::unique_ptr<CheckpointManager> manager;
   if (!options.checkpoint_dir.empty()) {
@@ -264,8 +325,10 @@ int main(int argc, char** argv) {
   latest::util::Rng query_rng(99);
   uint64_t queries_generated = 0;
   for (uint64_t i = 0; i < options.objects; ++i) {
+    const bool flipped =
+        options.flip_workload_at != 0 && i >= options.flip_workload_at;
     const latest::stream::GeoTextObject obj =
-        MakeObject(i, &object_rng, options);
+        MakeObject(i, &object_rng, options, flipped);
     if (i >= recovered_objects) {
       feed_object(obj);
       if (options.kill_after != 0 &&
@@ -276,7 +339,7 @@ int main(int argc, char** argv) {
     }
     if (options.pace_us != 0) ::usleep(options.pace_us);
     if (obj.timestamp < 1000 || i % 10 != 0) continue;
-    latest::stream::Query q = MakeQuery(&query_rng);
+    latest::stream::Query q = MakeQuery(&query_rng, flipped);
     q.timestamp = obj.timestamp;
     ++queries_generated;
     if (queries_generated > recovered_queries) {
@@ -312,18 +375,42 @@ int main(int argc, char** argv) {
   module->SaveDeterministicState(&state);
   const uint32_t state_crc = latest::persist::Crc32(state.buffer());
 
+  // Quality-observability outcome: drift detections across all monitored
+  // series, audit-trail totals, and the shutdown postmortem.
+  const uint64_t drift_detections =
+      module->telemetry()
+          .events()
+          .SnapshotOfType(latest::obs::EventType::kDriftDetected)
+          .size();
+  uint64_t audit_entries = 0;
+  if (module->audit_trail() != nullptr) {
+    audit_entries = module->audit_trail()->GetSummary().total_recorded;
+  }
+  const bool degraded = module->slo_monitor().degraded();
+  if (!options.postmortem_dir.empty()) {
+    g_signal_module = nullptr;  // Shutdown is no longer a crash window.
+    const auto written = module->DumpPostmortem("shutdown");
+    if (!written.ok()) Die(written.status().ToString());
+    std::fprintf(stderr, "postmortem bundle: %s\n", written.value().c_str());
+  }
+
   std::printf(
       "RESULT_JSON {\"experiment\":\"stream_run\",\"objects\":%" PRIu64
       ",\"queries\":%" PRIu64 ",\"switches\":%zu,\"final_phase\":\"%s\","
       "\"active\":\"%s\",\"model_leaves\":%" PRIu64
       ",\"resumed\":%d,\"replayed\":%" PRIu64
-      ",\"snapshots\":%" PRIu64 ",\"state_crc\":\"%08x\"}\n",
+      ",\"snapshots\":%" PRIu64 ",\"state_crc\":\"%08x\""
+      ",\"drift_detections\":%" PRIu64 ",\"audit_entries\":%" PRIu64
+      ",\"degraded\":%d}\n",
       module->objects_ingested(), module->queries_answered(),
       module->switch_log().size(),
       latest::core::PhaseName(module->phase()),
       latest::estimators::EstimatorKindName(module->active_kind()),
       static_cast<uint64_t>(module->model().num_leaves()),
       options.resume ? 1 : 0, replayed,
-      manager != nullptr ? manager->snapshots_taken() : 0, state_crc);
-  return 0;
+      manager != nullptr ? manager->snapshots_taken() : 0, state_crc,
+      drift_detections, audit_entries, degraded ? 1 : 0);
+  // Exit 2 signals "ran to completion but degraded at shutdown" — CI
+  // treats it as a soft failure distinct from flag/IO errors (exit 1).
+  return degraded ? 2 : 0;
 }
