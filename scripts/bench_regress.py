@@ -55,6 +55,11 @@ METRIC_SPECS = {
     # regression, not machine noise.
     "mean_accuracy": ("higher", 0.05),
     "tau_hit_rate": ("higher", 0.10),
+    # Scenario-replay drift gates (bench_scenario_recovery /
+    # latest_scenario_run). Deterministic for a fixed seed and scale:
+    # a slower detection or recovery is a real sensitivity regression.
+    "detection_delay_queries_max": ("lower", 0.50),
+    "recover_slices_max": ("lower", 1.00),
 }
 
 # Context fields that define the workload shape: when these differ from

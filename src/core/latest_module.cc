@@ -140,7 +140,7 @@ LatestModule::LatestModule(const LatestConfig& config)
   if (config_.quality.enabled) {
     error_accountant_ = std::make_unique<obs::ErrorAccountant>(config_.tau);
     error_accountant_->AttachMetrics(&telemetry_->registry());
-    drift_monitor_ = std::make_unique<obs::DriftMonitor>();
+    drift_monitor_ = std::make_unique<obs::DriftMonitor>(config_.quality.drift);
     drift_monitor_->AttachMetrics(&telemetry_->registry());
     drift_monitor_->AttachEventLog(&telemetry_->events());
     drift_monitor_->AddSeries("ingest_vocab_churn");

@@ -204,6 +204,12 @@ struct LatestConfig {
     /// Switch-audit ring capacity and counterfactual window (queries).
     uint32_t audit_capacity = 256;
     uint32_t audit_resolution_window = 32;
+    /// Detector parameters for every monitored drift series (Page-Hinkley
+    /// slack/threshold, AdwinLite confidence/window, cooldown). The
+    /// scenario replay harness pins per-scenario detection-delay bounds
+    /// against these knobs; like everything else in the quality plane
+    /// they are observational and fingerprint-excluded.
+    obs::DriftMonitor::Options drift;
     /// Flight-recorder frames retained, and the frame cadence in
     /// answered queries (0 disables frame capture).
     uint32_t flight_frames = 120;

@@ -203,6 +203,8 @@ bool DriftMonitor::Observe(const std::string& series_name, double value,
     detection.detector = ph_fired ? "page_hinkley" : "adwin";
     detection.value = value;
     detection.sample_index = series->samples;
+    detection.timestamp = timestamp;
+    detection.query_count = query_count;
     pending_.push_back(detection);
 
     if (event_log_ != nullptr) {

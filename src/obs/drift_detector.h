@@ -115,6 +115,11 @@ struct DriftDetection {
   double value = 0.0;
   /// Samples folded into this series when the detection fired.
   uint64_t sample_index = 0;
+  /// Stream event time (ms) and lifetime query count passed to Observe —
+  /// what the replay harness uses to compute time-to-detect against an
+  /// injected drift's onset.
+  int64_t timestamp = 0;
+  uint64_t query_count = 0;
 };
 
 /// Multiplexes named series over PH + AdwinLite pairs, with cooldown,

@@ -5,7 +5,10 @@
 // emit kDriftDetected events, and decay its active gauges once the
 // series is stable again.
 
+#include <cmath>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -14,6 +17,7 @@
 #include "obs/event_log.h"
 #include "obs/metrics_registry.h"
 #include "util/rng.h"
+#include "workload/scenario.h"
 
 namespace latest::obs {
 namespace {
@@ -248,6 +252,186 @@ TEST(DriftMonitorTest, StationaryNeverFiresAcrossSeries) {
   EXPECT_EQ(monitor.detections("b"), 0u);
   EXPECT_EQ(monitor.active_series(), 0u);
 }
+
+// ---------------------------------------------------------------------
+// Scenario-driven detection-delay bounds
+//
+// The adversarial scenario library (src/workload/scenario.h) generates
+// the same per-slice ingest-feature series the module folds into its
+// drift monitor (core/latest_module.cc slice rotation): vocabulary
+// churn = new/distinct keywords per sealed slice ("new" = absent from
+// the whole preceding window) and centroid displacement against a
+// slowly-following EWMA centroid. Replaying those series here pins the
+// detector configuration end to end: each injected drift must be
+// detected within a bounded number of slices of its onset, and series
+// the scenario does not touch must stay silent.
+// ---------------------------------------------------------------------
+
+struct SliceDetections {
+  /// Slice indices (100 ms event-time slices) of non-coalesced
+  /// detections, per series.
+  std::vector<int64_t> vocab;
+  std::vector<int64_t> centroid;
+  int64_t slices = 0;
+};
+
+/// Replays a scenario's object stream through the module's ingest
+/// feature extraction and the drift monitor, using the same detector
+/// options as the scenario replay harness (ph_lambda 0.35; see
+/// src/workload/scenario_runner.cc for the tuning rationale).
+SliceDetections ReplayIngestFeatures(const workload::ScenarioSpec& spec) {
+  // The smoke window: 1000 ms over 10 slices.
+  constexpr int64_t kSliceMs = 100;
+  constexpr uint64_t kNumSlices = 10;
+
+  DriftMonitor::Options options;
+  options.ph_lambda = 0.35;
+  DriftMonitor monitor(options);
+
+  workload::ScenarioStream stream(spec);
+  std::unordered_map<stream::KeywordId, uint64_t> vocab_last_slice;
+  int64_t current_slice = 0;
+  uint64_t slice_index = 0;
+  uint64_t distinct = 0, fresh = 0, objects = 0;
+  double sum_x = 0.0, sum_y = 0.0;
+  double centroid_x = 0.0, centroid_y = 0.0;
+  bool centroid_initialized = false;
+
+  const auto seal_slices_until = [&](int64_t target_slice) {
+    while (current_slice < target_slice) {
+      if (objects > 0) {
+        const double churn =
+            distinct > 0
+                ? static_cast<double>(fresh) / static_cast<double>(distinct)
+                : 0.0;
+        monitor.Observe("ingest_vocab_churn", churn, current_slice);
+        const double cx = sum_x / static_cast<double>(objects);
+        const double cy = sum_y / static_cast<double>(objects);
+        if (!centroid_initialized) {
+          centroid_x = cx;
+          centroid_y = cy;
+          centroid_initialized = true;
+        }
+        const double dx = (cx - centroid_x) / spec.bounds.Width();
+        const double dy = (cy - centroid_y) / spec.bounds.Height();
+        monitor.Observe("ingest_centroid", std::sqrt(dx * dx + dy * dy),
+                        current_slice);
+        centroid_x += 0.2 * (cx - centroid_x);
+        centroid_y += 0.2 * (cy - centroid_y);
+      }
+      distinct = fresh = objects = 0;
+      sum_x = sum_y = 0.0;
+      ++slice_index;
+      ++current_slice;
+    }
+  };
+
+  while (stream.HasNext()) {
+    const workload::ScenarioEvent event = stream.Next();
+    if (event.is_query) continue;
+    seal_slices_until(event.object.timestamp / kSliceMs);
+    for (const stream::KeywordId kw : event.object.keywords) {
+      auto [it, inserted] = vocab_last_slice.try_emplace(kw, slice_index);
+      if (inserted) {
+        ++distinct;
+        ++fresh;
+      } else if (it->second != slice_index) {
+        ++distinct;
+        if (it->second + kNumSlices < slice_index) ++fresh;
+        it->second = slice_index;
+      }
+    }
+    sum_x += event.object.loc.x;
+    sum_y += event.object.loc.y;
+    ++objects;
+  }
+  seal_slices_until(current_slice + 1);  // Seal the final open slice.
+
+  SliceDetections result;
+  result.slices = current_slice;
+  for (const DriftDetection& detection : monitor.Drain()) {
+    if (detection.series == "ingest_vocab_churn") {
+      result.vocab.push_back(detection.timestamp);
+    } else if (detection.series == "ingest_centroid") {
+      result.centroid.push_back(detection.timestamp);
+    }
+  }
+  return result;
+}
+
+struct ScenarioDetectionCase {
+  std::string scenario;
+  /// Which ingest series must fire ("vocab", "centroid", or "" = none).
+  std::string expect_series;
+  /// Detection must land within this many slices of the injection onset.
+  int64_t max_delay_slices = 0;
+  /// Series that must stay completely silent.
+  std::vector<std::string> silent_series;
+};
+
+class ScenarioDriftDetectionTest
+    : public ::testing::TestWithParam<ScenarioDetectionCase> {};
+
+TEST_P(ScenarioDriftDetectionTest, DetectsWithinSliceBoundOfOnset) {
+  const ScenarioDetectionCase& test_case = GetParam();
+  const auto entry = workload::MakeScenario(test_case.scenario);
+  ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+  const SliceDetections detections = ReplayIngestFeatures(entry->spec);
+
+  const auto slices_of = [&](const std::string& series) {
+    return series == "vocab" ? detections.vocab : detections.centroid;
+  };
+
+  if (!test_case.expect_series.empty()) {
+    // The matching injection's onset, in slices.
+    int64_t onset_slice = -1;
+    const std::string kind =
+        test_case.expect_series == "vocab" ? "vocab" : "spatial";
+    for (const workload::DriftInjection& injection :
+         workload::InjectionsOf(entry->spec)) {
+      if (injection.kind == kind) onset_slice = injection.onset_ms / 100;
+    }
+    ASSERT_GE(onset_slice, 0) << "scenario has no " << kind << " injection";
+
+    const std::vector<int64_t> fired = slices_of(test_case.expect_series);
+    ASSERT_FALSE(fired.empty())
+        << test_case.scenario << ": " << test_case.expect_series
+        << " series never fired over " << detections.slices << " slices";
+    EXPECT_GE(fired.front(), onset_slice)
+        << test_case.scenario << ": detection before the injection onset "
+        << "is a false positive";
+    EXPECT_LE(fired.front(), onset_slice + test_case.max_delay_slices)
+        << test_case.scenario << ": first detection too late";
+  }
+  for (const std::string& series : test_case.silent_series) {
+    EXPECT_TRUE(slices_of(series).empty())
+        << test_case.scenario << ": untouched series " << series
+        << " fired at slice " << slices_of(series).front();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ScenarioDriftDetectionTest,
+    ::testing::Values(
+        // Stationary stream: both ingest series must stay silent over the
+        // whole run (false-positive floor).
+        ScenarioDetectionCase{"baseline", "", 0, {"vocab", "centroid"}},
+        // Abrupt combined flip: both series fire promptly.
+        ScenarioDetectionCase{"flip", "vocab", 5, {}},
+        ScenarioDetectionCase{"flip", "centroid", 5, {}},
+        // Spatial-only jump: the centroid fires, the vocabulary must not.
+        ScenarioDetectionCase{"flash_crowd", "centroid", 5, {"vocab"}},
+        // Gradual vocabulary churn: detectable within the ramp, spatial
+        // silent.
+        ScenarioDetectionCase{"vocab_churn", "vocab", 10, {"centroid"}},
+        // Slow centroid ramp: PH accumulates over the drift window, so
+        // the bound spans most of it; vocabulary silent.
+        ScenarioDetectionCase{"centroid_drift", "centroid", 30, {"vocab"}}),
+    [](const auto& info) {
+      return info.param.scenario +
+             (info.param.expect_series.empty() ? std::string("_silent")
+                                               : "_" + info.param.expect_series);
+    });
 
 }  // namespace
 }  // namespace latest::obs

@@ -1,13 +1,17 @@
 // Tests for src/workload: dataset generators, query workload generators,
 // and the stream driver.
 
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <map>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "workload/dataset.h"
 #include "workload/query_workload.h"
+#include "workload/scenario.h"
 #include "workload/stream_driver.h"
 
 namespace latest::workload {
@@ -288,6 +292,166 @@ TEST(QueryGeneratorTest, DeterministicForSeed) {
     EXPECT_EQ(qa.HasRange(), qb.HasRange());
     EXPECT_EQ(qa.keywords, qb.keywords);
   }
+}
+
+// --------------------------------------------------------------------
+// Query-mix distribution invariants (chi-square goodness of fit)
+
+/// Pearson chi-square statistic of observed type counts against the
+/// spec's mix. Zero-probability cells must be empty (that is asserted
+/// exactly, not statistically) and are excluded from the statistic.
+double ChiSquare(const uint64_t observed[3], const double expected_prob[3],
+                 int* df) {
+  uint64_t n = observed[0] + observed[1] + observed[2];
+  double statistic = 0.0;
+  *df = -1;  // Cells with mass minus one.
+  for (int i = 0; i < 3; ++i) {
+    if (expected_prob[i] <= 0.0) {
+      EXPECT_EQ(observed[i], 0u) << "query type " << i
+                                 << " generated with probability zero";
+      continue;
+    }
+    const double expect = expected_prob[i] * static_cast<double>(n);
+    const double diff = static_cast<double>(observed[i]) - expect;
+    statistic += diff * diff / expect;
+    ++*df;
+  }
+  return statistic;
+}
+
+/// 99.9th percentile of the chi-square distribution — with fixed seeds
+/// the statistic is deterministic, so this only needs to hold for the
+/// pinned generator sequence while still failing loudly if the mix
+/// logic regresses.
+double ChiSquareCritical(int df) {
+  switch (df) {
+    case 1:
+      return 10.828;
+    case 2:
+      return 13.816;
+    default:
+      ADD_FAILURE() << "unexpected degrees of freedom " << df;
+      return 0.0;
+  }
+}
+
+TEST(QueryGeneratorChiSquareTest, UniformWorkloadsMatchTheirMix) {
+  const auto dataset = TwitterLikeSpec();
+  for (const WorkloadId id :
+       {WorkloadId::kTwQW1, WorkloadId::kTwQW3, WorkloadId::kTwQW6}) {
+    const auto spec = MakeWorkloadSpec(id, 20000);
+    QueryGenerator gen(spec, dataset);
+    uint64_t counts[3] = {};
+    while (gen.HasNext()) ++counts[static_cast<int>(gen.Next().Type())];
+    // Aggregate mix over all segments, weighted by segment fraction.
+    double mix[3] = {};
+    for (const WorkloadSegment& seg : spec.segments) {
+      mix[0] += seg.fraction * seg.mix.spatial;
+      mix[1] += seg.fraction * seg.mix.keyword;
+      mix[2] += seg.fraction * seg.mix.hybrid;
+    }
+    int df = 0;
+    const double statistic = ChiSquare(counts, mix, &df);
+    EXPECT_LT(statistic, ChiSquareCritical(df)) << spec.name;
+  }
+}
+
+TEST(QueryGeneratorChiSquareTest, EachPhaseSegmentMatchesItsOwnMix) {
+  // The per-segment invariant is the one mid-stream flips exercise:
+  // TwQW1 rotates its dominant type through five phases, and each phase
+  // must individually match its declared mix — an off-by-one in the
+  // segment boundary or a stale mix would concentrate the error in one
+  // segment and blow past the critical value there.
+  const auto dataset = TwitterLikeSpec();
+  for (const WorkloadId id : {WorkloadId::kTwQW1, WorkloadId::kTwQW6}) {
+    const auto spec = MakeWorkloadSpec(id, 30000);
+    QueryGenerator gen(spec, dataset);
+    // Segment boundaries, mirroring the generator's cumulative-fraction
+    // mapping.
+    std::vector<uint32_t> starts;
+    double cumulative = 0.0;
+    for (const WorkloadSegment& seg : spec.segments) {
+      starts.push_back(static_cast<uint32_t>(
+          cumulative * static_cast<double>(spec.num_queries)));
+      cumulative += seg.fraction;
+    }
+    std::vector<std::array<uint64_t, 3>> counts(spec.segments.size(),
+                                                {0, 0, 0});
+    while (gen.HasNext()) {
+      const uint32_t index = gen.produced();
+      size_t segment = starts.size() - 1;
+      while (segment > 0 && starts[segment] > index) --segment;
+      ++counts[segment][static_cast<int>(gen.Next().Type())];
+    }
+    for (size_t i = 0; i < spec.segments.size(); ++i) {
+      const QueryMix& mix = spec.segments[i].mix;
+      const double expected[3] = {mix.spatial, mix.keyword, mix.hybrid};
+      int df = 0;
+      const double statistic = ChiSquare(counts[i].data(), expected, &df);
+      EXPECT_LT(statistic, ChiSquareCritical(df))
+          << spec.name << " segment " << i;
+    }
+  }
+}
+
+TEST(QueryGeneratorChiSquareTest, HardFlipIsExactAtTheBoundary) {
+  // A custom two-segment workload with degenerate mixes turns the
+  // statistical check into an exact one: every query before the flip is
+  // keyword-only, every query after is spatial-only.
+  const auto dataset = TwitterLikeSpec();
+  WorkloadSpec spec = MakeWorkloadSpec(WorkloadId::kTwQW4, 4000);
+  spec.name = "hard_flip";
+  spec.segments = {{{0.0, 1.0, 0.0}, 0.5}, {{1.0, 0.0, 0.0}, 0.5}};
+  ASSERT_TRUE(spec.Validate().ok());
+  QueryGenerator gen(spec, dataset);
+  while (gen.HasNext()) {
+    const uint32_t index = gen.produced();
+    const auto q = gen.Next();
+    if (index < spec.num_queries / 2) {
+      EXPECT_EQ(q.Type(), stream::QueryType::kKeyword) << "query " << index;
+    } else {
+      EXPECT_EQ(q.Type(), stream::QueryType::kSpatial) << "query " << index;
+    }
+  }
+}
+
+TEST(ScenarioQueryMixChiSquareTest, QueryFlipRegimesMatchTheirMixes) {
+  // The scenario library's query_mix flip: both regimes of the
+  // `query_flip` scenario must match their declared proportions. The
+  // regime is decided by object-stream fraction at emission, so classify
+  // queries by the surrounding object index and skip a narrow band at
+  // the flip point.
+  const auto entry = MakeScenario("query_flip");
+  ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+  const ScenarioSpec& spec = entry->spec;
+  ASSERT_LT(spec.query_flip_at, 1.0);
+  ScenarioStream stream(spec);
+  uint64_t object_index = 0;
+  uint64_t before[3] = {};
+  uint64_t after[3] = {};
+  while (stream.HasNext()) {
+    const ScenarioEvent event = stream.Next();
+    if (!event.is_query) {
+      ++object_index;
+      continue;
+    }
+    const double f = static_cast<double>(object_index) /
+                     static_cast<double>(spec.objects);
+    if (std::abs(f - spec.query_flip_at) < 0.01) continue;
+    ++(f < spec.query_flip_at
+           ? before
+           : after)[static_cast<int>(event.query.Type())];
+  }
+  const auto check = [](const uint64_t counts[3], const ScenarioQueryMix& mix,
+                        const char* which) {
+    const double expected[3] = {mix.spatial, mix.keyword,
+                                1.0 - mix.spatial - mix.keyword};
+    int df = 0;
+    const double statistic = ChiSquare(counts, expected, &df);
+    EXPECT_LT(statistic, ChiSquareCritical(df)) << which;
+  };
+  check(before, spec.query_mix_before, "before flip");
+  check(after, spec.query_mix_after, "after flip");
 }
 
 // --------------------------------------------------------------------

@@ -24,19 +24,23 @@
 // --pace-us D sleeps D microseconds per event so a human (or a CI curl
 // loop) can scrape the endpoints mid-run.
 //
+// The stream itself comes from the adversarial scenario library
+// (src/workload/scenario.h): --scenario NAME replays any catalog
+// scenario under durability/introspection; the default is the
+// stationary `baseline`. --flip-workload-at N is kept as an alias for
+// the `flip` scenario with its abrupt cluster + vocabulary jump pinned
+// at object N.
+//
 // Postmortems: --postmortem-dir DIR arms the flight recorder — a bundle
 // is dumped there on a fatal signal (SIGSEGV/SIGABRT/SIGBUS/SIGFPE), on
 // an SLO breach mid-run (the module dumps on the healthy -> degraded
 // edge), and at shutdown ("shutdown" reason) so every run leaves a
 // parseable trace. When the module is still degraded at shutdown the
 // process exits 2 (distinguishable from flag errors, which exit 1).
-// --flip-workload-at N abruptly moves the object cluster and keyword
-// vocabulary after N objects — an injected drift scenario that the
-// detectors must flag (kDriftDetected) and the switch audit must explain.
 //
 // Usage:
-//   latest_stream_run [--objects N] [--duration MS] [--seed S]
-//                     [--threads N] [--checkpoint-dir DIR]
+//   latest_stream_run [--scenario NAME] [--objects N] [--duration MS]
+//                     [--seed S] [--threads N] [--checkpoint-dir DIR]
 //                     [--checkpoint-every N] [--kill-after N] [--resume]
 //                     [--metrics-port P] [--trace-out FILE]
 //                     [--span-sample N] [--pace-us D]
@@ -59,7 +63,7 @@
 #include "persist/crc32.h"
 #include "stream/object.h"
 #include "stream/query.h"
-#include "util/rng.h"
+#include "workload/scenario.h"
 
 namespace {
 
@@ -82,17 +86,38 @@ struct Options {
   uint32_t span_sample = 1;
   uint64_t pace_us = 0;  // Sleep per event (for live scraping).
   std::string postmortem_dir;
-  uint64_t flip_workload_at = 0;  // 0 = stationary workload.
+  std::string scenario = "baseline";
+  uint64_t flip_workload_at = 0;  // != 0 forces the `flip` scenario.
 };
 
-constexpr latest::geo::Rect kBounds{0, 0, 100, 100};
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "latest_stream_run: %s\n", message.c_str());
+  std::exit(1);
+}
 
-// Mirrors the parallel-determinism harness: alpha = 0 keeps wall-clock
-// latency out of every decision, making runs (and recoveries) exactly
-// reproducible.
-LatestConfig MakeConfig(const Options& options) {
+// The stream is a scenario-library replay: --scenario picks the shape,
+// --flip-workload-at N overrides it with the `flip` scenario whose
+// abrupt cluster + vocabulary jump lands at object N.
+latest::workload::ScenarioSpec MakeSpec(const Options& options) {
+  const bool forced_flip = options.flip_workload_at != 0;
+  auto entry = latest::workload::MakeScenario(
+      forced_flip ? "flip" : options.scenario, options.objects,
+      options.duration_ms, options.seed);
+  if (!entry.ok()) Die(entry.status().ToString());
+  latest::workload::ScenarioSpec spec = std::move(entry).value().spec;
+  if (forced_flip) {
+    const double at = static_cast<double>(options.flip_workload_at) /
+                      static_cast<double>(options.objects);
+    spec.spatial_shift_begin = spec.spatial_shift_end = at;
+    spec.vocab_shift_begin = spec.vocab_shift_end = at;
+  }
+  return spec;
+}
+
+LatestConfig MakeConfig(const Options& options,
+                        const latest::workload::ScenarioSpec& spec) {
   LatestConfig config;
-  config.bounds = kBounds;
+  config.bounds = spec.bounds;
   config.window.window_length_ms = 1000;
   config.window.num_slices = 10;
   config.pretrain_queries = 40;
@@ -113,56 +138,6 @@ LatestConfig MakeConfig(const Options& options) {
     config.quality.postmortem_dir = options.postmortem_dir;
   }
   return config;
-}
-
-// `flipped` switches to the post-drift regime: the dense cluster jumps
-// to the opposite corner and a disjoint keyword vocabulary (ids 50-99
-// instead of 0-49) takes over — an abrupt distribution change both
-// ingest drift series (vocab churn, centroid displacement) must flag.
-latest::stream::GeoTextObject MakeObject(uint64_t i, latest::util::Rng* rng,
-                                         const Options& options,
-                                         bool flipped) {
-  latest::stream::GeoTextObject obj;
-  obj.oid = i;
-  if (rng->NextBool(0.7)) {
-    obj.loc = flipped
-                  ? latest::geo::Point{rng->NextDouble(60, 80),
-                                       rng->NextDouble(60, 80)}
-                  : latest::geo::Point{rng->NextDouble(20, 40),
-                                       rng->NextDouble(20, 40)};
-  } else {
-    obj.loc = {rng->NextDouble(0, 100), rng->NextDouble(0, 100)};
-  }
-  const int num_kw = 1 + static_cast<int>(rng->NextBounded(3));
-  const latest::stream::KeywordId base = flipped ? 50 : 0;
-  for (int k = 0; k < num_kw; ++k) {
-    const double u = rng->NextDouble();
-    obj.keywords.push_back(
-        base + static_cast<latest::stream::KeywordId>(u * u * 50));
-  }
-  latest::stream::CanonicalizeKeywords(&obj.keywords);
-  obj.timestamp = options.duration_ms * static_cast<int64_t>(i) /
-                  static_cast<int64_t>(options.objects);
-  return obj;
-}
-
-latest::stream::Query MakeQuery(latest::util::Rng* rng, bool flipped) {
-  latest::stream::Query q;
-  const latest::stream::KeywordId base = flipped ? 50 : 0;
-  const double u = rng->NextDouble();
-  if (u < 0.70) {
-    q.keywords = {
-        base + static_cast<latest::stream::KeywordId>(rng->NextBounded(50))};
-    return q;
-  }
-  const latest::geo::Point c{rng->NextDouble(10, 90), rng->NextDouble(10, 90)};
-  q.range = latest::geo::Rect::FromCenter(c, rng->NextDouble(5, 30),
-                                          rng->NextDouble(5, 30));
-  if (u >= 0.85) {
-    q.keywords = {
-        base + static_cast<latest::stream::KeywordId>(rng->NextBounded(50))};
-  }
-  return q;
 }
 
 // Fatal-signal postmortem: dump a bundle before dying so a crash leaves
@@ -187,11 +162,6 @@ void InstallFatalSignalHandlers(LatestModule* module) {
   for (const int signo : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
     ::signal(signo, FatalSignalHandler);
   }
-}
-
-[[noreturn]] void Die(const std::string& message) {
-  std::fprintf(stderr, "latest_stream_run: %s\n", message.c_str());
-  std::exit(1);
 }
 
 Options ParseArgs(int argc, char** argv) {
@@ -231,6 +201,8 @@ Options ParseArgs(int argc, char** argv) {
       options.pace_us = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--postmortem-dir") {
       options.postmortem_dir = value();
+    } else if (arg == "--scenario") {
+      options.scenario = value();
     } else if (arg == "--flip-workload-at") {
       options.flip_workload_at = std::strtoull(value().c_str(), nullptr, 10);
     } else {
@@ -245,7 +217,8 @@ Options ParseArgs(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const Options options = ParseArgs(argc, argv);
-  const LatestConfig config = MakeConfig(options);
+  const latest::workload::ScenarioSpec spec = MakeSpec(options);
+  const LatestConfig config = MakeConfig(options, spec);
 
   // Span tracing: install the process-global collector before the first
   // event so ingest/query roots are captured from the start.
@@ -318,37 +291,34 @@ int main(int argc, char** argv) {
     }
   };
 
-  // The generators are replayed from index 0 on every run; events the
-  // recovered module already consumed are generated (to advance the RNG
-  // streams identically) but not fed again.
-  latest::util::Rng object_rng(13);
-  latest::util::Rng query_rng(99);
-  uint64_t queries_generated = 0;
-  for (uint64_t i = 0; i < options.objects; ++i) {
-    const bool flipped =
-        options.flip_workload_at != 0 && i >= options.flip_workload_at;
-    const latest::stream::GeoTextObject obj =
-        MakeObject(i, &object_rng, options, flipped);
-    if (i >= recovered_objects) {
-      feed_object(obj);
-      if (options.kill_after != 0 &&
-          module->objects_ingested() + module->queries_answered() >=
-              options.kill_after) {
-        ::kill(::getpid(), SIGKILL);  // A real crash: no destructors run.
-      }
+  // The scenario stream is replayed from event 0 on every run; events
+  // the recovered module already consumed are generated (to advance the
+  // RNG streams identically) but not fed again.
+  const auto kill_if_due = [&]() {
+    if (options.kill_after != 0 &&
+        module->objects_ingested() + module->queries_answered() >=
+            options.kill_after) {
+      ::kill(::getpid(), SIGKILL);  // A real crash: no destructors run.
     }
-    if (options.pace_us != 0) ::usleep(options.pace_us);
-    if (obj.timestamp < 1000 || i % 10 != 0) continue;
-    latest::stream::Query q = MakeQuery(&query_rng, flipped);
-    q.timestamp = obj.timestamp;
+  };
+  latest::workload::ScenarioStream stream(spec);
+  uint64_t objects_generated = 0;
+  uint64_t queries_generated = 0;
+  while (stream.HasNext()) {
+    const latest::workload::ScenarioEvent event = stream.Next();
+    if (!event.is_query) {
+      ++objects_generated;
+      if (objects_generated > recovered_objects) {
+        feed_object(event.object);
+        kill_if_due();
+      }
+      if (options.pace_us != 0) ::usleep(options.pace_us);
+      continue;
+    }
     ++queries_generated;
     if (queries_generated > recovered_queries) {
-      feed_query(q);
-      if (options.kill_after != 0 &&
-          module->objects_ingested() + module->queries_answered() >=
-              options.kill_after) {
-        ::kill(::getpid(), SIGKILL);
-      }
+      feed_query(event.query);
+      kill_if_due();
     }
   }
   if (manager != nullptr) {
