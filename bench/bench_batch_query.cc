@@ -1,0 +1,213 @@
+// Batched vs per-query exact evaluation over the columnar window store.
+//
+// The SIMD kernel layer's headline win: ExactEvaluator::TrueSelectivityBatch
+// amortizes cell eviction, slab resolution, and gathering over K queries
+// per pass and sweeps the gathered columns with vector kernels, where the
+// scalar path re-walks the store per query. This bench pins the speedup
+// per workload mix (pure spatial, single keyword, mixed) plus the
+// vectorized histogram ingest rate, and emits one RESULT_JSON line gated
+// by scripts/bench_regress.py.
+//
+// Honours LATEST_BENCH_SCALE and --threads / LATEST_BENCH_THREADS (the
+// batch paths shard grid row bands and inverted query bands across the
+// pool; threads=0 keeps both serial so the speedup is pure kernel+batch).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "estimators/histogram2d_estimator.h"
+#include "exact/exact_evaluator.h"
+#include "simd/kernels.h"
+#include "stream/sliding_window.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+#include "workload/dataset.h"
+#include "workload/query_workload.h"
+
+namespace {
+
+using namespace latest;
+
+/// Queries per TrueSelectivityBatch call: the slice the paper's system
+/// log accumulates between ground-truth flushes.
+constexpr size_t kBatchK = 64;
+
+struct MixResult {
+  const char* label;
+  workload::WorkloadId id;
+  double scalar_qps = 0.0;
+  double batch_qps = 0.0;
+
+  double speedup() const {
+    return scalar_qps > 0.0 ? batch_qps / scalar_qps : 0.0;
+  }
+};
+
+/// Minimum wall-clock per measurement pass: sub-millisecond timings are
+/// all noise, so each pass repeats the workload until this much time
+/// elapsed AND `min_iters` queries ran.
+constexpr double kMinMeasureMillis = 100.0;
+
+/// Passes per measurement; the best pass is reported. Scheduler and
+/// frequency transients only ever slow a pass down, so the max is the
+/// most reproducible summary of a short CPU-bound loop.
+constexpr int kMeasurePasses = 3;
+
+double MeasureScalarQps(exact::ExactEvaluator* evaluator,
+                        const std::vector<stream::Query>& queries,
+                        uint64_t min_iters) {
+  uint64_t sink = 0;
+  double best = 0.0;
+  for (int pass = 0; pass < kMeasurePasses; ++pass) {
+    uint64_t done = 0;
+    const util::Stopwatch watch;
+    while (done < min_iters || watch.ElapsedMillis() < kMinMeasureMillis) {
+      for (const stream::Query& q : queries) {
+        sink += evaluator->TrueSelectivity(q);
+      }
+      done += queries.size();
+    }
+    const double seconds = watch.ElapsedMillis() / 1000.0;
+    if (seconds > 0.0) best = std::max(best, done / seconds);
+  }
+  std::printf("  (scalar checksum %llu)\n",
+              static_cast<unsigned long long>(sink));
+  return best;
+}
+
+double MeasureBatchQps(exact::ExactEvaluator* evaluator,
+                       const std::vector<stream::Query>& queries,
+                       uint64_t min_iters) {
+  std::vector<uint64_t> counts(queries.size());
+  uint64_t sink = 0;
+  double best = 0.0;
+  for (int pass = 0; pass < kMeasurePasses; ++pass) {
+    uint64_t done = 0;
+    const util::Stopwatch watch;
+    while (done < min_iters || watch.ElapsedMillis() < kMinMeasureMillis) {
+      for (size_t begin = 0; begin < queries.size(); begin += kBatchK) {
+        const size_t k = std::min(kBatchK, queries.size() - begin);
+        evaluator->TrueSelectivityBatch(queries.data() + begin, k,
+                                        counts.data() + begin);
+      }
+      for (const uint64_t c : counts) sink += c;
+      done += queries.size();
+    }
+    const double seconds = watch.ElapsedMillis() / 1000.0;
+    if (seconds > 0.0) best = std::max(best, done / seconds);
+  }
+  std::printf("  (batch  checksum %llu)\n",
+              static_cast<unsigned long long>(sink));
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::BenchScale();
+  const uint32_t threads = bench::BenchThreads(argc, argv);
+  const stream::WindowConfig window{60LL * 60 * 1000, 16};
+  const auto spec = workload::TwitterLikeSpec(scale);
+
+  bench::PrintHeader("Batched exact evaluation",
+                     "K-query SIMD batches vs per-query scans (queries/s)");
+  std::printf("threads: %u, kernel tier: %s, batch K: %zu\n\n", threads,
+              simd::KernelTierName(simd::ActiveTier()), kBatchK);
+
+  util::ThreadPool pool(threads);
+  exact::ExactEvaluator evaluator(spec.bounds, window.window_length_ms);
+  if (threads > 0) evaluator.set_thread_pool(&pool);
+
+  workload::DatasetGenerator gen(spec);
+  std::vector<stream::GeoTextObject> objects;
+  while (gen.HasNext()) objects.push_back(gen.Next());
+  stream::SliceClock clock(window);
+  for (const auto& obj : objects) {
+    if (clock.Advance(obj.timestamp) > 0) evaluator.EvictExpired(clock.now());
+    evaluator.Insert(obj);
+  }
+  const stream::Timestamp now = clock.now();
+  std::printf("window holds %llu objects at end of stream\n\n",
+              static_cast<unsigned long long>(
+                  evaluator.store().resident_rows()));
+
+  MixResult mixes[] = {
+      {"spatial", workload::WorkloadId::kTwQW2},
+      {"keyword", workload::WorkloadId::kTwQW4},
+      {"mixed", workload::WorkloadId::kTwQW1},
+  };
+  const auto min_iters = static_cast<uint64_t>(2000 * scale) + 500;
+  for (MixResult& mix : mixes) {
+    const auto wspec = workload::MakeWorkloadSpec(mix.id, 256);
+    workload::QueryGenerator qgen(wspec, spec);
+    std::vector<stream::Query> queries;
+    while (qgen.HasNext()) {
+      stream::Query q = qgen.Next();
+      q.timestamp = now;  // Uniform window end: cutoffs are batch-safe.
+      queries.push_back(std::move(q));
+    }
+    std::printf("%s:\n", mix.label);
+    mix.scalar_qps = MeasureScalarQps(&evaluator, queries, min_iters);
+    mix.batch_qps = MeasureBatchQps(&evaluator, queries, min_iters);
+    std::printf("  scalar %12.0f q/s   batch %12.0f q/s   speedup %.2fx\n\n",
+                mix.scalar_qps, mix.batch_qps, mix.speedup());
+  }
+
+  // --- Vectorized histogram ingest (HistogramCellIds batch inserts). ---
+  auto make_config = [&] {
+    estimators::EstimatorConfig config;
+    config.bounds = spec.bounds;
+    config.window = window;
+    return config;
+  };
+  const auto config = make_config();
+  double hist_scalar_rate = 0.0;
+  double hist_batch_rate = 0.0;
+  for (int pass = 0; pass < kMeasurePasses; ++pass) {
+    estimators::Histogram2dEstimator est(config);
+    uint64_t done = 0;
+    const util::Stopwatch watch;
+    while (watch.ElapsedMillis() < kMinMeasureMillis) {
+      for (const auto& obj : objects) est.Insert(obj);
+      done += objects.size();
+    }
+    const double s = watch.ElapsedMillis() / 1000.0;
+    if (s > 0.0) hist_scalar_rate = std::max(hist_scalar_rate, done / s);
+  }
+  for (int pass = 0; pass < kMeasurePasses; ++pass) {
+    estimators::Histogram2dEstimator est(config);
+    uint64_t done = 0;
+    const util::Stopwatch watch;
+    while (watch.ElapsedMillis() < kMinMeasureMillis) {
+      est.InsertBatch(objects.data(), objects.size());
+      done += objects.size();
+    }
+    const double s = watch.ElapsedMillis() / 1000.0;
+    if (s > 0.0) hist_batch_rate = std::max(hist_batch_rate, done / s);
+  }
+  std::printf("histogram insert: scalar %.0f obj/s, batch %.0f obj/s "
+              "(%.2fx)\n\n",
+              hist_scalar_rate, hist_batch_rate,
+              hist_scalar_rate > 0.0 ? hist_batch_rate / hist_scalar_rate
+                                     : 0.0);
+
+  std::printf(
+      "RESULT_JSON {\"experiment\":\"batch_query\",\"objects\":%zu,"
+      "\"threads\":%u,\"kernel_tier\":\"%s\",\"batch_k\":%zu,"
+      "\"spatial_scalar_qps\":%.1f,\"batch_spatial_qps\":%.1f,"
+      "\"batch_spatial_speedup\":%.3f,"
+      "\"keyword_scalar_qps\":%.1f,\"batch_keyword_qps\":%.1f,"
+      "\"batch_keyword_speedup\":%.3f,"
+      "\"mixed_scalar_qps\":%.1f,\"batch_mixed_qps\":%.1f,"
+      "\"batch_mixed_speedup\":%.3f,"
+      "\"hist_insert_scalar_ops\":%.1f,\"hist_insert_batch_ops\":%.1f}\n",
+      objects.size(), threads, simd::KernelTierName(simd::ActiveTier()),
+      kBatchK, mixes[0].scalar_qps, mixes[0].batch_qps, mixes[0].speedup(),
+      mixes[1].scalar_qps, mixes[1].batch_qps, mixes[1].speedup(),
+      mixes[2].scalar_qps, mixes[2].batch_qps, mixes[2].speedup(),
+      hist_scalar_rate, hist_batch_rate);
+  return 0;
+}

@@ -12,12 +12,14 @@
 // scans shard grid-row bands across the estimation pool). Emits one
 // RESULT_JSON line so the speedup lands in the bench trajectory.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "exact/exact_evaluator.h"
+#include "simd/kernels.h"
 #include "stream/sliding_window.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -32,26 +34,66 @@ struct QueryMix {
   const char* label;
   workload::WorkloadId id;
   double qps = 0.0;
+  double batch_qps = 0.0;
 };
+
+/// Minimum wall-clock per measurement pass (sub-millisecond timings are
+/// all noise) and passes per measurement: the best of three time-bounded
+/// passes is the most reproducible summary of a short CPU-bound loop,
+/// since transients only ever slow a pass down.
+constexpr double kMinMeasureMillis = 100.0;
+constexpr int kMeasurePasses = 3;
 
 /// Repeats the batch until `min_iters` queries ran, returns queries/s.
 double MeasureQps(exact::ExactEvaluator* evaluator,
                   const std::vector<stream::Query>& batch,
                   uint64_t min_iters) {
   uint64_t sink = 0;
-  uint64_t done = 0;
-  const util::Stopwatch watch;
-  while (done < min_iters) {
-    for (const stream::Query& q : batch) {
-      sink += evaluator->TrueSelectivity(q);
+  double best = 0.0;
+  for (int pass = 0; pass < kMeasurePasses; ++pass) {
+    uint64_t done = 0;
+    const util::Stopwatch watch;
+    while (done < min_iters || watch.ElapsedMillis() < kMinMeasureMillis) {
+      for (const stream::Query& q : batch) {
+        sink += evaluator->TrueSelectivity(q);
+      }
+      done += batch.size();
     }
-    done += batch.size();
+    const double seconds = watch.ElapsedMillis() / 1000.0;
+    if (seconds > 0.0) best = std::max(best, done / seconds);
   }
-  const double seconds = watch.ElapsedMillis() / 1000.0;
   // Keep the accumulated selectivity observable so the loop can't be
   // optimized away.
   std::printf("  (checksum %llu)\n", static_cast<unsigned long long>(sink));
-  return seconds > 0.0 ? static_cast<double>(done) / seconds : 0.0;
+  return best;
+}
+
+/// Same workload through TrueSelectivityBatch in 64-query slices.
+double MeasureBatchQps(exact::ExactEvaluator* evaluator,
+                       const std::vector<stream::Query>& batch,
+                       uint64_t min_iters) {
+  constexpr size_t kBatchK = 64;
+  std::vector<uint64_t> counts(batch.size());
+  uint64_t sink = 0;
+  double best = 0.0;
+  for (int pass = 0; pass < kMeasurePasses; ++pass) {
+    uint64_t done = 0;
+    const util::Stopwatch watch;
+    while (done < min_iters || watch.ElapsedMillis() < kMinMeasureMillis) {
+      for (size_t begin = 0; begin < batch.size(); begin += kBatchK) {
+        const size_t k = std::min(kBatchK, batch.size() - begin);
+        evaluator->TrueSelectivityBatch(batch.data() + begin, k,
+                                        counts.data() + begin);
+      }
+      for (const uint64_t c : counts) sink += c;
+      done += batch.size();
+    }
+    const double seconds = watch.ElapsedMillis() / 1000.0;
+    if (seconds > 0.0) best = std::max(best, done / seconds);
+  }
+  std::printf("  (batch checksum %llu)\n",
+              static_cast<unsigned long long>(sink));
+  return best;
 }
 
 }  // namespace
@@ -76,20 +118,38 @@ int main(int argc, char** argv) {
   std::vector<stream::GeoTextObject> objects;
   while (gen.HasNext()) objects.push_back(gen.Next());
 
+  // Replaying the stream shifted forward by one period keeps timestamps
+  // strictly advancing, so the window keeps sliding (rotation-driven
+  // eviction stays on the measured path) and each pass can run until the
+  // minimum wall clock regardless of LATEST_BENCH_SCALE. A single cold
+  // fill was too short at small scales to measure above the noise.
+  const stream::Timestamp span = objects.back().timestamp -
+                                 objects.front().timestamp +
+                                 window.window_length_ms / window.num_slices;
   stream::SliceClock clock(window);
-  const util::Stopwatch ingest_watch;
-  for (const auto& obj : objects) {
-    if (clock.Advance(obj.timestamp) > 0) {
-      evaluator.EvictExpired(clock.now());
+  double ingest_rate = 0.0;
+  uint64_t ingested = 0;
+  for (int pass = 0; pass < kMeasurePasses; ++pass) {
+    uint64_t done = 0;
+    const util::Stopwatch watch;
+    while (done == 0 || watch.ElapsedMillis() < kMinMeasureMillis) {
+      for (auto& obj : objects) {
+        obj.timestamp += span;
+        if (clock.Advance(obj.timestamp) > 0) {
+          evaluator.EvictExpired(clock.now());
+        }
+        evaluator.Insert(obj);
+      }
+      done += objects.size();
     }
-    evaluator.Insert(obj);
+    const double s = watch.ElapsedMillis() / 1000.0;
+    if (s > 0.0) ingest_rate = std::max(ingest_rate, done / s);
+    ingested += done;
   }
-  const double ingest_s = ingest_watch.ElapsedMillis() / 1000.0;
-  const double ingest_rate =
-      ingest_s > 0.0 ? static_cast<double>(objects.size()) / ingest_s : 0.0;
   const stream::Timestamp now = clock.now();
-  std::printf("ingested %zu objects in %.3f s -> %.0f objects/s\n\n",
-              objects.size(), ingest_s, ingest_rate);
+  std::printf("ingested %llu objects (steady-state sliding window) -> "
+              "%.0f objects/s\n\n",
+              static_cast<unsigned long long>(ingested), ingest_rate);
 
   // --- Exact evaluation at end-of-stream. ---
   QueryMix mixes[] = {
@@ -99,6 +159,7 @@ int main(int argc, char** argv) {
   };
   const auto min_iters = static_cast<uint64_t>(2000 * scale) + 500;
   double total_qps = 0.0;
+  double total_batch_qps = 0.0;
   for (QueryMix& mix : mixes) {
     const auto wspec = workload::MakeWorkloadSpec(mix.id, 256);
     workload::QueryGenerator qgen(wspec, spec);
@@ -109,19 +170,29 @@ int main(int argc, char** argv) {
       batch.push_back(std::move(q));
     }
     mix.qps = MeasureQps(&evaluator, batch, min_iters);
-    std::printf("  %-8s %12.0f queries/s\n", mix.label, mix.qps);
+    mix.batch_qps = MeasureBatchQps(&evaluator, batch, min_iters);
+    std::printf("  %-8s %12.0f queries/s (batched: %12.0f)\n", mix.label,
+                mix.qps, mix.batch_qps);
     total_qps += mix.qps;
+    total_batch_qps += mix.batch_qps;
   }
   const double exact_eval_qps = total_qps / 3.0;
-  std::printf("\nmean exact-eval throughput: %.0f queries/s\n",
-              exact_eval_qps);
+  const double batch_exact_eval_qps = total_batch_qps / 3.0;
+  std::printf("\nmean exact-eval throughput: %.0f queries/s "
+              "(batched: %.0f, kernel tier %s)\n",
+              exact_eval_qps, batch_exact_eval_qps,
+              simd::KernelTierName(simd::ActiveTier()));
 
   std::printf(
       "RESULT_JSON {\"experiment\":\"ingest_throughput\",\"objects\":%zu,"
-      "\"threads\":%u,\"ingest_objects_per_s\":%.1f,"
+      "\"threads\":%u,\"kernel_tier\":\"%s\",\"ingest_objects_per_s\":%.1f,"
       "\"spatial_qps\":%.1f,\"keyword_qps\":%.1f,\"mixed_qps\":%.1f,"
-      "\"exact_eval_qps\":%.1f}\n",
-      objects.size(), threads, ingest_rate, mixes[0].qps, mixes[1].qps,
-      mixes[2].qps, exact_eval_qps);
+      "\"exact_eval_qps\":%.1f,\"batch_spatial_qps\":%.1f,"
+      "\"batch_keyword_qps\":%.1f,\"batch_mixed_qps\":%.1f,"
+      "\"batch_exact_eval_qps\":%.1f}\n",
+      objects.size(), threads, simd::KernelTierName(simd::ActiveTier()),
+      ingest_rate, mixes[0].qps, mixes[1].qps, mixes[2].qps, exact_eval_qps,
+      mixes[0].batch_qps, mixes[1].batch_qps, mixes[2].batch_qps,
+      batch_exact_eval_qps);
   return 0;
 }

@@ -60,6 +60,23 @@ METRIC_SPECS = {
     # a slower detection or recovery is a real sensitivity regression.
     "detection_delay_queries_max": ("lower", 0.50),
     "recover_slices_max": ("lower", 1.00),
+    # SIMD batch-evaluation gates (bench_batch_query plus the batched
+    # columns of bench_ingest_throughput). Rates take the standard
+    # throughput band; the spatial batch/scalar speedup is the kernel
+    # layer's headline >=3x claim and gets a tight band of its own —
+    # being a ratio of two rates from the same run, it cancels most
+    # machine noise, and it is the one number a batch-path regression
+    # cannot hide behind a generally-faster runner.
+    "spatial_scalar_qps": ("higher", 0.35),
+    "keyword_scalar_qps": ("higher", 0.35),
+    "mixed_scalar_qps": ("higher", 0.35),
+    "batch_spatial_qps": ("higher", 0.35),
+    "batch_keyword_qps": ("higher", 0.35),
+    "batch_mixed_qps": ("higher", 0.35),
+    "batch_exact_eval_qps": ("higher", 0.35),
+    "batch_spatial_speedup": ("higher", 0.12),
+    "hist_insert_scalar_ops": ("higher", 0.35),
+    "hist_insert_batch_ops": ("higher", 0.35),
 }
 
 # Context fields that define the workload shape: when these differ from

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/span.h"
+#include "simd/kernels.h"
 #include "util/stopwatch.h"
 
 namespace latest::core {
@@ -231,6 +232,17 @@ void LatestModule::RegisterMetrics() {
         obs::Histogram::LatencyBucketsMs(),
         {{"estimator", estimators::EstimatorKindName(kind)}});
   }
+  kernel_tier_gauge_ = registry.GetGauge(
+      "latest_kernel_tier",
+      "Active SIMD kernel dispatch tier: 0 scalar, 1 sse2, 2 avx2");
+  kernel_tier_gauge_->Set(static_cast<double>(simd::ActiveTier()));
+  batch_size_histogram_ = registry.GetHistogram(
+      "latest_batch_size",
+      "Queries per batched ground-truth evaluation pass",
+      std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256});
+  system_log_.set_batch_observer([this](size_t batch) {
+    batch_size_histogram_->Observe(static_cast<double>(batch));
+  });
   phase_gauge_->Set(static_cast<double>(phase_));
   active_gauge_->Set(static_cast<double>(active_kind_));
 }

@@ -554,7 +554,9 @@ class LatestModule {
   obs::Gauge* model_records_gauge_ = nullptr;
   obs::Gauge* model_leaves_gauge_ = nullptr;
   obs::Gauge* model_depth_gauge_ = nullptr;
+  obs::Gauge* kernel_tier_gauge_ = nullptr;
   obs::Histogram* accuracy_histogram_ = nullptr;
+  obs::Histogram* batch_size_histogram_ = nullptr;
   std::array<obs::Histogram*, estimators::kNumEstimatorKinds>
       estimator_latency_histograms_{};
 

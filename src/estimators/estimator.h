@@ -125,6 +125,15 @@ class Estimator {
   /// Absorbs one stream object into the current window slice.
   virtual void Insert(const stream::GeoTextObject& obj) = 0;
 
+  /// Absorbs `n` same-slice objects at once. Equivalent to n Insert
+  /// calls (the default is exactly that loop); estimators with columnar
+  /// state override to amortize per-object work over SIMD kernels. All
+  /// objects must belong to the current slice — the caller rotates
+  /// slices between batches, never inside one.
+  virtual void InsertBatch(const stream::GeoTextObject* objs, size_t n) {
+    for (size_t i = 0; i < n; ++i) Insert(objs[i]);
+  }
+
   /// Drops the oldest window slice and opens a new one. Called by the
   /// owner whenever event time crosses a slice boundary.
   virtual void OnSliceRotate() = 0;

@@ -38,6 +38,7 @@ class Histogram2dEstimator : public WindowedEstimatorBase {
 
  protected:
   void InsertImpl(const stream::GeoTextObject& obj) override;
+  void InsertBatchImpl(const stream::GeoTextObject* objs, size_t n) override;
   void RotateImpl() override;
   void ResetImpl() override;
   void SaveStateImpl(util::BinaryWriter* writer) const override;
@@ -51,6 +52,9 @@ class Histogram2dEstimator : public WindowedEstimatorBase {
   uint32_t head_slice_ = 0;  // Ring position of the newest slice.
   // Sum over live slices, maintained incrementally.
   std::vector<uint64_t> live_counts_;
+  // Batch-insert scratch (kernel-computed cell ids), reused across
+  // batches. Locations are read in place via the strided kernel.
+  std::vector<uint32_t> batch_cells_;
 };
 
 }  // namespace latest::estimators

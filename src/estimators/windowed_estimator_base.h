@@ -17,6 +17,11 @@ class WindowedEstimatorBase : public Estimator {
     population_.Add();
   }
 
+  void InsertBatch(const stream::GeoTextObject* objs, size_t n) final {
+    InsertBatchImpl(objs, n);
+    for (size_t i = 0; i < n; ++i) population_.Add();
+  }
+
   void OnSliceRotate() final {
     RotateImpl();  // Runs first so the hook can inspect the expiring slice.
     population_.Rotate();
@@ -48,6 +53,12 @@ class WindowedEstimatorBase : public Estimator {
 
   /// Absorbs one object into subclass state.
   virtual void InsertImpl(const stream::GeoTextObject& obj) = 0;
+
+  /// Absorbs a same-slice batch; must leave the same state as n
+  /// InsertImpl calls. Override to vectorize.
+  virtual void InsertBatchImpl(const stream::GeoTextObject* objs, size_t n) {
+    for (size_t i = 0; i < n; ++i) InsertImpl(objs[i]);
+  }
 
   /// Expires the oldest slice of subclass state.
   virtual void RotateImpl() = 0;

@@ -32,6 +32,39 @@ uint64_t ExactEvaluator::TrueSelectivity(const stream::Query& q) {
   return grid_.CountMatches(q, cutoff);
 }
 
+void ExactEvaluator::TrueSelectivityBatch(const stream::Query* queries,
+                                          size_t k, uint64_t* counts) {
+  if (k == 0) return;
+  // Two passes over the predicate split, same routing as
+  // TrueSelectivity: keyword/hybrid queries to the inverted index, pure
+  // spatial to the grid. batch_idx_ remembers each sub-batch entry's
+  // position in the caller's arrays.
+  for (int pass = 0; pass < 2; ++pass) {
+    batch_qs_.clear();
+    batch_cutoffs_.clear();
+    batch_idx_.clear();
+    for (size_t i = 0; i < k; ++i) {
+      if (queries[i].HasKeywords() != (pass == 0)) continue;
+      batch_qs_.push_back(&queries[i]);
+      batch_cutoffs_.push_back(queries[i].timestamp - window_length_ms_);
+      batch_idx_.push_back(static_cast<uint32_t>(i));
+    }
+    if (batch_qs_.empty()) continue;
+    batch_counts_.assign(batch_qs_.size(), 0);
+    if (pass == 0) {
+      inverted_.CountMatchesBatch(batch_qs_.data(), batch_cutoffs_.data(),
+                                  batch_qs_.size(), batch_counts_.data());
+    } else {
+      grid_.CountMatchesBatch(batch_qs_.data(), batch_cutoffs_.data(),
+                              batch_qs_.size(), batch_counts_.data());
+    }
+    for (size_t j = 0; j < batch_idx_.size(); ++j) {
+      counts[batch_idx_[j]] = batch_counts_[j];
+    }
+    if (batch_observer_) batch_observer_(batch_qs_.size());
+  }
+}
+
 void ExactEvaluator::EvictExpired(stream::Timestamp now) {
   const stream::Timestamp cutoff = now - window_length_ms_;
   grid_.EvictBefore(cutoff);

@@ -12,6 +12,8 @@
 #define LATEST_EXACT_EXACT_EVALUATOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "exact/grid_index.h"
 #include "exact/inverted_index.h"
@@ -35,6 +37,21 @@ class ExactEvaluator {
   /// Exact selectivity of q over the window ending at q.timestamp.
   uint64_t TrueSelectivity(const stream::Query& q);
 
+  /// Batched exact evaluation: splits `queries[0..k)` by predicate type
+  /// and answers each sub-batch in one pass over the shared backend
+  /// (GridIndex / InvertedIndex CountMatchesBatch). counts[i] is
+  /// bit-identical to TrueSelectivity(queries[i]) at every kernel tier
+  /// and thread count.
+  void TrueSelectivityBatch(const stream::Query* queries, size_t k,
+                            uint64_t* counts);
+
+  /// Called with the sub-batch size on every batched backend dispatch
+  /// (observability hook for the latest_batch_size metric).
+  using BatchObserver = std::function<void(size_t)>;
+  void set_batch_observer(BatchObserver observer) {
+    batch_observer_ = std::move(observer);
+  }
+
   /// Evicts everything older than now - T; call periodically to bound
   /// memory between queries.
   void EvictExpired(stream::Timestamp now);
@@ -56,12 +73,13 @@ class ExactEvaluator {
   /// on malformed input (the evaluator is left cleared).
   bool Load(util::BinaryReader* reader);
 
-  /// Shards spatial ground-truth scans across `pool` (see
-  /// GridIndex::set_thread_pool); null restores serial evaluation. The
-  /// pool is borrowed and must outlive the evaluator. Keyword queries
-  /// stay on the inverted index and are unaffected.
+  /// Shards spatial ground-truth scans (GridIndex row bands) and batched
+  /// keyword evaluation (InvertedIndex query bands) across `pool`; null
+  /// restores serial evaluation. The pool is borrowed and must outlive
+  /// the evaluator.
   void set_thread_pool(util::ThreadPool* pool) {
     grid_.set_thread_pool(pool);
+    inverted_.set_thread_pool(pool);
   }
 
  private:
@@ -75,6 +93,13 @@ class ExactEvaluator {
   stream::WindowStore store_;
   GridIndex grid_;
   InvertedIndex inverted_;
+  BatchObserver batch_observer_;
+
+  // Batch-split scratch, reused across TrueSelectivityBatch calls.
+  std::vector<const stream::Query*> batch_qs_;
+  std::vector<stream::Timestamp> batch_cutoffs_;
+  std::vector<uint32_t> batch_idx_;
+  std::vector<uint64_t> batch_counts_;
 };
 
 }  // namespace latest::exact

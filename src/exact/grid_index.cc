@@ -1,6 +1,9 @@
 #include "exact/grid_index.h"
 
 #include <algorithm>
+#include <limits>
+
+#include "simd/kernels.h"
 
 namespace latest::exact {
 
@@ -83,7 +86,7 @@ std::pair<uint64_t, uint64_t> GridIndex::ScanRows(
   const bool check_kw = q.HasKeywords();
   uint64_t count = 0;
   uint64_t evicted = 0;
-  stream::WindowStore::ColumnSlab slab;
+  RowScanner scan(reader);
   for (uint32_t row = row_lo; row <= row_hi; ++row) {
     // A cell strictly inside the candidate cell range is fully covered by
     // the query range: any non-clamped point the same floor arithmetic
@@ -103,19 +106,7 @@ std::pair<uint64_t, uint64_t> GridIndex::ScanRows(
       }
       const size_t n = cell.rows.size();
       for (size_t i = cell.head; i < n; ++i) {
-        const Row r = cell.rows[i];
-        if (!slab.contains(r)) slab = reader.slab(r);
-        const Row k = r - slab.base;
-        if (check_range && !q.range->Contains(slab.locs[k])) continue;
-        if (check_kw) {
-          const stream::KeywordSpan span = slab.spans[k];
-          if (!stream::KeywordSetsIntersect(slab.arena->Data(span), span.len,
-                                            q.keywords.data(),
-                                            q.keywords.size())) {
-            continue;
-          }
-        }
-        ++count;
+        if (scan.MatchesQuery(cell.rows[i], q)) ++count;
       }
     }
   }
@@ -163,6 +154,277 @@ uint64_t GridIndex::CountMatches(const stream::Query& q,
     size_ -= shard_evicted;
   }
   return count;
+}
+
+/// One batch query's evaluation plan: its candidate cell box (full grid
+/// when the query has no range), its window cutoff, and where its count
+/// lands in the output array.
+struct GridIndex::BatchPlan {
+  const stream::Query* q = nullptr;
+  stream::Timestamp cutoff = 0;
+  uint32_t col_lo = 0;
+  uint32_t row_lo = 0;
+  uint32_t col_hi = 0;
+  uint32_t row_hi = 0;
+  uint32_t out_idx = 0;
+  bool has_range = false;
+  bool has_kw = false;
+};
+
+uint64_t GridIndex::BatchScanRows(const std::vector<BatchPlan>& plans,
+                                  stream::Timestamp min_cutoff,
+                                  uint32_t row_lo, uint32_t row_hi,
+                                  bool want_kws, bool want_ts,
+                                  uint64_t* counts,
+                                  BatchScanScratch* scratch) {
+  // One Reader per scan, as in ScanRows: shards never share slice caches.
+  const stream::WindowStore::Reader reader(*store_);
+  uint64_t evicted = 0;
+  GatheredRows* gathered = &scratch->rows;
+  gathered->Clear();
+  if (scratch->off_lo.size() < grid_.num_cells()) {
+    scratch->off_lo.resize(grid_.num_cells());
+    scratch->off_hi.resize(grid_.num_cells());
+  }
+  uint32_t* const off_lo = scratch->off_lo.data();
+  uint32_t* const off_hi = scratch->off_hi.data();
+
+  // --- Gather phase. Plans are first bucketed by grid row (counting
+  // sort, preserving the caller's col_lo order within each row), so the
+  // per-row work is proportional to the plans actually covering that row.
+  // Merging their col ranges on the fly yields the row's covered-column
+  // intervals; every covered cell is evicted once and its live columns
+  // appended to the SoA once, however many plans share it. Total gather
+  // work is the union of the plan boxes, and within one grid row the
+  // cells of any plan's box land contiguously in the SoA.
+  const uint32_t band_rows = row_hi - row_lo + 1;
+  std::vector<uint32_t>& row_start = scratch->row_start;
+  row_start.assign(band_rows + 1, 0);
+  for (const BatchPlan& plan : plans) {
+    if (plan.row_lo > row_hi || plan.row_hi < row_lo) continue;
+    const uint32_t p_lo = std::max(plan.row_lo, row_lo);
+    const uint32_t p_hi = std::min(plan.row_hi, row_hi);
+    for (uint32_t row = p_lo; row <= p_hi; ++row) {
+      ++row_start[row - row_lo + 1];
+    }
+  }
+  for (uint32_t r = 0; r < band_rows; ++r) row_start[r + 1] += row_start[r];
+  std::vector<uint32_t>& row_items = scratch->row_items;
+  row_items.resize(row_start[band_rows]);
+  {
+    std::vector<uint32_t>& cursor = scratch->cursor;
+    cursor.assign(row_start.begin(), row_start.end() - 1);
+    for (uint32_t i = 0; i < plans.size(); ++i) {
+      const BatchPlan& plan = plans[i];
+      if (plan.row_lo > row_hi || plan.row_hi < row_lo) continue;
+      const uint32_t p_lo = std::max(plan.row_lo, row_lo);
+      const uint32_t p_hi = std::min(plan.row_hi, row_hi);
+      for (uint32_t row = p_lo; row <= p_hi; ++row) {
+        row_items[cursor[row - row_lo]++] = i;
+      }
+    }
+  }
+  for (uint32_t row = row_lo; row <= row_hi; ++row) {
+    const uint32_t item_lo = row_start[row - row_lo];
+    const uint32_t item_hi = row_start[row - row_lo + 1];
+    if (item_lo == item_hi) continue;
+    const size_t base = static_cast<size_t>(row) * grid_.cols();
+    // Sweep this row's plans (col_lo-ordered) as merged col intervals.
+    uint32_t cur_lo = plans[row_items[item_lo]].col_lo;
+    uint32_t cur_hi = plans[row_items[item_lo]].col_hi;
+    for (uint32_t it = item_lo + 1; it <= item_hi; ++it) {
+      const bool flush =
+          it == item_hi || plans[row_items[it]].col_lo > cur_hi + 1;
+      if (!flush) {
+        cur_hi = std::max(cur_hi, plans[row_items[it]].col_hi);
+        continue;
+      }
+      for (uint32_t col = cur_lo; col <= cur_hi; ++col) {
+        const size_t idx = base + col;
+        Cell& cell = cells_[idx];
+        // Evicting at the batch-minimum cutoff leaves every row any plan
+        // may count; plans with stricter cutoffs skip the stale prefix
+        // via a lower bound over the (arrival-ordered) timestamps.
+        evicted += EvictCell(&cell, reader, min_cutoff);
+        const size_t n = cell.live();
+        off_lo[idx] = static_cast<uint32_t>(gathered->size());
+        if (n > 0) {
+          gathered->Append(reader, cell.rows.data() + cell.head, n, want_kws,
+                           want_ts);
+        }
+        off_hi[idx] = static_cast<uint32_t>(gathered->size());
+      }
+      if (it < item_hi) {
+        cur_lo = plans[row_items[it]].col_lo;
+        cur_hi = plans[row_items[it]].col_hi;
+      }
+    }
+  }
+
+  // --- Count phase. Per (plan, grid row), the plan's covered cells form
+  // one contiguous SoA range [off_lo[first cell], off_hi[last cell]), so
+  // a pure-spatial uniform-cutoff strip is one kernel sweep — split
+  // around its fully-interior middle, which counts from the offsets
+  // alone. Only stricter-than-minimum cutoffs fall back to per-cell
+  // ranges (each cell's run is arrival-ordered; a strip as a whole is
+  // not).
+  const geo::Point* locs = gathered->locs.data();
+  for (const BatchPlan& plan : plans) {
+    if (plan.row_hi < row_lo || plan.row_lo > row_hi) continue;
+    const uint32_t p_row_lo = std::max(plan.row_lo, row_lo);
+    const uint32_t p_row_hi = std::min(plan.row_hi, row_hi);
+    uint64_t c = 0;
+    for (uint32_t row = p_row_lo; row <= p_row_hi; ++row) {
+      const size_t base = static_cast<size_t>(row) * grid_.cols();
+      const uint32_t lo = off_lo[base + plan.col_lo];
+      const uint32_t hi = off_hi[base + plan.col_hi];
+      if (lo >= hi) continue;
+      if (plan.cutoff > min_cutoff) {
+        const stream::Timestamp* ts = gathered->ts.data();
+        for (uint32_t col = plan.col_lo; col <= plan.col_hi; ++col) {
+          const uint32_t clo = off_lo[base + col];
+          const uint32_t chi = off_hi[base + col];
+          if (clo >= chi) continue;
+          const uint32_t start =
+              clo + static_cast<uint32_t>(simd::LowerBoundTimestamp(
+                        ts + clo, chi - clo, plan.cutoff));
+          if (plan.has_kw) {
+            const size_t q_len = plan.q->keywords.size();
+            const stream::KeywordId* q_kw = plan.q->keywords.data();
+            for (uint32_t i = start; i < chi; ++i) {
+              if (plan.has_range && !plan.q->range->Contains(locs[i])) {
+                continue;
+              }
+              if (simd::AnyKeywordIntersect(gathered->kws[i].first,
+                                            gathered->kws[i].second, q_kw,
+                                            q_len)) {
+                ++c;
+              }
+            }
+          } else if (!plan.has_range ||
+                     (row > plan.row_lo && row < plan.row_hi &&
+                      col > plan.col_lo && col < plan.col_hi)) {
+            c += chi - start;
+          } else {
+            c += simd::RectContainCount(locs + start, chi - start,
+                                        *plan.q->range);
+          }
+        }
+      } else if (plan.has_kw) {
+        const size_t q_len = plan.q->keywords.size();
+        const stream::KeywordId* q_kw = plan.q->keywords.data();
+        for (uint32_t i = lo; i < hi; ++i) {
+          if (plan.has_range && !plan.q->range->Contains(locs[i])) continue;
+          if (simd::AnyKeywordIntersect(gathered->kws[i].first,
+                                        gathered->kws[i].second, q_kw,
+                                        q_len)) {
+            ++c;
+          }
+        }
+      } else if (!plan.has_range) {
+        c += hi - lo;
+      } else if (row > plan.row_lo && row < plan.row_hi &&
+                 plan.col_hi > plan.col_lo + 1) {
+        // Interior row: only the strip's first and last cells need point
+        // tests; everything between is strictly inside the query rect.
+        const uint32_t mid_lo = off_hi[base + plan.col_lo];
+        const uint32_t mid_hi = off_lo[base + plan.col_hi];
+        c += simd::RectContainCount(locs + lo, mid_lo - lo, *plan.q->range);
+        c += mid_hi - mid_lo;
+        c += simd::RectContainCount(locs + mid_hi, hi - mid_hi,
+                                    *plan.q->range);
+      } else {
+        c += simd::RectContainCount(locs + lo, hi - lo, *plan.q->range);
+      }
+    }
+    counts[plan.out_idx] += c;
+  }
+  return evicted;
+}
+
+void GridIndex::CountMatchesBatch(const stream::Query* const* queries,
+                                  const stream::Timestamp* cutoffs, size_t k,
+                                  uint64_t* counts) {
+  if (k == 0) return;
+  std::vector<BatchPlan> plans;
+  plans.reserve(k);
+  stream::Timestamp min_cutoff = std::numeric_limits<stream::Timestamp>::max();
+  uint32_t u_col_lo = 0;
+  uint32_t u_row_lo = 0;
+  uint32_t u_col_hi = 0;
+  uint32_t u_row_hi = 0;
+  for (size_t i = 0; i < k; ++i) {
+    counts[i] = 0;
+    BatchPlan plan;
+    plan.q = queries[i];
+    plan.cutoff = cutoffs[i];
+    plan.out_idx = static_cast<uint32_t>(i);
+    plan.has_range = queries[i]->HasRange();
+    plan.has_kw = queries[i]->HasKeywords();
+    plan.col_hi = grid_.cols() - 1;
+    plan.row_hi = grid_.rows() - 1;
+    if (plan.has_range &&
+        !grid_.CellRange(*queries[i]->range, &plan.col_lo, &plan.row_lo,
+                         &plan.col_hi, &plan.row_hi)) {
+      continue;  // Range misses the grid: zero matches, skip the scan.
+    }
+    if (plans.empty()) {
+      u_col_lo = plan.col_lo;
+      u_row_lo = plan.row_lo;
+      u_col_hi = plan.col_hi;
+      u_row_hi = plan.row_hi;
+    } else {
+      u_col_lo = std::min(u_col_lo, plan.col_lo);
+      u_row_lo = std::min(u_row_lo, plan.row_lo);
+      u_col_hi = std::max(u_col_hi, plan.col_hi);
+      u_row_hi = std::max(u_row_hi, plan.row_hi);
+    }
+    min_cutoff = std::min(min_cutoff, plan.cutoff);
+    plans.push_back(plan);
+  }
+  if (plans.empty()) return;
+  bool want_kws = false;
+  bool want_ts = false;
+  for (const BatchPlan& plan : plans) {
+    want_kws |= plan.has_kw;
+    // Timestamps are only consulted to lower-bound past a stricter-than-
+    // batch-minimum cutoff; a uniform-cutoff batch never reads them.
+    want_ts |= plan.cutoff > min_cutoff;
+  }
+  // The interval sweep in BatchScanRows admits plans in column order.
+  std::sort(plans.begin(), plans.end(),
+            [](const BatchPlan& a, const BatchPlan& b) {
+              return a.col_lo < b.col_lo;
+            });
+  const uint64_t num_rows = u_row_hi - u_row_lo + 1;
+  const uint64_t num_cells = num_rows * (u_col_hi - u_col_lo + 1);
+  if (pool_ == nullptr || pool_->num_threads() == 0 ||
+      num_cells < kMinCellsForSharding || num_rows < 2) {
+    size_ -= BatchScanRows(plans, min_cutoff, u_row_lo, u_row_hi, want_kws,
+                           want_ts, counts, &batch_scratch_);
+    return;
+  }
+  // Row-band sharding, as in CountMatches: each cell is evicted and
+  // gathered by exactly one shard; per-shard count slots are summed after
+  // the join in shard order, which is exact for integer tallies.
+  const uint32_t num_shards = static_cast<uint32_t>(std::min<uint64_t>(
+      num_rows, static_cast<uint64_t>(pool_->num_threads())));
+  std::vector<std::vector<uint64_t>> shard_counts(
+      num_shards, std::vector<uint64_t>(k, 0));
+  std::vector<uint64_t> shard_evicted(num_shards, 0);
+  pool_->ParallelFor(num_shards, [&](size_t shard) {
+    const uint64_t begin = u_row_lo + num_rows * shard / num_shards;
+    const uint64_t end = u_row_lo + num_rows * (shard + 1) / num_shards - 1;
+    BatchScanScratch scratch;
+    shard_evicted[shard] = BatchScanRows(
+        plans, min_cutoff, static_cast<uint32_t>(begin),
+        static_cast<uint32_t>(end), want_kws, want_ts,
+        shard_counts[shard].data(), &scratch);
+  });
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    for (size_t i = 0; i < k; ++i) counts[i] += shard_counts[shard][i];
+    size_ -= shard_evicted[shard];
+  }
 }
 
 void GridIndex::Clear() {

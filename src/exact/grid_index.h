@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "exact/row_scan.h"
 #include "geo/grid.h"
 #include "stream/query.h"
 #include "stream/window_store.h"
@@ -47,6 +48,17 @@ class GridIndex {
   /// lower window bound NOW - T; objects older than it are ignored (and
   /// lazily evicted).
   uint64_t CountMatches(const stream::Query& q, stream::Timestamp cutoff);
+
+  /// Batched exact evaluation: one pass over the union of the queries'
+  /// candidate cell ranges, evicting and gathering each cell's columns
+  /// once and sweeping them with the SIMD kernels for every covering
+  /// query. counts[i] receives the match count of *queries[i] under
+  /// cutoffs[i], bit-identical to CountMatches(*queries[i], cutoffs[i])
+  /// at every kernel tier and thread count (large batches row-band shard
+  /// across the pool like CountMatches).
+  void CountMatchesBatch(const stream::Query* const* queries,
+                         const stream::Timestamp* cutoffs, size_t k,
+                         uint64_t* counts);
 
   /// Number of rows currently indexed (including not-yet-evicted ones).
   uint64_t size() const { return size_; }
@@ -98,11 +110,45 @@ class GridIndex {
                                          uint32_t range_row_lo,
                                          uint32_t range_row_hi);
 
+  /// One batch query's candidate cell box + cutoff (see grid_index.cc).
+  struct BatchPlan;
+
+  /// Reusable per-scan state of one BatchScanRows call: the gathered SoA,
+  /// the per-cell [start, end) SoA offsets (only covered cells are ever
+  /// written or read, so they are never cleared), and the row-bucketing
+  /// arrays of the gather phase. The serial path keeps one as a member so
+  /// steady state allocates nothing; shards build their own.
+  struct BatchScanScratch {
+    GatheredRows rows;
+    std::vector<uint32_t> off_lo;
+    std::vector<uint32_t> off_hi;
+    std::vector<uint32_t> row_start;
+    std::vector<uint32_t> row_items;
+    std::vector<uint32_t> cursor;
+  };
+
+  /// Batch counterpart of ScanRows over one row band, in two phases.
+  /// Gather: plans (col_lo-sorted by the caller) are bucketed by grid
+  /// row, their col ranges merged into covered-column intervals, and
+  /// every covered cell is evicted at the batch-minimum cutoff and its
+  /// live columns appended to one SoA in row-major cell order, recording
+  /// per-cell [start, end) offsets. Count: cells a plan's box covers
+  /// within one grid row are then contiguous in the SoA, so each
+  /// (plan, grid row) strip is swept with a single kernel call — and the
+  /// strip's fully-interior middle counts wholesale from the offsets
+  /// alone. Returns evictions.
+  uint64_t BatchScanRows(const std::vector<BatchPlan>& plans,
+                         stream::Timestamp min_cutoff, uint32_t row_lo,
+                         uint32_t row_hi, bool want_kws, bool want_ts,
+                         uint64_t* counts, BatchScanScratch* scratch);
+
   const stream::WindowStore* store_;
   geo::Grid grid_;
   std::vector<Cell> cells_;
   uint64_t size_ = 0;
   util::ThreadPool* pool_ = nullptr;
+  /// Serial-path batch scan scratch (shards use their own).
+  BatchScanScratch batch_scratch_;
 };
 
 }  // namespace latest::exact

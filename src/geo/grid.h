@@ -27,6 +27,11 @@ class Grid {
   uint32_t rows() const { return rows_; }
   const Rect& bounds() const { return bounds_; }
 
+  /// Exact per-cell extents (the values CellOf divides by); batch cell-id
+  /// kernels must use these, not recomputed ratios, to stay bit-identical.
+  double cell_width() const { return cell_w_; }
+  double cell_height() const { return cell_h_; }
+
   /// Cell id of the cell containing p. Points outside the bounds are
   /// clamped to the border cells (streams occasionally carry outliers).
   uint32_t CellOf(const Point& p) const;

@@ -1,0 +1,717 @@
+#include "simd/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+// LATEST_SIMD_X86 gates every intrinsic body. The scalar tier is the only
+// one compiled on other targets or under -DLATEST_DISABLE_SIMD=ON, and it
+// is the reference all vector tiers are cross-checked against
+// (tests/simd_kernels_test.cc, tests/batch_crosscheck_test.cc).
+#if defined(__x86_64__) && !defined(LATEST_SIMD_DISABLED)
+#define LATEST_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define LATEST_SIMD_X86 0
+#endif
+
+#if LATEST_SIMD_X86
+#define LATEST_TARGET_AVX2 __attribute__((target("avx2,popcnt")))
+#endif
+
+namespace latest::simd {
+
+namespace {
+
+void ZeroMask(uint64_t* mask, size_t n) {
+  std::memset(mask, 0, MaskWords(n) * sizeof(uint64_t));
+}
+
+// Only the vector tiers take the all-pass shortcut; the scalar build
+// compiles without a caller.
+[[maybe_unused]] void FillMask(uint64_t* mask, size_t n) {
+  const size_t words = MaskWords(n);
+  if (words == 0) return;
+  std::memset(mask, 0xff, words * sizeof(uint64_t));
+  if (n & 63) mask[words - 1] = ~uint64_t{0} >> (64 - (n & 63));
+}
+
+// Probing a sorted span with vector compare-equal only pays off once the
+// span is a couple of cache lines long; below this both SIMD tiers defer
+// to the galloping/merge scalar test.
+constexpr size_t kSimdProbeMinLen = 16;
+
+// --- Scalar reference implementations --------------------------------------
+
+void RectContainMaskScalar(const geo::Point* locs, size_t n,
+                           const geo::Rect& r, uint64_t* mask) {
+  ZeroMask(mask, n);
+  for (size_t i = 0; i < n; ++i) {
+    if (r.Contains(locs[i])) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+uint64_t RectContainCountScalar(const geo::Point* locs, size_t n,
+                                const geo::Rect& r) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += r.Contains(locs[i]) ? 1 : 0;
+  return count;
+}
+
+void TimestampGeMaskScalar(const stream::Timestamp* ts, size_t n,
+                           stream::Timestamp cutoff, uint64_t* mask) {
+  ZeroMask(mask, n);
+  for (size_t i = 0; i < n; ++i) {
+    if (ts[i] >= cutoff) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+// Mirrors geo::Grid::CellOf exactly (same subtract/divide/truncate/clamp
+// sequence) so histogram batch inserts land in the same cells as the
+// scalar insert path.
+uint32_t CellIdScalar(const geo::Point& p, const geo::Rect& bounds,
+                      double cell_w, double cell_h, uint32_t cols,
+                      uint32_t rows) {
+  auto clamp_idx = [](double v, uint32_t n) {
+    if (v < 0) return 0u;
+    const auto i = static_cast<int64_t>(v);
+    if (i >= static_cast<int64_t>(n)) return n - 1;
+    return static_cast<uint32_t>(i);
+  };
+  const uint32_t col = clamp_idx((p.x - bounds.min_x) / cell_w, cols);
+  const uint32_t row = clamp_idx((p.y - bounds.min_y) / cell_h, rows);
+  return row * cols + col;
+}
+
+void HistogramCellIdsScalar(const geo::Point* locs, size_t n,
+                            const geo::Rect& bounds, double cell_w,
+                            double cell_h, uint32_t cols, uint32_t rows,
+                            uint32_t* cells) {
+  for (size_t i = 0; i < n; ++i) {
+    cells[i] = CellIdScalar(locs[i], bounds, cell_w, cell_h, cols, rows);
+  }
+}
+
+void HistogramCellIdsStridedScalar(const geo::Point* first, size_t stride,
+                                   size_t n, const geo::Rect& bounds,
+                                   double cell_w, double cell_h, uint32_t cols,
+                                   uint32_t rows, uint32_t* cells) {
+  const auto* base = reinterpret_cast<const unsigned char*>(first);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& p = *reinterpret_cast<const geo::Point*>(base + i * stride);
+    cells[i] = CellIdScalar(p, bounds, cell_w, cell_h, cols, rows);
+  }
+}
+
+void MaskAndScalar(uint64_t* dst, const uint64_t* src, size_t words) {
+  for (size_t w = 0; w < words; ++w) dst[w] &= src[w];
+}
+
+void MaskOrScalar(uint64_t* dst, const uint64_t* src, size_t words) {
+  for (size_t w = 0; w < words; ++w) dst[w] |= src[w];
+}
+
+uint64_t MaskPopcountScalar(const uint64_t* mask, size_t words) {
+  uint64_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    count += static_cast<uint64_t>(__builtin_popcountll(mask[w]));
+  }
+  return count;
+}
+
+uint64_t MaskAndPopcountScalar(const uint64_t* a, const uint64_t* b,
+                               size_t words) {
+  uint64_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    count += static_cast<uint64_t>(__builtin_popcountll(a[w] & b[w]));
+  }
+  return count;
+}
+
+#if LATEST_SIMD_X86
+
+// --- SSE2 tier (x86-64 baseline, no target attribute needed) ---------------
+//
+// SSE2 carries the 2-lane double compares the rect kernels need and
+// 4-lane 32-bit compare-equal for keyword probing; it lacks 64-bit integer
+// compares and 32-bit lane multiplies, so the timestamp and histogram
+// kernels stay scalar at this tier.
+
+void RectContainMaskSSE2(const geo::Point* locs, size_t n, const geo::Rect& r,
+                         uint64_t* mask) {
+  ZeroMask(mask, n);
+  const __m128d lo = _mm_setr_pd(r.min_x, r.min_y);
+  const __m128d hi = _mm_setr_pd(r.max_x, r.max_y);
+  for (size_t i = 0; i < n; ++i) {
+    const __m128d v = _mm_loadu_pd(reinterpret_cast<const double*>(locs + i));
+    const int m = _mm_movemask_pd(
+        _mm_and_pd(_mm_cmpge_pd(v, lo), _mm_cmplt_pd(v, hi)));
+    if (m == 3) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+uint64_t RectContainCountSSE2(const geo::Point* locs, size_t n,
+                              const geo::Rect& r) {
+  const __m128d lo = _mm_setr_pd(r.min_x, r.min_y);
+  const __m128d hi = _mm_setr_pd(r.max_x, r.max_y);
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const __m128d v = _mm_loadu_pd(reinterpret_cast<const double*>(locs + i));
+    const int m = _mm_movemask_pd(
+        _mm_and_pd(_mm_cmpge_pd(v, lo), _mm_cmplt_pd(v, hi)));
+    count += (m == 3) ? 1 : 0;
+  }
+  return count;
+}
+
+// `a` must be the shorter sorted set, `b` the longer; b_len >=
+// kSimdProbeMinLen. Probes each id of `a` through `b` 4 lanes at a time,
+// resuming from the previous probe position (both sets ascend) and
+// stopping a probe as soon as the block maximum passes the id.
+bool AnyKeywordIntersectSSE2(const stream::KeywordId* a, size_t a_len,
+                             const stream::KeywordId* b, size_t b_len) {
+  size_t pos = 0;
+  for (size_t j = 0; j < a_len; ++j) {
+    const stream::KeywordId id = a[j];
+    const __m128i needle = _mm_set1_epi32(static_cast<int>(id));
+    bool decided = false;
+    while (pos + 4 <= b_len) {
+      const __m128i blk =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + pos));
+      if (_mm_movemask_epi8(_mm_cmpeq_epi32(blk, needle)) != 0) return true;
+      if (b[pos + 3] > id) {
+        decided = true;  // id < block max and not in it: absent from b.
+        break;
+      }
+      pos += 4;
+    }
+    if (decided) continue;
+    for (size_t k = pos; k < b_len; ++k) {
+      if (b[k] == id) return true;
+      if (b[k] > id) break;
+    }
+  }
+  return false;
+}
+
+// --- AVX2 tier --------------------------------------------------------------
+
+// Points are stored AoS ({x, y} pairs), so one 256-bit load covers two
+// points [x0, y0, x1, y1]. Comparing against [min_x, min_y, min_x, min_y]
+// and [max_x, max_y, max_x, max_y] and folding the 4-bit movemask with
+// t = m & (m >> 1) leaves point verdicts at bits 0 and 2 — no
+// deinterleave needed on the containment path. _CMP_GE_OQ / _CMP_LT_OQ
+// are ordered (false on NaN), matching Rect::Contains exactly.
+LATEST_TARGET_AVX2 inline uint64_t RectNibble4(const geo::Point* locs,
+                                               __m256d lo, __m256d hi) {
+  const __m256d v0 =
+      _mm256_loadu_pd(reinterpret_cast<const double*>(locs));
+  const __m256d v1 =
+      _mm256_loadu_pd(reinterpret_cast<const double*>(locs + 2));
+  const unsigned m0 = static_cast<unsigned>(_mm256_movemask_pd(_mm256_and_pd(
+      _mm256_cmp_pd(v0, lo, _CMP_GE_OQ), _mm256_cmp_pd(v0, hi, _CMP_LT_OQ))));
+  const unsigned m1 = static_cast<unsigned>(_mm256_movemask_pd(_mm256_and_pd(
+      _mm256_cmp_pd(v1, lo, _CMP_GE_OQ), _mm256_cmp_pd(v1, hi, _CMP_LT_OQ))));
+  const unsigned t0 = m0 & (m0 >> 1);  // Point bits at 0 and 2.
+  const unsigned t1 = m1 & (m1 >> 1);
+  return (t0 & 1u) | ((t0 >> 1) & 2u) | (((t1 & 1u) | ((t1 >> 1) & 2u)) << 2);
+}
+
+LATEST_TARGET_AVX2 void RectContainMaskAVX2(const geo::Point* locs, size_t n,
+                                            const geo::Rect& r,
+                                            uint64_t* mask) {
+  ZeroMask(mask, n);
+  const __m256d lo = _mm256_setr_pd(r.min_x, r.min_y, r.min_x, r.min_y);
+  const __m256d hi = _mm256_setr_pd(r.max_x, r.max_y, r.max_x, r.max_y);
+  size_t i = 0;
+  // 4 divides 64, so a nibble at bit (i & 63) never crosses a word.
+  for (; i + 4 <= n; i += 4) {
+    mask[i >> 6] |= RectNibble4(locs + i, lo, hi) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    if (r.Contains(locs[i])) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+LATEST_TARGET_AVX2 uint64_t RectContainCountAVX2(const geo::Point* locs,
+                                                 size_t n,
+                                                 const geo::Rect& r) {
+  const __m256d lo = _mm256_setr_pd(r.min_x, r.min_y, r.min_x, r.min_y);
+  const __m256d hi = _mm256_setr_pd(r.max_x, r.max_y, r.max_x, r.max_y);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    count += static_cast<uint64_t>(
+        __builtin_popcountll(RectNibble4(locs + i, lo, hi)));
+  }
+  for (; i < n; ++i) count += r.Contains(locs[i]) ? 1 : 0;
+  return count;
+}
+
+LATEST_TARGET_AVX2 void TimestampGeMaskAVX2(const stream::Timestamp* ts,
+                                            size_t n, stream::Timestamp cutoff,
+                                            uint64_t* mask) {
+  if (cutoff == std::numeric_limits<stream::Timestamp>::min()) {
+    FillMask(mask, n);  // Every timestamp passes; cutoff - 1 would wrap.
+    return;
+  }
+  ZeroMask(mask, n);
+  const __m256i c = _mm256_set1_epi64x(cutoff - 1);  // ts >= cutoff <=> ts > c
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ts + i));
+    const unsigned m = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(v, c))));
+    mask[i >> 6] |= static_cast<uint64_t>(m) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    if (ts[i] >= cutoff) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+// Bit-identical to CellIdScalar: the subtract and _mm256_div_pd are the
+// same IEEE operations in the same order, and the double-domain clamp
+// v' = min(max(v, 0), n - 1) truncates to the same index as the scalar
+// int64 clamp for every v < 2^63 (v < 0 -> 0; v in [n-1, n) and v >= n
+// both land on n - 1; in-range v truncates unchanged). n - 1 is exact in
+// a double and fits int32 (the dispatch wrapper bounds cols/rows).
+LATEST_TARGET_AVX2 void HistogramCellIdsAVX2(const geo::Point* locs, size_t n,
+                                             const geo::Rect& bounds,
+                                             double cell_w, double cell_h,
+                                             uint32_t cols, uint32_t rows,
+                                             uint32_t* cells) {
+  const __m256d origin =
+      _mm256_setr_pd(bounds.min_x, bounds.min_y, bounds.min_x, bounds.min_y);
+  const __m256d inv_wh = _mm256_setr_pd(cell_w, cell_h, cell_w, cell_h);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d col_max = _mm256_set1_pd(static_cast<double>(cols - 1));
+  const __m256d row_max = _mm256_set1_pd(static_cast<double>(rows - 1));
+  const __m128i cols_v = _mm_set1_epi32(static_cast<int>(cols));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v0 =
+        _mm256_loadu_pd(reinterpret_cast<const double*>(locs + i));
+    const __m256d v1 =
+        _mm256_loadu_pd(reinterpret_cast<const double*>(locs + i + 2));
+    const __m256d s0 = _mm256_div_pd(_mm256_sub_pd(v0, origin), inv_wh);
+    const __m256d s1 = _mm256_div_pd(_mm256_sub_pd(v1, origin), inv_wh);
+    // Deinterleave: lanes come out in point order [0, 2, 1, 3].
+    __m256d xs = _mm256_unpacklo_pd(s0, s1);
+    __m256d ys = _mm256_unpackhi_pd(s0, s1);
+    xs = _mm256_min_pd(_mm256_max_pd(xs, zero), col_max);
+    ys = _mm256_min_pd(_mm256_max_pd(ys, zero), row_max);
+    const __m128i col_i = _mm256_cvttpd_epi32(xs);
+    const __m128i row_i = _mm256_cvttpd_epi32(ys);
+    __m128i cell = _mm_add_epi32(_mm_mullo_epi32(row_i, cols_v), col_i);
+    cell = _mm_shuffle_epi32(cell, _MM_SHUFFLE(3, 1, 2, 0));  // [0,2,1,3]->[0..3]
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(cells + i), cell);
+  }
+  for (; i < n; ++i) {
+    cells[i] = CellIdScalar(locs[i], bounds, cell_w, cell_h, cols, rows);
+  }
+}
+
+// Same math as HistogramCellIdsAVX2 (so bit-identical to CellIdScalar);
+// only the loads differ: each point is a 128-bit load at its own strided
+// address, pairs fused into the 256-bit lanes the contiguous kernel loads
+// directly.
+LATEST_TARGET_AVX2 void HistogramCellIdsStridedAVX2(
+    const geo::Point* first, size_t stride, size_t n, const geo::Rect& bounds,
+    double cell_w, double cell_h, uint32_t cols, uint32_t rows,
+    uint32_t* cells) {
+  const auto* base = reinterpret_cast<const unsigned char*>(first);
+  const __m256d origin =
+      _mm256_setr_pd(bounds.min_x, bounds.min_y, bounds.min_x, bounds.min_y);
+  const __m256d inv_wh = _mm256_setr_pd(cell_w, cell_h, cell_w, cell_h);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d col_max = _mm256_set1_pd(static_cast<double>(cols - 1));
+  const __m256d row_max = _mm256_set1_pd(static_cast<double>(rows - 1));
+  const __m128i cols_v = _mm_set1_epi32(static_cast<int>(cols));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const unsigned char* q = base + i * stride;
+    const __m128d p0 = _mm_loadu_pd(reinterpret_cast<const double*>(q));
+    const __m128d p1 =
+        _mm_loadu_pd(reinterpret_cast<const double*>(q + stride));
+    const __m128d p2 =
+        _mm_loadu_pd(reinterpret_cast<const double*>(q + 2 * stride));
+    const __m128d p3 =
+        _mm_loadu_pd(reinterpret_cast<const double*>(q + 3 * stride));
+    const __m256d v0 = _mm256_set_m128d(p1, p0);
+    const __m256d v1 = _mm256_set_m128d(p3, p2);
+    const __m256d s0 = _mm256_div_pd(_mm256_sub_pd(v0, origin), inv_wh);
+    const __m256d s1 = _mm256_div_pd(_mm256_sub_pd(v1, origin), inv_wh);
+    // Deinterleave: lanes come out in point order [0, 2, 1, 3].
+    __m256d xs = _mm256_unpacklo_pd(s0, s1);
+    __m256d ys = _mm256_unpackhi_pd(s0, s1);
+    xs = _mm256_min_pd(_mm256_max_pd(xs, zero), col_max);
+    ys = _mm256_min_pd(_mm256_max_pd(ys, zero), row_max);
+    const __m128i col_i = _mm256_cvttpd_epi32(xs);
+    const __m128i row_i = _mm256_cvttpd_epi32(ys);
+    __m128i cell = _mm_add_epi32(_mm_mullo_epi32(row_i, cols_v), col_i);
+    cell = _mm_shuffle_epi32(cell, _MM_SHUFFLE(3, 1, 2, 0));  // [0,2,1,3]->[0..3]
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(cells + i), cell);
+  }
+  for (; i < n; ++i) {
+    const auto& p = *reinterpret_cast<const geo::Point*>(base + i * stride);
+    cells[i] = CellIdScalar(p, bounds, cell_w, cell_h, cols, rows);
+  }
+}
+
+LATEST_TARGET_AVX2 void MaskAndAVX2(uint64_t* dst, const uint64_t* src,
+                                    size_t words) {
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_and_si256(a, b));
+  }
+  for (; w < words; ++w) dst[w] &= src[w];
+}
+
+LATEST_TARGET_AVX2 void MaskOrAVX2(uint64_t* dst, const uint64_t* src,
+                                   size_t words) {
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_or_si256(a, b));
+  }
+  for (; w < words; ++w) dst[w] |= src[w];
+}
+
+// Same source as the scalar popcounts; the popcnt target attribute lets
+// the compiler emit the hardware instruction instead of the bit-trick
+// sequence the baseline build uses.
+LATEST_TARGET_AVX2 uint64_t MaskPopcountAVX2(const uint64_t* mask,
+                                             size_t words) {
+  uint64_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    count += static_cast<uint64_t>(__builtin_popcountll(mask[w]));
+  }
+  return count;
+}
+
+LATEST_TARGET_AVX2 uint64_t MaskAndPopcountAVX2(const uint64_t* a,
+                                                const uint64_t* b,
+                                                size_t words) {
+  uint64_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    count += static_cast<uint64_t>(__builtin_popcountll(a[w] & b[w]));
+  }
+  return count;
+}
+
+// 8-lane variant of AnyKeywordIntersectSSE2; same contract.
+LATEST_TARGET_AVX2 bool AnyKeywordIntersectAVX2(const stream::KeywordId* a,
+                                                size_t a_len,
+                                                const stream::KeywordId* b,
+                                                size_t b_len) {
+  size_t pos = 0;
+  for (size_t j = 0; j < a_len; ++j) {
+    const stream::KeywordId id = a[j];
+    const __m256i needle = _mm256_set1_epi32(static_cast<int>(id));
+    bool decided = false;
+    while (pos + 8 <= b_len) {
+      const __m256i blk =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + pos));
+      if (_mm256_movemask_epi8(_mm256_cmpeq_epi32(blk, needle)) != 0) {
+        return true;
+      }
+      if (b[pos + 7] > id) {
+        decided = true;
+        break;
+      }
+      pos += 8;
+    }
+    if (decided) continue;
+    for (size_t k = pos; k < b_len; ++k) {
+      if (b[k] == id) return true;
+      if (b[k] > id) break;
+    }
+  }
+  return false;
+}
+
+#endif  // LATEST_SIMD_X86
+
+// --- Tier selection ---------------------------------------------------------
+
+bool ParseTierName(const char* s, KernelTier* out) {
+  if (std::strcmp(s, "scalar") == 0 || std::strcmp(s, "0") == 0) {
+    *out = KernelTier::kScalar;
+  } else if (std::strcmp(s, "sse2") == 0 || std::strcmp(s, "1") == 0) {
+    *out = KernelTier::kSSE2;
+  } else if (std::strcmp(s, "avx2") == 0 || std::strcmp(s, "2") == 0) {
+    *out = KernelTier::kAVX2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::atomic<int>& ActiveTierSlot() {
+  static std::atomic<int> slot{[] {
+    KernelTier tier = HighestSupportedTier();
+    if (const char* env = std::getenv("LATEST_SIMD_TIER")) {
+      KernelTier requested;
+      if (ParseTierName(env, &requested) && requested < tier) tier = requested;
+    }
+    return static_cast<int>(tier);
+  }()};
+  return slot;
+}
+
+}  // namespace
+
+const char* KernelTierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kSSE2:
+      return "sse2";
+    case KernelTier::kAVX2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+KernelTier HighestSupportedTier() {
+#if LATEST_SIMD_X86
+  static const KernelTier highest =
+      (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("popcnt"))
+          ? KernelTier::kAVX2
+          : KernelTier::kSSE2;
+  return highest;
+#else
+  return KernelTier::kScalar;
+#endif
+}
+
+KernelTier ActiveTier() {
+  return static_cast<KernelTier>(
+      ActiveTierSlot().load(std::memory_order_relaxed));
+}
+
+bool SetActiveTier(KernelTier tier) {
+  if (tier > HighestSupportedTier()) return false;
+  ActiveTierSlot().store(static_cast<int>(tier), std::memory_order_relaxed);
+  return true;
+}
+
+// --- Dispatch wrappers ------------------------------------------------------
+
+void RectContainMask(const geo::Point* locs, size_t n, const geo::Rect& r,
+                     uint64_t* mask) {
+#if LATEST_SIMD_X86
+  switch (ActiveTier()) {
+    case KernelTier::kAVX2:
+      RectContainMaskAVX2(locs, n, r, mask);
+      return;
+    case KernelTier::kSSE2:
+      RectContainMaskSSE2(locs, n, r, mask);
+      return;
+    case KernelTier::kScalar:
+      break;
+  }
+#endif
+  RectContainMaskScalar(locs, n, r, mask);
+}
+
+uint64_t RectContainCount(const geo::Point* locs, size_t n,
+                          const geo::Rect& r) {
+#if LATEST_SIMD_X86
+  switch (ActiveTier()) {
+    case KernelTier::kAVX2:
+      return RectContainCountAVX2(locs, n, r);
+    case KernelTier::kSSE2:
+      return RectContainCountSSE2(locs, n, r);
+    case KernelTier::kScalar:
+      break;
+  }
+#endif
+  return RectContainCountScalar(locs, n, r);
+}
+
+void HistogramCellIds(const geo::Point* locs, size_t n, const geo::Rect& bounds,
+                      double cell_w, double cell_h, uint32_t cols,
+                      uint32_t rows, uint32_t* cells) {
+#if LATEST_SIMD_X86
+  // The vector clamp converts through int32 lanes; absurdly large grids
+  // (never built in practice) take the scalar path instead.
+  if (ActiveTier() == KernelTier::kAVX2 && cols <= (1u << 30) &&
+      rows <= (1u << 30)) {
+    HistogramCellIdsAVX2(locs, n, bounds, cell_w, cell_h, cols, rows, cells);
+    return;
+  }
+#endif
+  HistogramCellIdsScalar(locs, n, bounds, cell_w, cell_h, cols, rows, cells);
+}
+
+void HistogramCellIdsStrided(const geo::Point* first, size_t stride, size_t n,
+                             const geo::Rect& bounds, double cell_w,
+                             double cell_h, uint32_t cols, uint32_t rows,
+                             uint32_t* cells) {
+#if LATEST_SIMD_X86
+  // Same int32-lane clamp bound as the contiguous dispatch.
+  if (ActiveTier() == KernelTier::kAVX2 && cols <= (1u << 30) &&
+      rows <= (1u << 30)) {
+    HistogramCellIdsStridedAVX2(first, stride, n, bounds, cell_w, cell_h, cols,
+                                rows, cells);
+    return;
+  }
+#endif
+  HistogramCellIdsStridedScalar(first, stride, n, bounds, cell_w, cell_h, cols,
+                                rows, cells);
+}
+
+void TimestampGeMask(const stream::Timestamp* ts, size_t n,
+                     stream::Timestamp cutoff, uint64_t* mask) {
+#if LATEST_SIMD_X86
+  // SSE2 has no 64-bit integer compare; that tier stays scalar here.
+  if (ActiveTier() == KernelTier::kAVX2) {
+    TimestampGeMaskAVX2(ts, n, cutoff, mask);
+    return;
+  }
+#endif
+  TimestampGeMaskScalar(ts, n, cutoff, mask);
+}
+
+size_t LowerBoundTimestamp(const stream::Timestamp* ts, size_t n,
+                           stream::Timestamp cutoff) {
+  size_t lo = 0;
+  size_t hi = n;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (ts[mid] < cutoff) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void MaskAnd(uint64_t* dst, const uint64_t* src, size_t words) {
+#if LATEST_SIMD_X86
+  if (ActiveTier() == KernelTier::kAVX2) {
+    MaskAndAVX2(dst, src, words);
+    return;
+  }
+#endif
+  MaskAndScalar(dst, src, words);
+}
+
+void MaskOr(uint64_t* dst, const uint64_t* src, size_t words) {
+#if LATEST_SIMD_X86
+  if (ActiveTier() == KernelTier::kAVX2) {
+    MaskOrAVX2(dst, src, words);
+    return;
+  }
+#endif
+  MaskOrScalar(dst, src, words);
+}
+
+uint64_t MaskPopcount(const uint64_t* mask, size_t words) {
+#if LATEST_SIMD_X86
+  if (ActiveTier() == KernelTier::kAVX2) return MaskPopcountAVX2(mask, words);
+#endif
+  return MaskPopcountScalar(mask, words);
+}
+
+uint64_t MaskAndPopcount(const uint64_t* a, const uint64_t* b, size_t words) {
+#if LATEST_SIMD_X86
+  if (ActiveTier() == KernelTier::kAVX2) {
+    return MaskAndPopcountAVX2(a, b, words);
+  }
+#endif
+  return MaskAndPopcountScalar(a, b, words);
+}
+
+void MaskOrShifted(uint64_t* dst, size_t bit_offset, const uint64_t* src,
+                   size_t nbits) {
+  if (nbits == 0) return;
+  const size_t words = MaskWords(nbits);
+  const size_t word_off = bit_offset >> 6;
+  const unsigned shift = static_cast<unsigned>(bit_offset & 63);
+  if (shift == 0) {
+    MaskOr(dst + word_off, src, words);
+    return;
+  }
+  for (size_t w = 0; w + 1 < words; ++w) {
+    dst[word_off + w] |= src[w] << shift;
+    dst[word_off + w + 1] |= src[w] >> (64 - shift);
+  }
+  const size_t last = words - 1;
+  dst[word_off + last] |= src[last] << shift;
+  // The spill word exists only when the last source bits shift past the
+  // word boundary; writing it unconditionally could touch one word beyond
+  // the promised bit_offset + nbits capacity.
+  const size_t rem = nbits - last * 64;
+  if (rem + shift > 64) dst[word_off + last + 1] |= src[last] >> (64 - shift);
+}
+
+bool AnyKeywordIntersect(const stream::KeywordId* span, size_t span_len,
+                         const stream::KeywordId* q, size_t q_len) {
+#if LATEST_SIMD_X86
+  const stream::KeywordId* small = span;
+  size_t small_len = span_len;
+  const stream::KeywordId* big = q;
+  size_t big_len = q_len;
+  if (small_len > big_len) {
+    small = q;
+    small_len = q_len;
+    big = span;
+    big_len = span_len;
+  }
+  if (small_len > 0 && big_len >= kSimdProbeMinLen) {
+    switch (ActiveTier()) {
+      case KernelTier::kAVX2:
+        return AnyKeywordIntersectAVX2(small, small_len, big, big_len);
+      case KernelTier::kSSE2:
+        return AnyKeywordIntersectSSE2(small, small_len, big, big_len);
+      case KernelTier::kScalar:
+        break;
+    }
+  }
+#endif
+  return stream::KeywordSetsIntersect(span, span_len, q, q_len);
+}
+
+void KeywordMatchMask(const stream::KeywordSpan* spans,
+                      const stream::KeywordId* arena_data, size_t n,
+                      const stream::KeywordId* q, size_t q_len,
+                      uint64_t* mask) {
+  ZeroMask(mask, n);
+  if (q_len == 0) return;
+  for (size_t i = 0; i < n; ++i) {
+    const stream::KeywordSpan s = spans[i];
+    if (s.len != 0 &&
+        AnyKeywordIntersect(arena_data + s.offset, s.len, q, q_len)) {
+      mask[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+void KeywordMatchMask(
+    const std::pair<const stream::KeywordId*, uint32_t>* row_kws, size_t n,
+    const stream::KeywordId* q, size_t q_len, uint64_t* mask) {
+  ZeroMask(mask, n);
+  if (q_len == 0) return;
+  for (size_t i = 0; i < n; ++i) {
+    if (row_kws[i].second != 0 &&
+        AnyKeywordIntersect(row_kws[i].first, row_kws[i].second, q, q_len)) {
+      mask[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+}  // namespace latest::simd

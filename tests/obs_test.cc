@@ -15,6 +15,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/query_trace.h"
 #include "obs/telemetry.h"
+#include "simd/kernels.h"
 #include "tests/test_stream.h"
 #include "util/rng.h"
 
@@ -326,6 +327,30 @@ TEST(LifecycleEventsTest, ForcedSwitchEmitsPrefillThenSwitch) {
   EXPECT_NE(text.find("latest_phase 2"), std::string::npos);
   EXPECT_EQ(module.GetStats().switches, module.switch_log().size());
   EXPECT_EQ(module.GetStats().events_logged, events.total_appended());
+}
+
+TEST(LifecycleEventsTest, KernelTierAndBatchSizeMetricsAreExported) {
+  auto module_result = core::LatestModule::Create(ForcedSwitchConfig());
+  ASSERT_TRUE(module_result.ok());
+  core::LatestModule& module = **module_result;
+  MetricsRegistry& registry = module.telemetry().registry();
+
+  // The dispatch tier is resolved once at startup; the gauge mirrors it
+  // so /statusz and postmortems show which kernel path served traffic.
+  const Gauge* tier = registry.FindGauge("latest_kernel_tier");
+  ASSERT_NE(tier, nullptr);
+  EXPECT_EQ(tier->value(),
+            static_cast<double>(static_cast<int>(simd::ActiveTier())));
+
+  // The batch-size histogram is registered up front (empty until a
+  // batched ground-truth pass runs through the module's evaluator).
+  const Histogram* sizes = registry.FindHistogram("latest_batch_size");
+  ASSERT_NE(sizes, nullptr);
+  EXPECT_EQ(sizes->count(), 0u);
+
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("latest_kernel_tier"), std::string::npos);
+  EXPECT_NE(text.find("latest_batch_size"), std::string::npos);
 }
 
 TEST(LifecycleEventsTest, TracesAreSampledDuringTheRun) {

@@ -1,0 +1,414 @@
+// Property tests of the SIMD kernel layer: every kernel is cross-checked
+// against a straightforward scalar reference on randomized inputs at
+// every available tier (scalar, SSE2, AVX2), including the degenerate
+// shapes the batch paths feed them — empty inputs, single elements,
+// vector-width boundaries, degenerate rects, and empty keyword sets.
+
+#include "simd/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+#include "stream/keyword_arena.h"
+#include "stream/object.h"
+#include "util/rng.h"
+
+namespace latest {
+namespace {
+
+using simd::KernelTier;
+using simd::MaskWords;
+
+/// Restores the dispatch tier on scope exit so a failing test cannot
+/// leak a forced tier into later tests.
+class TierGuard {
+ public:
+  TierGuard() : saved_(simd::ActiveTier()) {}
+  ~TierGuard() { simd::SetActiveTier(saved_); }
+
+ private:
+  KernelTier saved_;
+};
+
+/// Runs `fn` once per tier this build + CPU can execute.
+template <typename Fn>
+void ForEachTier(Fn&& fn) {
+  TierGuard guard;
+  const int highest = static_cast<int>(simd::HighestSupportedTier());
+  for (int t = 0; t <= highest; ++t) {
+    const auto tier = static_cast<KernelTier>(t);
+    ASSERT_TRUE(simd::SetActiveTier(tier));
+    ASSERT_EQ(simd::ActiveTier(), tier);
+    fn(tier);
+  }
+}
+
+std::vector<geo::Point> RandomPoints(util::Rng* rng, size_t n) {
+  std::vector<geo::Point> pts(n);
+  for (auto& p : pts) {
+    // Deliberately includes points outside [0,100)^2 and exactly on rect
+    // edges (integral coordinates collide with integral rect corners).
+    if (rng->NextBool(0.3)) {
+      p = {static_cast<double>(rng->NextBounded(110)) - 5,
+           static_cast<double>(rng->NextBounded(110)) - 5};
+    } else {
+      p = {rng->NextDouble(-5, 105), rng->NextDouble(-5, 105)};
+    }
+  }
+  return pts;
+}
+
+geo::Rect RandomRect(util::Rng* rng) {
+  if (rng->NextBool(0.15)) {
+    // Degenerate: zero width and/or height.
+    const double x = static_cast<double>(rng->NextBounded(100));
+    const double y = static_cast<double>(rng->NextBounded(100));
+    if (rng->NextBool(0.5)) return {x, y, x, y};
+    return {x, y, x + 10, y};
+  }
+  double x0 = rng->NextDouble(-10, 100);
+  double y0 = rng->NextDouble(-10, 100);
+  double x1 = x0 + rng->NextDouble(0, 60);
+  double y1 = y0 + rng->NextDouble(0, 60);
+  return {x0, y0, x1, y1};
+}
+
+/// The sizes batch scans hit: empty, sub-word, word-boundary +/- 1, and
+/// multi-word with a ragged tail.
+const size_t kSizes[] = {0, 1, 3, 4, 7, 8, 15, 16, 63, 64, 65, 200, 513};
+
+TEST(SimdTier, NamesAndClamping) {
+  TierGuard guard;
+  EXPECT_STREQ(simd::KernelTierName(KernelTier::kScalar), "scalar");
+  EXPECT_STREQ(simd::KernelTierName(KernelTier::kSSE2), "sse2");
+  EXPECT_STREQ(simd::KernelTierName(KernelTier::kAVX2), "avx2");
+  EXPECT_GE(simd::HighestSupportedTier(), KernelTier::kScalar);
+  EXPECT_LE(simd::ActiveTier(), simd::HighestSupportedTier());
+  // Forcing above hardware/build support must fail and leave the tier
+  // unchanged.
+  if (simd::HighestSupportedTier() < KernelTier::kAVX2) {
+    const KernelTier before = simd::ActiveTier();
+    EXPECT_FALSE(simd::SetActiveTier(KernelTier::kAVX2));
+    EXPECT_EQ(simd::ActiveTier(), before);
+  }
+  EXPECT_TRUE(simd::SetActiveTier(KernelTier::kScalar));
+  EXPECT_EQ(simd::ActiveTier(), KernelTier::kScalar);
+}
+
+TEST(SimdRect, MaskMatchesScalarReference) {
+  util::Rng rng(7);
+  for (size_t n : kSizes) {
+    const auto pts = RandomPoints(&rng, n);
+    for (int trial = 0; trial < 8; ++trial) {
+      const geo::Rect r = RandomRect(&rng);
+      std::vector<uint64_t> expect(MaskWords(n), 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (r.Contains(pts[i])) expect[i / 64] |= uint64_t{1} << (i % 64);
+      }
+      ForEachTier([&](KernelTier tier) {
+        std::vector<uint64_t> mask(MaskWords(n) + 1, ~uint64_t{0});
+        simd::RectContainMask(pts.data(), n, r, mask.data());
+        for (size_t w = 0; w < MaskWords(n); ++w) {
+          EXPECT_EQ(mask[w], expect[w])
+              << "tier=" << simd::KernelTierName(tier) << " n=" << n
+              << " word=" << w;
+        }
+        // No overwrite past MaskWords(n).
+        EXPECT_EQ(mask[MaskWords(n)], ~uint64_t{0});
+        EXPECT_EQ(simd::RectContainCount(pts.data(), n, r),
+                  simd::MaskPopcount(expect.data(), expect.size()));
+      });
+    }
+  }
+}
+
+TEST(SimdRect, EdgePointsAreClosedOpen) {
+  // Points exactly on the min edges are inside, on the max edges outside
+  // (whatever Rect::Contains says, the kernel must agree bit for bit).
+  const geo::Rect r{10, 20, 30, 40};
+  const std::vector<geo::Point> pts = {
+      {10, 20}, {30, 40}, {10, 40}, {30, 20}, {20, 30},
+      {10, 30}, {30, 30}, {20, 20}, {20, 40},
+  };
+  std::vector<uint64_t> expect(1, 0);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (r.Contains(pts[i])) expect[0] |= uint64_t{1} << i;
+  }
+  ForEachTier([&](KernelTier tier) {
+    uint64_t mask = ~uint64_t{0};
+    simd::RectContainMask(pts.data(), pts.size(), r, &mask);
+    EXPECT_EQ(mask, expect[0]) << "tier=" << simd::KernelTierName(tier);
+  });
+}
+
+TEST(SimdHistogram, CellIdsMatchGridCellOf) {
+  util::Rng rng(11);
+  const geo::Rect bounds{0, 0, 100, 100};
+  const uint32_t dims[][2] = {{1, 1}, {3, 5}, {64, 64}, {7, 1}};
+  for (const auto& d : dims) {
+    const geo::Grid grid(bounds, d[0], d[1]);
+    for (size_t n : kSizes) {
+      const auto pts = RandomPoints(&rng, n);
+      std::vector<uint32_t> expect(n);
+      for (size_t i = 0; i < n; ++i) expect[i] = grid.CellOf(pts[i]);
+      ForEachTier([&](KernelTier tier) {
+        std::vector<uint32_t> cells(n + 1, 0xdeadbeef);
+        simd::HistogramCellIds(pts.data(), n, grid.bounds(),
+                               grid.cell_width(), grid.cell_height(),
+                               grid.cols(), grid.rows(), cells.data());
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(cells[i], expect[i])
+              << "tier=" << simd::KernelTierName(tier) << " cols=" << d[0]
+              << " rows=" << d[1] << " i=" << i << " p=(" << pts[i].x << ","
+              << pts[i].y << ")";
+        }
+        EXPECT_EQ(cells[n], 0xdeadbeef);
+      });
+    }
+  }
+}
+
+TEST(SimdHistogram, StridedCellIdsMatchContiguous) {
+  util::Rng rng(17);
+  const geo::Rect bounds{-50, -50, 50, 50};
+  const geo::Grid grid(bounds, 64, 64);
+  // Points embedded in larger records, like GeoTextObject holds them.
+  struct Record {
+    uint64_t pad0;
+    geo::Point loc;
+    uint64_t pad1[3];
+  };
+  for (size_t n : kSizes) {
+    std::vector<Record> recs(n);
+    std::vector<geo::Point> dense(n);
+    for (size_t i = 0; i < n; ++i) {
+      recs[i].loc = {bounds.min_x + rng.NextDouble() * 100.0,
+                     bounds.min_y + rng.NextDouble() * 100.0};
+      dense[i] = recs[i].loc;
+    }
+    std::vector<uint32_t> expect(n);
+    for (size_t i = 0; i < n; ++i) expect[i] = grid.CellOf(dense[i]);
+    ForEachTier([&](KernelTier tier) {
+      std::vector<uint32_t> cells(n + 1, 0xdeadbeef);
+      simd::HistogramCellIdsStrided(
+          n > 0 ? &recs[0].loc : nullptr, sizeof(Record), n, grid.bounds(),
+          grid.cell_width(), grid.cell_height(), grid.cols(), grid.rows(),
+          cells.data());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(cells[i], expect[i])
+            << "tier=" << simd::KernelTierName(tier) << " i=" << i;
+      }
+      EXPECT_EQ(cells[n], 0xdeadbeef);
+      // stride == sizeof(Point) degenerates to the contiguous kernel.
+      std::vector<uint32_t> packed(n + 1, 0xdeadbeef);
+      simd::HistogramCellIdsStrided(
+          dense.data(), sizeof(geo::Point), n, grid.bounds(),
+          grid.cell_width(), grid.cell_height(), grid.cols(), grid.rows(),
+          packed.data());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(packed[i], expect[i])
+            << "tier=" << simd::KernelTierName(tier) << " i=" << i;
+      }
+    });
+  }
+}
+
+TEST(SimdTimestamp, GeMaskMatchesReference) {
+  util::Rng rng(13);
+  for (size_t n : kSizes) {
+    std::vector<stream::Timestamp> ts(n);
+    for (auto& t : ts) {
+      t = static_cast<stream::Timestamp>(rng.NextBounded(1000)) - 500;
+    }
+    const stream::Timestamp cutoffs[] = {
+        std::numeric_limits<stream::Timestamp>::min(), -500, -1, 0, 250,
+        1000, std::numeric_limits<stream::Timestamp>::max()};
+    for (const stream::Timestamp cutoff : cutoffs) {
+      std::vector<uint64_t> expect(MaskWords(n), 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (ts[i] >= cutoff) expect[i / 64] |= uint64_t{1} << (i % 64);
+      }
+      ForEachTier([&](KernelTier tier) {
+        std::vector<uint64_t> mask(MaskWords(n), ~uint64_t{0});
+        simd::TimestampGeMask(ts.data(), n, cutoff, mask.data());
+        EXPECT_EQ(mask, expect)
+            << "tier=" << simd::KernelTierName(tier) << " n=" << n
+            << " cutoff=" << cutoff;
+      });
+    }
+  }
+}
+
+TEST(SimdTimestamp, LowerBoundMatchesStdLowerBound) {
+  util::Rng rng(17);
+  for (size_t n : kSizes) {
+    std::vector<stream::Timestamp> ts(n);
+    stream::Timestamp acc = 0;
+    for (auto& t : ts) {
+      acc += static_cast<stream::Timestamp>(rng.NextBounded(4));
+      t = acc;
+    }
+    for (int trial = 0; trial < 16; ++trial) {
+      const stream::Timestamp cutoff =
+          static_cast<stream::Timestamp>(rng.NextBounded(acc + 3)) - 1;
+      const size_t expect = static_cast<size_t>(
+          std::lower_bound(ts.begin(), ts.end(), cutoff) - ts.begin());
+      ForEachTier([&](KernelTier) {
+        EXPECT_EQ(simd::LowerBoundTimestamp(ts.data(), n, cutoff), expect);
+      });
+    }
+  }
+}
+
+TEST(SimdMask, BitwiseOpsMatchReference) {
+  util::Rng rng(19);
+  for (size_t words : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                       size_t{9}, size_t{33}}) {
+    std::vector<uint64_t> a(words);
+    std::vector<uint64_t> b(words);
+    for (size_t w = 0; w < words; ++w) {
+      a[w] = rng.Next();
+      b[w] = rng.Next();
+    }
+    uint64_t pop_a = 0;
+    uint64_t pop_and = 0;
+    std::vector<uint64_t> expect_and(words);
+    std::vector<uint64_t> expect_or(words);
+    for (size_t w = 0; w < words; ++w) {
+      expect_and[w] = a[w] & b[w];
+      expect_or[w] = a[w] | b[w];
+      for (int bit = 0; bit < 64; ++bit) {
+        pop_a += (a[w] >> bit) & 1;
+        pop_and += (expect_and[w] >> bit) & 1;
+      }
+    }
+    ForEachTier([&](KernelTier tier) {
+      std::vector<uint64_t> dst = a;
+      simd::MaskAnd(dst.data(), b.data(), words);
+      EXPECT_EQ(dst, expect_and) << "tier=" << simd::KernelTierName(tier);
+      dst = a;
+      simd::MaskOr(dst.data(), b.data(), words);
+      EXPECT_EQ(dst, expect_or) << "tier=" << simd::KernelTierName(tier);
+      EXPECT_EQ(simd::MaskPopcount(a.data(), words), pop_a);
+      EXPECT_EQ(simd::MaskAndPopcount(a.data(), b.data(), words), pop_and);
+    });
+  }
+}
+
+TEST(SimdMask, OrShiftedMatchesBitLoop) {
+  util::Rng rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t nbits = rng.NextBounded(200);
+    const size_t offset = rng.NextBounded(130);
+    std::vector<uint64_t> src(MaskWords(nbits) + 1);
+    for (auto& w : src) w = rng.Next();
+    if (!src.empty()) {
+      // Producer contract: trailing bits of the last in-range word zero.
+      const size_t rem = nbits % 64;
+      if (rem != 0 && MaskWords(nbits) > 0) {
+        src[MaskWords(nbits) - 1] &= (uint64_t{1} << rem) - 1;
+      }
+    }
+    const size_t dst_words = MaskWords(offset + nbits) + 2;
+    std::vector<uint64_t> init(dst_words);
+    for (auto& w : init) w = rng.Next();
+    std::vector<uint64_t> expect = init;
+    for (size_t i = 0; i < nbits; ++i) {
+      if ((src[i / 64] >> (i % 64)) & 1) {
+        const size_t bit = offset + i;
+        expect[bit / 64] |= uint64_t{1} << (bit % 64);
+      }
+    }
+    ForEachTier([&](KernelTier tier) {
+      std::vector<uint64_t> dst = init;
+      simd::MaskOrShifted(dst.data(), offset, src.data(), nbits);
+      EXPECT_EQ(dst, expect) << "tier=" << simd::KernelTierName(tier)
+                             << " nbits=" << nbits << " offset=" << offset;
+    });
+  }
+}
+
+std::vector<stream::KeywordId> RandomSortedSet(util::Rng* rng, size_t max_len,
+                                               uint32_t space) {
+  std::vector<stream::KeywordId> set(rng->NextBounded(max_len + 1));
+  for (auto& k : set) {
+    k = static_cast<stream::KeywordId>(rng->NextBounded(space));
+  }
+  stream::CanonicalizeKeywords(&set);
+  return set;
+}
+
+TEST(SimdKeyword, AnyIntersectMatchesReference) {
+  util::Rng rng(29);
+  // Span lengths straddle the SIMD probe threshold; keyword spaces of 40
+  // and 100000 exercise dense-hit and rare-hit regimes.
+  for (const uint32_t space : {40u, 100000u}) {
+    for (const size_t span_max : {size_t{0}, size_t{3}, size_t{15}, size_t{16},
+                                  size_t{40}, size_t{300}}) {
+      for (int trial = 0; trial < 40; ++trial) {
+        const auto span = RandomSortedSet(&rng, span_max, space);
+        const auto q = RandomSortedSet(&rng, 6, space);
+        const bool expect = stream::KeywordSetsIntersect(
+            span.data(), span.size(), q.data(), q.size());
+        ForEachTier([&](KernelTier tier) {
+          EXPECT_EQ(simd::AnyKeywordIntersect(span.data(), span.size(),
+                                              q.data(), q.size()),
+                    expect)
+              << "tier=" << simd::KernelTierName(tier)
+              << " span_len=" << span.size() << " q_len=" << q.size();
+        });
+      }
+    }
+  }
+}
+
+TEST(SimdKeyword, MatchMaskBothVariantsMatchReference) {
+  util::Rng rng(31);
+  for (size_t n : kSizes) {
+    // Build a fake arena: concatenated sorted spans (some empty).
+    std::vector<stream::KeywordId> arena;
+    std::vector<stream::KeywordSpan> spans(n);
+    std::vector<std::pair<const stream::KeywordId*, uint32_t>> gathered(n);
+    for (size_t i = 0; i < n; ++i) {
+      const auto set = RandomSortedSet(&rng, 20, 60);
+      spans[i].offset = static_cast<uint32_t>(arena.size());
+      spans[i].len = static_cast<uint32_t>(set.size());
+      arena.insert(arena.end(), set.begin(), set.end());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      gathered[i] = {arena.data() + spans[i].offset, spans[i].len};
+    }
+    const auto q = RandomSortedSet(&rng, 4, 60);
+    std::vector<uint64_t> expect(MaskWords(n), 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (stream::KeywordSetsIntersect(arena.data() + spans[i].offset,
+                                       spans[i].len, q.data(), q.size())) {
+        expect[i / 64] |= uint64_t{1} << (i % 64);
+      }
+    }
+    ForEachTier([&](KernelTier tier) {
+      std::vector<uint64_t> mask(MaskWords(n), ~uint64_t{0});
+      simd::KeywordMatchMask(spans.data(), arena.data(), n, q.data(), q.size(),
+                             mask.data());
+      EXPECT_EQ(mask, expect)
+          << "span variant tier=" << simd::KernelTierName(tier) << " n=" << n;
+      std::vector<uint64_t> mask2(MaskWords(n), ~uint64_t{0});
+      simd::KeywordMatchMask(gathered.data(), n, q.data(), q.size(),
+                             mask2.data());
+      EXPECT_EQ(mask2, expect)
+          << "gathered variant tier=" << simd::KernelTierName(tier)
+          << " n=" << n;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace latest
