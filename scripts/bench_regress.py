@@ -77,6 +77,18 @@ METRIC_SPECS = {
     "batch_spatial_speedup": ("higher", 0.12),
     "hist_insert_scalar_ops": ("higher", 0.35),
     "hist_insert_batch_ops": ("higher", 0.35),
+    # Serve-plane gates (bench_serve_latency). Socket + scheduler noise
+    # on shared runners is worse than CPU-bound noise, so the rate bands
+    # are wide; the batched/unbatched ratio comes from the same machine
+    # in the same run and gates the admission-batching claim itself —
+    # below 1.0 the tick batcher would be pure overhead. Latency
+    # percentiles stay informational (open-loop flood measurements).
+    "conns1_qps": ("higher", 0.40),
+    "conns16_qps": ("higher", 0.40),
+    "conns64_qps": ("higher", 0.40),
+    "serve_batched_qps": ("higher", 0.40),
+    "serve_unbatched_qps": ("higher", 0.40),
+    "serve_batch_speedup": ("higher", 0.20),
 }
 
 # Context fields that define the workload shape: when these differ from

@@ -1021,6 +1021,39 @@ bool LatestModule::MaybeSwitch(const stream::Query& q, uint64_t query_index) {
 
 QueryOutcome LatestModule::OnQuery(const stream::Query& q,
                                    double tokenize_ms) {
+  return OnQueryImpl(q, tokenize_ms, /*precomputed_actual=*/nullptr,
+                     /*precomputed_truth_ms=*/0.0);
+}
+
+void LatestModule::OnQueryBatch(const stream::Query* queries, size_t k,
+                                QueryOutcome* outcomes,
+                                const double* tokenize_ms) {
+  if (k == 0) return;
+  if (k == 1) {
+    // Degenerate tick: identical code path to the unbatched API.
+    outcomes[0] = OnQuery(queries[0], tokenize_ms ? tokenize_ms[0] : 0.0);
+    return;
+  }
+  const util::Stopwatch truth_watch;
+  batch_truths_.resize(k);
+  {
+    LATEST_SPAN("ground_truth");
+    system_log_.TrueSelectivityBatch(queries, k, batch_truths_.data());
+  }
+  // Trace attribution: the batch pass is amortized evenly across queries.
+  const double truth_ms_each =
+      truth_watch.ElapsedMillis() / static_cast<double>(k);
+  for (size_t i = 0; i < k; ++i) {
+    outcomes[i] =
+        OnQueryImpl(queries[i], tokenize_ms ? tokenize_ms[i] : 0.0,
+                    &batch_truths_[i], truth_ms_each);
+  }
+}
+
+QueryOutcome LatestModule::OnQueryImpl(const stream::Query& q,
+                                       double tokenize_ms,
+                                       const uint64_t* precomputed_actual,
+                                       double precomputed_truth_ms) {
   const util::Stopwatch total_watch;
   LATEST_SPAN("query");
   AdvanceClock(q.timestamp);
@@ -1033,13 +1066,18 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q,
   const bool traced = telemetry_->traces().ShouldSample(ordinal);
   queries_counter_->Increment();
 
-  const util::Stopwatch truth_watch;
   uint64_t actual = 0;
-  {
-    LATEST_SPAN("ground_truth");
-    actual = system_log_.TrueSelectivity(q);
+  double ground_truth_ms = precomputed_truth_ms;
+  if (precomputed_actual != nullptr) {
+    actual = *precomputed_actual;
+  } else {
+    const util::Stopwatch truth_watch;
+    {
+      LATEST_SPAN("ground_truth");
+      actual = system_log_.TrueSelectivity(q);
+    }
+    ground_truth_ms = truth_watch.ElapsedMillis();
   }
-  const double ground_truth_ms = truth_watch.ElapsedMillis();
   const stream::QueryType type = q.Type();
   recent_spatial_ratio_.Add(type == stream::QueryType::kSpatial ? 1.0 : 0.0);
   recent_keyword_ratio_.Add(type == stream::QueryType::kKeyword ? 1.0 : 0.0);

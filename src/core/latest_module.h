@@ -271,6 +271,20 @@ class LatestModule {
   /// interning time to the query's trace (0 for pre-interned queries).
   QueryOutcome OnQuery(const stream::Query& q, double tokenize_ms = 0.0);
 
+  /// Answers `k` queries admitted as one batch (the serving plane's tick).
+  /// Ground truth for the whole batch is computed first through
+  /// ExactEvaluator::TrueSelectivityBatch — so the batch kernels see real
+  /// batches — then per-query clock advance, estimation, training, and
+  /// switch bookkeeping run serially in arrival order. Outcomes are
+  /// bit-identical to calling OnQuery on each query in sequence: counts
+  /// filter by each query's own window cutoff, and the module-wide
+  /// non-decreasing-timestamp contract means interleaved eviction can
+  /// only remove objects already outside every later cutoff.
+  /// `tokenize_ms`, when non-null, carries one entry per query.
+  void OnQueryBatch(const stream::Query* queries, size_t k,
+                    QueryOutcome* outcomes,
+                    const double* tokenize_ms = nullptr);
+
   /// Currently employed estimator kind.
   estimators::EstimatorKind active_kind() const { return active_kind_; }
 
@@ -442,6 +456,13 @@ class LatestModule {
   /// Emits kPhaseChanged and updates the phase gauge.
   void EnterPhase(Phase next);
 
+  /// Shared body of OnQuery / OnQueryBatch. A non-null
+  /// `precomputed_actual` skips the per-query ground-truth pass and
+  /// charges `precomputed_truth_ms` to the trace instead.
+  QueryOutcome OnQueryImpl(const stream::Query& q, double tokenize_ms,
+                           const uint64_t* precomputed_actual,
+                           double precomputed_truth_ms);
+
   /// Per-query telemetry tail: counters, gauges, histograms, and the
   /// sampled stage trace.
   void FinishQuery(const stream::Query& q, const QueryOutcome& outcome,
@@ -461,6 +482,7 @@ class LatestModule {
   stream::SliceClock clock_;
   stream::WindowPopulation window_population_;
   exact::ExactEvaluator system_log_;
+  std::vector<uint64_t> batch_truths_;  // OnQueryBatch scratch.
 
   std::array<std::unique_ptr<estimators::Estimator>,
              estimators::kNumEstimatorKinds>

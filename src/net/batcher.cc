@@ -1,0 +1,108 @@
+#include "net/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace latest::net {
+
+namespace {
+
+/// Backoff hint grows with queue pressure: an almost-empty queue asks for
+/// a few ms, a saturated one for ~100 ms plus headroom.
+uint32_t BackoffHint(size_t depth, size_t capacity) {
+  if (capacity == 0) return 100;
+  const double pressure =
+      static_cast<double>(depth) / static_cast<double>(capacity);
+  return 5 + static_cast<uint32_t>(pressure * 100.0);
+}
+
+}  // namespace
+
+Batcher::Batcher(const BatcherConfig& config) : config_(config) {}
+
+AdmitResult Batcher::Admit(AdmittedEvent event, bool degraded,
+                           uint32_t* backoff_hint_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (event.kind == AdmittedEvent::Kind::kQuery) {
+    size_t capacity = config_.max_query_queue;
+    if (degraded && config_.degraded_divisor > 1) {
+      capacity = std::max<size_t>(1, capacity / config_.degraded_divisor);
+    }
+    if (stopped_ || pending_query_ >= capacity) {
+      *backoff_hint_ms = BackoffHint(pending_query_, capacity);
+      return AdmitResult::kShedQuery;
+    }
+    ++pending_query_;
+  } else {
+    if (stopped_ || pending_ingest_ >= config_.max_ingest_queue) {
+      *backoff_hint_ms =
+          BackoffHint(pending_ingest_, config_.max_ingest_queue);
+      return AdmitResult::kShedIngest;
+    }
+    ++pending_ingest_;
+  }
+  event.admit_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  fifo_.push_back(std::move(event));
+  const bool fire_now =
+      pending_query_ >= config_.max_batch || config_.tick_us == 0;
+  const bool first_event = pending_ingest_ + pending_query_ == 1;
+  lock.unlock();
+  // The consumer only sleeps on an empty queue (first event) or inside
+  // the tick window (batch-ready); waking it for every admission would
+  // thrash the tick.
+  if (fire_now || first_event) cv_.notify_one();
+  return AdmitResult::kAdmitted;
+}
+
+bool Batcher::WaitForBatch(std::vector<AdmittedEvent>* out) {
+  out->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wait for any work (or shutdown) first, then give the tick window a
+  // chance to coalesce more queries before draining.
+  cv_.wait(lock, [this] { return stopped_ || !fifo_.empty(); });
+  if (fifo_.empty()) return false;  // Stopped and drained.
+  if (config_.tick_us > 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(config_.tick_us);
+    cv_.wait_until(lock, deadline, [this] {
+      return stopped_ || pending_query_ >= config_.max_batch;
+    });
+  }
+  const size_t query_cap = std::max<uint32_t>(1, config_.max_batch);
+  size_t queries_taken = 0;
+  while (!fifo_.empty()) {
+    if (fifo_.front().kind == AdmittedEvent::Kind::kQuery) {
+      if (queries_taken >= query_cap) break;
+      ++queries_taken;
+      --pending_query_;
+    } else {
+      --pending_ingest_;
+    }
+    out->push_back(std::move(fifo_.front()));
+    fifo_.pop_front();
+  }
+  return true;
+}
+
+void Batcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t Batcher::ingest_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_ingest_;
+}
+
+size_t Batcher::query_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_query_;
+}
+
+}  // namespace latest::net

@@ -1,0 +1,104 @@
+// Tick-based admission for the serving data plane.
+//
+// The IO thread admits decoded INGEST/QUERY frames into one ordered FIFO
+// (arrival order is preserved end-to-end, so a single connection's
+// request sequence replays deterministically through the module). The
+// batch thread blocks in WaitForBatch until a tick elapses or enough
+// queries are pending, then drains a prefix of the FIFO as one batch.
+//
+// Admission is where load shedding happens: both classes are bounded,
+// QUERY sheds before INGEST (dropping ingest corrupts the ground-truth
+// window; dropping a query only costs that client a retry), and an
+// SLO-degraded module shrinks the effective query capacity so the plane
+// starts refusing work before the estimation path saturates. Shed
+// responses carry a backoff hint proportional to queue pressure.
+
+#ifndef LATEST_NET_BATCHER_H_
+#define LATEST_NET_BATCHER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace latest::net {
+
+/// One admitted request, tagged with its source connection.
+struct AdmittedEvent {
+  enum class Kind : uint8_t { kIngest, kQuery };
+  Kind kind = Kind::kIngest;
+  uint64_t conn_id = 0;
+  uint64_t request_id = 0;
+  stream::GeoTextObject object;  // kIngest.
+  stream::Query query;           // kQuery.
+  int64_t admit_micros = 0;      // Monotonic admission time.
+};
+
+struct BatcherConfig {
+  /// Tick period: queries admitted within one tick coalesce into one
+  /// OnQueryBatch call. 0 fires as soon as the batch thread is free
+  /// (with max_batch 1 that degenerates to unbatched serving).
+  uint32_t tick_us = 2000;
+
+  /// Queries per batch cap; reaching it fires the tick early.
+  uint32_t max_batch = 64;
+
+  /// Bounded queue capacities (events, per class).
+  uint32_t max_ingest_queue = 65536;
+  uint32_t max_query_queue = 4096;
+
+  /// Effective query capacity while the SLO monitor reports degraded,
+  /// as a divisor: capacity becomes max_query_queue / degraded_divisor.
+  uint32_t degraded_divisor = 8;
+};
+
+enum class AdmitResult : uint8_t {
+  kAdmitted = 0,
+  kShedQuery,   // Query queue full (or degraded-shrunk): RETRY_LATER.
+  kShedIngest,  // Ingest queue full: RETRY_LATER.
+};
+
+/// Thread-safe bounded admission queue with tick-batched draining.
+/// One producer side (any thread), one consumer (the batch thread).
+class Batcher {
+ public:
+  explicit Batcher(const BatcherConfig& config);
+
+  /// Admits or sheds one event. `degraded` shrinks the query capacity.
+  /// On shed, `*backoff_hint_ms` is set from current queue pressure.
+  AdmitResult Admit(AdmittedEvent event, bool degraded,
+                    uint32_t* backoff_hint_ms);
+
+  /// Blocks until a batch is ready (tick deadline reached with pending
+  /// events, query occupancy hit max_batch, or Stop with a non-empty
+  /// queue), then moves an in-order prefix containing at most max_batch
+  /// queries into `*out`. Returns false only when stopped and fully
+  /// drained — the clean-shutdown contract: every admitted event is
+  /// either batched or the caller sees false.
+  bool WaitForBatch(std::vector<AdmittedEvent>* out);
+
+  /// Wakes WaitForBatch; subsequent Admit calls shed everything.
+  void Stop();
+
+  /// Instantaneous depths (metrics).
+  size_t ingest_depth() const;
+  size_t query_depth() const;
+
+ private:
+  const BatcherConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<AdmittedEvent> fifo_;
+  size_t pending_ingest_ = 0;
+  size_t pending_query_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace latest::net
+
+#endif  // LATEST_NET_BATCHER_H_

@@ -1,0 +1,212 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "workload/scenario.h"
+
+namespace latest::net {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Interpolation-free percentile over a sorted sample.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+/// One connection's share of the run.
+struct WorkerResult {
+  uint64_t queries_sent = 0;
+  uint64_t queries_answered = 0;
+  uint64_t ingests_sent = 0;
+  uint64_t ingests_acked = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  uint64_t protocol_errors = 0;
+  std::vector<double> latencies_ms;
+};
+
+void RunWorker(const LoadgenConfig& config,
+               const std::vector<workload::ScenarioEvent>& events,
+               uint32_t worker_index, WorkerResult* result) {
+  auto client = ServeClient::Connect(config.port, config.io_timeout_ms);
+  if (!client.ok()) {
+    result->errors = 1;
+    return;
+  }
+
+  // request_id -> send time (micros) for in-flight queries.
+  std::unordered_map<uint64_t, int64_t> inflight_sent;
+  uint64_t outstanding = 0;
+  uint64_t next_seq = 1;
+  const uint64_t id_base = static_cast<uint64_t>(worker_index + 1) << 48;
+
+  auto handle_response = [&]() -> bool {
+    auto resp = client.value()->ReadResponse();
+    if (!resp.ok()) {
+      ++result->errors;
+      return false;
+    }
+    if (outstanding > 0) --outstanding;
+    switch (resp->type) {
+      case FrameType::kQueryResponse: {
+        ++result->queries_answered;
+        const auto it = inflight_sent.find(resp->query.request_id);
+        if (it != inflight_sent.end()) {
+          result->latencies_ms.push_back(
+              static_cast<double>(NowMicros() - it->second) / 1000.0);
+          inflight_sent.erase(it);
+        }
+        break;
+      }
+      case FrameType::kIngestAck:
+        ++result->ingests_acked;
+        break;
+      case FrameType::kRetryLater:
+        ++result->shed;
+        inflight_sent.erase(resp->retry.request_id);
+        break;
+      case FrameType::kError:
+        ++result->protocol_errors;
+        return false;
+      default:
+        ++result->protocol_errors;
+        return false;
+    }
+    return true;
+  };
+
+  const int64_t start_micros = NowMicros();
+  bool transport_ok = true;
+  for (size_t i = worker_index; transport_ok && i < events.size();
+       i += config.connections) {
+    const workload::ScenarioEvent& event = events[i];
+
+    // Open-loop pacing against the scenario's event-time axis.
+    if (config.speedup > 0.0) {
+      const int64_t event_ts =
+          event.is_query ? event.query.timestamp : event.object.timestamp;
+      const int64_t due_micros =
+          start_micros +
+          static_cast<int64_t>(static_cast<double>(event_ts) * 1000.0 /
+                               config.speedup);
+      const int64_t now = NowMicros();
+      if (due_micros > now) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(due_micros - now));
+      }
+    }
+
+    while (outstanding >= config.max_outstanding) {
+      if (!handle_response()) {
+        transport_ok = false;
+        break;
+      }
+    }
+    if (!transport_ok) break;
+
+    const uint64_t request_id = id_base | next_seq++;
+    util::Status sent;
+    if (event.is_query) {
+      inflight_sent.emplace(request_id, NowMicros());
+      sent = client.value()->SendQuery({request_id, event.query});
+      if (sent.ok()) {
+        ++result->queries_sent;
+        ++outstanding;
+      } else {
+        inflight_sent.erase(request_id);
+      }
+    } else {
+      sent = client.value()->SendIngest({request_id, event.object});
+      if (sent.ok()) {
+        ++result->ingests_sent;
+        ++outstanding;
+      }
+    }
+    if (!sent.ok()) {
+      ++result->errors;
+      transport_ok = false;
+    }
+  }
+
+  // Drain every outstanding response (bounded by the socket timeout).
+  while (transport_ok && outstanding > 0) {
+    if (!handle_response()) break;
+  }
+  result->errors += outstanding;
+}
+
+}  // namespace
+
+util::Result<LoadgenReport> RunLoadgen(const LoadgenConfig& config) {
+  if (config.connections == 0) {
+    return util::Status::InvalidArgument("connections must be > 0");
+  }
+  auto entry = workload::MakeScenario(config.scenario, config.objects,
+                                      config.duration_ms, config.seed);
+  if (!entry.ok()) return entry.status();
+
+  // Scenario streams are pure: generate the event list once and deal it
+  // round-robin across connections.
+  std::vector<workload::ScenarioEvent> events;
+  workload::ScenarioStream stream(entry->spec);
+  while (stream.HasNext()) events.push_back(stream.Next());
+  if (events.empty()) {
+    return util::Status::InvalidArgument("scenario produced no events");
+  }
+
+  std::vector<WorkerResult> results(config.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(config.connections);
+  const int64_t start_micros = NowMicros();
+  for (uint32_t c = 0; c < config.connections; ++c) {
+    workers.emplace_back(RunWorker, std::cref(config), std::cref(events),
+                         c, &results[c]);
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_seconds =
+      static_cast<double>(NowMicros() - start_micros) / 1e6;
+
+  LoadgenReport report;
+  std::vector<double> latencies;
+  for (const WorkerResult& r : results) {
+    report.queries_sent += r.queries_sent;
+    report.queries_answered += r.queries_answered;
+    report.ingests_sent += r.ingests_sent;
+    report.ingests_acked += r.ingests_acked;
+    report.shed += r.shed;
+    report.errors += r.errors;
+    report.protocol_errors += r.protocol_errors;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.wall_seconds = wall_seconds;
+  report.qps = wall_seconds > 0.0
+                   ? static_cast<double>(report.queries_answered) /
+                         wall_seconds
+                   : 0.0;
+  report.p50_ms = Percentile(latencies, 0.50);
+  report.p95_ms = Percentile(latencies, 0.95);
+  report.p99_ms = Percentile(latencies, 0.99);
+  return report;
+}
+
+}  // namespace latest::net

@@ -1,0 +1,484 @@
+#include "net/serve_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+namespace latest::net {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ServeServer::ServeServer(
+    const ServeServerConfig& config, core::LatestModule* module,
+    std::function<void(const stream::GeoTextObject&)> ingest_hook)
+    : config_(config),
+      module_(module),
+      ingest_hook_(std::move(ingest_hook)),
+      batcher_(config.batcher) {}
+
+ServeServer::~ServeServer() { Stop(); }
+
+void ServeServer::RegisterMetrics() {
+  obs::MetricsRegistry& registry = module_->telemetry().registry();
+  frames_in_counter_ = registry.GetCounter(
+      "latest_serve_frames_in_total", "RPC frames received");
+  frames_out_counter_ = registry.GetCounter(
+      "latest_serve_frames_out_total", "RPC frames sent");
+  queries_counter_ = registry.GetCounter(
+      "latest_serve_queries_total", "Queries answered by the serve plane");
+  ingests_counter_ = registry.GetCounter(
+      "latest_serve_ingests_total", "Objects ingested by the serve plane");
+  shed_query_counter_ = registry.GetCounter(
+      "latest_serve_shed_total", "Requests shed with RETRY_LATER",
+      {{"class", "query"}});
+  shed_ingest_counter_ = registry.GetCounter(
+      "latest_serve_shed_total", "Requests shed with RETRY_LATER",
+      {{"class", "ingest"}});
+  protocol_error_counter_ = registry.GetCounter(
+      "latest_serve_protocol_errors_total",
+      "Connections dropped for malformed frames");
+  connections_gauge_ = registry.GetGauge(
+      "latest_serve_connections", "Open client connections");
+  ingest_queue_gauge_ = registry.GetGauge(
+      "latest_serve_queue_depth", "Admission queue depth",
+      {{"class", "ingest"}});
+  query_queue_gauge_ = registry.GetGauge(
+      "latest_serve_queue_depth", "Admission queue depth",
+      {{"class", "query"}});
+  batch_size_histogram_ = registry.GetHistogram(
+      "latest_serve_batch_size", "Queries per admitted batch",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
+  query_latency_histogram_ = registry.GetHistogram(
+      "latest_serve_query_latency_ms",
+      "Admission-to-response latency per query",
+      obs::Histogram::LatencyBucketsMs());
+}
+
+util::Status ServeServer::Start() {
+  if (running()) {
+    return util::Status::FailedPrecondition("server already running");
+  }
+  auto listen_fd = ListenLoopback(config_.port, /*backlog=*/128, &port_);
+  if (!listen_fd.ok()) return listen_fd.status();
+  listen_fd_ = std::move(listen_fd).value();
+  LATEST_RETURN_IF_ERROR(SetNonBlocking(listen_fd_.get()));
+  if (const auto pipe_status = wake_.Open(); !pipe_status.ok()) {
+    listen_fd_.Reset();
+    return pipe_status;
+  }
+  RegisterMetrics();
+  phase_mirror_.store(static_cast<uint32_t>(module_->phase()),
+                      std::memory_order_relaxed);
+  active_kind_mirror_.store(static_cast<uint32_t>(module_->active_kind()),
+                            std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  batch_thread_ = std::thread([this] { BatchLoop(); });
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return util::Status::Ok();
+}
+
+void ServeServer::Stop() {
+  if (!running()) return;
+  // Drain order: refuse new admissions, let the batch thread finish every
+  // already-admitted event, then let the IO thread flush the responses.
+  batcher_.Stop();
+  if (batch_thread_.joinable()) batch_thread_.join();
+  running_.store(false, std::memory_order_release);
+  wake_.Notify();
+  if (io_thread_.joinable()) io_thread_.join();
+  listen_fd_.Reset();
+  wake_.Close();
+}
+
+// ---------------------------------------------------------------------
+// IO thread.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Sends as much buffered data as the socket accepts right now.
+/// False on a fatal socket error.
+bool TryFlush(int fd, std::string* buffer, size_t* offset) {
+  while (*offset < buffer->size()) {
+    const ssize_t n = ::send(fd, buffer->data() + *offset,
+                             buffer->size() - *offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      *offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;
+  }
+  buffer->clear();
+  *offset = 0;
+  return true;
+}
+
+}  // namespace
+
+void ServeServer::IoLoop() {
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> fd_conn_ids;
+  char read_buffer[64 * 1024];
+
+  while (running_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fd_conn_ids.clear();
+    fds.push_back({listen_fd_.get(), POLLIN, 0});
+    fds.push_back({wake_.read_fd(), POLLIN, 0});
+    for (auto& [conn_id, conn] : connections_) {
+      short events = POLLIN;
+      if (conn.write_offset < conn.write_buffer.size()) events |= POLLOUT;
+      fds.push_back({conn.fd.get(), events, 0});
+      fd_conn_ids.push_back(conn_id);
+    }
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (ready < 0) continue;  // EINTR.
+
+    if (fds[1].revents != 0) {
+      wake_.Drain();
+      FlushOutbox();
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int client = ::accept(listen_fd_.get(), nullptr, nullptr);
+        if (client < 0) break;
+        if (connections_.size() >= config_.max_connections) {
+          ::close(client);
+          continue;
+        }
+        if (!SetNonBlocking(client).ok()) {
+          ::close(client);
+          continue;
+        }
+        SetNoDelay(client);
+        Connection conn;
+        conn.fd = Fd(client);
+        connections_.emplace(next_conn_id_++, std::move(conn));
+      }
+    }
+
+    std::vector<uint64_t> to_close;
+    for (size_t i = 2; i < fds.size(); ++i) {
+      const uint64_t conn_id = fd_conn_ids[i - 2];
+      auto it = connections_.find(conn_id);
+      if (it == connections_.end()) continue;
+      Connection& conn = it->second;
+      const short revents = fds[i].revents;
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        to_close.push_back(conn_id);
+        continue;
+      }
+      bool dead = false;
+      if ((revents & (POLLIN | POLLHUP)) != 0 && !conn.closing) {
+        for (;;) {
+          const ssize_t n =
+              ::recv(conn.fd.get(), read_buffer, sizeof(read_buffer), 0);
+          if (n > 0) {
+            conn.reader.Append(read_buffer, static_cast<size_t>(n));
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          dead = true;  // Peer closed (n == 0) or hard error.
+          break;
+        }
+        if (!DrainFrames(conn_id, &conn)) {
+          // Poisoned stream: flush what we owe (the ERROR frame), then
+          // close. Further input is ignored.
+          conn.closing = true;
+        }
+      } else if ((revents & POLLHUP) != 0) {
+        dead = true;
+      }
+      if (!TryFlush(conn.fd.get(), &conn.write_buffer,
+                    &conn.write_offset)) {
+        dead = true;
+      }
+      const bool flushed = conn.write_offset >= conn.write_buffer.size();
+      if (dead || (conn.closing && flushed)) to_close.push_back(conn_id);
+    }
+    for (const uint64_t conn_id : to_close) connections_.erase(conn_id);
+    connections_gauge_val_.store(connections_.size(),
+                                 std::memory_order_relaxed);
+    if (connections_gauge_ != nullptr) {
+      connections_gauge_->Set(static_cast<double>(connections_.size()));
+    }
+  }
+
+  // Shutdown: the batch thread has already drained, so everything owed
+  // is in the outbox or connection buffers. Flush with a bounded effort,
+  // then close.
+  FlushOutbox();
+  const int64_t deadline = NowMicros() + 500 * 1000;
+  for (bool pending = true; pending && NowMicros() < deadline;) {
+    pending = false;
+    for (auto& [conn_id, conn] : connections_) {
+      if (conn.write_offset >= conn.write_buffer.size()) continue;
+      if (!TryFlush(conn.fd.get(), &conn.write_buffer,
+                    &conn.write_offset)) {
+        conn.write_buffer.clear();
+        conn.write_offset = 0;
+        continue;
+      }
+      if (conn.write_offset < conn.write_buffer.size()) pending = true;
+    }
+    if (pending) {
+      // Brief poll for writability instead of spinning.
+      std::vector<pollfd> wfds;
+      for (auto& [conn_id, conn] : connections_) {
+        if (conn.write_offset < conn.write_buffer.size()) {
+          wfds.push_back({conn.fd.get(), POLLOUT, 0});
+        }
+      }
+      if (!wfds.empty()) ::poll(wfds.data(), wfds.size(), 50);
+    }
+  }
+  connections_.clear();
+  connections_gauge_val_.store(0, std::memory_order_relaxed);
+}
+
+bool ServeServer::DrainFrames(uint64_t conn_id, Connection* conn) {
+  FrameReader::Frame frame;
+  for (;;) {
+    const FrameReader::Outcome outcome = conn->reader.Next(&frame);
+    if (outcome == FrameReader::Outcome::kNeedMore) return true;
+    if (outcome == FrameReader::Outcome::kProtocolError) {
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      if (protocol_error_counter_ != nullptr) {
+        protocol_error_counter_->Increment();
+      }
+      EncodeError({0, "malformed frame"}, &conn->write_buffer);
+      return false;
+    }
+    stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+    if (frames_in_counter_ != nullptr) frames_in_counter_->Increment();
+
+    const bool degraded = module_->slo_monitor().degraded();
+    bool ok = true;
+    switch (static_cast<FrameType>(frame.type)) {
+      case FrameType::kStatus: {
+        StatusRequest req;
+        ok = DecodeStatus(frame.payload, &req);
+        if (!ok) break;
+        StatusResponse resp;
+        resp.request_id = req.request_id;
+        resp.phase = phase_mirror_.load(std::memory_order_relaxed);
+        resp.active_kind =
+            active_kind_mirror_.load(std::memory_order_relaxed);
+        resp.objects_ingested =
+            stats_.objects_ingested.load(std::memory_order_relaxed);
+        resp.queries_answered =
+            stats_.queries_answered.load(std::memory_order_relaxed);
+        resp.shed = stats_.shed_queries.load(std::memory_order_relaxed) +
+                    stats_.shed_ingests.load(std::memory_order_relaxed);
+        EncodeStatusResponse(resp, &conn->write_buffer);
+        stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+        if (frames_out_counter_ != nullptr) {
+          frames_out_counter_->Increment();
+        }
+        break;
+      }
+      case FrameType::kIngest: {
+        IngestRequest req;
+        ok = DecodeIngest(frame.payload, &req);
+        if (!ok) break;
+        AdmittedEvent event;
+        event.kind = AdmittedEvent::Kind::kIngest;
+        event.conn_id = conn_id;
+        event.request_id = req.request_id;
+        event.object = std::move(req.object);
+        uint32_t backoff_ms = 0;
+        if (batcher_.Admit(std::move(event), degraded, &backoff_ms) !=
+            AdmitResult::kAdmitted) {
+          stats_.shed_ingests.fetch_add(1, std::memory_order_relaxed);
+          if (shed_ingest_counter_ != nullptr) {
+            shed_ingest_counter_->Increment();
+          }
+          EncodeRetryLater(
+              {req.request_id, static_cast<uint32_t>(FrameType::kIngest),
+               backoff_ms},
+              &conn->write_buffer);
+          stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+          if (frames_out_counter_ != nullptr) {
+            frames_out_counter_->Increment();
+          }
+        }
+        break;
+      }
+      case FrameType::kQuery: {
+        QueryRequest req;
+        ok = DecodeQuery(frame.payload, &req);
+        if (!ok) break;
+        AdmittedEvent event;
+        event.kind = AdmittedEvent::Kind::kQuery;
+        event.conn_id = conn_id;
+        event.request_id = req.request_id;
+        event.query = std::move(req.query);
+        uint32_t backoff_ms = 0;
+        if (batcher_.Admit(std::move(event), degraded, &backoff_ms) !=
+            AdmitResult::kAdmitted) {
+          stats_.shed_queries.fetch_add(1, std::memory_order_relaxed);
+          if (shed_query_counter_ != nullptr) {
+            shed_query_counter_->Increment();
+          }
+          EncodeRetryLater(
+              {req.request_id, static_cast<uint32_t>(FrameType::kQuery),
+               backoff_ms},
+              &conn->write_buffer);
+          stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+          if (frames_out_counter_ != nullptr) {
+            frames_out_counter_->Increment();
+          }
+        }
+        break;
+      }
+      default:
+        // A client sending response-typed frames is a protocol error.
+        ok = false;
+        break;
+    }
+    if (!ok) {
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      if (protocol_error_counter_ != nullptr) {
+        protocol_error_counter_->Increment();
+      }
+      EncodeError({0, "bad payload"}, &conn->write_buffer);
+      return false;
+    }
+  }
+}
+
+void ServeServer::FlushOutbox() {
+  std::map<uint64_t, std::string> pending;
+  {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    pending.swap(outbox_);
+  }
+  for (auto& [conn_id, bytes] : pending) {
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end()) continue;  // Client already gone.
+    it->second.write_buffer += bytes;
+    TryFlush(it->second.fd.get(), &it->second.write_buffer,
+             &it->second.write_offset);
+  }
+  if (ingest_queue_gauge_ != nullptr) {
+    ingest_queue_gauge_->Set(static_cast<double>(batcher_.ingest_depth()));
+  }
+  if (query_queue_gauge_ != nullptr) {
+    query_queue_gauge_->Set(static_cast<double>(batcher_.query_depth()));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Batch thread.
+// ---------------------------------------------------------------------
+
+void ServeServer::BatchLoop() {
+  std::vector<AdmittedEvent> batch;
+  std::map<uint64_t, std::string> outbox;
+  while (batcher_.WaitForBatch(&batch)) {
+    outbox.clear();
+    ProcessBatch(batch, &outbox);
+    {
+      std::lock_guard<std::mutex> lock(outbox_mu_);
+      for (auto& [conn_id, bytes] : outbox) {
+        outbox_[conn_id] += bytes;
+      }
+    }
+    wake_.Notify();
+  }
+}
+
+void ServeServer::ProcessBatch(const std::vector<AdmittedEvent>& batch,
+                               std::map<uint64_t, std::string>* outbox) {
+  // Scratch for the current contiguous query run.
+  std::vector<stream::Query> queries;
+  std::vector<const AdmittedEvent*> query_events;
+  std::vector<core::QueryOutcome> outcomes;
+  size_t batch_queries = 0;
+
+  auto flush_queries = [&] {
+    if (queries.empty()) return;
+    outcomes.resize(queries.size());
+    module_->OnQueryBatch(queries.data(), queries.size(), outcomes.data());
+    const int64_t now_micros = NowMicros();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const AdmittedEvent& event = *query_events[i];
+      QueryResponse resp;
+      resp.request_id = event.request_id;
+      resp.estimate = outcomes[i].estimate;
+      resp.actual = outcomes[i].actual;
+      resp.phase = static_cast<uint32_t>(outcomes[i].phase);
+      resp.active_kind = static_cast<uint32_t>(outcomes[i].active);
+      EncodeQueryResponse(resp, &(*outbox)[event.conn_id]);
+      stats_.queries_answered.fetch_add(1, std::memory_order_relaxed);
+      stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+      if (queries_counter_ != nullptr) queries_counter_->Increment();
+      if (frames_out_counter_ != nullptr) frames_out_counter_->Increment();
+      if (query_latency_histogram_ != nullptr) {
+        query_latency_histogram_->Observe(
+            static_cast<double>(now_micros - event.admit_micros) / 1000.0);
+      }
+    }
+    batch_queries += queries.size();
+    queries.clear();
+    query_events.clear();
+  };
+
+  for (const AdmittedEvent& event : batch) {
+    if (event.kind == AdmittedEvent::Kind::kQuery) {
+      stream::Query q = event.query;
+      // The module requires non-decreasing timestamps across objects and
+      // queries; many independent clients cannot coordinate theirs, so
+      // the serving plane monotonizes.
+      last_timestamp_ = std::max(last_timestamp_, q.timestamp);
+      q.timestamp = last_timestamp_;
+      queries.push_back(std::move(q));
+      query_events.push_back(&event);
+      continue;
+    }
+    // An ingest ends the current query run (order preservation).
+    flush_queries();
+    stream::GeoTextObject obj = event.object;
+    last_timestamp_ = std::max(last_timestamp_, obj.timestamp);
+    obj.timestamp = last_timestamp_;
+    if (ingest_hook_) {
+      ingest_hook_(obj);
+    } else {
+      module_->OnObject(obj);
+    }
+    stats_.objects_ingested.fetch_add(1, std::memory_order_relaxed);
+    if (ingests_counter_ != nullptr) ingests_counter_->Increment();
+    EncodeIngestAck({event.request_id}, &(*outbox)[event.conn_id]);
+    stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+    if (frames_out_counter_ != nullptr) frames_out_counter_->Increment();
+  }
+  flush_queries();
+
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  if (batch_size_histogram_ != nullptr && batch_queries > 0) {
+    batch_size_histogram_->Observe(static_cast<double>(batch_queries));
+  }
+  phase_mirror_.store(static_cast<uint32_t>(module_->phase()),
+                      std::memory_order_relaxed);
+  active_kind_mirror_.store(static_cast<uint32_t>(module_->active_kind()),
+                            std::memory_order_relaxed);
+}
+
+}  // namespace latest::net

@@ -1,15 +1,13 @@
 #include "obs/http_server.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+
+#include "net/socket.h"
 
 namespace latest::obs {
 
@@ -35,20 +33,7 @@ const char* StatusText(int status) {
   }
 }
 
-/// Sends the whole buffer; false on error/timeout.
-bool SendAll(int fd, const char* data, size_t size) {
-  size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n =
-        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
+using net::SendAll;
 
 /// `include_body` false (HEAD) still advertises the entity length.
 void WriteResponse(int fd, const HttpResponse& response,
@@ -166,40 +151,12 @@ util::Status HttpServer::Start(uint16_t port) {
   if (running()) {
     return util::Status::FailedPrecondition("server already running");
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return util::Status::Internal("socket() failed: " +
-                                  std::string(std::strerror(errno)));
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return util::Status::Internal("bind() failed: " + err);
-  }
-  if (::listen(listen_fd_, 64) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return util::Status::Internal("listen() failed: " + err);
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                    &addr_len) == 0) {
-    port_ = ntohs(addr.sin_port);
-  }
-  if (::pipe(wake_pipe_) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return util::Status::Internal("pipe() failed");
+  auto listen_fd = net::ListenLoopback(port, /*backlog=*/64, &port_);
+  if (!listen_fd.ok()) return listen_fd.status();
+  listen_fd_ = std::move(listen_fd).value();
+  if (const auto pipe_status = wake_.Open(); !pipe_status.ok()) {
+    listen_fd_.Reset();
+    return pipe_status;
   }
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { AcceptLoop(); });
@@ -211,39 +168,24 @@ void HttpServer::Stop() {
     return;
   }
   // Wake the poll so the accept loop observes the stop flag.
-  const char byte = 1;
-  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  wake_.Notify();
   if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  for (int& fd : wake_pipe_) {
-    if (fd >= 0) {
-      ::close(fd);
-      fd = -1;
-    }
-  }
+  listen_fd_.Reset();
+  wake_.Close();
 }
 
 void HttpServer::AcceptLoop() {
   while (running_.load(std::memory_order_acquire)) {
     pollfd fds[2];
-    fds[0] = {listen_fd_, POLLIN, 0};
-    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    fds[0] = {listen_fd_.get(), POLLIN, 0};
+    fds[1] = {wake_.read_fd(), POLLIN, 0};
     const int ready = ::poll(fds, 2, /*timeout_ms=*/500);
     if (ready <= 0) continue;  // Timeout or EINTR: re-check the flag.
     if (fds[1].revents != 0) break;  // Woken by Stop().
     if ((fds[0].revents & POLLIN) == 0) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int client = ::accept(listen_fd_.get(), nullptr, nullptr);
     if (client < 0) continue;
-    timeval timeout{};
-    timeout.tv_sec = kIoTimeoutMs / 1000;
-    timeout.tv_usec = (kIoTimeoutMs % 1000) * 1000;
-    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout,
-                 sizeof(timeout));
-    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &timeout,
-                 sizeof(timeout));
+    net::SetIoTimeouts(client, kIoTimeoutMs);
     ServeConnection(client);
     ::close(client);
   }

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/socket.h"
 #include "util/status.h"
 
 namespace latest::obs {
@@ -97,8 +98,8 @@ class HttpServer {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_served_{0};
   uint16_t port_ = 0;
-  int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};  // Self-pipe unblocking the accept poll.
+  net::Fd listen_fd_;
+  net::SelfPipe wake_;  // Self-pipe unblocking the accept poll.
 };
 
 }  // namespace latest::obs

@@ -210,4 +210,43 @@ std::vector<SloRule> DefaultLatestSloRules(double tau, double p99_latency_ms,
   return rules;
 }
 
+std::vector<SloRule> ServeSloRules(double p99_query_latency_ms,
+                                   double max_query_queue_depth) {
+  std::vector<SloRule> rules;
+  if (p99_query_latency_ms > 0.0) {
+    SloRule latency;
+    latency.name = "serve_p99_latency";
+    latency.metric = "latest_serve_query_latency_ms";
+    latency.source = SloRule::Source::kHistogramQuantile;
+    latency.quantile = 0.99;
+    latency.op = SloRule::Op::kAbove;
+    latency.threshold = p99_query_latency_ms;
+    latency.for_ticks = 2;
+    char desc[128];
+    std::snprintf(desc, sizeof(desc),
+                  "p99 serve admission-to-response latency above %.1fms",
+                  p99_query_latency_ms);
+    latency.description = desc;
+    rules.push_back(std::move(latency));
+  }
+  if (max_query_queue_depth > 0.0) {
+    SloRule depth;
+    depth.name = "serve_query_queue";
+    depth.metric = "latest_serve_queue_depth";
+    depth.labels = {{"class", "query"}};
+    depth.source = SloRule::Source::kGauge;
+    depth.op = SloRule::Op::kAbove;
+    depth.threshold = max_query_queue_depth;
+    depth.for_ticks = 1;
+    char desc[128];
+    std::snprintf(desc, sizeof(desc),
+                  "serve query admission queue above %.0f "
+                  "(batch thread falling behind)",
+                  max_query_queue_depth);
+    depth.description = desc;
+    rules.push_back(std::move(depth));
+  }
+  return rules;
+}
+
 }  // namespace latest::obs

@@ -140,6 +140,15 @@ std::vector<SloRule> DefaultLatestSloRules(double tau,
                                            double max_resident_slices = 0.0,
                                            double max_active_drift = 0.0);
 
+/// SLO rules for the serving data plane (latest_serve_* series from
+/// net/serve_server): p99 admission-to-response latency and query
+/// admission queue depth. Breaching either flips /healthz to degraded,
+/// which in turn shrinks the serve plane's effective query capacity —
+/// the feedback loop that sheds load before the estimation path
+/// saturates. Thresholds <= 0 skip that rule.
+std::vector<SloRule> ServeSloRules(double p99_query_latency_ms = 250.0,
+                                   double max_query_queue_depth = 3072.0);
+
 }  // namespace latest::obs
 
 #endif  // LATEST_OBS_SLO_MONITOR_H_

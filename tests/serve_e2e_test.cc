@@ -1,0 +1,404 @@
+// End-to-end serve plane: an in-process ServeServer + blocking clients
+// over real loopback sockets. Verifies the three contracts the daemon
+// ships on: (1) answers through the tick-batched admission path are
+// bit-identical to direct LatestModule calls, (2) overload sheds QUERY
+// frames with RETRY_LATER while INGEST keeps landing, and (3) shutdown
+// drains every admitted event before closing. The concurrent-clients
+// test is the TSan target for the IO-thread / batch-thread handoff.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/latest_module.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/serve_server.h"
+#include "tests/test_stream.h"
+#include "util/rng.h"
+#include "util/serialization.h"
+
+namespace latest::net {
+namespace {
+
+core::LatestConfig TestConfig() {
+  core::LatestConfig config;
+  config.bounds = testing_support::kTestBounds;
+  config.window.window_length_ms = 1000;
+  config.window.num_slices = 10;
+  config.pretrain_queries = 20;
+  config.monitor_window = 8;
+  config.min_queries_between_switches = 8;
+  config.estimator.reservoir_capacity = 200;
+  config.alpha = 0.0;  // Deterministic lifecycle: replies are comparable.
+  return config;
+}
+
+std::unique_ptr<core::LatestModule> MustCreate(
+    const core::LatestConfig& config) {
+  auto created = core::LatestModule::Create(config);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  return std::move(created).value();
+}
+
+std::unique_ptr<ServeClient> MustConnect(uint16_t port) {
+  auto client = ServeClient::Connect(port);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).value();
+}
+
+stream::Query MakeKeywordQuery(uint64_t keyword, int64_t timestamp) {
+  stream::Query q;
+  q.keywords = {static_cast<stream::KeywordId>(keyword)};
+  q.timestamp = timestamp;
+  return q;
+}
+
+// The core correctness claim: a client speaking the wire protocol gets
+// the same estimates and ground truths as code calling the module
+// directly, even though the server coalesces admissions into batches.
+TEST(ServeE2eTest, EstimatesMatchDirectModuleCalls) {
+  auto server_module = MustCreate(TestConfig());
+  auto reference_module = MustCreate(TestConfig());
+
+  ServeServerConfig config;
+  config.batcher.tick_us = 500;
+  config.batcher.max_batch = 64;
+  ServeServer server(config, server_module.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = MustConnect(server.port());
+
+  // One pipelined connection: admission order == send order, and every
+  // admitted event answers in order, so responses line up with this
+  // queue of expectations.
+  struct Expected {
+    bool is_query = false;
+    uint64_t request_id = 0;
+    double estimate = 0.0;  // From the reference module.
+    uint64_t actual = 0;
+  };
+  std::deque<Expected> expected;
+  std::string pipeline;
+  uint64_t next_id = 1;
+  size_t compared_queries = 0;
+
+  const auto flush_and_check = [&] {
+    ASSERT_TRUE(client->SendRaw(pipeline).ok());
+    pipeline.clear();
+    while (!expected.empty()) {
+      auto response = client->ReadResponse();
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      const Expected want = expected.front();
+      expected.pop_front();
+      if (want.is_query) {
+        ASSERT_EQ(response->type, FrameType::kQueryResponse);
+        EXPECT_EQ(response->query.request_id, want.request_id);
+        // Bit-identical, not approximately equal: the batched path must
+        // not perturb the estimator pipeline.
+        EXPECT_EQ(response->query.estimate, want.estimate);
+        EXPECT_EQ(response->query.actual, want.actual);
+        ++compared_queries;
+      } else {
+        ASSERT_EQ(response->type, FrameType::kIngestAck);
+        EXPECT_EQ(response->ack.request_id, want.request_id);
+      }
+    }
+  };
+
+  const auto objects =
+      testing_support::MakeClusteredObjects(3000, 7, /*duration=*/3000);
+  util::Rng rng(23);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    IngestRequest ingest;
+    ingest.request_id = next_id++;
+    ingest.object = objects[i];
+    EncodeIngest(ingest, &pipeline);
+    expected.push_back({false, ingest.request_id, 0.0, 0});
+    reference_module->OnObject(objects[i]);
+
+    if (objects[i].timestamp >= 1000 && i % 15 == 0) {
+      QueryRequest query;
+      query.request_id = next_id++;
+      query.query =
+          MakeKeywordQuery(rng.NextBounded(50), objects[i].timestamp);
+      EncodeQuery(query, &pipeline);
+      const core::QueryOutcome outcome =
+          reference_module->OnQuery(query.query);
+      expected.push_back(
+          {true, query.request_id, outcome.estimate, outcome.actual});
+    }
+    if (expected.size() >= 64) flush_and_check();
+  }
+  flush_and_check();
+  EXPECT_GT(compared_queries, 100u);
+
+  // The mirrored lifecycle state agrees with the reference module too.
+  ASSERT_TRUE(client->SendStatus({next_id}).ok());
+  auto status = client->ReadResponse();
+  ASSERT_TRUE(status.ok());
+  ASSERT_EQ(status->type, FrameType::kStatusResponse);
+  EXPECT_EQ(status->status.objects_ingested, objects.size());
+  EXPECT_EQ(status->status.queries_answered, compared_queries);
+  EXPECT_EQ(status->status.shed, 0u);
+  EXPECT_EQ(status->status.phase,
+            static_cast<uint32_t>(reference_module->phase()));
+  EXPECT_EQ(status->status.active_kind,
+            static_cast<uint32_t>(reference_module->active_kind()));
+
+  // Batching actually happened (otherwise this test proves nothing
+  // about the coalesced path).
+  EXPECT_LT(server.stats().batches.load(),
+            server.stats().queries_answered.load() +
+                server.stats().objects_ingested.load());
+  server.Stop();
+}
+
+TEST(ServeE2eTest, OverloadShedsQueriesButKeepsIngesting) {
+  auto module = MustCreate(TestConfig());
+  ServeServerConfig config;
+  config.batcher.tick_us = 50000;   // Slow ticks: the queue must absorb.
+  config.batcher.max_batch = 1024;  // No occupancy-triggered early batch.
+  config.batcher.max_query_queue = 2;
+  ServeServer server(config, module.get());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server.port());
+
+  // Blast one pipelined burst of queries far past the queue cap.
+  constexpr uint64_t kQueries = 200;
+  std::string burst;
+  for (uint64_t i = 0; i < kQueries; ++i) {
+    QueryRequest query;
+    query.request_id = 1000 + i;
+    query.query = MakeKeywordQuery(i % 50, 2000);
+    EncodeQuery(query, &burst);
+  }
+  ASSERT_TRUE(client->SendRaw(burst).ok());
+
+  // Shed responses come from the IO thread and answered ones from the
+  // batch thread, so the interleaving is arbitrary — count by type.
+  uint64_t answered = 0;
+  uint64_t shed = 0;
+  for (uint64_t i = 0; i < kQueries; ++i) {
+    auto response = client->ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    if (response->type == FrameType::kQueryResponse) {
+      ++answered;
+    } else {
+      ASSERT_EQ(response->type, FrameType::kRetryLater);
+      EXPECT_EQ(response->retry.rejected_type,
+                static_cast<uint32_t>(FrameType::kQuery));
+      EXPECT_GT(response->retry.backoff_hint_ms, 0u);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(answered + shed, kQueries);
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(server.stats().shed_queries.load(), shed);
+
+  // Ingest still lands while queries shed: the shed policy protects the
+  // stream, not the other way around.
+  for (uint64_t i = 0; i < 50; ++i) {
+    IngestRequest ingest;
+    ingest.request_id = 5000 + i;
+    stream::GeoTextObject obj;
+    obj.oid = i;
+    obj.loc = {10.0, 10.0};
+    obj.keywords = {static_cast<stream::KeywordId>(i % 50)};
+    obj.timestamp = 2000 + static_cast<int64_t>(i);
+    ingest.object = obj;
+    ASSERT_TRUE(client->SendIngest(ingest).ok());
+    auto response = client->ReadResponse();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->type, FrameType::kIngestAck);
+  }
+  EXPECT_EQ(server.stats().shed_ingests.load(), 0u);
+  server.Stop();
+}
+
+TEST(ServeE2eTest, CleanShutdownDrainsAdmittedWork) {
+  auto module = MustCreate(TestConfig());
+  ServeServerConfig config;
+  config.batcher.tick_us = 100000;  // Work is still queued when we Stop.
+  config.batcher.max_batch = 1024;
+  ServeServer server(config, module.get());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server.port());
+
+  constexpr uint64_t kEvents = 32;
+  std::string burst;
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    IngestRequest ingest;
+    ingest.request_id = i + 1;
+    stream::GeoTextObject obj;
+    obj.oid = i;
+    obj.loc = {5.0, 5.0};
+    obj.keywords = {1};
+    obj.timestamp = static_cast<int64_t>(i);
+    ingest.object = obj;
+    EncodeIngest(ingest, &burst);
+  }
+  ASSERT_TRUE(client->SendRaw(burst).ok());
+
+  // Wait until the IO thread has decoded (and thus admitted) the burst,
+  // then stop while the slow tick still holds it queued.
+  while (server.stats().frames_in.load() < kEvents) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();
+
+  // Every admitted ingest was applied and its ack flushed before close.
+  EXPECT_EQ(server.stats().objects_ingested.load(), kEvents);
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    auto response = client->ReadResponse();
+    ASSERT_TRUE(response.ok()) << "ack " << i << ": "
+                               << response.status().ToString();
+    EXPECT_EQ(response->type, FrameType::kIngestAck);
+    EXPECT_EQ(response->ack.request_id, i + 1);
+  }
+  // Then EOF, not a hang.
+  EXPECT_FALSE(client->ReadResponse().ok());
+
+  server.Stop();  // Idempotent.
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ServeE2eTest, GarbageFrameGetsErrorThenClose) {
+  auto module = MustCreate(TestConfig());
+  ServeServer server(ServeServerConfig{}, module.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto bad_client = MustConnect(server.port());
+  // "GET " as a length prefix claims a ~540 MB payload: instant
+  // protocol error (the serve port is not an HTTP port).
+  ASSERT_TRUE(bad_client->SendRaw("GET / HTTP/1.1\r\n\r\n").ok());
+  auto response = bad_client->ReadResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->type, FrameType::kError);
+  EXPECT_FALSE(bad_client->ReadResponse().ok());  // Connection closed.
+
+  // A client sending a response-typed frame is equally a protocol error.
+  auto confused_client = MustConnect(server.port());
+  std::string frame;
+  EncodeIngestAck({1}, &frame);
+  ASSERT_TRUE(confused_client->SendRaw(frame).ok());
+  response = confused_client->ReadResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->type, FrameType::kError);
+
+  EXPECT_GE(server.stats().protocol_errors.load(), 2u);
+
+  // The server survives both and still serves well-formed clients.
+  auto good_client = MustConnect(server.port());
+  ASSERT_TRUE(good_client->SendStatus({9}).ok());
+  auto status = good_client->ReadResponse();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->type, FrameType::kStatusResponse);
+  server.Stop();
+}
+
+// The TSan acceptance test: concurrent connections drive ingest, query,
+// and status traffic through both server threads while the module flips
+// phases underneath. Totals must reconcile exactly and shutdown must be
+// clean with clients still connected.
+TEST(ServeE2eTest, ConcurrentClientsReconcileAndShutdownCleanly) {
+  auto module = MustCreate(TestConfig());
+  ServeServerConfig config;
+  config.batcher.tick_us = 500;
+  config.batcher.max_batch = 32;
+  ServeServer server(config, module.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 6;
+  constexpr uint64_t kEventsPerClient = 400;
+  std::atomic<uint64_t> total_acked{0};
+  std::atomic<uint64_t> total_answered{0};
+  std::atomic<uint64_t> total_shed{0};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = ServeClient::Connect(server.port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      util::Rng rng(100 + static_cast<uint64_t>(t));
+      for (uint64_t i = 0; i < kEventsPerClient; ++i) {
+        const uint64_t request_id =
+            (static_cast<uint64_t>(t + 1) << 32) | i;
+        const int64_t timestamp = static_cast<int64_t>(i * 4);
+        util::Status sent;
+        if (i % 10 == 3) {
+          QueryRequest query;
+          query.request_id = request_id;
+          query.query = MakeKeywordQuery(rng.NextBounded(50), timestamp);
+          sent = (*client)->SendQuery(query);
+        } else if (i % 97 == 0) {
+          sent = (*client)->SendStatus({request_id});
+        } else {
+          IngestRequest ingest;
+          ingest.request_id = request_id;
+          stream::GeoTextObject obj;
+          obj.oid = request_id;
+          obj.loc = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+          obj.keywords = {static_cast<stream::KeywordId>(
+              rng.NextBounded(50))};
+          obj.timestamp = timestamp;
+          ingest.object = obj;
+          sent = (*client)->SendIngest(ingest);
+        }
+        if (!sent.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        auto response = (*client)->ReadResponse();
+        if (!response.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        switch (response->type) {
+          case FrameType::kIngestAck:
+            total_acked.fetch_add(1);
+            break;
+          case FrameType::kQueryResponse:
+            total_answered.fetch_add(1);
+            break;
+          case FrameType::kStatusResponse:
+            break;
+          case FrameType::kRetryLater:
+            total_shed.fetch_add(1);
+            break;
+          default:
+            failures.fetch_add(1);
+            return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.stats().objects_ingested.load(), total_acked.load());
+  EXPECT_EQ(server.stats().queries_answered.load(), total_answered.load());
+  EXPECT_EQ(server.stats().shed_queries.load() +
+                server.stats().shed_ingests.load(),
+            total_shed.load());
+  EXPECT_EQ(server.stats().protocol_errors.load(), 0u);
+  EXPECT_GT(total_answered.load(), 0u);
+
+  // Stop with live (idle) connections: no crash, no hang.
+  auto lingering = MustConnect(server.port());
+  server.Stop();
+  EXPECT_FALSE(lingering->ReadResponse().ok());
+}
+
+}  // namespace
+}  // namespace latest::net

@@ -1,0 +1,92 @@
+// latest_loadgen: multi-connection load generator for latest_serve.
+//
+// Replays a scenario-catalog stream (including the flip/burst drift
+// shapes) against a running serve daemon over N concurrent loopback
+// connections with open-loop pacing, and reports qps + latency
+// percentiles + shed/error counts as one RESULT_JSON line.
+//
+// Exit codes: 0 = run completed (shedding is a *result*, not an error),
+// 1 = flag error or no connection could be established.
+//
+// Usage:
+//   latest_loadgen --port P [--connections N] [--scenario NAME]
+//                  [--objects N] [--duration MS] [--seed S]
+//                  [--speedup X] [--max-outstanding N] [--list]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/loadgen.h"
+#include "result_json.h"
+#include "workload/scenario.h"
+
+namespace {
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "latest_loadgen: %s\n", message.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  latest::net::LoadgenConfig config;
+  bool have_port = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) Die("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      config.port = static_cast<uint16_t>(
+          std::strtoul(value().c_str(), nullptr, 10));
+      have_port = true;
+    } else if (arg == "--connections") {
+      config.connections = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (arg == "--scenario") {
+      config.scenario = value();
+    } else if (arg == "--objects") {
+      config.objects = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--duration") {
+      config.duration_ms = std::strtoll(value().c_str(), nullptr, 10);
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--speedup") {
+      config.speedup = std::strtod(value().c_str(), nullptr);
+    } else if (arg == "--max-outstanding") {
+      config.max_outstanding = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (arg == "--list") {
+      for (const std::string& name : latest::workload::ScenarioNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else {
+      Die("unknown flag " + arg);
+    }
+  }
+  if (!have_port) Die("--port is required");
+
+  auto report = latest::net::RunLoadgen(config);
+  if (!report.ok()) Die(report.status().ToString());
+
+  latest::tools::ResultJson("loadgen")
+      .Str("scenario", config.scenario)
+      .U64("connections", config.connections)
+      .U64("queries_sent", report->queries_sent)
+      .U64("queries_answered", report->queries_answered)
+      .U64("ingests_sent", report->ingests_sent)
+      .U64("ingests_acked", report->ingests_acked)
+      .U64("shed", report->shed)
+      .U64("errors", report->errors)
+      .U64("protocol_errors", report->protocol_errors)
+      .Dbl("wall_seconds", report->wall_seconds)
+      .Dbl("qps", report->qps)
+      .Dbl("p50_ms", report->p50_ms)
+      .Dbl("p95_ms", report->p95_ms)
+      .Dbl("p99_ms", report->p99_ms)
+      .Print();
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <string>
 
+#include "result_json.h"
 #include "workload/scenario.h"
 #include "workload/scenario_runner.h"
 
@@ -98,8 +99,8 @@ int main(int argc, char** argv) {
   auto outcome = latest::workload::RunScenario(*entry, run_options);
   if (!outcome.ok()) Die(outcome.status().ToString());
 
-  std::printf("RESULT_JSON %s\n",
-              latest::workload::ToResultJson(*outcome).c_str());
+  latest::tools::ResultJson::PrintResultJsonLine(
+      latest::workload::ToResultJson(*outcome));
   if (!outcome->gates_passed) {
     for (const std::string& failure : outcome->gate_failures) {
       std::fprintf(stderr, "GATE FAILED [%s]: %s\n",

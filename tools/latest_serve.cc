@@ -1,0 +1,249 @@
+// latest_serve: the network query-serving daemon (ROADMAP item 1).
+//
+// Hosts one LatestModule behind the src/net RPC plane: a loopback
+// length-prefixed binary protocol accepting concurrent INGEST / QUERY /
+// STATUS frames, tick-batched admission into the module (so the batch
+// kernels see real batches), and SLO-driven load shedding (RETRY_LATER
+// with backoff hints; QUERY sheds before INGEST).
+//
+// Durability: --checkpoint-dir DIR recovers the newest snapshot + WAL
+// tail at boot (fresh module when the directory is empty), write-ahead
+// logs every ingest, and syncs at shutdown. Queries bypass the WAL —
+// they mutate only learned state, which the next snapshot captures.
+//
+// Introspection: --metrics-port P serves /metrics, /healthz, /statusz
+// etc. from the embedded HTTP plane, including the latest_serve_*
+// series, and arms the serve-specific SLO rules.
+//
+// The daemon prints `SERVE_READY port=<port>` once accepting, runs
+// until SIGINT/SIGTERM, then drains admitted work and prints one
+// RESULT_JSON line with lifetime serve counters.
+//
+// Usage:
+//   latest_serve [--port P] [--tick-us T] [--max-batch N]
+//                [--max-query-queue N] [--max-ingest-queue N]
+//                [--degraded-divisor N] [--max-connections N]
+//                [--threads N] [--metrics-port P]
+//                [--checkpoint-dir DIR] [--run-for-ms MS]
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/latest_module.h"
+#include "net/serve_server.h"
+#include "persist/checkpoint_manager.h"
+#include "result_json.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using latest::core::LatestConfig;
+using latest::core::LatestModule;
+
+struct Options {
+  uint16_t port = 0;
+  uint32_t tick_us = 2000;
+  uint32_t max_batch = 64;
+  uint32_t max_query_queue = 4096;
+  uint32_t max_ingest_queue = 65536;
+  uint32_t degraded_divisor = 8;
+  uint32_t max_connections = 256;
+  uint32_t threads = 0;
+  int metrics_port = -1;
+  std::string checkpoint_dir;
+  int64_t run_for_ms = 0;  // 0 = until signal.
+  uint64_t seed = 5;
+};
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "latest_serve: %s\n", message.c_str());
+  std::exit(1);
+}
+
+Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) Die("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      options.port = static_cast<uint16_t>(std::strtoul(
+          value().c_str(), nullptr, 10));
+    } else if (arg == "--tick-us") {
+      options.tick_us = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (arg == "--max-batch") {
+      options.max_batch = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (arg == "--max-query-queue") {
+      options.max_query_queue = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (arg == "--max-ingest-queue") {
+      options.max_ingest_queue =
+          std::strtoul(value().c_str(), nullptr, 10);
+    } else if (arg == "--degraded-divisor") {
+      options.degraded_divisor =
+          std::strtoul(value().c_str(), nullptr, 10);
+    } else if (arg == "--max-connections") {
+      options.max_connections =
+          std::strtoul(value().c_str(), nullptr, 10);
+    } else if (arg == "--threads") {
+      options.threads = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (arg == "--metrics-port") {
+      options.metrics_port = std::atoi(value().c_str());
+    } else if (arg == "--checkpoint-dir") {
+      options.checkpoint_dir = value();
+    } else if (arg == "--run-for-ms") {
+      options.run_for_ms = std::strtoll(value().c_str(), nullptr, 10);
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else {
+      Die("unknown flag " + arg);
+    }
+  }
+  return options;
+}
+
+/// Module config matching the driver tools' serving shape: the scenario
+/// catalog's spatial bounds, deterministic alpha = 0 lifecycle.
+LatestConfig MakeConfig(const Options& options) {
+  auto entry = latest::workload::MakeScenario("baseline");
+  if (!entry.ok()) Die(entry.status().ToString());
+  LatestConfig config;
+  config.bounds = entry->spec.bounds;
+  config.window.window_length_ms = 1000;
+  config.window.num_slices = 10;
+  config.pretrain_queries = 40;
+  config.monitor_window = 16;
+  config.min_queries_between_switches = 16;
+  config.estimator.reservoir_capacity = 500;
+  config.default_estimator = latest::estimators::EstimatorKind::kH4096;
+  config.maintain_shadow_estimators = true;
+  config.alpha = 0.0;
+  config.seed = options.seed;
+  config.num_threads = options.threads;
+  if (options.metrics_port >= 0) {
+    config.enable_introspection = true;
+    config.introspection_port =
+        static_cast<uint16_t>(options.metrics_port);
+    config.slo_tick_ms = 250;
+  }
+  return config;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void StopHandler(int /*signo*/) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = ParseArgs(argc, argv);
+  const LatestConfig config = MakeConfig(options);
+
+  // Recover from the checkpoint directory when one is given; NotFound
+  // (empty dir) starts fresh.
+  std::unique_ptr<LatestModule> module;
+  uint64_t replayed = 0;
+  if (!options.checkpoint_dir.empty()) {
+    auto recovered = latest::persist::CheckpointManager::Recover(
+        options.checkpoint_dir, config);
+    if (recovered.ok()) {
+      module = std::move(recovered->module);
+      replayed =
+          recovered->replayed_objects + recovered->replayed_queries;
+    } else if (recovered.status().code() !=
+               latest::util::StatusCode::kNotFound) {
+      Die("recover failed: " + recovered.status().ToString());
+    }
+  }
+  if (module == nullptr) {
+    auto created = LatestModule::Create(config);
+    if (!created.ok()) Die(created.status().ToString());
+    module = std::move(created).value();
+  }
+
+  // Arm the serve-plane SLO rules next to the module's defaults.
+  for (const latest::obs::SloRule& rule : latest::obs::ServeSloRules()) {
+    module->slo_monitor().AddRule(rule);
+  }
+
+  std::unique_ptr<latest::persist::CheckpointManager> manager;
+  if (!options.checkpoint_dir.empty()) {
+    latest::persist::DurabilityConfig durability;
+    durability.dir = options.checkpoint_dir;
+    durability.checkpoint_every = 200000;
+    auto attached = latest::persist::CheckpointManager::Attach(
+        durability, module.get());
+    if (!attached.ok()) Die(attached.status().ToString());
+    manager = std::move(attached).value();
+  }
+
+  latest::net::ServeServerConfig serve_config;
+  serve_config.port = options.port;
+  serve_config.batcher.tick_us = options.tick_us;
+  serve_config.batcher.max_batch = options.max_batch;
+  serve_config.batcher.max_query_queue = options.max_query_queue;
+  serve_config.batcher.max_ingest_queue = options.max_ingest_queue;
+  serve_config.batcher.degraded_divisor = options.degraded_divisor;
+  serve_config.max_connections = options.max_connections;
+
+  // Route ingest through the WAL when durability is on.
+  std::function<void(const latest::stream::GeoTextObject&)> ingest_hook;
+  if (manager != nullptr) {
+    ingest_hook = [&manager](const latest::stream::GeoTextObject& obj) {
+      (void)manager->OnObject(obj);
+    };
+  }
+  latest::net::ServeServer server(serve_config, module.get(),
+                                  std::move(ingest_hook));
+  if (const auto status = server.Start(); !status.ok()) {
+    Die(status.ToString());
+  }
+
+  std::signal(SIGINT, StopHandler);
+  std::signal(SIGTERM, StopHandler);
+
+  std::printf("SERVE_READY port=%u\n", server.port());
+  std::fflush(stdout);
+  if (module->introspection() != nullptr) {
+    std::fprintf(stderr, "metrics on 127.0.0.1:%u\n",
+                 module->introspection()->port());
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (options.run_for_ms > 0 &&
+        std::chrono::steady_clock::now() - started >=
+            std::chrono::milliseconds(options.run_for_ms)) {
+      break;
+    }
+  }
+
+  server.Stop();
+  if (manager != nullptr) (void)manager->Sync();
+
+  const latest::net::ServeStats& stats = server.stats();
+  latest::tools::ResultJson("serve")
+      .U64("queries", stats.queries_answered.load())
+      .U64("ingests", stats.objects_ingested.load())
+      .U64("frames_in", stats.frames_in.load())
+      .U64("frames_out", stats.frames_out.load())
+      .U64("shed_queries", stats.shed_queries.load())
+      .U64("shed_ingests", stats.shed_ingests.load())
+      .U64("protocol_errors", stats.protocol_errors.load())
+      .U64("batches", stats.batches.load())
+      .U64("replayed", replayed)
+      .Str("final_phase", latest::core::PhaseName(module->phase()))
+      .Str("active",
+           latest::estimators::EstimatorKindName(module->active_kind()))
+      .Print();
+  return 0;
+}

@@ -61,6 +61,7 @@
 #include "obs/trace_export.h"
 #include "persist/checkpoint_manager.h"
 #include "persist/crc32.h"
+#include "result_json.h"
 #include "stream/object.h"
 #include "stream/query.h"
 #include "workload/scenario.h"
@@ -364,22 +365,26 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "postmortem bundle: %s\n", written.value().c_str());
   }
 
-  std::printf(
-      "RESULT_JSON {\"experiment\":\"stream_run\",\"objects\":%" PRIu64
-      ",\"queries\":%" PRIu64 ",\"switches\":%zu,\"final_phase\":\"%s\","
-      "\"active\":\"%s\",\"model_leaves\":%" PRIu64
-      ",\"resumed\":%d,\"replayed\":%" PRIu64
-      ",\"snapshots\":%" PRIu64 ",\"state_crc\":\"%08x\""
-      ",\"drift_detections\":%" PRIu64 ",\"audit_entries\":%" PRIu64
-      ",\"degraded\":%d}\n",
-      module->objects_ingested(), module->queries_answered(),
-      module->switch_log().size(),
-      latest::core::PhaseName(module->phase()),
-      latest::estimators::EstimatorKindName(module->active_kind()),
-      static_cast<uint64_t>(module->model().num_leaves()),
-      options.resume ? 1 : 0, replayed,
-      manager != nullptr ? manager->snapshots_taken() : 0, state_crc,
-      drift_detections, audit_entries, degraded ? 1 : 0);
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", state_crc);
+  latest::tools::ResultJson("stream_run")
+      .U64("objects", module->objects_ingested())
+      .U64("queries", module->queries_answered())
+      .U64("switches", module->switch_log().size())
+      .Str("final_phase", latest::core::PhaseName(module->phase()))
+      .Str("active",
+           latest::estimators::EstimatorKindName(module->active_kind()))
+      .U64("model_leaves",
+           static_cast<uint64_t>(module->model().num_leaves()))
+      .U64("resumed", options.resume ? 1 : 0)
+      .U64("replayed", replayed)
+      .U64("snapshots",
+           manager != nullptr ? manager->snapshots_taken() : 0)
+      .Str("state_crc", crc_hex)
+      .U64("drift_detections", drift_detections)
+      .U64("audit_entries", audit_entries)
+      .U64("degraded", degraded ? 1 : 0)
+      .Print();
   // Exit 2 signals "ran to completion but degraded at shutdown" — CI
   // treats it as a soft failure distinct from flag/IO errors (exit 1).
   return degraded ? 2 : 0;

@@ -1,0 +1,107 @@
+// Shared RESULT_JSON emission for the driver tools and benches.
+//
+// Every tool in this repo reports its machine-readable outcome as one
+// stdout line of the form `RESULT_JSON {...}`; CI and
+// scripts/bench_regress.py grep for that prefix. This header is the one
+// place that knows the prefix and the JSON formatting rules (stable key
+// order, %.6g doubles, no trailing comma), so the tools stop hand-rolling
+// printf format strings.
+
+#ifndef LATEST_TOOLS_RESULT_JSON_H_
+#define LATEST_TOOLS_RESULT_JSON_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace latest::tools {
+
+/// Incremental builder for one flat RESULT_JSON object. Keys are emitted
+/// in insertion order; values are typed (no quoting surprises).
+class ResultJson {
+ public:
+  /// Every result line starts with its experiment name.
+  explicit ResultJson(std::string_view experiment) {
+    body_.push_back('{');
+    Str("experiment", experiment);
+  }
+
+  ResultJson& Str(std::string_view key, std::string_view value) {
+    AppendKey(key);
+    body_ += '"';
+    // Tool strings are identifiers (scenario names, phase names); escape
+    // the two characters that could still break the line.
+    for (const char c : value) {
+      if (c == '"' || c == '\\') body_ += '\\';
+      body_ += c;
+    }
+    body_ += '"';
+    return *this;
+  }
+
+  ResultJson& U64(std::string_view key, uint64_t value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+    AppendKey(key);
+    body_ += buffer;
+    return *this;
+  }
+
+  ResultJson& I64(std::string_view key, int64_t value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+    AppendKey(key);
+    body_ += buffer;
+    return *this;
+  }
+
+  ResultJson& Dbl(std::string_view key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    AppendKey(key);
+    body_ += buffer;
+    return *this;
+  }
+
+  ResultJson& Bool(std::string_view key, bool value) {
+    AppendKey(key);
+    body_ += value ? "true" : "false";
+    return *this;
+  }
+
+  /// Pre-formatted JSON value (nested object/array built elsewhere).
+  ResultJson& Raw(std::string_view key, std::string_view raw_json) {
+    AppendKey(key);
+    body_.append(raw_json);
+    return *this;
+  }
+
+  /// The finished object, "{...}".
+  std::string str() const { return body_ + "}"; }
+
+  /// Prints the canonical `RESULT_JSON {...}` stdout line.
+  void Print() const { PrintResultJsonLine(str()); }
+
+  /// Emits an already-built JSON object under the canonical prefix
+  /// (tools whose library layer returns finished JSON).
+  static void PrintResultJsonLine(const std::string& json) {
+    std::printf("RESULT_JSON %s\n", json.c_str());
+    std::fflush(stdout);
+  }
+
+ private:
+  void AppendKey(std::string_view key) {
+    if (body_.size() > 1) body_ += ',';
+    body_ += '"';
+    body_.append(key);
+    body_ += "\":";
+  }
+
+  std::string body_;
+};
+
+}  // namespace latest::tools
+
+#endif  // LATEST_TOOLS_RESULT_JSON_H_
