@@ -89,6 +89,14 @@ METRIC_SPECS = {
     "serve_batched_qps": ("higher", 0.40),
     "serve_unbatched_qps": ("higher", 0.40),
     "serve_batch_speedup": ("higher", 0.20),
+    # Server-attributed admission queue wait (query class, 16 conns,
+    # tracing disabled): the component of end-to-end latency the tick
+    # batcher controls. An open-loop flood measurement on a shared
+    # runner, so the band is the widest in the file — it exists to catch
+    # an always-on tracing cost creeping into the admission path (a
+    # many-fold blowup under flood), not scheduler jitter, which alone
+    # swings this tail 2x between runs on the same machine.
+    "queue_wait_p99_ms": ("lower", 1.50),
 }
 
 # Context fields that define the workload shape: when these differ from

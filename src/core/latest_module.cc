@@ -1027,11 +1027,13 @@ QueryOutcome LatestModule::OnQuery(const stream::Query& q,
 
 void LatestModule::OnQueryBatch(const stream::Query* queries, size_t k,
                                 QueryOutcome* outcomes,
-                                const double* tokenize_ms) {
+                                const double* tokenize_ms,
+                                QueryStageBreakdown* stages) {
   if (k == 0) return;
   if (k == 1) {
     // Degenerate tick: identical code path to the unbatched API.
     outcomes[0] = OnQuery(queries[0], tokenize_ms ? tokenize_ms[0] : 0.0);
+    if (stages != nullptr) stages[0] = last_stage_breakdown_;
     return;
   }
   const util::Stopwatch truth_watch;
@@ -1047,6 +1049,7 @@ void LatestModule::OnQueryBatch(const stream::Query* queries, size_t k,
     outcomes[i] =
         OnQueryImpl(queries[i], tokenize_ms ? tokenize_ms[i] : 0.0,
                     &batch_truths_[i], truth_ms_each);
+    if (stages != nullptr) stages[i] = last_stage_breakdown_;
   }
 }
 
@@ -1248,6 +1251,9 @@ void LatestModule::FinishQuery(const stream::Query& /*q*/,
                                double ground_truth_ms, double estimate_ms,
                                double model_ms,
                                const util::Stopwatch& total_watch) {
+  last_stage_breakdown_.ground_truth_ms = ground_truth_ms;
+  last_stage_breakdown_.estimate_ms = estimate_ms;
+  last_stage_breakdown_.model_ms = model_ms;
   accuracy_histogram_->Observe(outcome.accuracy);
   monitor_accuracy_gauge_->Set(accuracy_monitor_.Mean());
   window_population_gauge_->Set(

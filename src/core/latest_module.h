@@ -236,6 +236,17 @@ struct SwitchEvent {
   estimators::EstimatorKind to = estimators::EstimatorKind::kRsh;
 };
 
+/// Per-query wall-time attribution of the module's internal stages,
+/// filled by OnQueryBatch for the serving plane's request waterfalls.
+/// Strictly observational: three double stores per query, no influence
+/// on estimates or phase bookkeeping.
+struct QueryStageBreakdown {
+  double ground_truth_ms = 0.0;
+  double estimate_ms = 0.0;
+  /// Learning-model time: tree inference plus training for this query.
+  double model_ms = 0.0;
+};
+
 /// Result of one estimation query.
 struct QueryOutcome {
   double estimate = 0.0;
@@ -281,9 +292,12 @@ class LatestModule {
   /// non-decreasing-timestamp contract means interleaved eviction can
   /// only remove objects already outside every later cutoff.
   /// `tokenize_ms`, when non-null, carries one entry per query.
+  /// `stages`, when non-null, receives one QueryStageBreakdown per query
+  /// (ground-truth time amortized over the batch pass).
   void OnQueryBatch(const stream::Query* queries, size_t k,
                     QueryOutcome* outcomes,
-                    const double* tokenize_ms = nullptr);
+                    const double* tokenize_ms = nullptr,
+                    QueryStageBreakdown* stages = nullptr);
 
   /// Currently employed estimator kind.
   estimators::EstimatorKind active_kind() const { return active_kind_; }
@@ -469,6 +483,11 @@ class LatestModule {
                    bool traced, uint64_t ordinal, double tokenize_ms,
                    double ground_truth_ms, double estimate_ms,
                    double model_ms, const util::Stopwatch& total_watch);
+
+  /// Stage attribution of the most recent query (written by FinishQuery,
+  /// read back by OnQueryBatch for its `stages` out-array). Plain member:
+  /// the module is single-threaded by contract.
+  QueryStageBreakdown last_stage_breakdown_;
 
   LatestConfig config_;
   Phase phase_ = Phase::kWarmup;

@@ -45,6 +45,7 @@ AdmitResult Batcher::Admit(AdmittedEvent event, bool degraded,
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count();
+  if (event.arrival_micros == 0) event.arrival_micros = event.admit_micros;
   fifo_.push_back(std::move(event));
   const bool fire_now =
       pending_query_ >= config_.max_batch || config_.tick_us == 0;
@@ -72,6 +73,10 @@ bool Batcher::WaitForBatch(std::vector<AdmittedEvent>* out) {
     });
   }
   const size_t query_cap = std::max<uint32_t>(1, config_.max_batch);
+  const int64_t dequeue_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
   size_t queries_taken = 0;
   while (!fifo_.empty()) {
     if (fifo_.front().kind == AdmittedEvent::Kind::kQuery) {
@@ -81,6 +86,7 @@ bool Batcher::WaitForBatch(std::vector<AdmittedEvent>* out) {
     } else {
       --pending_ingest_;
     }
+    fifo_.front().dequeue_micros = dequeue_micros;
     out->push_back(std::move(fifo_.front()));
     fifo_.pop_front();
   }

@@ -35,7 +35,17 @@ struct AdmittedEvent {
   uint64_t request_id = 0;
   stream::GeoTextObject object;  // kIngest.
   stream::Query query;           // kQuery.
-  int64_t admit_micros = 0;      // Monotonic admission time.
+  /// Wire trace context (zero/unsampled when the client sent none).
+  uint64_t trace_id = 0;
+  bool trace_sampled = false;
+  /// Tick stamps, microseconds on the steady clock (same domain as
+  /// obs::SpanCollector::NanosFromSteadyMicros): socket readability,
+  /// FIFO admission, batch-drain dequeue. arrival==admit when decode
+  /// and admission happen inline on the IO thread (they do today);
+  /// keeping both lets a future async decode stage show up as a gap.
+  int64_t arrival_micros = 0;
+  int64_t admit_micros = 0;
+  int64_t dequeue_micros = 0;
 };
 
 struct BatcherConfig {

@@ -18,6 +18,28 @@ util::Result<std::unique_ptr<ServeClient>> ServeClient::Connect(
       new ServeClient(std::move(fd).value()));
 }
 
+util::Result<std::unique_ptr<ServeClient>> ServeClient::ConnectNegotiated(
+    uint16_t port, int io_timeout_ms) {
+  auto client = Connect(port, io_timeout_ms);
+  if (!client.ok()) return client;
+  HelloRequest hello;
+  hello.request_id = 1;
+  std::string bytes;
+  EncodeHello(hello, &bytes);
+  if (client.value()->SendRaw(bytes).ok()) {
+    auto resp = client.value()->ReadResponse();
+    if (resp.ok() && resp->type == FrameType::kHelloAck &&
+        (resp->hello.feature_flags & kFeatureTraceContext) != 0) {
+      client.value()->trace_enabled_ = true;
+      return client;
+    }
+  }
+  // Anything else — ERROR frame, closed connection, timeout — means a
+  // server that does not speak HELLO. It poisoned (or is closing) the
+  // connection, so start over untraced.
+  return Connect(port, io_timeout_ms);
+}
+
 util::Status ServeClient::SendRaw(const std::string& bytes) {
   if (!SendAll(fd_.get(), bytes.data(), bytes.size())) {
     return util::Status::Internal("send failed: " +
@@ -71,6 +93,9 @@ util::Result<ServeResponse> ServeClient::ReadResponse() {
           break;
         case FrameType::kError:
           ok = DecodeError(frame.payload, &resp.error);
+          break;
+        case FrameType::kHelloAck:
+          ok = DecodeHelloAck(frame.payload, &resp.hello);
           break;
         default:
           ok = false;  // Request-typed frame from the server.

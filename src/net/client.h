@@ -23,6 +23,7 @@ struct ServeResponse {
   StatusResponse status;   // kStatusResponse.
   RetryLater retry;        // kRetryLater.
   ErrorFrame error;        // kError.
+  HelloAck hello;          // kHelloAck.
 };
 
 /// Blocking framed connection to a ServeServer.
@@ -32,6 +33,19 @@ class ServeClient {
   /// read and write (0 keeps the socket unbounded).
   static util::Result<std::unique_ptr<ServeClient>> Connect(
       uint16_t port, int io_timeout_ms = 5000);
+
+  /// Connects and negotiates the trace-context feature with a HELLO
+  /// exchange. A server that predates HELLO answers with ERROR and
+  /// closes; this helper then transparently reconnects untraced, so the
+  /// returned client always works — check trace_enabled() to see what
+  /// was negotiated.
+  static util::Result<std::unique_ptr<ServeClient>> ConnectNegotiated(
+      uint16_t port, int io_timeout_ms = 5000);
+
+  /// Whether the server acknowledged the trace-context feature. When
+  /// false, callers must not attach WireTraceContext to requests (an
+  /// old server would reject the unexpected trailer bytes).
+  bool trace_enabled() const { return trace_enabled_; }
 
   /// Send one request frame. Writes block until fully sent.
   util::Status SendIngest(const IngestRequest& req);
@@ -52,6 +66,7 @@ class ServeClient {
 
   Fd fd_;
   FrameReader reader_;
+  bool trace_enabled_ = false;
 };
 
 }  // namespace latest::net

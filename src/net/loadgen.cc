@@ -31,6 +31,16 @@ double Percentile(const std::vector<double>& sorted, double q) {
   return sorted[index];
 }
 
+/// SplitMix64 finalizer: spreads request ids into well-mixed,
+/// never-zero trace ids.
+uint64_t TraceIdFor(uint64_t request_id) {
+  uint64_t x = request_id + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x | 1;
+}
+
 /// One connection's share of the run.
 struct WorkerResult {
   uint64_t queries_sent = 0;
@@ -40,20 +50,27 @@ struct WorkerResult {
   uint64_t shed = 0;
   uint64_t errors = 0;
   uint64_t protocol_errors = 0;
+  bool traced = false;
   std::vector<double> latencies_ms;
+  std::vector<double> ingest_latencies_ms;
 };
 
 void RunWorker(const LoadgenConfig& config,
                const std::vector<workload::ScenarioEvent>& events,
                uint32_t worker_index, WorkerResult* result) {
-  auto client = ServeClient::Connect(config.port, config.io_timeout_ms);
+  auto client =
+      config.trace
+          ? ServeClient::ConnectNegotiated(config.port, config.io_timeout_ms)
+          : ServeClient::Connect(config.port, config.io_timeout_ms);
   if (!client.ok()) {
     result->errors = 1;
     return;
   }
+  result->traced = client.value()->trace_enabled();
 
-  // request_id -> send time (micros) for in-flight queries.
-  std::unordered_map<uint64_t, int64_t> inflight_sent;
+  // request_id -> send time (micros) for in-flight requests, per class.
+  std::unordered_map<uint64_t, int64_t> inflight_query_sent;
+  std::unordered_map<uint64_t, int64_t> inflight_ingest_sent;
   uint64_t outstanding = 0;
   uint64_t next_seq = 1;
   const uint64_t id_base = static_cast<uint64_t>(worker_index + 1) << 48;
@@ -68,20 +85,28 @@ void RunWorker(const LoadgenConfig& config,
     switch (resp->type) {
       case FrameType::kQueryResponse: {
         ++result->queries_answered;
-        const auto it = inflight_sent.find(resp->query.request_id);
-        if (it != inflight_sent.end()) {
+        const auto it = inflight_query_sent.find(resp->query.request_id);
+        if (it != inflight_query_sent.end()) {
           result->latencies_ms.push_back(
               static_cast<double>(NowMicros() - it->second) / 1000.0);
-          inflight_sent.erase(it);
+          inflight_query_sent.erase(it);
         }
         break;
       }
-      case FrameType::kIngestAck:
+      case FrameType::kIngestAck: {
         ++result->ingests_acked;
+        const auto it = inflight_ingest_sent.find(resp->ack.request_id);
+        if (it != inflight_ingest_sent.end()) {
+          result->ingest_latencies_ms.push_back(
+              static_cast<double>(NowMicros() - it->second) / 1000.0);
+          inflight_ingest_sent.erase(it);
+        }
         break;
+      }
       case FrameType::kRetryLater:
         ++result->shed;
-        inflight_sent.erase(resp->retry.request_id);
+        inflight_query_sent.erase(resp->retry.request_id);
+        inflight_ingest_sent.erase(resp->retry.request_id);
         break;
       case FrameType::kError:
         ++result->protocol_errors;
@@ -122,22 +147,33 @@ void RunWorker(const LoadgenConfig& config,
     }
     if (!transport_ok) break;
 
-    const uint64_t request_id = id_base | next_seq++;
+    const uint64_t seq = next_seq++;
+    const uint64_t request_id = id_base | seq;
+    WireTraceContext trace;
+    if (client.value()->trace_enabled()) {
+      trace.present = true;
+      trace.trace_id = TraceIdFor(request_id);
+      trace.sampled = config.trace_sample_every != 0 &&
+                      seq % config.trace_sample_every == 0;
+    }
     util::Status sent;
     if (event.is_query) {
-      inflight_sent.emplace(request_id, NowMicros());
-      sent = client.value()->SendQuery({request_id, event.query});
+      inflight_query_sent.emplace(request_id, NowMicros());
+      sent = client.value()->SendQuery({request_id, event.query, trace});
       if (sent.ok()) {
         ++result->queries_sent;
         ++outstanding;
       } else {
-        inflight_sent.erase(request_id);
+        inflight_query_sent.erase(request_id);
       }
     } else {
-      sent = client.value()->SendIngest({request_id, event.object});
+      inflight_ingest_sent.emplace(request_id, NowMicros());
+      sent = client.value()->SendIngest({request_id, event.object, trace});
       if (sent.ok()) {
         ++result->ingests_sent;
         ++outstanding;
+      } else {
+        inflight_ingest_sent.erase(request_id);
       }
     }
     if (!sent.ok()) {
@@ -186,6 +222,7 @@ util::Result<LoadgenReport> RunLoadgen(const LoadgenConfig& config) {
 
   LoadgenReport report;
   std::vector<double> latencies;
+  std::vector<double> ingest_latencies;
   for (const WorkerResult& r : results) {
     report.queries_sent += r.queries_sent;
     report.queries_answered += r.queries_answered;
@@ -194,10 +231,15 @@ util::Result<LoadgenReport> RunLoadgen(const LoadgenConfig& config) {
     report.shed += r.shed;
     report.errors += r.errors;
     report.protocol_errors += r.protocol_errors;
+    if (r.traced) ++report.traced_connections;
     latencies.insert(latencies.end(), r.latencies_ms.begin(),
                      r.latencies_ms.end());
+    ingest_latencies.insert(ingest_latencies.end(),
+                            r.ingest_latencies_ms.begin(),
+                            r.ingest_latencies_ms.end());
   }
   std::sort(latencies.begin(), latencies.end());
+  std::sort(ingest_latencies.begin(), ingest_latencies.end());
   report.wall_seconds = wall_seconds;
   report.qps = wall_seconds > 0.0
                    ? static_cast<double>(report.queries_answered) /
@@ -206,6 +248,9 @@ util::Result<LoadgenReport> RunLoadgen(const LoadgenConfig& config) {
   report.p50_ms = Percentile(latencies, 0.50);
   report.p95_ms = Percentile(latencies, 0.95);
   report.p99_ms = Percentile(latencies, 0.99);
+  report.ingest_p50_ms = Percentile(ingest_latencies, 0.50);
+  report.ingest_p95_ms = Percentile(ingest_latencies, 0.95);
+  report.ingest_p99_ms = Percentile(ingest_latencies, 0.99);
   return report;
 }
 

@@ -37,6 +37,14 @@ struct LoadgenConfig {
   uint32_t max_outstanding = 128;
 
   int io_timeout_ms = 5000;
+
+  /// Negotiate trace contexts (HELLO) and stamp every request with a
+  /// client-generated 64-bit trace id. Falls back to untraced frames
+  /// against a server that predates the feature.
+  bool trace = true;
+  /// Mark every Nth traced request per connection as sampled (its span
+  /// tree is recorded server-side). 0 never samples, 1 samples all.
+  uint32_t trace_sample_every = 16;
 };
 
 struct LoadgenReport {
@@ -49,9 +57,18 @@ struct LoadgenReport {
   uint64_t protocol_errors = 0;  // ERROR frames / undecodable responses.
   double wall_seconds = 0.0;
   double qps = 0.0;  // Answered queries per wall second.
+  /// Query send-to-response latency (the headline numbers).
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  /// Ingest send-to-ack latency, reported separately: ingests ride the
+  /// same admission queue but skip the estimation stage, so their tail
+  /// isolates queueing from compute.
+  double ingest_p50_ms = 0.0;
+  double ingest_p95_ms = 0.0;
+  double ingest_p99_ms = 0.0;
+  /// Connections whose HELLO negotiation enabled trace contexts.
+  uint64_t traced_connections = 0;
 };
 
 /// Runs the configured load and blocks until every connection drains.

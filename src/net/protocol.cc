@@ -37,6 +37,33 @@ bool ReadKeywords(util::BinaryReader* r,
                       count * sizeof(stream::KeywordId));
 }
 
+void WriteTraceContext(const WireTraceContext& trace,
+                       util::BinaryWriter* w) {
+  if (!trace.present) return;
+  w->WriteU64(trace.trace_id);
+  const uint8_t flags = trace.sampled ? kTraceFlagSampled : 0;
+  w->WriteBytes(&flags, 1);
+}
+
+/// Consumes the optional trailer. After the keywords the reader is
+/// either exhausted (no trailer) or holds exactly kTraceContextBytes;
+/// anything else — including unknown flag bits — is a reject.
+bool ReadTraceContext(util::BinaryReader* r, WireTraceContext* trace) {
+  if (r->exhausted()) {
+    *trace = WireTraceContext{};
+    return true;
+  }
+  if (r->remaining() != kTraceContextBytes) return false;
+  uint8_t flags = 0;
+  if (!r->ReadU64(&trace->trace_id) || !r->ReadBytes(&flags, 1)) {
+    return false;
+  }
+  if ((flags & ~kTraceFlagSampled) != 0) return false;
+  trace->present = true;
+  trace->sampled = (flags & kTraceFlagSampled) != 0;
+  return true;
+}
+
 }  // namespace
 
 bool IsRequestType(uint8_t type) {
@@ -44,6 +71,7 @@ bool IsRequestType(uint8_t type) {
     case FrameType::kIngest:
     case FrameType::kQuery:
     case FrameType::kStatus:
+    case FrameType::kHello:
       return true;
     default:
       return false;
@@ -58,6 +86,7 @@ void EncodeIngest(const IngestRequest& req, std::string* out) {
   w.WriteDouble(req.object.loc.y);
   w.WriteI64(req.object.timestamp);
   WriteKeywords(req.object.keywords, &w);
+  WriteTraceContext(req.trace, &w);
   FinishFrame(FrameType::kIngest, w, out);
 }
 
@@ -73,6 +102,7 @@ void EncodeQuery(const QueryRequest& req, std::string* out) {
     w.WriteDouble(req.query.range->max_y);
   }
   WriteKeywords(req.query.keywords, &w);
+  WriteTraceContext(req.trace, &w);
   FinishFrame(FrameType::kQuery, w, out);
 }
 
@@ -80,6 +110,14 @@ void EncodeStatus(const StatusRequest& req, std::string* out) {
   util::BinaryWriter w;
   w.WriteU64(req.request_id);
   FinishFrame(FrameType::kStatus, w, out);
+}
+
+void EncodeHello(const HelloRequest& req, std::string* out) {
+  util::BinaryWriter w;
+  w.WriteU64(req.request_id);
+  w.WriteU32(req.protocol_version);
+  w.WriteU32(req.feature_flags);
+  FinishFrame(FrameType::kHello, w, out);
 }
 
 void EncodeIngestAck(const IngestAck& ack, std::string* out) {
@@ -124,6 +162,14 @@ void EncodeError(const ErrorFrame& error, std::string* out) {
   FinishFrame(FrameType::kError, w, out);
 }
 
+void EncodeHelloAck(const HelloAck& ack, std::string* out) {
+  util::BinaryWriter w;
+  w.WriteU64(ack.request_id);
+  w.WriteU32(ack.protocol_version);
+  w.WriteU32(ack.feature_flags);
+  FinishFrame(FrameType::kHelloAck, w, out);
+}
+
 bool DecodeIngest(std::string_view payload, IngestRequest* out) {
   util::BinaryReader r(payload);
   if (!r.ReadU64(&out->request_id)) return false;
@@ -132,6 +178,7 @@ bool DecodeIngest(std::string_view payload, IngestRequest* out) {
   if (!r.ReadDouble(&out->object.loc.y)) return false;
   if (!r.ReadI64(&out->object.timestamp)) return false;
   if (!ReadKeywords(&r, &out->object.keywords)) return false;
+  if (!ReadTraceContext(&r, &out->trace)) return false;
   return r.exhausted();
 }
 
@@ -152,6 +199,7 @@ bool DecodeQuery(std::string_view payload, QueryRequest* out) {
     out->query.range.reset();
   }
   if (!ReadKeywords(&r, &out->query.keywords)) return false;
+  if (!ReadTraceContext(&r, &out->trace)) return false;
   // An RC-DVQ query carries at least one predicate.
   if (!out->query.HasRange() && !out->query.HasKeywords()) return false;
   return r.exhausted();
@@ -160,6 +208,13 @@ bool DecodeQuery(std::string_view payload, QueryRequest* out) {
 bool DecodeStatus(std::string_view payload, StatusRequest* out) {
   util::BinaryReader r(payload);
   return r.ReadU64(&out->request_id) && r.exhausted();
+}
+
+bool DecodeHello(std::string_view payload, HelloRequest* out) {
+  util::BinaryReader r(payload);
+  return r.ReadU64(&out->request_id) &&
+         r.ReadU32(&out->protocol_version) &&
+         r.ReadU32(&out->feature_flags) && r.exhausted();
 }
 
 bool DecodeIngestAck(std::string_view payload, IngestAck* out) {
@@ -195,6 +250,13 @@ bool DecodeError(std::string_view payload, ErrorFrame* out) {
          r.exhausted();
 }
 
+bool DecodeHelloAck(std::string_view payload, HelloAck* out) {
+  util::BinaryReader r(payload);
+  return r.ReadU64(&out->request_id) &&
+         r.ReadU32(&out->protocol_version) &&
+         r.ReadU32(&out->feature_flags) && r.exhausted();
+}
+
 void FrameReader::Append(const char* data, size_t size) {
   // Compact once the consumed prefix dominates, so long-lived connections
   // don't grow the buffer without bound.
@@ -216,7 +278,7 @@ FrameReader::Outcome FrameReader::Next(Frame* out) {
       static_cast<uint8_t>(buffer_[consumed_ + 4]);
   // Any known frame type passes here (the reader serves both client and
   // server ends); direction policy is the dispatcher's concern.
-  if (payload_len > kMaxPayloadBytes || type < 1 || type > 8) {
+  if (payload_len > kMaxPayloadBytes || type < 1 || type > 10) {
     poisoned_ = true;
     return Outcome::kProtocolError;
   }

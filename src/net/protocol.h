@@ -9,10 +9,13 @@
 // Request payloads:
 //   INGEST  : u64 request_id, u64 oid, f64 x, f64 y, i64 timestamp,
 //             u32 num_keywords, u32 keyword[num_keywords]
+//             [, trace-context trailer]
 //   QUERY   : u64 request_id, i64 timestamp, u32 has_range,
 //             [f64 min_x, f64 min_y, f64 max_x, f64 max_y when has_range],
 //             u32 num_keywords, u32 keyword[num_keywords]
+//             [, trace-context trailer]
 //   STATUS  : u64 request_id
+//   HELLO   : u64 request_id, u32 protocol_version, u32 feature_flags
 //
 // Response payloads:
 //   INGEST_ACK : u64 request_id
@@ -23,6 +26,18 @@
 //   RETRY_LATER: u64 request_id, u32 rejected_type, u32 backoff_hint_ms
 //   ERROR      : u64 request_id (0 when unparseable), string message;
 //                the server closes the connection after sending it.
+//   HELLO_ACK  : u64 request_id, u32 protocol_version, u32 feature_flags
+//
+// Trace-context trailer (optional, exactly 9 bytes when present):
+//   u64 trace_id, u8 flags (bit 0 = sampled, others must be zero)
+// The keyword count makes the base payload length deterministic, so a
+// decoder distinguishes "no trailer" (reader exhausted after keywords)
+// from "trailer" (exactly 9 bytes remain) without any version field in
+// the frame itself. Old decoders reject trailered frames as trailing
+// garbage, which is why a new client only attaches trace context after
+// a HELLO/HELLO_ACK exchange advertises kFeatureTraceContext; an old
+// server instead answers HELLO (an unknown frame type to it) with an
+// ERROR and closes, and the client reconnects untraced.
 //
 // Keyword ids are the server's interned dictionary ids; loadgen and the
 // scenario streams speak interned ids natively, so no string tokenization
@@ -61,24 +76,55 @@ enum class FrameType : uint8_t {
   kStatusResponse = 6,
   kRetryLater = 7,
   kError = 8,
+  kHello = 9,
+  kHelloAck = 10,
 };
+
+/// Version advertised in HELLO/HELLO_ACK. Version 1 servers (PR 9) do
+/// not speak HELLO at all; version 2 adds the handshake and the
+/// trace-context trailer.
+inline constexpr uint32_t kProtocolVersion = 2;
+
+/// HELLO/HELLO_ACK feature bits.
+inline constexpr uint32_t kFeatureTraceContext = 1u << 0;
+
+/// Trace-context trailer flag bits (u8 on the wire).
+inline constexpr uint8_t kTraceFlagSampled = 1u << 0;
+
+/// Wire size of the optional trace-context trailer.
+inline constexpr size_t kTraceContextBytes = 9;
 
 /// True for types a client may send.
 bool IsRequestType(uint8_t type);
+
+/// Optional request-scoped trace context carried by INGEST/QUERY.
+struct WireTraceContext {
+  bool present = false;
+  uint64_t trace_id = 0;
+  bool sampled = false;
+};
 
 /// Decoded request frames.
 struct IngestRequest {
   uint64_t request_id = 0;
   stream::GeoTextObject object;
+  WireTraceContext trace;
 };
 
 struct QueryRequest {
   uint64_t request_id = 0;
   stream::Query query;
+  WireTraceContext trace;
 };
 
 struct StatusRequest {
   uint64_t request_id = 0;
+};
+
+struct HelloRequest {
+  uint64_t request_id = 0;
+  uint32_t protocol_version = kProtocolVersion;
+  uint32_t feature_flags = kFeatureTraceContext;
 };
 
 /// Decoded response frames.
@@ -114,26 +160,36 @@ struct ErrorFrame {
   std::string message;
 };
 
+struct HelloAck {
+  uint64_t request_id = 0;
+  uint32_t protocol_version = kProtocolVersion;
+  uint32_t feature_flags = kFeatureTraceContext;
+};
+
 /// Encoders: append one complete frame (header + payload) to `out`.
 void EncodeIngest(const IngestRequest& req, std::string* out);
 void EncodeQuery(const QueryRequest& req, std::string* out);
 void EncodeStatus(const StatusRequest& req, std::string* out);
+void EncodeHello(const HelloRequest& req, std::string* out);
 void EncodeIngestAck(const IngestAck& ack, std::string* out);
 void EncodeQueryResponse(const QueryResponse& resp, std::string* out);
 void EncodeStatusResponse(const StatusResponse& resp, std::string* out);
 void EncodeRetryLater(const RetryLater& retry, std::string* out);
 void EncodeError(const ErrorFrame& error, std::string* out);
+void EncodeHelloAck(const HelloAck& ack, std::string* out);
 
 /// Payload decoders: strict (reject truncated, oversized, and
 /// trailing-byte payloads); false leaves `*out` unspecified.
 bool DecodeIngest(std::string_view payload, IngestRequest* out);
 bool DecodeQuery(std::string_view payload, QueryRequest* out);
 bool DecodeStatus(std::string_view payload, StatusRequest* out);
+bool DecodeHello(std::string_view payload, HelloRequest* out);
 bool DecodeIngestAck(std::string_view payload, IngestAck* out);
 bool DecodeQueryResponse(std::string_view payload, QueryResponse* out);
 bool DecodeStatusResponse(std::string_view payload, StatusResponse* out);
 bool DecodeRetryLater(std::string_view payload, RetryLater* out);
 bool DecodeError(std::string_view payload, ErrorFrame* out);
+bool DecodeHelloAck(std::string_view payload, HelloAck* out);
 
 /// Incremental frame scanner over a connection's receive buffer.
 ///

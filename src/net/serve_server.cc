@@ -9,6 +9,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/span.h"
+
 namespace latest::net {
 
 namespace {
@@ -19,6 +21,10 @@ int64_t NowMicros() {
       .count();
 }
 
+int64_t MicrosToNanos(int64_t end_micros, int64_t start_micros) {
+  return std::max<int64_t>(0, end_micros - start_micros) * 1000;
+}
+
 }  // namespace
 
 ServeServer::ServeServer(
@@ -27,7 +33,8 @@ ServeServer::ServeServer(
     : config_(config),
       module_(module),
       ingest_hook_(std::move(ingest_hook)),
-      batcher_(config.batcher) {}
+      batcher_(config.batcher),
+      request_trace_(config.trace_recent_capacity, config.trace_top_k) {}
 
 ServeServer::~ServeServer() { Stop(); }
 
@@ -65,6 +72,25 @@ void ServeServer::RegisterMetrics() {
       "latest_serve_query_latency_ms",
       "Admission-to-response latency per query",
       obs::Histogram::LatencyBucketsMs());
+  query_queue_wait_histogram_ = registry.GetHistogram(
+      "latest_serve_queue_wait_ms",
+      "Admission-to-dequeue wait before batch processing",
+      obs::Histogram::LatencyBucketsMs(), {{"class", "query"}});
+  ingest_queue_wait_histogram_ = registry.GetHistogram(
+      "latest_serve_queue_wait_ms",
+      "Admission-to-dequeue wait before batch processing",
+      obs::Histogram::LatencyBucketsMs(), {{"class", "ingest"}});
+  // Tail exemplars: retain {value, trace_id, request_id} for slow
+  // observations so /vars can link a latency spike to its trace.
+  if (query_latency_histogram_ != nullptr) {
+    query_latency_histogram_->EnableExemplars(/*capacity=*/8);
+  }
+  if (query_queue_wait_histogram_ != nullptr) {
+    query_queue_wait_histogram_->EnableExemplars(/*capacity=*/8);
+  }
+  if (ingest_queue_wait_histogram_ != nullptr) {
+    ingest_queue_wait_histogram_->EnableExemplars(/*capacity=*/8);
+  }
 }
 
 util::Status ServeServer::Start() {
@@ -80,6 +106,7 @@ util::Status ServeServer::Start() {
     return pipe_status;
   }
   RegisterMetrics();
+  obs::SetRequestTraceStore(&request_trace_);
   phase_mirror_.store(static_cast<uint32_t>(module_->phase()),
                       std::memory_order_relaxed);
   active_kind_mirror_.store(static_cast<uint32_t>(module_->active_kind()),
@@ -101,6 +128,9 @@ void ServeServer::Stop() {
   if (io_thread_.joinable()) io_thread_.join();
   listen_fd_.Reset();
   wake_.Close();
+  if (obs::GetRequestTraceStore() == &request_trace_) {
+    obs::SetRequestTraceStore(nullptr);
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -255,6 +285,9 @@ void ServeServer::IoLoop() {
 
 bool ServeServer::DrainFrames(uint64_t conn_id, Connection* conn) {
   FrameReader::Frame frame;
+  // One stamp per drain pass: the moment this connection's bytes became
+  // readable. Starts the io_read stage of every frame in the pass.
+  const int64_t arrival_micros = NowMicros();
   for (;;) {
     const FrameReader::Outcome outcome = conn->reader.Next(&frame);
     if (outcome == FrameReader::Outcome::kNeedMore) return true;
@@ -294,6 +327,28 @@ bool ServeServer::DrainFrames(uint64_t conn_id, Connection* conn) {
         }
         break;
       }
+      case FrameType::kHello: {
+        HelloRequest req;
+        ok = DecodeHello(frame.payload, &req);
+        if (!ok) break;
+        if (!config_.accept_hello) {
+          // Pre-tracing servers treat HELLO as an unknown frame; keep
+          // that path reachable so mixed-version tests can exercise
+          // the client's untraced fallback.
+          ok = false;
+          break;
+        }
+        HelloAck ack;
+        ack.request_id = req.request_id;
+        ack.protocol_version = kProtocolVersion;
+        ack.feature_flags = req.feature_flags & kFeatureTraceContext;
+        EncodeHelloAck(ack, &conn->write_buffer);
+        stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+        if (frames_out_counter_ != nullptr) {
+          frames_out_counter_->Increment();
+        }
+        break;
+      }
       case FrameType::kIngest: {
         IngestRequest req;
         ok = DecodeIngest(frame.payload, &req);
@@ -303,6 +358,9 @@ bool ServeServer::DrainFrames(uint64_t conn_id, Connection* conn) {
         event.conn_id = conn_id;
         event.request_id = req.request_id;
         event.object = std::move(req.object);
+        event.trace_id = req.trace.trace_id;
+        event.trace_sampled = req.trace.present && req.trace.sampled;
+        event.arrival_micros = arrival_micros;
         uint32_t backoff_ms = 0;
         if (batcher_.Admit(std::move(event), degraded, &backoff_ms) !=
             AdmitResult::kAdmitted) {
@@ -330,6 +388,9 @@ bool ServeServer::DrainFrames(uint64_t conn_id, Connection* conn) {
         event.conn_id = conn_id;
         event.request_id = req.request_id;
         event.query = std::move(req.query);
+        event.trace_id = req.trace.trace_id;
+        event.trace_sampled = req.trace.present && req.trace.sampled;
+        event.arrival_micros = arrival_micros;
         uint32_t backoff_ms = 0;
         if (batcher_.Admit(std::move(event), degraded, &backoff_ms) !=
             AdmitResult::kAdmitted) {
@@ -366,9 +427,11 @@ bool ServeServer::DrainFrames(uint64_t conn_id, Connection* conn) {
 
 void ServeServer::FlushOutbox() {
   std::map<uint64_t, std::string> pending;
+  std::vector<uint64_t> flushed_seqs;
   {
     std::lock_guard<std::mutex> lock(outbox_mu_);
     pending.swap(outbox_);
+    flushed_seqs.swap(pending_flush_seqs_);
   }
   for (auto& [conn_id, bytes] : pending) {
     auto it = connections_.find(conn_id);
@@ -376,6 +439,18 @@ void ServeServer::FlushOutbox() {
     it->second.write_buffer += bytes;
     TryFlush(it->second.fd.get(), &it->second.write_buffer,
              &it->second.write_offset);
+  }
+  if (!flushed_seqs.empty()) {
+    const int64_t flush_micros = NowMicros();
+    std::vector<obs::RequestTraceStore::Record> completed;
+    const bool want_spans = obs::GetSpanCollector() != nullptr;
+    for (const uint64_t seq : flushed_seqs) {
+      request_trace_.CompleteFlush(seq, flush_micros,
+                                   want_spans ? &completed : nullptr);
+    }
+    for (const auto& record : completed) {
+      EmitRequestSpans(record, flush_micros);
+    }
   }
   if (ingest_queue_gauge_ != nullptr) {
     ingest_queue_gauge_->Set(static_cast<double>(batcher_.ingest_depth()));
@@ -385,6 +460,51 @@ void ServeServer::FlushOutbox() {
   }
 }
 
+void ServeServer::EmitRequestSpans(
+    const obs::RequestTraceStore::Record& record, int64_t flush_micros) {
+  obs::SpanCollector* collector = obs::GetSpanCollector();
+  if (collector == nullptr || !record.trace_sampled ||
+      record.root_span_id == 0) {
+    return;
+  }
+  // Synthesized retroactively from the record's stage stamps: the
+  // serving stages are only known complete here (flush time), long
+  // after each stage ran, so RAII spans cannot cover them. The module
+  // stage itself additionally carries a real RAII `module_run` span
+  // recorded live on the batch thread (see ProcessBatch), giving the
+  // trace tree spans on both the IO and batch threads.
+  const uint32_t tid = obs::CurrentThreadTid();
+  auto emit = [&](const char* name, uint64_t id, uint64_t parent_id,
+                  int64_t start_micros, int64_t end_micros) {
+    obs::SpanRecord span;
+    span.name = name;
+    span.start_ns = collector->NanosFromSteadyMicros(start_micros);
+    span.duration_ns = MicrosToNanos(end_micros, start_micros);
+    span.tid = tid;
+    span.id = id;
+    span.parent_id = parent_id;
+    span.trace_id = record.trace_id;
+    collector->Record(span);
+  };
+  const uint64_t root = record.root_span_id;
+  emit("serve_request", root, 0, record.arrival_micros, flush_micros);
+  emit("io_read", collector->NextId(), root, record.arrival_micros,
+       record.admit_micros);
+  emit("queue_wait", collector->NextId(), root, record.admit_micros,
+       record.dequeue_micros);
+  emit("batch_form", collector->NextId(), root, record.dequeue_micros,
+       record.run_start_micros);
+  emit(record.request_class == obs::RequestTraceStore::RequestClass::kQuery
+           ? "module_query"
+           : "module_ingest",
+       collector->NextId(), root, record.run_start_micros,
+       record.run_end_micros);
+  emit("serialize", collector->NextId(), root, record.run_end_micros,
+       record.handoff_micros);
+  emit("flush", collector->NextId(), root, record.handoff_micros,
+       flush_micros);
+}
+
 // ---------------------------------------------------------------------
 // Batch thread.
 // ---------------------------------------------------------------------
@@ -392,32 +512,114 @@ void ServeServer::FlushOutbox() {
 void ServeServer::BatchLoop() {
   std::vector<AdmittedEvent> batch;
   std::map<uint64_t, std::string> outbox;
+  std::vector<obs::RequestTraceStore::Record> records;
   while (batcher_.WaitForBatch(&batch)) {
     outbox.clear();
-    ProcessBatch(batch, &outbox);
+    records.clear();
+    const uint64_t seq = ++batch_seq_;
+    ProcessBatch(batch, seq, &outbox, &records);
+    // Outbox handoff ends every record's serialize stage. Append before
+    // publishing the sequence number: the IO thread only learns about
+    // `seq` under outbox_mu_, so its CompleteFlush always finds the
+    // records.
+    const int64_t handoff_micros = NowMicros();
+    for (auto& record : records) {
+      record.handoff_micros = handoff_micros;
+      record.serialize_ns =
+          MicrosToNanos(handoff_micros, record.run_end_micros);
+      request_trace_.Append(std::move(record));
+    }
     {
       std::lock_guard<std::mutex> lock(outbox_mu_);
       for (auto& [conn_id, bytes] : outbox) {
         outbox_[conn_id] += bytes;
       }
+      pending_flush_seqs_.push_back(seq);
     }
     wake_.Notify();
   }
 }
 
-void ServeServer::ProcessBatch(const std::vector<AdmittedEvent>& batch,
-                               std::map<uint64_t, std::string>* outbox) {
+void ServeServer::ProcessBatch(
+    const std::vector<AdmittedEvent>& batch, uint64_t batch_seq,
+    std::map<uint64_t, std::string>* outbox,
+    std::vector<obs::RequestTraceStore::Record>* records) {
+  obs::SpanCollector* collector = obs::GetSpanCollector();
+
   // Scratch for the current contiguous query run.
   std::vector<stream::Query> queries;
   std::vector<const AdmittedEvent*> query_events;
   std::vector<core::QueryOutcome> outcomes;
+  std::vector<core::QueryStageBreakdown> stage_breakdowns;
+  std::vector<uint64_t> root_span_ids;
   size_t batch_queries = 0;
+
+  // Stage-boundary stamps shared across a contiguous run: every request
+  // in the run gets the same module window, so per-request stage sums
+  // still reconcile exactly with the end-to-end latency.
+  auto start_record = [&](const AdmittedEvent& event,
+                          obs::RequestTraceStore::RequestClass klass,
+                          int64_t run_start_micros, uint64_t root_span_id) {
+    obs::RequestTraceStore::Record record;
+    record.request_id = event.request_id;
+    record.trace_id = event.trace_id;
+    record.conn_id = event.conn_id;
+    record.batch_seq = batch_seq;
+    record.request_class = klass;
+    record.trace_sampled = event.trace_sampled;
+    record.root_span_id = root_span_id;
+    record.arrival_micros = event.arrival_micros;
+    record.admit_micros = event.admit_micros;
+    record.dequeue_micros = event.dequeue_micros;
+    record.run_start_micros = run_start_micros;
+    record.queue_wait_ns =
+        MicrosToNanos(event.dequeue_micros, event.admit_micros);
+    record.batch_form_ns =
+        MicrosToNanos(run_start_micros, event.dequeue_micros);
+    return record;
+  };
+
+  auto observe_queue_wait = [&](const AdmittedEvent& event,
+                                obs::Histogram* histogram) {
+    if (histogram == nullptr) return;
+    const double wait_ms =
+        static_cast<double>(std::max<int64_t>(
+            0, event.dequeue_micros - event.admit_micros)) /
+        1000.0;
+    histogram->ObserveWithExemplar(wait_ms, event.trace_id,
+                                   event.request_id);
+  };
 
   auto flush_queries = [&] {
     if (queries.empty()) return;
     outcomes.resize(queries.size());
-    module_->OnQueryBatch(queries.data(), queries.size(), outcomes.data());
-    const int64_t now_micros = NowMicros();
+    stage_breakdowns.assign(queries.size(), core::QueryStageBreakdown{});
+    // Pre-allocate the root span id of every sampled request in the
+    // run, then run the module under a span linked to the first one:
+    // the module's internal LATEST_SPANs (ground_truth / estimate /
+    // model_update) land on the batch thread's track inside the same
+    // trace, while the root itself is emitted later by the IO thread
+    // at flush completion.
+    root_span_ids.assign(queries.size(), 0);
+    obs::TraceContext run_link;
+    if (collector != nullptr) {
+      for (size_t i = 0; i < query_events.size(); ++i) {
+        if (!query_events[i]->trace_sampled) continue;
+        root_span_ids[i] = collector->NextId();
+        if (run_link.span_id == 0) {
+          run_link = obs::TraceContext{query_events[i]->trace_id,
+                                       root_span_ids[i], true};
+        }
+      }
+    }
+    const int64_t run_start_micros = NowMicros();
+    {
+      obs::Span module_run("module_run", run_link);
+      module_->OnQueryBatch(queries.data(), queries.size(),
+                            outcomes.data(), /*tokenize_ms=*/nullptr,
+                            stage_breakdowns.data());
+    }
+    const int64_t run_end_micros = NowMicros();
     for (size_t i = 0; i < queries.size(); ++i) {
       const AdmittedEvent& event = *query_events[i];
       QueryResponse resp;
@@ -432,9 +634,24 @@ void ServeServer::ProcessBatch(const std::vector<AdmittedEvent>& batch,
       if (queries_counter_ != nullptr) queries_counter_->Increment();
       if (frames_out_counter_ != nullptr) frames_out_counter_->Increment();
       if (query_latency_histogram_ != nullptr) {
-        query_latency_histogram_->Observe(
-            static_cast<double>(now_micros - event.admit_micros) / 1000.0);
+        query_latency_histogram_->ObserveWithExemplar(
+            static_cast<double>(run_end_micros - event.admit_micros) /
+                1000.0,
+            event.trace_id, event.request_id);
       }
+      observe_queue_wait(event, query_queue_wait_histogram_);
+      obs::RequestTraceStore::Record record = start_record(
+          event, obs::RequestTraceStore::RequestClass::kQuery,
+          run_start_micros, root_span_ids[i]);
+      record.run_end_micros = run_end_micros;
+      record.module_ns = MicrosToNanos(run_end_micros, run_start_micros);
+      record.ground_truth_ns = static_cast<int64_t>(
+          stage_breakdowns[i].ground_truth_ms * 1e6);
+      record.estimate_ns =
+          static_cast<int64_t>(stage_breakdowns[i].estimate_ms * 1e6);
+      record.model_ns =
+          static_cast<int64_t>(stage_breakdowns[i].model_ms * 1e6);
+      records->push_back(std::move(record));
     }
     batch_queries += queries.size();
     queries.clear();
@@ -458,16 +675,34 @@ void ServeServer::ProcessBatch(const std::vector<AdmittedEvent>& batch,
     stream::GeoTextObject obj = event.object;
     last_timestamp_ = std::max(last_timestamp_, obj.timestamp);
     obj.timestamp = last_timestamp_;
-    if (ingest_hook_) {
-      ingest_hook_(obj);
-    } else {
-      module_->OnObject(obj);
+    uint64_t ingest_root_id = 0;
+    obs::TraceContext ingest_link;
+    if (collector != nullptr && event.trace_sampled) {
+      ingest_root_id = collector->NextId();
+      ingest_link = obs::TraceContext{event.trace_id, ingest_root_id, true};
     }
+    const int64_t run_start_micros = NowMicros();
+    {
+      obs::Span module_run("module_run", ingest_link);
+      if (ingest_hook_) {
+        ingest_hook_(obj);
+      } else {
+        module_->OnObject(obj);
+      }
+    }
+    const int64_t run_end_micros = NowMicros();
     stats_.objects_ingested.fetch_add(1, std::memory_order_relaxed);
     if (ingests_counter_ != nullptr) ingests_counter_->Increment();
     EncodeIngestAck({event.request_id}, &(*outbox)[event.conn_id]);
     stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
     if (frames_out_counter_ != nullptr) frames_out_counter_->Increment();
+    observe_queue_wait(event, ingest_queue_wait_histogram_);
+    obs::RequestTraceStore::Record record = start_record(
+        event, obs::RequestTraceStore::RequestClass::kIngest,
+        run_start_micros, ingest_root_id);
+    record.run_end_micros = run_end_micros;
+    record.module_ns = MicrosToNanos(run_end_micros, run_start_micros);
+    records->push_back(std::move(record));
   }
   flush_queries();
 

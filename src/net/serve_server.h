@@ -38,6 +38,7 @@
 #include "net/batcher.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/request_trace.h"
 #include "util/status.h"
 
 namespace latest::net {
@@ -49,6 +50,13 @@ struct ServeServerConfig {
   /// Upper bound on simultaneously open client connections; accepts
   /// beyond it are closed immediately.
   uint32_t max_connections = 256;
+  /// Answer HELLO with HELLO_ACK (trace-context negotiation). False
+  /// simulates a pre-tracing server: HELLO takes the unknown-frame
+  /// path (ERROR + close) and clients fall back to untraced frames.
+  bool accept_hello = true;
+  /// Request-trace store sizing (recent ring / slowest-K board).
+  size_t trace_recent_capacity = 256;
+  size_t trace_top_k = 32;
 };
 
 /// Counters mirrored for STATUS frames and metrics (single writer each;
@@ -91,6 +99,12 @@ class ServeServer {
     return connections_gauge_val_.load(std::memory_order_relaxed);
   }
 
+  /// Per-request stage waterfalls (also published process-globally via
+  /// obs::SetRequestTraceStore while the server runs, for /requestz).
+  const obs::RequestTraceStore& request_trace() const {
+    return request_trace_;
+  }
+
  private:
   struct Connection {
     Fd fd;
@@ -108,12 +122,22 @@ class ServeServer {
   bool DrainFrames(uint64_t conn_id, Connection* conn);
 
   /// Runs one drained batch through the module in arrival order,
-  /// encoding responses into `outbox` (conn_id -> bytes).
+  /// encoding responses into `outbox` (conn_id -> bytes) and appending
+  /// one flush-incomplete trace record per request to `records`.
   void ProcessBatch(const std::vector<AdmittedEvent>& batch,
-                    std::map<uint64_t, std::string>* outbox);
+                    uint64_t batch_seq,
+                    std::map<uint64_t, std::string>* outbox,
+                    std::vector<obs::RequestTraceStore::Record>* records);
 
-  /// Moves batch-thread outbox bytes into connection write buffers.
+  /// Moves batch-thread outbox bytes into connection write buffers,
+  /// finalises the flushed batches' trace records, and emits their
+  /// stage spans (IO thread).
   void FlushOutbox();
+
+  /// Emits the synthetic serve_request span tree for one flushed
+  /// record onto the installed span collector.
+  void EmitRequestSpans(const obs::RequestTraceStore::Record& record,
+                        int64_t flush_micros);
 
   void RegisterMetrics();
 
@@ -134,9 +158,17 @@ class ServeServer {
   uint64_t next_conn_id_ = 1;
   std::atomic<uint64_t> connections_gauge_val_{0};
 
-  // Batch thread -> IO thread response handoff.
+  // Batch thread -> IO thread response handoff. `pending_flush_seqs_`
+  // rides along: batch sequence numbers whose responses entered the
+  // outbox but whose flush completion has not been observed yet.
   std::mutex outbox_mu_;
   std::map<uint64_t, std::string> outbox_;
+  std::vector<uint64_t> pending_flush_seqs_;
+
+  // Per-request stage waterfalls (batch thread appends, IO thread
+  // patches flush completion; internally locked).
+  obs::RequestTraceStore request_trace_;
+  uint64_t batch_seq_ = 0;  // Batch-thread-owned.
 
   ServeStats stats_;
 
@@ -161,6 +193,8 @@ class ServeServer {
   obs::Gauge* query_queue_gauge_ = nullptr;
   obs::Histogram* batch_size_histogram_ = nullptr;
   obs::Histogram* query_latency_histogram_ = nullptr;
+  obs::Histogram* query_queue_wait_histogram_ = nullptr;
+  obs::Histogram* ingest_queue_wait_histogram_ = nullptr;
 };
 
 }  // namespace latest::net

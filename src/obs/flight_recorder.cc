@@ -12,6 +12,7 @@
 #include "obs/audit_trail.h"
 #include "obs/event_log.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 #include "persist/file_io.h"
 #include "util/json.h"
@@ -93,6 +94,11 @@ void FlightRecorder::AttachAuditTrail(const SwitchAuditTrail* audit_trail) {
 void FlightRecorder::AttachSpans(const SpanCollector* spans) {
   std::lock_guard<std::mutex> lock(mu_);
   spans_ = spans;
+}
+
+void FlightRecorder::AttachProfiler(const Profiler* profiler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  profiler_ = profiler;
 }
 
 size_t FlightRecorder::frames() const {
@@ -323,7 +329,22 @@ std::string FlightRecorder::DumpJsonLocked(
               record.duration_ns, record.tid);
     }
   }
-  out += "]}";
+  out += "]";
+
+  // ---- Most recent CPU profile (folded stacks; already collected, so
+  // dumping never blocks for a sampling window) ----
+  if (profiler_ != nullptr) {
+    const std::string folded = profiler_->LastFolded();
+    if (!folded.empty()) {
+      AppendF(&out, ",\"profile\":{\"collections\":%" PRIu64
+                    ",\"samples\":%" PRIu64 ",\"folded\":",
+              profiler_->collections(), profiler_->last_sample_count());
+      out += "\"";
+      out += util::JsonEscape(folded);
+      out += "\"}";
+    }
+  }
+  out += "}";
   return out;
 }
 

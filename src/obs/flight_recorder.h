@@ -31,6 +31,7 @@ class MetricsRegistry;  // obs/metrics_registry.h
 class EventLog;         // obs/event_log.h
 class SwitchAuditTrail;  // obs/audit_trail.h
 class SpanCollector;     // obs/span.h
+class Profiler;          // obs/profiler.h
 
 /// Bundle format version; bump on incompatible layout changes. The
 /// version is embedded in every bundle so inspectors can refuse or
@@ -59,6 +60,10 @@ class FlightRecorder {
   void AttachEventLog(const EventLog* event_log);
   void AttachAuditTrail(const SwitchAuditTrail* audit_trail);
   void AttachSpans(const SpanCollector* spans);
+  /// Bundles include the profiler's most recent folded CPU profile
+  /// (LastFolded — already collected; a dump never blocks for a
+  /// sampling window).
+  void AttachProfiler(const Profiler* profiler);
 
   /// Captures one frame: the current values of the selected metric
   /// families, stamped with stream time and query count. Counters are
@@ -114,6 +119,7 @@ class FlightRecorder {
   const EventLog* event_log_ = nullptr;
   const SwitchAuditTrail* audit_trail_ = nullptr;
   const SpanCollector* spans_ = nullptr;
+  const Profiler* profiler_ = nullptr;
   Counter* dumps_counter_ = nullptr;
 };
 

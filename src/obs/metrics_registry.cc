@@ -59,6 +59,52 @@ void Histogram::Reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ex_mu_);
+  ex_ring_.clear();
+  ex_next_ = 0;
+}
+
+void Histogram::EnableExemplars(size_t capacity, double quantile) {
+  std::lock_guard<std::mutex> lock(ex_mu_);
+  ex_capacity_ = std::max<size_t>(1, capacity);
+  ex_quantile_ = std::clamp(quantile, 0.0, 1.0);
+  ex_ring_.clear();
+  ex_ring_.reserve(ex_capacity_);
+  ex_next_ = 0;
+  ex_enabled_.store(true, std::memory_order_release);
+}
+
+void Histogram::ObserveWithExemplar(double value, uint64_t trace_id,
+                                    uint64_t request_id) {
+  Observe(value);
+  if (!ex_enabled_.load(std::memory_order_acquire)) return;
+  // Capture tail samples only: at or above the configured quantile of
+  // the distribution seen so far. The first handful always capture so a
+  // short run still has something to show.
+  if (count() >= 16 && value < Quantile(ex_quantile_)) return;
+  std::lock_guard<std::mutex> lock(ex_mu_);
+  const Exemplar exemplar{value, trace_id, request_id};
+  if (ex_ring_.size() < ex_capacity_) {
+    ex_ring_.push_back(exemplar);
+  } else {
+    ex_ring_[ex_next_] = exemplar;
+  }
+  ex_next_ = (ex_next_ + 1) % ex_capacity_;
+}
+
+std::vector<Histogram::Exemplar> Histogram::Exemplars() const {
+  std::lock_guard<std::mutex> lock(ex_mu_);
+  std::vector<Exemplar> out;
+  out.reserve(ex_ring_.size());
+  if (ex_ring_.size() < ex_capacity_) {
+    out = ex_ring_;
+  } else {
+    out.insert(out.end(), ex_ring_.begin() + static_cast<ptrdiff_t>(ex_next_),
+               ex_ring_.end());
+    out.insert(out.end(), ex_ring_.begin(),
+               ex_ring_.begin() + static_cast<ptrdiff_t>(ex_next_));
+  }
+  return out;
 }
 
 std::vector<double> Histogram::LatencyBucketsMs() {
@@ -403,6 +449,18 @@ std::string MetricsRegistry::Json() const {
         }
         out += ",{\"le\":\"+Inf\",\"count\":" +
                FormatU64(h.bucket_count(h.upper_bounds().size())) + "}]";
+        if (h.exemplars_enabled()) {
+          out += ",\"exemplars\":[";
+          bool first_exemplar = true;
+          for (const auto& exemplar : h.Exemplars()) {
+            if (!first_exemplar) out += ",";
+            first_exemplar = false;
+            out += "{\"value\":" + FormatDouble(exemplar.value) +
+                   ",\"trace_id\":" + FormatU64(exemplar.trace_id) +
+                   ",\"request_id\":" + FormatU64(exemplar.request_id) + "}";
+          }
+          out += "]";
+        }
         break;
       }
     }

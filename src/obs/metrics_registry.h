@@ -68,6 +68,15 @@ class Gauge {
 /// cumulative exposition and interpolated quantile queries.
 class Histogram {
  public:
+  /// One captured tail sample: the observed value plus the request-scoped
+  /// identifiers that let an operator pivot from "the p99 is high" to the
+  /// exact traced request that paid it (/tracez?dump, /requestz).
+  struct Exemplar {
+    double value = 0.0;
+    uint64_t trace_id = 0;
+    uint64_t request_id = 0;
+  };
+
   /// `upper_bounds` must be strictly increasing and non-empty; an implicit
   /// +Inf overflow bucket is appended.
   explicit Histogram(std::vector<double> upper_bounds);
@@ -75,6 +84,24 @@ class Histogram {
   Histogram& operator=(const Histogram&) = delete;
 
   void Observe(double value);
+
+  /// Turns on exemplar capture: a bounded ring of `capacity` exemplars,
+  /// refreshed by ObserveWithExemplar calls whose value lands at or above
+  /// the current `quantile` estimate (the first few samples always
+  /// capture, so short runs still surface a tail). Not thread-safe
+  /// against concurrent observations — call during setup.
+  void EnableExemplars(size_t capacity, double quantile = 0.95);
+  bool exemplars_enabled() const {
+    return ex_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Observe() plus tail-exemplar capture. When exemplars are disabled
+  /// this is exactly Observe(value).
+  void ObserveWithExemplar(double value, uint64_t trace_id,
+                           uint64_t request_id);
+
+  /// Retained exemplars, oldest first. Empty when disabled.
+  std::vector<Exemplar> Exemplars() const;
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -110,6 +137,15 @@ class Histogram {
   std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1.
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+
+  // Exemplar ring; only touched by ObserveWithExemplar/Exemplars and only
+  // when enabled, so plain Observe stays mutex-free.
+  std::atomic<bool> ex_enabled_{false};
+  double ex_quantile_ = 0.95;
+  size_t ex_capacity_ = 0;
+  mutable std::mutex ex_mu_;
+  std::vector<Exemplar> ex_ring_;
+  size_t ex_next_ = 0;
 };
 
 /// Named metrics registry. Get-or-create semantics: the same

@@ -1,0 +1,90 @@
+#include "obs/request_trace.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace latest::obs {
+
+namespace {
+std::atomic<RequestTraceStore*> g_request_trace{nullptr};
+}  // namespace
+
+void SetRequestTraceStore(RequestTraceStore* store) {
+  g_request_trace.store(store, std::memory_order_release);
+}
+
+RequestTraceStore* GetRequestTraceStore() {
+  return g_request_trace.load(std::memory_order_acquire);
+}
+
+RequestTraceStore::RequestTraceStore(size_t recent_capacity, size_t top_k)
+    : recent_capacity_(std::max<size_t>(1, recent_capacity)),
+      top_k_(std::max<size_t>(1, top_k)) {
+  ring_.reserve(recent_capacity_);
+  slowest_.reserve(top_k_ + 1);
+}
+
+void RequestTraceStore::Append(Record record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (ring_.size() < recent_capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);
+  }
+  next_ = (next_ + 1) % recent_capacity_;
+}
+
+void RequestTraceStore::CompleteFlush(uint64_t batch_seq,
+                                      int64_t flush_micros,
+                                      std::vector<Record>* completed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& record : ring_) {
+    if (record.batch_seq != batch_seq || record.flushed) continue;
+    record.flushed = true;
+    record.flush_ns =
+        std::max<int64_t>(0, flush_micros - record.handoff_micros) * 1000;
+    record.total_ns =
+        std::max<int64_t>(0, flush_micros - record.admit_micros) * 1000;
+    if (completed != nullptr) completed->push_back(record);
+    // Promote onto the slowest-K board (insertion sort: the board is
+    // tiny and mostly already sorted).
+    if (slowest_.size() < top_k_ ||
+        record.total_ns > slowest_.back().total_ns) {
+      const auto at = std::upper_bound(
+          slowest_.begin(), slowest_.end(), record,
+          [](const Record& a, const Record& b) {
+            return a.total_ns > b.total_ns;
+          });
+      slowest_.insert(at, record);
+      if (slowest_.size() > top_k_) slowest_.pop_back();
+    }
+  }
+}
+
+std::vector<RequestTraceStore::Record> RequestTraceStore::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Record> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < recent_capacity_) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::vector<RequestTraceStore::Record> RequestTraceStore::Slowest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slowest_;
+}
+
+uint64_t RequestTraceStore::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace latest::obs

@@ -13,6 +13,7 @@ std::atomic<uint32_t> g_next_tid{1};
 
 struct SpanTls {
   uint64_t parent_id = 0;  // Innermost open sampled span on this thread.
+  uint64_t trace_id = 0;   // Trace of the innermost open sampled tree.
   uint32_t depth = 0;      // Open spans (sampled or not) on this thread.
   bool sampling = false;   // Root decision, inherited by children.
   uint32_t tid = 0;        // 0 until assigned.
@@ -93,6 +94,24 @@ SpanCollector* GetSpanCollector() {
   return g_collector.load(std::memory_order_acquire);
 }
 
+uint32_t CurrentThreadTid() {
+  SpanTls& tls = Tls();
+  if (tls.tid == 0) {
+    tls.tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls.tid;
+}
+
+TraceContext Span::context() const {
+  TraceContext ctx;
+  if (collector_ != nullptr) {
+    ctx.trace_id = trace_id_;
+    ctx.span_id = id_;
+    ctx.sampled = true;
+  }
+  return ctx;
+}
+
 void Span::Begin(const char* name) {
   SpanCollector* collector = GetSpanCollector();
   if (collector == nullptr) return;  // Cleared since the inline check.
@@ -105,7 +124,37 @@ void Span::Begin(const char* name) {
   name_ = name;
   id_ = collector->NextId();
   saved_parent_ = tls.parent_id;
+  saved_trace_ = tls.trace_id;
   tls.parent_id = id_;
+  // A fresh root names its trace after itself; children inherit.
+  if (saved_parent_ == 0) tls.trace_id = id_;
+  trace_id_ = tls.trace_id;
+  if (tls.tid == 0) {
+    tls.tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  start_ns_ = collector->NowNanos();
+}
+
+void Span::BeginLinked(const char* name, const TraceContext& parent) {
+  SpanCollector* collector = GetSpanCollector();
+  if (collector == nullptr) return;  // Cleared since the inline check.
+  SpanTls& tls = Tls();
+  ++tls.depth;
+  depth_tracked_ = true;
+  linked_ = true;
+  saved_sampling_ = tls.sampling;
+  tls.sampling = parent.sampled;
+  if (!parent.sampled) return;
+  collector_ = collector;
+  name_ = name;
+  id_ = collector->NextId();
+  saved_parent_ = tls.parent_id;
+  saved_trace_ = tls.trace_id;
+  tls.parent_id = id_;
+  tls.trace_id = parent.trace_id;
+  trace_id_ = parent.trace_id;
+  // The record parents under the remote span, not this thread's stack.
+  remote_parent_ = parent.span_id;
   if (tls.tid == 0) {
     tls.tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
   }
@@ -121,10 +170,13 @@ void Span::Finish() {
     record.duration_ns = collector_->NowNanos() - start_ns_;
     record.tid = tls.tid;
     record.id = id_;
-    record.parent_id = saved_parent_;
+    record.parent_id = linked_ ? remote_parent_ : saved_parent_;
+    record.trace_id = trace_id_;
     tls.parent_id = saved_parent_;
+    tls.trace_id = saved_trace_;
     collector_->Record(record);
   }
+  if (linked_) tls.sampling = saved_sampling_;
   if (tls.depth > 0) --tls.depth;
 }
 

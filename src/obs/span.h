@@ -44,6 +44,26 @@ struct SpanRecord {
   /// Collector-unique span id (1-based) and parent span id (0 = root).
   uint64_t id = 0;
   uint64_t parent_id = 0;
+  /// Request-scoped trace id shared by every span in one trace tree.
+  /// For locally rooted trees this is the root span's id; for trees
+  /// continued from a remote client it is the client-generated id from
+  /// the wire trace-context. 0 on legacy records.
+  uint64_t trace_id = 0;
+};
+
+/// Portable handle for continuing a span tree on another thread (or,
+/// via the wire protocol, another process). A span's context() can be
+/// handed to a different thread, which opens a child with
+/// `Span(name, context)` — linkage survives because the parent span id
+/// travels with the handle instead of living in thread-local state.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  /// The span to parent under (0 = new root within the trace).
+  uint64_t span_id = 0;
+  /// Whether the originating tree was selected for recording. A
+  /// continued span inherits this instead of re-rolling root sampling,
+  /// so one request is either traced end-to-end or not at all.
+  bool sampled = false;
 };
 
 /// Bounded, thread-safe ring of closed spans plus the root-sampling
@@ -75,6 +95,18 @@ class SpanCollector {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
                std::chrono::steady_clock::now() - epoch_)
         .count();
+  }
+
+  /// Converts a steady_clock timestamp expressed as microseconds since
+  /// the steady epoch (the serve plane's tick domain) into this
+  /// collector's ns-since-construction domain. Both clocks are
+  /// steady_clock, so the conversion is one subtraction.
+  int64_t NanosFromSteadyMicros(int64_t steady_micros) const {
+    const int64_t epoch_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            epoch_.time_since_epoch())
+            .count();
+    return steady_micros * 1000 - epoch_ns;
   }
 
   void Record(const SpanRecord& record);
@@ -118,6 +150,12 @@ void SetSpanCollector(SpanCollector* collector);
 /// The installed collector, or null when tracing is disabled.
 SpanCollector* GetSpanCollector();
 
+/// The calling thread's stable track id, assigning one on first use.
+/// Lets code that synthesizes SpanRecords directly (e.g. retroactive
+/// queue_wait spans built from batcher ticks) stamp them onto the same
+/// track as this thread's RAII spans.
+uint32_t CurrentThreadTid();
+
 /// RAII scope span. `name` must be a string literal. When tracing is
 /// globally disabled the constructor costs one atomic load and one
 /// branch and the destructor one branch.
@@ -126,6 +164,17 @@ class Span {
   explicit Span(const char* name) {
     if (GetSpanCollector() != nullptr) Begin(name);
   }
+
+  /// Continues a span tree carried over from another thread (or from
+  /// the wire): the new span parents under `parent.span_id`, inherits
+  /// `parent.trace_id`, and bypasses root sampling — `parent.sampled`
+  /// decides recording, so a request is traced end-to-end or not at
+  /// all. Children opened on this thread while the span is live link
+  /// under it as usual.
+  Span(const char* name, const TraceContext& parent) {
+    if (GetSpanCollector() != nullptr) BeginLinked(name, parent);
+  }
+
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
   ~Span() {
@@ -135,16 +184,27 @@ class Span {
   /// Whether this span was selected for recording.
   bool sampled() const { return collector_ != nullptr; }
 
+  /// Handle for continuing this tree on another thread. For an
+  /// unsampled span the context is unsampled too (ids zero), which a
+  /// downstream `Span(name, ctx)` treats as "do not record".
+  TraceContext context() const;
+
  private:
   void Begin(const char* name);
+  void BeginLinked(const char* name, const TraceContext& parent);
   void Finish();
 
   SpanCollector* collector_ = nullptr;  // Null when unsampled.
   bool depth_tracked_ = false;
+  bool linked_ = false;  // Opened via TraceContext continuation.
   const char* name_ = nullptr;
   int64_t start_ns_ = 0;
   uint64_t id_ = 0;
+  uint64_t trace_id_ = 0;
   uint64_t saved_parent_ = 0;
+  uint64_t saved_trace_ = 0;
+  uint64_t remote_parent_ = 0;  // Wire/cross-thread parent span id.
+  bool saved_sampling_ = false;
 };
 
 }  // namespace latest::obs

@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string_view>
 #include <vector>
 
@@ -15,7 +16,9 @@
 #include "obs/event_log.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/query_trace.h"
+#include "obs/request_trace.h"
 #include "obs/slo_monitor.h"
 #include "obs/span.h"
 #include "obs/trace_export.h"
@@ -137,6 +140,12 @@ IntrospectionServer::IntrospectionServer(IntrospectionSources sources,
   });
   server_.Handle("/switchz", [this](const HttpRequest& request) {
     return HandleSwitchz(request);
+  });
+  server_.Handle("/requestz", [this](const HttpRequest& request) {
+    return HandleRequestz(request);
+  });
+  server_.Handle("/profilez", [this](const HttpRequest& request) {
+    return HandleProfilez(request);
   });
 }
 
@@ -288,6 +297,53 @@ HttpResponse IntrospectionServer::HandleStatusz(
           GaugeOr(registry, "persist_wal_bytes", 0.0));
   AppendF(&page, "snapshots taken:    %.0f\n",
           CounterOr(registry, "persist_snapshots_total", 0.0));
+
+  // Serving data plane (present once a ServeServer has registered its
+  // metrics into this registry).
+  if (registry->FindCounter("latest_serve_frames_in_total", {}) !=
+      nullptr) {
+    page += "\n-- serving data plane --\n";
+    AppendF(&page, "connections:        %.0f\n",
+            GaugeOr(registry, "latest_serve_connections", 0.0));
+    AppendF(&page, "queue depth:        query=%.0f ingest=%.0f\n",
+            GaugeOr(registry, "latest_serve_queue_depth", 0.0,
+                    {{"class", "query"}}),
+            GaugeOr(registry, "latest_serve_queue_depth", 0.0,
+                    {{"class", "ingest"}}));
+    AppendF(&page, "frames:             in=%.0f out=%.0f\n",
+            CounterOr(registry, "latest_serve_frames_in_total", 0.0),
+            CounterOr(registry, "latest_serve_frames_out_total", 0.0));
+    AppendF(&page, "served:             queries=%.0f ingests=%.0f\n",
+            CounterOr(registry, "latest_serve_queries_total", 0.0),
+            CounterOr(registry, "latest_serve_ingests_total", 0.0));
+    AppendF(&page, "shed:               query=%.0f ingest=%.0f\n",
+            CounterOr(registry, "latest_serve_shed_total", 0.0,
+                      {{"class", "query"}}),
+            CounterOr(registry, "latest_serve_shed_total", 0.0,
+                      {{"class", "ingest"}}));
+    const Histogram* batch_size =
+        registry->FindHistogram("latest_serve_batch_size", {});
+    if (batch_size != nullptr && batch_size->count() > 0) {
+      AppendF(&page,
+              "batch size:         p50=%.1f p95=%.1f p99=%.1f n=%" PRIu64
+              "\n",
+              batch_size->Quantile(0.5), batch_size->Quantile(0.95),
+              batch_size->Quantile(0.99), batch_size->count());
+    }
+    for (const char* klass : {"query", "ingest"}) {
+      const Histogram* wait = registry->FindHistogram(
+          "latest_serve_queue_wait_ms", {{"class", klass}});
+      if (wait == nullptr || wait->count() == 0) continue;
+      AppendF(&page,
+              "queue wait (%s): %sp50=%.3fms p99=%.3fms n=%" PRIu64 "\n",
+              klass, std::string_view(klass) == "query" ? " " : "",
+              wait->Quantile(0.5), wait->Quantile(0.99), wait->count());
+    }
+    if (const RequestTraceStore* requests = GetRequestTraceStore()) {
+      AppendF(&page, "requests traced:    %" PRIu64 " (see /requestz)\n",
+              requests->total_appended());
+    }
+  }
 
   // Scoreboard: moving-average accuracy per (query type, estimator).
   const std::vector<MetricsRegistry::Sample> scoreboard =
@@ -582,6 +638,165 @@ HttpResponse IntrospectionServer::HandleSwitchz(
   page += "</pre></body></html>\n";
   response.content_type = "text/html; charset=utf-8";
   response.body = std::move(page);
+  return response;
+}
+
+namespace {
+
+const char* RequestClassName(RequestTraceStore::RequestClass klass) {
+  return klass == RequestTraceStore::RequestClass::kQuery ? "query"
+                                                          : "ingest";
+}
+
+void AppendRecordJson(std::string* out,
+                      const RequestTraceStore::Record& record) {
+  AppendF(out,
+          "{\"request_id\":%" PRIu64 ",\"trace_id\":%" PRIu64
+          ",\"conn\":%" PRIu64 ",\"batch_seq\":%" PRIu64
+          ",\"class\":\"%s\",\"sampled\":%s,\"root_span_id\":%" PRIu64,
+          record.request_id, record.trace_id, record.conn_id,
+          record.batch_seq, RequestClassName(record.request_class),
+          record.trace_sampled ? "true" : "false", record.root_span_id);
+  AppendF(out,
+          ",\"stages_ns\":{\"queue_wait\":%" PRId64
+          ",\"batch_form\":%" PRId64 ",\"module\":%" PRId64
+          ",\"serialize\":%" PRId64 ",\"flush\":%" PRId64 "}",
+          record.queue_wait_ns, record.batch_form_ns, record.module_ns,
+          record.serialize_ns, record.flush_ns);
+  AppendF(out,
+          ",\"module_detail_ns\":{\"ground_truth\":%" PRId64
+          ",\"estimate\":%" PRId64 ",\"model\":%" PRId64 "}",
+          record.ground_truth_ns, record.estimate_ns, record.model_ns);
+  AppendF(out, ",\"total_ns\":%" PRId64 ",\"flushed\":%s}",
+          record.total_ns, record.flushed ? "true" : "false");
+}
+
+void AppendWaterfall(std::string* out,
+                     const RequestTraceStore::Record& record) {
+  AppendF(out,
+          "req=%016" PRIx64 " trace=%016" PRIx64
+          " class=%-6s total=%.3fms%s\n",
+          record.request_id, record.trace_id,
+          RequestClassName(record.request_class),
+          static_cast<double>(record.total_ns) / 1e6,
+          record.trace_sampled ? "  [sampled]" : "");
+  struct StageCell {
+    const char* name;
+    int64_t ns;
+  };
+  const StageCell stages[] = {{"queue_wait", record.queue_wait_ns},
+                              {"batch_form", record.batch_form_ns},
+                              {"module", record.module_ns},
+                              {"serialize", record.serialize_ns},
+                              {"flush", record.flush_ns}};
+  // One proportional bar per stage, scaled so the whole request spans
+  // kBarWidth characters.
+  constexpr int kBarWidth = 50;
+  const double total =
+      static_cast<double>(std::max<int64_t>(1, record.total_ns));
+  for (const StageCell& stage : stages) {
+    const int width = static_cast<int>(
+        static_cast<double>(stage.ns) / total * kBarWidth + 0.5);
+    AppendF(out, "    %-10s %8.3fms  ", stage.name,
+            static_cast<double>(stage.ns) / 1e6);
+    for (int i = 0; i < width; ++i) *out += '#';
+    *out += '\n';
+  }
+  if (record.request_class == RequestTraceStore::RequestClass::kQuery) {
+    AppendF(out,
+            "    module detail: ground_truth=%.3fms estimate=%.3fms "
+            "model=%.3fms\n",
+            static_cast<double>(record.ground_truth_ns) / 1e6,
+            static_cast<double>(record.estimate_ns) / 1e6,
+            static_cast<double>(record.model_ns) / 1e6);
+  }
+}
+
+}  // namespace
+
+HttpResponse IntrospectionServer::HandleRequestz(
+    const HttpRequest& request) const {
+  HttpResponse response;
+  RequestTraceStore* store = GetRequestTraceStore();
+  if (store == nullptr) {
+    response.status = 404;
+    response.body =
+        "request tracing is not enabled (no serve plane running)\n";
+    return response;
+  }
+  const std::vector<RequestTraceStore::Record> slowest = store->Slowest();
+  const std::vector<RequestTraceStore::Record> recent = store->Recent();
+
+  if (request.HasQueryParam("json")) {
+    std::string body;
+    AppendF(&body,
+            "{\"total_appended\":%" PRIu64 ",\"recent_retained\":%zu"
+            ",\"slowest\":[",
+            store->total_appended(), recent.size());
+    for (size_t i = 0; i < slowest.size(); ++i) {
+      if (i > 0) body += ",";
+      AppendRecordJson(&body, slowest[i]);
+    }
+    body += "],\"recent\":[";
+    for (size_t i = 0; i < recent.size(); ++i) {
+      if (i > 0) body += ",";
+      AppendRecordJson(&body, recent[i]);
+    }
+    body += "]}\n";
+    response.content_type = "application/json";
+    response.body = std::move(body);
+    return response;
+  }
+
+  std::string page =
+      "<!DOCTYPE html><html><head><title>latest requestz</title></head>"
+      "<body><pre>\n";
+  AppendF(&page, "=== serve-plane request waterfalls: %s ===\n\n",
+          info_.instance.c_str());
+  AppendF(&page,
+          "requests traced: %" PRIu64 " (recent ring %zu/%zu, slowest "
+          "board %zu/%zu)\n",
+          store->total_appended(), recent.size(), store->recent_capacity(),
+          slowest.size(), store->top_k());
+  page +=
+      "stages: queue_wait -> batch_form -> module -> serialize -> flush "
+      "(contiguous; sums to total)\n";
+  page += "\n-- slowest requests --\n";
+  for (size_t i = 0; i < slowest.size(); ++i) {
+    AppendF(&page, "\n#%zu ", i + 1);
+    AppendWaterfall(&page, slowest[i]);
+  }
+  if (slowest.empty()) page += "  (no flushed requests yet)\n";
+  page += "\nGET /requestz?json for the machine-readable form\n";
+  page += "</pre></body></html>\n";
+  response.content_type = "text/html; charset=utf-8";
+  response.body = std::move(page);
+  return response;
+}
+
+HttpResponse IntrospectionServer::HandleProfilez(
+    const HttpRequest& request) const {
+  HttpResponse response;
+  Profiler* profiler = GetProfiler();
+  if (profiler == nullptr) {
+    response.status = 404;
+    response.body = "profiler is not enabled (no profiler installed)\n";
+    return response;
+  }
+  double seconds = 2.0;
+  const std::string param = request.QueryParam("seconds");
+  if (!param.empty()) {
+    seconds = std::strtod(param.c_str(), nullptr);
+    if (seconds <= 0.0) seconds = 2.0;
+  }
+  const std::string folded = profiler->CollectFolded(seconds);
+  response.content_type = "text/plain; charset=utf-8";
+  if (folded.empty()) {
+    response.body = "(no samples: the process consumed no CPU time "
+                    "during the window)\n";
+  } else {
+    response.body = folded;
+  }
   return response;
 }
 

@@ -13,6 +13,13 @@
 //              scoreboard, SLO rule states, stage latencies, recent events
 //   /tracez    span/trace collector status; /tracez?dump returns the
 //              retained spans as Chrome trace-event JSON for Perfetto
+//   /requestz  serve-plane request waterfalls: top-K slowest requests
+//              with per-stage latency attribution (queue_wait →
+//              batch_form → module → serialize → flush); ?json for the
+//              machine-readable form
+//   /profilez  sampling self-profiler: ?seconds=N (default 2) samples
+//              the process with SIGPROF and returns folded stacks for
+//              flamegraph tooling
 //
 // Everything is rendered from thread-safe sources (the metrics registry,
 // event log, trace/span collectors, SLO monitor), never from live module
@@ -55,8 +62,11 @@ struct IntrospectionSources {
   DriftMonitor* drift = nullptr;
   SwitchAuditTrail* audit = nullptr;
   FlightRecorder* flight = nullptr;
-  // Spans are read through the process-global collector (obs/span.h) at
-  // request time, so /tracez sees whatever tracing setup is installed.
+  // Spans (/tracez), request waterfalls (/requestz), and the sampling
+  // profiler (/profilez) are read through their process-global accessors
+  // (obs/span.h, obs/request_trace.h, obs/profiler.h) at request time,
+  // so the pages see whatever the running process has installed — even
+  // components created after this server started.
 };
 
 /// Static deployment facts rendered on /statusz (thresholds are config,
@@ -101,6 +111,13 @@ class IntrospectionServer {
   /// Switch-decision audit trail with regret summary; ?json for the
   /// machine-readable form.
   HttpResponse HandleSwitchz(const HttpRequest& request) const;
+  /// Serve-plane request waterfalls (process-global RequestTraceStore);
+  /// ?json for the machine-readable form.
+  HttpResponse HandleRequestz(const HttpRequest& request) const;
+  /// Runs the process-global sampling profiler for ?seconds=N (default
+  /// 2) and returns folded stacks. Blocks the serving thread for the
+  /// whole window by design.
+  HttpResponse HandleProfilez(const HttpRequest& request) const;
   HttpResponse HandleIndex(const HttpRequest& request) const;
 
  private:

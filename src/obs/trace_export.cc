@@ -81,9 +81,11 @@ std::string TraceEventJson(const SpanCollector& collector,
     out += ",\"dur\":";
     AppendMicros(span.duration_ns, &out);
     std::snprintf(buf, sizeof(buf),
-                  ",\"args\":{\"id\":%llu,\"parent\":%llu}}",
+                  ",\"args\":{\"id\":%llu,\"parent\":%llu,"
+                  "\"trace_id\":%llu}}",
                   static_cast<unsigned long long>(span.id),
-                  static_cast<unsigned long long>(span.parent_id));
+                  static_cast<unsigned long long>(span.parent_id),
+                  static_cast<unsigned long long>(span.trace_id));
     out += buf;
   }
   out += "]}";

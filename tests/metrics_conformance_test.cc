@@ -63,6 +63,29 @@ void PopulateQualityFamilies(MetricsRegistry* registry) {
   monitor.AttachMetrics(registry);
 }
 
+/// Serve-plane families as net/serve_server registers them: the
+/// per-class queue-wait ladder plus an exemplar-bearing latency
+/// histogram. Exemplars are JSON-only — the golden proves they leave
+/// the Prometheus text exposition byte-identical.
+void PopulateServeFamilies(MetricsRegistry* registry) {
+  Histogram* query_wait = registry->GetHistogram(
+      "latest_serve_queue_wait_ms", "Admission queue wait per class",
+      {0.5, 1.0, 5.0}, {{"class", "query"}});
+  query_wait->EnableExemplars(/*capacity=*/4);
+  query_wait->ObserveWithExemplar(0.25, /*trace_id=*/0xabc,
+                                  /*request_id=*/17);
+  query_wait->ObserveWithExemplar(7.5, /*trace_id=*/0xdef,
+                                  /*request_id=*/18);
+  registry
+      ->GetHistogram("latest_serve_queue_wait_ms",
+                     "Admission queue wait per class", {0.5, 1.0, 5.0},
+                     {{"class", "ingest"}})
+      ->Observe(0.75);
+  registry
+      ->GetCounter("latest_serve_frames_in_total", "RPC frames received")
+      ->Increment(3);
+}
+
 /// Builds the registry whose exposition the golden file pins. Instances
 /// are registered deliberately out of exposition order — the knn counter
 /// before the box counter, the zebra gauge first — so any dependence on
@@ -95,6 +118,7 @@ void PopulateConformanceRegistry(MetricsRegistry* registry) {
   latency->Observe(1.5);
   latency->Observe(10.0);
   PopulateQualityFamilies(registry);
+  PopulateServeFamilies(registry);
 }
 
 TEST(MetricsConformanceTest, PrometheusTextMatchesGolden) {
@@ -121,7 +145,8 @@ TEST(MetricsConformanceTest, ExpositionIsRegistrationOrderIndependent) {
   PopulateConformanceRegistry(&forward);
 
   MetricsRegistry reverse;
-  PopulateQualityFamilies(&reverse);  // Last in forward, first here.
+  PopulateServeFamilies(&reverse);    // Last in forward, first here.
+  PopulateQualityFamilies(&reverse);
   Histogram* latency = reverse.GetHistogram("small_latency_ms", "Tiny ladder",
                                             {1.0, 2.0, 5.0});
   latency->Observe(0.5);
@@ -160,7 +185,8 @@ TEST(MetricsConformanceTest, EachFamilyHasExactlyOneHelpAndType) {
         "latest_queries_by_kind_total", "small_latency_ms", "zebra_gauge",
         "latest_estimator_error_samples_total",
         "latest_estimator_error_qerror", "latest_drift_detections_total",
-        "latest_drift_active", "latest_drift_active_series"}) {
+        "latest_drift_active", "latest_drift_active_series",
+        "latest_serve_queue_wait_ms", "latest_serve_frames_in_total"}) {
     for (const char* directive : {"# HELP ", "# TYPE "}) {
       const std::string needle = std::string(directive) + family + " ";
       size_t count = 0;
@@ -182,6 +208,50 @@ TEST(MetricsConformanceTest, JsonEscapesLabelValues) {
   EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
   // No raw (unescaped) newline may survive inside the JSON document.
   EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(MetricsConformanceTest, ExemplarsExposeInJsonOnly) {
+  MetricsRegistry registry;
+  PopulateConformanceRegistry(&registry);
+
+  // The Prometheus text contains no exemplar syntax at all: enabling
+  // exemplars must not perturb the scrape format existing dashboards
+  // parse (the golden comparison above pins the exact bytes).
+  const std::string text = registry.PrometheusText();
+  EXPECT_EQ(text.find("exemplar"), std::string::npos);
+  EXPECT_EQ(text.find(" # "), std::string::npos);  // OpenMetrics syntax.
+
+  // The JSON exposition carries them, keyed by trace and request id.
+  const std::string json = registry.Json();
+  EXPECT_NE(json.find("\"exemplars\":["), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":2748"), std::string::npos);   // 0xabc
+  EXPECT_NE(json.find("\"request_id\":18"), std::string::npos);
+}
+
+TEST(MetricsConformanceTest, ExemplarRingIsBoundedAndTailBiased) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram(
+      "bounded_ms", "Exemplar bound check", {1.0, 10.0, 100.0});
+  histogram->EnableExemplars(/*capacity=*/4, /*quantile=*/0.95);
+  // Flood with fast observations, then a handful of slow ones: the ring
+  // retains at most `capacity` exemplars and the slow tail displaces
+  // the early warm-up captures.
+  for (int i = 0; i < 500; ++i) {
+    histogram->ObserveWithExemplar(0.5, /*trace_id=*/1000 + i,
+                                   /*request_id=*/i);
+  }
+  for (int i = 0; i < 4; ++i) {
+    histogram->ObserveWithExemplar(90.0 + i, /*trace_id=*/9000 + i,
+                                   /*request_id=*/600 + i);
+  }
+  const auto exemplars = histogram->Exemplars();
+  ASSERT_LE(exemplars.size(), 4u);
+  ASSERT_FALSE(exemplars.empty());
+  // Every retained exemplar is from the slow tail, not the flood.
+  for (const auto& exemplar : exemplars) {
+    EXPECT_GE(exemplar.value, 90.0);
+    EXPECT_GE(exemplar.trace_id, 9000u);
+  }
 }
 
 }  // namespace

@@ -367,6 +367,10 @@ TEST(NetProtocolTest, GarbageFuzzNeverCrashes) {
     DecodeRetryLater(payload, &retry);
     ErrorFrame error;
     DecodeError(payload, &error);
+    HelloRequest hello;
+    DecodeHello(payload, &hello);
+    HelloAck hello_ack;
+    DecodeHelloAck(payload, &hello_ack);
   }
 }
 
@@ -374,11 +378,121 @@ TEST(NetProtocolTest, IsRequestTypeClassification) {
   EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(FrameType::kIngest)));
   EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(FrameType::kQuery)));
   EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(FrameType::kStatus)));
+  EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(FrameType::kHello)));
   EXPECT_FALSE(IsRequestType(static_cast<uint8_t>(FrameType::kIngestAck)));
   EXPECT_FALSE(
       IsRequestType(static_cast<uint8_t>(FrameType::kQueryResponse)));
+  EXPECT_FALSE(IsRequestType(static_cast<uint8_t>(FrameType::kHelloAck)));
   EXPECT_FALSE(IsRequestType(0));
-  EXPECT_FALSE(IsRequestType(9));
+  EXPECT_FALSE(IsRequestType(11));
+}
+
+TEST(NetProtocolTest, TraceContextTrailerRoundTrips) {
+  // Sampled and unsampled trailers survive encode → decode on both
+  // request types that carry them.
+  for (const bool sampled : {true, false}) {
+    IngestRequest ingest;
+    ingest.request_id = 21;
+    ingest.object = MakeObject();
+    ingest.trace = {/*present=*/true, /*trace_id=*/0xdeadbeefcafe0001ull,
+                    sampled};
+    std::string bytes;
+    EncodeIngest(ingest, &bytes);
+    IngestRequest ingest_got;
+    ASSERT_TRUE(DecodeIngest(ReadSingleFrame(bytes, FrameType::kIngest),
+                             &ingest_got));
+    EXPECT_TRUE(ingest_got.trace.present);
+    EXPECT_EQ(ingest_got.trace.trace_id, ingest.trace.trace_id);
+    EXPECT_EQ(ingest_got.trace.sampled, sampled);
+
+    QueryRequest query;
+    query.request_id = 22;
+    query.query = MakeRangeQuery();
+    query.trace = {/*present=*/true, /*trace_id=*/0x1234u, sampled};
+    bytes.clear();
+    EncodeQuery(query, &bytes);
+    QueryRequest query_got;
+    ASSERT_TRUE(DecodeQuery(ReadSingleFrame(bytes, FrameType::kQuery),
+                            &query_got));
+    EXPECT_TRUE(query_got.trace.present);
+    EXPECT_EQ(query_got.trace.trace_id, 0x1234u);
+    EXPECT_EQ(query_got.trace.sampled, sampled);
+  }
+}
+
+TEST(NetProtocolTest, AbsentTrailerDecodesAsUntraced) {
+  // The base encoding (trace.present = false) is byte-identical to the
+  // pre-extension wire format, and decodes with present = false.
+  QueryRequest req;
+  req.request_id = 23;
+  req.query = MakeRangeQuery();
+  std::string bytes;
+  EncodeQuery(req, &bytes);
+  QueryRequest got;
+  ASSERT_TRUE(DecodeQuery(ReadSingleFrame(bytes, FrameType::kQuery), &got));
+  EXPECT_FALSE(got.trace.present);
+  EXPECT_EQ(got.trace.trace_id, 0u);
+  EXPECT_FALSE(got.trace.sampled);
+}
+
+TEST(NetProtocolTest, MalformedTrailerRejected) {
+  QueryRequest req;
+  req.request_id = 24;
+  req.query = MakeRangeQuery();
+  req.trace = {/*present=*/true, /*trace_id=*/77, /*sampled=*/true};
+  std::string bytes;
+  EncodeQuery(req, &bytes);
+  std::string payload = ReadSingleFrame(bytes, FrameType::kQuery);
+
+  // A truncated trailer (any length between base and full) is neither
+  // "absent" nor "complete": strict reject.
+  for (size_t cut = 1; cut < kTraceContextBytes; ++cut) {
+    QueryRequest got;
+    EXPECT_FALSE(DecodeQuery(
+        std::string_view(payload.data(), payload.size() - cut), &got))
+        << "trailer short by " << cut;
+  }
+  // Unknown flag bits are a protocol violation, not a soft ignore.
+  payload.back() = static_cast<char>(0x02);
+  QueryRequest got;
+  EXPECT_FALSE(DecodeQuery(payload, &got));
+}
+
+TEST(NetProtocolTest, HelloRoundTripsAndReaderAcceptsHandshakeTypes) {
+  HelloRequest hello;
+  hello.request_id = 41;
+  hello.protocol_version = kProtocolVersion;
+  hello.feature_flags = kFeatureTraceContext;
+  std::string bytes;
+  EncodeHello(hello, &bytes);
+  HelloRequest hello_got;
+  ASSERT_TRUE(
+      DecodeHello(ReadSingleFrame(bytes, FrameType::kHello), &hello_got));
+  EXPECT_EQ(hello_got.request_id, 41u);
+  EXPECT_EQ(hello_got.protocol_version, kProtocolVersion);
+  EXPECT_EQ(hello_got.feature_flags, kFeatureTraceContext);
+
+  HelloAck ack;
+  ack.request_id = 41;
+  ack.protocol_version = kProtocolVersion;
+  ack.feature_flags = 0;  // Server may negotiate features away.
+  bytes.clear();
+  EncodeHelloAck(ack, &bytes);
+  HelloAck ack_got;
+  ASSERT_TRUE(DecodeHelloAck(ReadSingleFrame(bytes, FrameType::kHelloAck),
+                             &ack_got));
+  EXPECT_EQ(ack_got.feature_flags, 0u);
+
+  // The reader accepts the two handshake types and still rejects the
+  // first unassigned id.
+  util::BinaryWriter writer;
+  writer.WriteU32(0);
+  std::string junk = writer.TakeBuffer();
+  junk.push_back(static_cast<char>(11));
+  FrameReader reader;
+  reader.Append(junk.data(), junk.size());
+  FrameReader::Frame frame;
+  EXPECT_EQ(reader.Next(&frame), FrameReader::Outcome::kProtocolError);
 }
 
 }  // namespace

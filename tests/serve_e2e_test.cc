@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -20,7 +21,12 @@
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/serve_server.h"
+#include "obs/profiler.h"
+#include "obs/request_trace.h"
+#include "obs/span.h"
+#include "tests/test_http_client.h"
 #include "tests/test_stream.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/serialization.h"
 
@@ -398,6 +404,352 @@ TEST(ServeE2eTest, ConcurrentClientsReconcileAndShutdownCleanly) {
   auto lingering = MustConnect(server.port());
   server.Stop();
   EXPECT_FALSE(lingering->ReadResponse().ok());
+}
+
+/// Installs a span collector for one test body and clears the global
+/// again even on assertion failure.
+class ScopedSpanCollector {
+ public:
+  explicit ScopedSpanCollector(obs::SpanCollector* collector) {
+    obs::SetSpanCollector(collector);
+  }
+  ~ScopedSpanCollector() { obs::SetSpanCollector(nullptr); }
+};
+
+TEST(ServeE2eTest, HelloNegotiationAndMixedVersionInterop) {
+  // New client ↔ new server: the handshake enables trace context.
+  auto module = MustCreate(TestConfig());
+  ServeServer server(ServeServerConfig{}, module.get());
+  ASSERT_TRUE(server.Start().ok());
+  auto negotiated = ServeClient::ConnectNegotiated(server.port());
+  ASSERT_TRUE(negotiated.ok()) << negotiated.status().ToString();
+  EXPECT_TRUE((*negotiated)->trace_enabled());
+
+  // A trailered request round-trips on the negotiated connection.
+  IngestRequest traced;
+  traced.request_id = 1;
+  traced.object.oid = 1;
+  traced.object.loc = {1.0, 1.0};
+  traced.object.keywords = {7};
+  traced.object.timestamp = 100;
+  traced.trace = {/*present=*/true, /*trace_id=*/0xfeed, /*sampled=*/true};
+  ASSERT_TRUE((*negotiated)->SendIngest(traced).ok());
+  auto ack = (*negotiated)->ReadResponse();
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->type, FrameType::kIngestAck);
+
+  // Old client (no HELLO) ↔ new server: the pre-extension wire format
+  // still works on the same port.
+  auto old_client = MustConnect(server.port());
+  ASSERT_TRUE(old_client->SendStatus({2}).ok());
+  auto status = old_client->ReadResponse();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->type, FrameType::kStatusResponse);
+  server.Stop();
+
+  // New client ↔ old server (HELLO unknown): ConnectNegotiated falls
+  // back to an untraced connection transparently.
+  auto old_module = MustCreate(TestConfig());
+  ServeServerConfig old_config;
+  old_config.accept_hello = false;
+  ServeServer old_server(old_config, old_module.get());
+  ASSERT_TRUE(old_server.Start().ok());
+  auto fallback = ServeClient::ConnectNegotiated(old_server.port());
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_FALSE((*fallback)->trace_enabled());
+  ASSERT_TRUE((*fallback)->SendStatus({3}).ok());
+  status = (*fallback)->ReadResponse();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->type, FrameType::kStatusResponse);
+  old_server.Stop();
+}
+
+// The tentpole acceptance: traced requests produce waterfalls whose
+// stage durations sum exactly to the end-to-end latency, and span trees
+// that cross the IO → batch thread boundary under one trace id.
+TEST(ServeE2eTest, TracedWaterfallsReconcileAndSpansLinkAcrossThreads) {
+  obs::SpanCollector collector(1 << 14);
+  ScopedSpanCollector scoped(&collector);
+
+  auto module = MustCreate(TestConfig());
+  ServeServerConfig config;
+  config.batcher.tick_us = 500;
+  config.batcher.max_batch = 64;
+  ServeServer server(config, module.get());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_EQ(obs::GetRequestTraceStore(), &server.request_trace());
+
+  auto client_result = ServeClient::ConnectNegotiated(server.port());
+  ASSERT_TRUE(client_result.ok());
+  auto client = std::move(client_result).value();
+  ASSERT_TRUE(client->trace_enabled());
+
+  const auto objects =
+      testing_support::MakeClusteredObjects(1200, 7, /*duration=*/3000);
+  util::Rng rng(29);
+  uint64_t next_id = 1;
+  uint64_t traced_queries = 0;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    IngestRequest ingest;
+    ingest.request_id = next_id++;
+    ingest.object = objects[i];
+    ingest.trace = {/*present=*/true, /*trace_id=*/0x40000000u + i,
+                    /*sampled=*/(i % 8 == 0)};
+    ASSERT_TRUE(client->SendIngest(ingest).ok());
+    auto response = client->ReadResponse();
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->type, FrameType::kIngestAck);
+
+    if (objects[i].timestamp >= 1000 && i % 15 == 0) {
+      QueryRequest query;
+      query.request_id = next_id++;
+      query.query =
+          MakeKeywordQuery(rng.NextBounded(50), objects[i].timestamp);
+      query.trace = {/*present=*/true, /*trace_id=*/0x80000000u + i,
+                     /*sampled=*/true};
+      ASSERT_TRUE(client->SendQuery(query).ok());
+      response = client->ReadResponse();
+      ASSERT_TRUE(response.ok());
+      ASSERT_EQ(response->type, FrameType::kQueryResponse);
+      ++traced_queries;
+    }
+  }
+  ASSERT_GT(traced_queries, 20u);
+  server.Stop();
+  EXPECT_EQ(obs::GetRequestTraceStore(), nullptr);
+
+  // Every flushed waterfall reconciles exactly: the five stages are
+  // contiguous by construction, so their sum IS the total.
+  const std::vector<obs::RequestTraceStore::Record> recent =
+      server.request_trace().Recent();
+  ASSERT_FALSE(recent.empty());
+  size_t reconciled = 0;
+  const obs::RequestTraceStore::Record* sampled_query = nullptr;
+  for (const auto& record : recent) {
+    if (!record.flushed) continue;
+    EXPECT_EQ(record.queue_wait_ns + record.batch_form_ns +
+                  record.module_ns + record.serialize_ns + record.flush_ns,
+              record.total_ns)
+        << "request " << record.request_id;
+    EXPECT_NE(record.trace_id, 0u);
+    ++reconciled;
+    if (record.request_class ==
+            obs::RequestTraceStore::RequestClass::kQuery &&
+        record.trace_sampled && record.root_span_id != 0) {
+      sampled_query = &record;
+      // Module attribution nests inside the module stage.
+      EXPECT_LE(record.ground_truth_ns + record.estimate_ns +
+                    record.model_ns,
+                record.module_ns + 1000000);
+    }
+  }
+  ASSERT_GT(reconciled, 0u);
+  ASSERT_NE(sampled_query, nullptr);
+
+  // The slowest board only holds finalised records.
+  for (const auto& record : server.request_trace().Slowest()) {
+    EXPECT_TRUE(record.flushed);
+    EXPECT_GT(record.total_ns, 0);
+  }
+
+  // Span linkage: the sampled query's root span exists, carries the
+  // wire trace id, parents the six serve stages, and the module_run
+  // span ran on a different thread than the flush-time emission.
+  const std::vector<obs::SpanRecord> spans = collector.Snapshot();
+  const obs::SpanRecord* root = nullptr;
+  for (const auto& span : spans) {
+    if (span.id == sampled_query->root_span_id) root = &span;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_STREQ(root->name, "serve_request");
+  EXPECT_EQ(root->trace_id, sampled_query->trace_id);
+  EXPECT_EQ(root->parent_id, 0u);
+
+  std::map<std::string, const obs::SpanRecord*> children;
+  const obs::SpanRecord* module_run = nullptr;
+  for (const auto& span : spans) {
+    if (span.parent_id != root->id) continue;
+    EXPECT_EQ(span.trace_id, root->trace_id) << span.name;
+    if (std::string(span.name) == "module_run") {
+      module_run = &span;
+    } else {
+      children.emplace(span.name, &span);
+    }
+  }
+  for (const char* stage : {"io_read", "queue_wait", "batch_form",
+                            "module_query", "serialize", "flush"}) {
+    EXPECT_EQ(children.count(stage), 1u) << "missing stage " << stage;
+  }
+  // The synthesized stages were emitted from the IO thread; the real
+  // module_run span (when this request led its batch) ran on the batch
+  // thread — when present, the tree crosses threads.
+  bool crossed = false;
+  for (const auto& span : spans) {
+    if (span.name != nullptr && std::string(span.name) == "module_run" &&
+        span.parent_id != 0) {
+      for (const auto& other : spans) {
+        if (other.id == span.parent_id && other.tid != span.tid) {
+          crossed = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(crossed) << "no trace tree crossed the IO/batch threads";
+  if (module_run != nullptr) {
+    const auto* stage = children["module_query"];
+    ASSERT_NE(stage, nullptr);
+    EXPECT_NE(module_run->tid, stage->tid);
+  }
+}
+
+// Tracing must never perturb the estimation pipeline: a fully traced +
+// sampled connection gets answers bit-identical to direct module calls
+// (the tracing-off reference path).
+TEST(ServeE2eTest, TracingDoesNotPerturbEstimates) {
+  obs::SpanCollector collector(1 << 13);
+  ScopedSpanCollector scoped(&collector);
+
+  auto server_module = MustCreate(TestConfig());
+  auto reference_module = MustCreate(TestConfig());
+  ServeServerConfig config;
+  config.batcher.tick_us = 500;
+  ServeServer server(config, server_module.get());
+  ASSERT_TRUE(server.Start().ok());
+  auto client_result = ServeClient::ConnectNegotiated(server.port());
+  ASSERT_TRUE(client_result.ok());
+  auto client = std::move(client_result).value();
+  ASSERT_TRUE(client->trace_enabled());
+
+  const auto objects =
+      testing_support::MakeClusteredObjects(1500, 7, /*duration=*/3000);
+  util::Rng rng(23);
+  uint64_t next_id = 1;
+  size_t compared = 0;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    IngestRequest ingest;
+    ingest.request_id = next_id++;
+    ingest.object = objects[i];
+    ingest.trace = {/*present=*/true, /*trace_id=*/next_id,
+                    /*sampled=*/true};
+    ASSERT_TRUE(client->SendIngest(ingest).ok());
+    auto response = client->ReadResponse();
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->type, FrameType::kIngestAck);
+    reference_module->OnObject(objects[i]);
+
+    if (objects[i].timestamp >= 1000 && i % 15 == 0) {
+      QueryRequest query;
+      query.request_id = next_id++;
+      query.query =
+          MakeKeywordQuery(rng.NextBounded(50), objects[i].timestamp);
+      query.trace = {/*present=*/true, /*trace_id=*/next_id,
+                     /*sampled=*/true};
+      ASSERT_TRUE(client->SendQuery(query).ok());
+      response = client->ReadResponse();
+      ASSERT_TRUE(response.ok());
+      ASSERT_EQ(response->type, FrameType::kQueryResponse);
+      const core::QueryOutcome outcome =
+          reference_module->OnQuery(query.query);
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(response->query.estimate, outcome.estimate);
+      EXPECT_EQ(response->query.actual, outcome.actual);
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 50u);
+  server.Stop();
+}
+
+// TSan target: /requestz, /profilez, /statusz, and /vars scraped
+// concurrently with live serve traffic must stay race-free and return
+// well-formed responses.
+TEST(ServeE2eTest, ConcurrentIntrospectionScrapesDuringLoad) {
+  obs::SpanCollector collector(1 << 13);
+  ScopedSpanCollector scoped(&collector);
+  obs::Profiler profiler;
+  obs::SetProfiler(&profiler);
+
+  core::LatestConfig module_config = TestConfig();
+  module_config.enable_introspection = true;
+  module_config.introspection_port = 0;  // Ephemeral.
+  auto module = MustCreate(module_config);
+  ASSERT_NE(module->introspection(), nullptr);
+  const uint16_t http_port = module->introspection()->port();
+
+  ServeServerConfig config;
+  config.batcher.tick_us = 500;
+  ServeServer server(config, module.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> scrape_failures{0};
+  std::thread load([&] {
+    auto client_result = ServeClient::ConnectNegotiated(server.port());
+    if (!client_result.ok()) {
+      scrape_failures.fetch_add(100);
+      return;
+    }
+    auto client = std::move(client_result).value();
+    const auto objects =
+        testing_support::MakeClusteredObjects(2000, 7, /*duration=*/3000);
+    util::Rng rng(31);
+    uint64_t next_id = 1;
+    for (size_t i = 0; i < objects.size() && !done.load(); ++i) {
+      IngestRequest ingest;
+      ingest.request_id = next_id++;
+      ingest.object = objects[i];
+      ingest.trace = {true, next_id, i % 4 == 0};
+      if (!client->SendIngest(ingest).ok() ||
+          !client->ReadResponse().ok()) {
+        return;
+      }
+      if (objects[i].timestamp >= 1000 && i % 10 == 0) {
+        QueryRequest query;
+        query.request_id = next_id++;
+        query.query =
+            MakeKeywordQuery(rng.NextBounded(50), objects[i].timestamp);
+        query.trace = {true, next_id, true};
+        if (!client->SendQuery(query).ok() ||
+            !client->ReadResponse().ok()) {
+          return;
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 2; ++t) {
+    scrapers.emplace_back([&, t] {
+      for (int round = 0; round < 6; ++round) {
+        for (const char* path :
+             {"/requestz", "/requestz?json", "/statusz", "/vars"}) {
+          const auto result = testing_support::HttpGet(http_port, path);
+          if (result.status != 200) scrape_failures.fetch_add(1);
+        }
+        if (t == 0) {
+          // One sampling window per round on one scraper; concurrent
+          // /profilez calls serialize inside the profiler.
+          const auto profile = testing_support::HttpGet(
+              http_port, "/profilez?seconds=0.05");
+          if (profile.status != 200) scrape_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& scraper : scrapers) scraper.join();
+  done.store(true);
+  load.join();
+  EXPECT_EQ(scrape_failures.load(), 0);
+
+  // The JSON view parses and reports appended requests.
+  const auto json = testing_support::HttpGet(http_port, "/requestz?json");
+  ASSERT_EQ(json.status, 200);
+  auto parsed = util::ParseJson(json.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_GT(parsed->Get("total_appended").AsInt(), 0);
+
+  server.Stop();
+  obs::SetProfiler(nullptr);
 }
 
 }  // namespace

@@ -195,6 +195,120 @@ TEST(SpanTest, CollectorExportsRecordedAndDroppedCounters) {
   EXPECT_EQ(dropped->value(), 2u);
 }
 
+TEST(SpanTest, TraceContextLinksAcrossThreads) {
+  SpanCollector collector(64);
+  ScopedCollector scoped(&collector);
+  TraceContext handoff;
+  {
+    Span root("ctx_root");
+    handoff = root.context();
+    EXPECT_TRUE(handoff.sampled);
+    EXPECT_NE(handoff.span_id, 0u);
+    EXPECT_NE(handoff.trace_id, 0u);
+    // The continuation runs on another thread while the parent is live.
+    std::thread worker([&handoff] {
+      Span continued("ctx_continued", handoff);
+      Span nested("ctx_nested");
+      (void)continued;
+      (void)nested;
+    });
+    worker.join();
+  }
+  const std::vector<SpanRecord> spans = collector.Snapshot();
+  const SpanRecord* root = FindByName(spans, "ctx_root");
+  const SpanRecord* continued = FindByName(spans, "ctx_continued");
+  const SpanRecord* nested = FindByName(spans, "ctx_nested");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(continued, nullptr);
+  ASSERT_NE(nested, nullptr);
+  // Linkage crosses the thread boundary: parent ids chain root →
+  // continued → nested while the tids differ.
+  EXPECT_EQ(continued->parent_id, root->id);
+  EXPECT_EQ(nested->parent_id, continued->id);
+  EXPECT_NE(continued->tid, root->tid);
+  EXPECT_EQ(nested->tid, continued->tid);
+  // One trace id spans the whole tree.
+  EXPECT_EQ(root->trace_id, handoff.trace_id);
+  EXPECT_EQ(continued->trace_id, handoff.trace_id);
+  EXPECT_EQ(nested->trace_id, handoff.trace_id);
+}
+
+TEST(SpanTest, UnsampledContextSuppressesWholeSubtree) {
+  SpanCollector collector(64);
+  ScopedCollector scoped(&collector);
+  // A continuation handle whose originating tree was not sampled: the
+  // continued span and everything nested under it stay dark, even
+  // though the collector itself records everything.
+  const TraceContext unsampled{/*trace_id=*/99, /*span_id=*/0,
+                               /*sampled=*/false};
+  {
+    Span continued("dark_continued", unsampled);
+    LATEST_SPAN("dark_nested");
+    EXPECT_FALSE(continued.sampled());
+  }
+  EXPECT_EQ(collector.recorded(), 0u);
+  // The thread recovers: the next plain root records normally.
+  {
+    Span root("light_root");
+    (void)root;
+  }
+  EXPECT_EQ(collector.recorded(), 1u);
+}
+
+// The serve plane's flush-time idiom: the batch thread opens a real
+// linked span under a pre-allocated root id, and the IO thread later
+// synthesizes the root + stage records via Record(). The result must
+// read back as one tree crossing both threads.
+TEST(SpanTest, SynthesizedRecordsJoinLinkedTree) {
+  SpanCollector collector(64);
+  ScopedCollector scoped(&collector);
+  const uint64_t trace_id = 0xabcdef01u;
+  const uint64_t root_id = collector.NextId();
+
+  std::thread batch_thread([&] {
+    Span module_run("module_run",
+                    TraceContext{trace_id, root_id, /*sampled=*/true});
+    (void)module_run;
+  });
+  batch_thread.join();
+
+  // IO thread (here: the test main thread) synthesizes the root and one
+  // stage child after the fact.
+  SpanRecord root;
+  root.name = "serve_request";
+  root.id = root_id;
+  root.parent_id = 0;
+  root.trace_id = trace_id;
+  root.tid = CurrentThreadTid();
+  root.start_ns = 0;
+  root.duration_ns = 1000;
+  collector.Record(root);
+  SpanRecord stage;
+  stage.name = "queue_wait";
+  stage.id = collector.NextId();
+  stage.parent_id = root_id;
+  stage.trace_id = trace_id;
+  stage.tid = CurrentThreadTid();
+  stage.start_ns = 100;
+  stage.duration_ns = 200;
+  collector.Record(stage);
+
+  const std::vector<SpanRecord> spans = collector.Snapshot();
+  const SpanRecord* run = FindByName(spans, "module_run");
+  const SpanRecord* synthesized_root = FindByName(spans, "serve_request");
+  const SpanRecord* wait = FindByName(spans, "queue_wait");
+  ASSERT_NE(run, nullptr);
+  ASSERT_NE(synthesized_root, nullptr);
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(run->parent_id, root_id);
+  EXPECT_EQ(wait->parent_id, root_id);
+  EXPECT_EQ(run->trace_id, trace_id);
+  EXPECT_EQ(wait->trace_id, trace_id);
+  // The tree crosses threads: the real linked span ran on the batch
+  // thread, the synthesized records on this one.
+  EXPECT_NE(run->tid, synthesized_root->tid);
+}
+
 // Minimal structural JSON scan: brackets balance outside strings, and
 // strings/escapes are well-formed. Enough to catch malformed exports
 // without a JSON library.

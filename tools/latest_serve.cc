@@ -13,7 +13,12 @@
 //
 // Introspection: --metrics-port P serves /metrics, /healthz, /statusz
 // etc. from the embedded HTTP plane, including the latest_serve_*
-// series, and arms the serve-specific SLO rules.
+// series, and arms the serve-specific SLO rules. The serve daemon also
+// installs the request-tracing plane: a process-global span collector
+// (per-request trace trees on /tracez?dump, linked across the IO and
+// batch threads), the request waterfall store (/requestz), and the
+// SIGPROF sampling self-profiler (/profilez?seconds=N), whose latest
+// profile rides along in flight-recorder postmortem bundles.
 //
 // The daemon prints `SERVE_READY port=<port>` once accepting, runs
 // until SIGINT/SIGTERM, then drains admitted work and prints one
@@ -25,6 +30,7 @@
 //                [--degraded-divisor N] [--max-connections N]
 //                [--threads N] [--metrics-port P]
 //                [--checkpoint-dir DIR] [--run-for-ms MS]
+//                [--span-capacity N] [--no-profiler]
 
 #include <chrono>
 #include <csignal>
@@ -38,6 +44,8 @@
 
 #include "core/latest_module.h"
 #include "net/serve_server.h"
+#include "obs/profiler.h"
+#include "obs/span.h"
 #include "persist/checkpoint_manager.h"
 #include "result_json.h"
 #include "workload/scenario.h"
@@ -60,6 +68,9 @@ struct Options {
   std::string checkpoint_dir;
   int64_t run_for_ms = 0;  // 0 = until signal.
   uint64_t seed = 5;
+  /// Span-collector ring capacity; 0 disables span tracing entirely.
+  size_t span_capacity = 8192;
+  bool profiler = true;
 };
 
 [[noreturn]] void Die(const std::string& message) {
@@ -103,6 +114,10 @@ Options ParseArgs(int argc, char** argv) {
       options.run_for_ms = std::strtoll(value().c_str(), nullptr, 10);
     } else if (arg == "--seed") {
       options.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--span-capacity") {
+      options.span_capacity = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--no-profiler") {
+      options.profiler = false;
     } else {
       Die("unknown flag " + arg);
     }
@@ -147,6 +162,21 @@ int main(int argc, char** argv) {
   const Options options = ParseArgs(argc, argv);
   const LatestConfig config = MakeConfig(options);
 
+  // Install the tracing plane before the module exists: the module's
+  // flight recorder attaches the process-global span collector at
+  // Create, so the collector must already be in place.
+  std::unique_ptr<latest::obs::SpanCollector> spans;
+  if (options.span_capacity > 0) {
+    spans = std::make_unique<latest::obs::SpanCollector>(
+        options.span_capacity);
+    latest::obs::SetSpanCollector(spans.get());
+  }
+  std::unique_ptr<latest::obs::Profiler> profiler;
+  if (options.profiler) {
+    profiler = std::make_unique<latest::obs::Profiler>();
+    latest::obs::SetProfiler(profiler.get());
+  }
+
   // Recover from the checkpoint directory when one is given; NotFound
   // (empty dir) starts fresh.
   std::unique_ptr<LatestModule> module;
@@ -172,6 +202,11 @@ int main(int argc, char** argv) {
   // Arm the serve-plane SLO rules next to the module's defaults.
   for (const latest::obs::SloRule& rule : latest::obs::ServeSloRules()) {
     module->slo_monitor().AddRule(rule);
+  }
+
+  // Postmortem bundles carry the latest folded CPU profile.
+  if (profiler != nullptr && module->flight_recorder() != nullptr) {
+    module->flight_recorder()->AttachProfiler(profiler.get());
   }
 
   std::unique_ptr<latest::persist::CheckpointManager> manager;
@@ -229,6 +264,14 @@ int main(int argc, char** argv) {
 
   server.Stop();
   if (manager != nullptr) (void)manager->Sync();
+
+  // Tear the tracing globals down before their owners go out of scope.
+  if (latest::obs::GetProfiler() == profiler.get()) {
+    latest::obs::SetProfiler(nullptr);
+  }
+  if (latest::obs::GetSpanCollector() == spans.get()) {
+    latest::obs::SetSpanCollector(nullptr);
+  }
 
   const latest::net::ServeStats& stats = server.stats();
   latest::tools::ResultJson("serve")
